@@ -1,0 +1,313 @@
+// Integration tests asserting the paper's *security and cost claims*
+// end-to-end on the assembled system: real programs, real kernel, real
+// machine (and mesh), adversarial where possible. Unit-level behavior
+// is covered in each package; these tests check that the composition
+// delivers what Sections 2, 3 and 6 promise.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/multi"
+	"repro/internal/word"
+)
+
+func bootKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	cfg := machine.MMachine()
+	cfg.PhysBytes = 4 << 20
+	k, err := kernel.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestClaim_Unforgeability: "User level programs may not forge a
+// guarded pointer" (Sec 1). An adversarial program that knows the
+// exact bit pattern of a valid capability tries every user-mode
+// strategy to materialize it; all must fail.
+func TestClaim_Unforgeability(t *testing.T) {
+	k := bootKernel(t)
+	secret, err := k.AllocSegment(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteWords(secret, []word.Word{word.FromInt(0x5ec2e7)}); err != nil {
+		t.Fatal(err)
+	}
+	image := int64(secret.Word().Uint()) // the exact 64-bit pointer image
+
+	attacks := []struct {
+		name string
+		src  string
+	}{
+		{"SETPTR in user mode", fmt.Sprintf(`
+			ldi r1, %d
+			setptr r2, r1
+			ld r3, r2, 0
+			halt`, 42)},
+		{"dereference the integer image directly", fmt.Sprintf(`
+			ldi r1, 1
+			shli r1, r1, 62   ; build high bits
+			; r2 := exact image via arithmetic
+			ldi r2, 0
+			or  r2, r2, r1
+			ld  r3, r2, 0
+			halt`)},
+		{"arithmetic on a granted weaker pointer", `
+			; r1 holds a KEY pointer to the secret (no rights).
+			addi r2, r1, 0    ; integer image (tag gone)
+			ld   r3, r2, 0
+			halt`},
+		{"shift games to set high bits then load", `
+			ldi  r1, -1
+			shri r1, r1, 1
+			ld   r3, r1, 0
+			halt`},
+	}
+	_ = image
+	for _, a := range attacks {
+		ip, err := k.LoadProgram(asm.MustAssemble(a.src), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyPtr, err := core.Restrict(secret, core.PermKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := k.Spawn(k.NewDomain(), ip, map[int]word.Word{1: keyPtr.Word()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(1_000_000)
+		if th.State != machine.Faulted {
+			t.Errorf("%s: thread %v (no fault!)", a.name, th.State)
+		}
+		// The secret was never read into a register.
+		for r := 0; r < 16; r++ {
+			if th.Reg(r).Int() == 0x5ec2e7 {
+				t.Errorf("%s: secret leaked into r%d", a.name, r)
+			}
+		}
+		k.M.RemoveThread(th)
+	}
+}
+
+// TestClaim_DomainIsolation: a thread holding no capability into
+// another domain's segment cannot read or corrupt it, even knowing all
+// addresses; and a thread granted a capability can (Sec 6: sharing is
+// owning a copy of the pointer).
+func TestClaim_DomainIsolation(t *testing.T) {
+	k := bootKernel(t)
+	privateA, _ := k.AllocSegment(4096)
+	k.WriteWords(privateA, []word.Word{word.FromInt(1111)})
+
+	// Domain B: no capability at all — only the integer address.
+	spy := fmt.Sprintf(`
+		ldi r1, %d
+		ld  r2, r1, 0
+		halt`, int64(privateA.Base()))
+	ipB, _ := k.LoadProgram(asm.MustAssemble(spy), false)
+	thB, _ := k.Spawn(k.NewDomain(), ipB, nil)
+
+	// Domain C: granted a read-only copy — one word of transfer.
+	ro, _ := core.Restrict(privateA, core.PermReadOnly)
+	ipC, _ := k.LoadProgram(asm.MustAssemble("ld r2, r1, 0\nhalt"), false)
+	thC, _ := k.Spawn(k.NewDomain(), ipC, map[int]word.Word{1: ro.Word()})
+
+	k.Run(1_000_000)
+	if thB.State != machine.Faulted || core.CodeOf(thB.Fault) != core.FaultTag {
+		t.Errorf("uncapable domain: %v %v", thB.State, thB.Fault)
+	}
+	if thC.State != machine.Halted || thC.Reg(2).Int() != 1111 {
+		t.Errorf("granted domain: %v r2=%d", thC.State, thC.Reg(2).Int())
+	}
+}
+
+// TestClaim_ZeroCostSwitchExactEquality: the strongest form of the
+// Sec 3 claim — on the guarded machine, a thread set from ONE domain
+// and the same thread set from FOUR domains execute in *exactly* the
+// same number of cycles. Not approximately: exactly.
+func TestClaim_ZeroCostSwitchExactEquality(t *testing.T) {
+	run := func(domains int) uint64 {
+		cfg := machine.MMachine()
+		cfg.Clusters = 1
+		cfg.SlotsPerCluster = 4
+		cfg.PhysBytes = 4 << 20
+		k, err := kernel.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := asm.MustAssemble(`
+			ldi r3, 300
+		loop:
+			ld r2, r1, 0
+			addi r4, r4, 1
+			subi r3, r3, 1
+			bnez r3, loop
+			halt
+		`)
+		for i := 0; i < 4; i++ {
+			ip, err := k.LoadProgram(prog, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg, err := k.AllocSegment(4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dom := 1
+			if domains > 1 {
+				dom = i + 1
+			}
+			if _, err := k.Spawn(dom, ip, map[int]word.Word{1: seg.Word()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run(10_000_000)
+		for _, th := range k.M.Threads() {
+			if th.State != machine.Halted {
+				t.Fatalf("thread %d: %v %v", th.ID, th.State, th.Fault)
+			}
+		}
+		return k.M.Stats().Cycles
+	}
+	same := run(1)
+	diff := run(4)
+	if same != diff {
+		t.Errorf("cycles: 1 domain %d, 4 domains %d — switching is not free", same, diff)
+	}
+}
+
+// TestClaim_RevocationKillsAllCopiesEverywhere: copies of a capability
+// in registers, in memory, and on a remote node all die at the moment
+// of unmap (Sec 4.3).
+func TestClaim_RevocationKillsAllCopiesEverywhere(t *testing.T) {
+	cfg := multi.DefaultConfig()
+	cfg.Node.PhysBytes = 1 << 20
+	s, err := multi.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Nodes[0].K.AllocSegment(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy held in memory on node 3.
+	holder, err := s.Nodes[3].K.AllocSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Nodes[3].K.WriteWords(holder, []word.Word{victim.Word()}); err != nil {
+		t.Fatal(err)
+	}
+	// Thread on node 6 holds a register copy and loops touching it
+	// after a startup delay.
+	prog := asm.MustAssemble(`
+		ldi r3, 50
+	delay:
+		subi r3, r3, 1
+		bnez r3, delay
+		ld r2, r1, 0    ; by now the capability is revoked
+		halt
+	`)
+	ip, _ := s.Nodes[6].K.LoadProgram(prog, false)
+	th, _ := s.Nodes[6].K.Spawn(1, ip, map[int]word.Word{1: victim.Word()})
+
+	if err := s.Nodes[0].K.Revoke(victim); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1_000_000)
+	if th.State != machine.Faulted {
+		t.Errorf("remote register copy survived revocation: %v", th.State)
+	}
+	// The memory copy on node 3 is still a tagged word but dead.
+	w, err := s.Nodes[3].K.ReadWord(holder)
+	if err != nil || !w.Tag {
+		t.Fatalf("holder word: %v %v", w, err)
+	}
+	p, err := core.Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Nodes[0].K.ReadWord(p); err == nil {
+		t.Error("memory copy still grants access after revocation")
+	}
+}
+
+// TestClaim_PointersNeedNoSpecialStorage: a capability survives being
+// spilled to memory, passed through the mesh, reloaded and used — no
+// capability segments, C-lists or special registers anywhere (Sec 5.3).
+func TestClaim_PointersNeedNoSpecialStorage(t *testing.T) {
+	k := bootKernel(t)
+	data, _ := k.AllocSegment(64)
+	k.WriteWords(data, []word.Word{word.FromInt(31415)})
+	spill, _ := k.AllocSegment(512)
+
+	prog := asm.MustAssemble(`
+		; spill the capability 8 deep, reload, use
+		st r2, 0, r1
+		ld r3, r2, 0
+		st r2, 8, r3
+		ld r4, r2, 8
+		st r2, 16, r4
+		ld r5, r2, 16
+		ld r6, r5, 0
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, map[int]word.Word{1: data.Word(), 2: spill.Word()})
+	k.Run(1_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(6).Int() != 31415 {
+		t.Errorf("capability corrupted by spill chain: r6=%d", th.Reg(6).Int())
+	}
+}
+
+// TestClaim_FewPrivilegedOperations: "No other operations need be
+// privileged" (Sec 2.2) — a complete application (allocation via trap
+// service, derivation, protected subsystem call, sharing) runs with
+// the kernel involved only in segment allocation; everything else is
+// user-mode instructions.
+func TestClaim_FewPrivilegedOperations(t *testing.T) {
+	k := bootKernel(t)
+	served := 0
+	k.RegisterService(func(k *kernel.Kernel, th *machine.Thread) error {
+		served++
+		return nil
+	})
+	// The app: trap-alloc a segment, restrict it, subseg it, write
+	// through the strong pointer, read through the weak one.
+	prog := asm.MustAssemble(`
+		ldi r1, 1024
+		trap 1              ; kernel: alloc (the ONE privileged service)
+		ldi r2, 2           ; PermReadOnly
+		restrict r3, r1, r2 ; user mode
+		ldi r4, 6
+		subseg r5, r3, r4   ; user mode
+		ldi r6, 888
+		st r1, 0, r6        ; user mode
+		ld r7, r5, 0        ; user mode through the derived capability
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, nil)
+	k.Run(1_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(7).Int() != 888 {
+		t.Errorf("r7 = %d", th.Reg(7).Int())
+	}
+	if got := k.M.Stats().Traps; got != 1 {
+		t.Errorf("traps = %d, want exactly 1 (allocation only)", got)
+	}
+}

@@ -1,0 +1,62 @@
+// Command mmasm assembles MAP assembly source to a loadable image and
+// prints either a disassembly listing or the raw words.
+//
+// Usage:
+//
+//	mmasm prog.s            # assemble, print listing
+//	mmasm -hex prog.s       # assemble, print one hex word per line
+//	mmasm -                 # read source from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hex := fs.Bool("hex", false, "emit hex words instead of a listing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mmasm [-hex] <file.s | ->")
+		return 2
+	}
+
+	var src []byte
+	var err error
+	if name := fs.Arg(0); name == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "mmasm:", err)
+		return 1
+	}
+
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(stderr, "mmasm:", err)
+		return 1
+	}
+	if *hex {
+		for _, w := range prog.Words {
+			fmt.Fprintf(stdout, "%016x\n", w.Bits)
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, asm.Disassemble(prog))
+	fmt.Fprintf(stdout, "; %d words, %d bytes\n", len(prog.Words), prog.ByteSize())
+	return 0
+}

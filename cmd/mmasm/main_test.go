@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestAssembleFromStdin(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-"}, "ldi r1, 5\nhalt\n")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "ldi r1, 5") || !strings.Contains(out, "2 words") {
+		t.Errorf("listing:\n%s", out)
+	}
+}
+
+func TestHexOutput(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-hex", "-"}, "halt\n")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Fields(out)
+	if len(lines) != 1 || len(lines[0]) != 16 {
+		t.Errorf("hex output: %q", out)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.s")
+	os.WriteFile(path, []byte("nop\nhalt\n"), 0o644)
+	code, out, _ := runCLI(t, []string{path}, "")
+	if code != 0 || !strings.Contains(out, "nop") {
+		t.Errorf("exit %d out %q", code, out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, stderr := runCLI(t, []string{"-"}, "bogus op\n"); code != 1 || !strings.Contains(stderr, "unknown mnemonic") {
+		t.Errorf("bad source: exit %d stderr %q", code, stderr)
+	}
+	if code, _, _ := runCLI(t, nil, ""); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code, _, _ := runCLI(t, []string{"/nonexistent/file.s"}, ""); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	if code, _, _ := runCLI(t, []string{"-bogusflag", "-"}, ""); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,67 @@
+// Command mmld assembles and links multiple MAP assembly modules into
+// one loadable image. Each input file becomes a module named after its
+// basename; cross-module references use `.export name` / `.import
+// name` with `=name` immediates (see docs/ISA.md).
+//
+// Usage:
+//
+//	mmld main.s lib.s          # link, print listing
+//	mmld -hex main.s lib.s     # link, print hex words
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmld", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hex := fs.Bool("hex", false, "emit hex words instead of a listing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "usage: mmld [-hex] <file.s> [file.s ...]")
+		return 2
+	}
+	var modules []*asm.Module
+	for _, name := range fs.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmld:", err)
+			return 1
+		}
+		modName := strings.TrimSuffix(filepath.Base(name), filepath.Ext(name))
+		m, err := asm.AssembleModule(modName, string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "mmld:", err)
+			return 1
+		}
+		modules = append(modules, m)
+	}
+	prog, err := asm.Link(modules...)
+	if err != nil {
+		fmt.Fprintln(stderr, "mmld:", err)
+		return 1
+	}
+	if *hex {
+		for _, w := range prog.Words {
+			fmt.Fprintf(stdout, "%016x\n", w.Bits)
+		}
+		return 0
+	}
+	fmt.Fprint(stdout, asm.Disassemble(prog))
+	fmt.Fprintf(stdout, "; %d words, %d bytes, %d modules\n", len(prog.Words), prog.ByteSize(), len(modules))
+	return 0
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLinkCLI(t *testing.T) {
+	dir := t.TempDir()
+	main := write(t, dir, "main.s", ".import fn\nldi r2, =fn\nhalt\n")
+	lib := write(t, dir, "lib.s", ".export fn\nfn: halt\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{main, lib}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "lib.fn:") || !strings.Contains(out.String(), "2 modules") {
+		t.Errorf("listing:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-hex", main, lib}, &out, &errb); code != 0 {
+		t.Fatal("hex mode failed")
+	}
+	if len(strings.Fields(out.String())) != 3 {
+		t.Errorf("hex words: %q", out.String())
+	}
+}
+
+func TestLinkCLIErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args exit %d", code)
+	}
+	if code := run([]string{"/nonexistent.s"}, &out, &errb); code != 1 {
+		t.Errorf("missing file exit %d", code)
+	}
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.s", "bogus\n")
+	if code := run([]string{bad}, &out, &errb); code != 1 {
+		t.Errorf("bad asm exit %d", code)
+	}
+	orphan := write(t, dir, "orphan.s", ".import gone\nldi r1, =gone\nhalt\n")
+	if code := run([]string{orphan}, &out, &errb); code != 1 {
+		t.Errorf("undefined import exit %d", code)
+	}
+}
+
+func TestSampleLibraryLinks(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"../../programs/usemem.s", "../../programs/memlib.s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"memlib.memfill:", "memlib.memsum:", "2 modules"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Command mmsim boots the simulated M-Machine, loads an assembled
+// program into a fresh code segment, runs it as a user thread, and
+// reports the final register file and machine statistics.
+//
+// The program receives a read/write pointer to a scratch data segment
+// in r1 (size set by -data). Multiple copies can be run as concurrent
+// threads from distinct protection domains with -threads.
+//
+// Usage:
+//
+//	mmsim prog.s
+//	mmsim -threads 4 -data 65536 -scheme flush-tlb -wide prog.s
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threads := fs.Int("threads", 1, "number of concurrent threads (each its own protection domain)")
+	dataBytes := fs.Uint64("data", 4096, "scratch data segment size handed to each thread in r1")
+	maxCycles := fs.Uint64("max-cycles", 50_000_000, "cycle budget")
+	schemeName := fs.String("scheme", "guarded", "protection scheme: guarded | flush-tlb | flush-all")
+	verbose := fs.Bool("v", false, "dump full register file per thread")
+	trace := fs.Bool("trace", false, "print every issued instruction")
+	wide := fs.Bool("wide", false, "enable 3-wide LIW issue per cluster")
+	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mmsim [flags] <file.s | ->")
+		return 2
+	}
+
+	var src []byte
+	var err error
+	if name := fs.Arg(0); name == "-" {
+		src, err = io.ReadAll(stdin)
+	} else {
+		src, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "mmsim:", err)
+		return 1
+	}
+
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(stderr, "mmsim:", err)
+		return 1
+	}
+
+	cfg := machine.MMachine()
+	cfg.WideIssue = *wide
+	switch *schemeName {
+	case "guarded":
+		cfg.Scheme = machine.SchemeGuarded
+	case "flush-tlb":
+		cfg.Scheme = machine.SchemeFlushTLB
+	case "flush-all":
+		cfg.Scheme = machine.SchemeFlushAll
+	default:
+		fmt.Fprintf(stderr, "mmsim: unknown scheme %q\n", *schemeName)
+		return 2
+	}
+	k, err := kernel.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "mmsim:", err)
+		return 1
+	}
+	if *trace {
+		k.M.OnIssue = func(t *machine.Thread, inst isa.Inst) {
+			fmt.Fprintf(stdout, "[%8d] t%d %#010x  %s\n", k.M.Cycle(), t.ID, t.IP.Addr(), inst)
+		}
+	}
+
+	var ths []*machine.Thread
+	for i := 0; i < *threads; i++ {
+		ip, err := k.LoadProgram(prog, false)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		seg, err := k.AllocSegment(*dataBytes)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		th, err := k.Spawn(k.NewDomain(), ip, map[int]word.Word{1: seg.Word()})
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		ths = append(ths, th)
+	}
+
+	if *debug {
+		if fs.Arg(0) == "-" {
+			fmt.Fprintln(stderr, "mmsim: -debug needs the program from a file (stdin drives the debugger)")
+			return 2
+		}
+		debugREPL(k, stdin, stdout, *maxCycles)
+	} else {
+		k.Run(*maxCycles)
+	}
+
+	exit := 0
+	for _, th := range ths {
+		fmt.Fprintf(stdout, "thread %d: %v", th.ID, th.State)
+		if th.Fault != nil {
+			fmt.Fprintf(stdout, " (%v)", th.Fault)
+			exit = 1
+		}
+		fmt.Fprintf(stdout, "  instret=%d\n", th.Instret)
+		if *verbose {
+			for r := 0; r < len(th.Regs); r++ {
+				if !th.Regs[r].IsZero() {
+					fmt.Fprintf(stdout, "  r%-2d = %v\n", r, th.Regs[r])
+				}
+			}
+		} else {
+			fmt.Fprintf(stdout, "  r1=%v r2=%v r3=%v r4=%v\n", th.Reg(1), th.Reg(2), th.Reg(3), th.Reg(4))
+		}
+	}
+
+	st := k.M.Stats()
+	cs := k.M.Cache.Stats()
+	ts := k.M.Space.TLB.Stats()
+	fmt.Fprintf(stdout, "cycles=%d instructions=%d ipc=%.2f switches=%d domain-swaps=%d stalls=%d\n",
+		st.Cycles, st.Instructions, float64(st.Instructions)/float64(st.Cycles),
+		st.Switches, st.DomainSwaps, st.StallCycles)
+	fmt.Fprintf(stdout, "cache: hits=%d misses=%d conflicts=%d  tlb: hits=%d misses=%d flushes=%d\n",
+		cs.Hits, cs.Misses, cs.ConflictCycles, ts.Hits, ts.Misses, ts.Flushes)
+	return exit
+}
+
+// debugREPL drives the machine interactively: b/w set break- and
+// watchpoints, c continues, s steps cycles, r dumps registers, d
+// disassembles, q quits.
+func debugREPL(k *kernel.Kernel, stdin io.Reader, stdout io.Writer, maxCycles uint64) {
+	d := machine.Attach(k.M)
+	defer d.Detach()
+	sc := bufio.NewScanner(stdin)
+	fmt.Fprintln(stdout, "(mdb) commands: b <hex> | w <hex> | c | s [n] | r | d <hex> | q")
+	for {
+		fmt.Fprint(stdout, "(mdb) ")
+		if !sc.Scan() {
+			return
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		arg := func() (uint64, bool) {
+			if len(f) < 2 {
+				fmt.Fprintln(stdout, "need an address")
+				return 0, false
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(f[1], "0x"), 16, 64)
+			if err != nil {
+				fmt.Fprintln(stdout, "bad address:", f[1])
+				return 0, false
+			}
+			return v, true
+		}
+		switch f[0] {
+		case "q":
+			return
+		case "b":
+			if a, ok := arg(); ok {
+				d.SetBreakpoint(a)
+				fmt.Fprintf(stdout, "breakpoint @%#x\n", a)
+			}
+		case "w":
+			if a, ok := arg(); ok {
+				if err := d.Watch(a); err != nil {
+					fmt.Fprintln(stdout, "watch:", err)
+				} else {
+					fmt.Fprintf(stdout, "watchpoint @%#x\n", a)
+				}
+			}
+		case "c":
+			if ev := d.Continue(maxCycles); ev != nil {
+				fmt.Fprintln(stdout, ev)
+			} else {
+				fmt.Fprintf(stdout, "stopped: all threads done (cycle %d)\n", k.M.Cycle())
+			}
+		case "s":
+			n := 1
+			if len(f) > 1 {
+				if v, err := strconv.Atoi(f[1]); err == nil {
+					n = v
+				}
+			}
+			for i := 0; i < n; i++ {
+				if ev := d.StepCycle(); ev != nil {
+					fmt.Fprintln(stdout, ev)
+					break
+				}
+			}
+			fmt.Fprintf(stdout, "cycle %d\n", k.M.Cycle())
+		case "r":
+			for _, th := range k.M.Threads() {
+				fmt.Fprintf(stdout, "thread %d %v ip=%#x\n", th.ID, th.State, th.IP.Addr())
+				for r := 0; r < len(th.Regs); r++ {
+					if !th.Regs[r].IsZero() {
+						fmt.Fprintf(stdout, "  r%-2d = %v\n", r, th.Regs[r])
+					}
+				}
+			}
+		case "d":
+			if a, ok := arg(); ok {
+				if text, err := d.Disassemble(a); err == nil {
+					fmt.Fprintf(stdout, "%#x: %s\n", a, text)
+				} else {
+					fmt.Fprintln(stdout, "disassemble:", err)
+				}
+			}
+		default:
+			fmt.Fprintln(stdout, "unknown command")
+		}
+	}
+}

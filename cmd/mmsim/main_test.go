@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func runCLI(args []string, stdin string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const countdown = "ldi r3, 5\nloop: subi r3, r3, 1\nbnez r3, loop\nhalt\n"
+
+func TestRunSimpleProgram(t *testing.T) {
+	code, out, _ := runCLI([]string{"-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "thread 0: halted") || !strings.Contains(out, "ipc=") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMultipleThreadsAndSchemes(t *testing.T) {
+	for _, scheme := range []string{"guarded", "flush-tlb", "flush-all"} {
+		code, out, _ := runCLI([]string{"-threads", "3", "-scheme", scheme, "-"}, countdown)
+		if code != 0 {
+			t.Fatalf("%s: exit %d:\n%s", scheme, code, out)
+		}
+		if strings.Count(out, "halted") != 3 {
+			t.Errorf("%s: expected 3 halted threads:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestTraceAndWideFlags(t *testing.T) {
+	code, out, _ := runCLI([]string{"-trace", "-wide", "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "subi r3, r3, 1") {
+		t.Errorf("trace output missing instructions:\n%s", out)
+	}
+}
+
+func TestVerboseRegisters(t *testing.T) {
+	code, out, _ := runCLI([]string{"-v", "-"}, "ldi r7, 99\nhalt\n")
+	if code != 0 {
+		t.Fatal(code)
+	}
+	if !strings.Contains(out, "r7 ") {
+		t.Errorf("verbose dump missing r7:\n%s", out)
+	}
+}
+
+func TestFaultingProgramExitCode(t *testing.T) {
+	code, out, _ := runCLI([]string{"-"}, "ldi r1, 0x40\nld r2, r1, 0\nhalt\n")
+	if code != 1 {
+		t.Errorf("faulting program exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "tag fault") {
+		t.Errorf("fault not reported:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if code, _, _ := runCLI(nil, ""); code != 2 {
+		t.Errorf("no args exit %d", code)
+	}
+	if code, _, _ := runCLI([]string{"-scheme", "nope", "-"}, countdown); code != 2 {
+		t.Errorf("bad scheme exit %d", code)
+	}
+	if code, _, _ := runCLI([]string{"-"}, "zzz\n"); code != 1 {
+		t.Errorf("bad asm exit %d", code)
+	}
+}
+
+func TestSamplePrograms(t *testing.T) {
+	cases := []struct {
+		file string
+		want string // substring of the register dump
+	}{
+		{"fib.s", "r4=0x0000000000002ac2"},     // fib = 10946
+		{"sieve.s", "r4=0x0000000000000036"},   // 54 primes below 256
+		{"crosscheck.s", "halted  instret=13"}, // all pointer ops agreed
+	}
+	for _, c := range cases {
+		code, out, stderr := runCLI([]string{"../../programs/" + c.file}, "")
+		if code != 0 {
+			t.Fatalf("%s: exit %d\n%s%s", c.file, code, out, stderr)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s: missing %q in:\n%s", c.file, c.want, out)
+		}
+	}
+}
+
+func TestDebugREPL(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/p.s"
+	if err := osWriteFile(path, countdown); err != nil {
+		t.Fatal(err)
+	}
+	script := strings.Join([]string{
+		"b 0x10000008", // the subi (code loads at region base 0x10000000)
+		"c",
+		"r",
+		"d 0x10000008",
+		"s 2",
+		"c", "c", "c", // remaining loop iterations + run to halt
+		"q",
+	}, "\n")
+	code, out, _ := runCLI([]string{"-debug", path}, script)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"breakpoint @0x10000008", "subi r3, r3, 1", "thread 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugNeedsFile(t *testing.T) {
+	if code, _, _ := runCLI([]string{"-debug", "-"}, countdown); code != 2 {
+		t.Errorf("exit %d", code)
+	}
+}

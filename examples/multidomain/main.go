@@ -1,0 +1,141 @@
+// Multidomain: 16 threads from 4 mutually non-trusting protection
+// domains interleaved cycle-by-cycle (Sec 3).
+//
+// This is the scenario the M-Machine was built for: the hardware picks
+// a thread per cluster per cycle with zero switch cost, because no
+// per-domain translation or protection state exists. All four domains
+// share one read-only data segment (in-cache sharing, impossible with
+// ASID-tagged caches) while each keeps a private scratch segment the
+// others cannot name.
+//
+// The run is repeated under the flush-based cost models to show what
+// conventional paging would pay on the identical thread set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// Each thread sums the shared table and accumulates into its private
+// segment.
+const workerSrc = `
+	; r1 = shared read-only table (64 words), r2 = private scratch
+	ldi  r5, 40          ; outer repetitions
+outer:
+	ldi  r3, 64          ; table length
+	ldi  r4, 0           ; sum
+	mov  r6, r1
+inner:
+	ld   r7, r6, 0
+	add  r4, r4, r7
+	subi r3, r3, 1
+	beqz r3, innerdone       ; do not step past the last element —
+	leai r6, r6, 8           ; the hardware bounds check would fault
+	br   inner
+innerdone:
+	ld   r8, r2, 0
+	add  r8, r8, r4
+	st   r2, 0, r8       ; private accumulator
+	subi r5, r5, 1
+	bnez r5, outer
+	halt
+`
+
+func main() {
+	fmt.Println("16 threads / 4 domains / 4 clusters, shared read-only table + private scratch per thread")
+	fmt.Println()
+	fmt.Printf("%-18s %10s %8s %8s %10s %12s\n",
+		"scheme", "cycles", "ipc", "stalls", "tlb-flush", "domain-swaps")
+	for _, scheme := range []machine.Scheme{
+		machine.SchemeGuarded, machine.SchemeFlushTLB, machine.SchemeFlushAll,
+	} {
+		st, flushes, sums := run(scheme)
+		fmt.Printf("%-18s %10d %8.2f %8d %10d %12d\n",
+			scheme, st.Cycles,
+			float64(st.Instructions)/float64(st.Cycles),
+			st.StallCycles, flushes, st.DomainSwaps)
+		for i, s := range sums {
+			if s != sums[0] {
+				log.Fatalf("thread %d computed %d, want %d", i, s, sums[0])
+			}
+		}
+	}
+	fmt.Println("\nall 16 threads computed identical sums; under guarded pointers the interleave is free")
+	fmt.Println("(zero stalls, zero flushes) even though every adjacent issue slot crosses domains")
+}
+
+func run(scheme machine.Scheme) (machine.Stats, uint64, []int64) {
+	cfg := machine.MMachine() // 4 clusters × 4 threads
+	cfg.Scheme = scheme
+	k, err := kernel.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Shared table: 64 words of data, distributed read-only.
+	shared, err := k.AllocSegment(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	words := make([]word.Word, 64)
+	for i := range words {
+		words[i] = word.FromInt(int64(i))
+	}
+	if err := k.WriteWords(shared, words); err != nil {
+		log.Fatal(err)
+	}
+	sharedRO, err := core.Restrict(shared, core.PermReadOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prog := asm.MustAssemble(workerSrc)
+	var threads []*machine.Thread
+	for i := 0; i < 16; i++ {
+		ip, err := k.LoadProgram(prog, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		private, err := k.AllocSegment(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		th, err := k.Spawn(i%4+1, ip, map[int]word.Word{
+			1: sharedRO.Word(),
+			2: private.Word(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads = append(threads, th)
+	}
+
+	k.Run(50_000_000)
+	var sums []int64
+	for _, th := range threads {
+		if th.State != machine.Halted {
+			log.Fatalf("thread %d: %v %v", th.ID, th.State, th.Fault)
+		}
+		w, err := k.M.Space.ReadWord(mustPtr(th.Reg(2)).Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sums = append(sums, w.Int())
+	}
+	return k.M.Stats(), k.M.Space.TLB.Stats().Flushes, sums
+}
+
+func mustPtr(w word.Word) core.Pointer {
+	p, err := core.Decode(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,111 @@
+// OSkernel: the kernel features stacked together — processes software-
+// scheduled over the hardware thread slots, lazy segments materialized
+// by the demand pager, and per-process teardown that scrubs every
+// capability the process ever held.
+//
+// 24 processes (on a machine with 16 hardware threads) each build a
+// table in a lazy segment larger than its share of physical memory,
+// verify it, and exit. The pager swaps under them; the scheduler
+// recycles slots; the kernel reclaims everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+const worker = `
+	; r1 = lazy 8-page segment. Fill page firsts with a counter,
+	; re-walk and verify, flagging r5=1 on success.
+	ldi  r2, 8
+	mov  r3, r1
+	ldi  r4, 100
+fill:
+	st   r3, 0, r4
+	addi r4, r4, 1
+	subi r2, r2, 1
+	beqz r2, verify
+	leai r3, r3, 4096
+	br   fill
+verify:
+	ldi  r2, 8
+	mov  r3, r1
+	ldi  r4, 100
+	ldi  r5, 1
+vloop:
+	ld   r6, r3, 0
+	seq  r7, r6, r4
+	and  r5, r5, r7
+	addi r4, r4, 1
+	subi r2, r2, 1
+	beqz r2, done
+	leai r3, r3, 4096
+	br   vloop
+done:
+	halt
+`
+
+func main() {
+	cfg := machine.MMachine() // 16 hardware threads
+	cfg.PhysBytes = 96 * vm.PageSize
+	k, err := kernel.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.EnableDemandPaging(4)
+	k.SetPagingCosts(50, 2000)
+
+	prog := asm.MustAssemble(worker)
+	const nProcs = 24
+	var procs []*kernel.Process
+	for i := 0; i < nProcs; i++ {
+		p := k.NewProcess()
+		ip, err := p.LoadProgram(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seg, err := p.AllocSegmentLazy(8 * vm.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Start(ip, map[int]word.Word{1: seg.Word()}); err != nil {
+			log.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	pend := 0
+	for _, p := range procs {
+		pend += p.Pending()
+	}
+	fmt.Printf("launched %d processes on 16 hardware threads (%d queued); phys = 96 pages, demand = %d pages\n",
+		nProcs, pend, nProcs*8)
+
+	cycles := k.RunScheduled(50_000_000)
+
+	ok := 0
+	var instret uint64
+	for _, p := range procs {
+		if p.Live() != 0 || p.Pending() != 0 {
+			log.Fatalf("process %d incomplete", p.ID)
+		}
+		instret += p.Instret
+		ok++
+		if err := p.Exit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := k.PagingStatsSnapshot()
+	fmt.Printf("all %d processes completed and exited in %d cycles (%d instructions)\n", ok, cycles, instret)
+	fmt.Printf("pager: %d demand-zero fills, %d swap-outs, %d swap-ins (backing store at work)\n",
+		st.DemandZero, st.SwapOuts, st.SwapIns)
+	fmt.Printf("after teardown: %d segments live, %d resident frames (worker state fully reclaimed)\n",
+		k.Segments(), k.ResidentFrames())
+	fmt.Println("\nno page tables were swapped, no TLBs flushed, no protection state moved at any point:")
+	fmt.Println("scheduling, paging and teardown are pure bookkeeping in a guarded-pointer system")
+}

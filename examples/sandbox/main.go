@@ -1,0 +1,142 @@
+// Sandbox: guarded pointers vs software fault isolation (Sec 5.4).
+//
+// The same computation — a bounds-sensitive table walk — run three
+// ways on the simulator:
+//
+//  1. guarded pointers: the hardware checks ride inside the pointer,
+//     zero extra instructions;
+//  2. SFI sandboxing: two inserted check instructions before every
+//     memory reference (Wahbe et al.'s mask-and-rebase), paid whether
+//     or not anything ever goes wrong;
+//  3. an out-of-bounds probe under each regime, showing *when* the two
+//     schemes catch the violation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+const nativeSrc = `
+	ldi  r3, 1024
+	ldi  r4, 0
+loop:
+	ld   r5, r1, 0
+	add  r4, r4, r5
+	leai r1, r1, 8
+	subi r3, r3, 1
+	bnez r3, loop
+	halt
+`
+
+// The SFI variant inserts the classic two-instruction sandbox sequence
+// (mask the address into the fault domain, OR in the domain base)
+// before each reference. r7/r8 stand in for the reserved sandbox
+// registers Wahbe's scheme must pin.
+const sfiSrc = `
+	ldi  r3, 1024
+	ldi  r4, 0
+loop:
+	and  r6, r7, r7
+	or   r6, r6, r8
+	ld   r5, r1, 0
+	add  r4, r4, r5
+	leai r1, r1, 8
+	subi r3, r3, 1
+	bnez r3, loop
+	halt
+`
+
+func main() {
+	nc, ni := run(nativeSrc)
+	sc, si := run(sfiSrc)
+
+	fmt.Println("1024-element table walk, identical data and machine:")
+	fmt.Printf("%-34s %12s %10s %10s\n", "variant", "instructions", "cycles", "overhead")
+	fmt.Printf("%-34s %12d %10d %10s\n", "guarded pointers", ni, nc, "1.00x")
+	fmt.Printf("%-34s %12d %10d %9.2fx\n", "SFI (2 checks per reference)", si, sc,
+		float64(sc)/float64(nc))
+
+	// Where violations are caught.
+	fmt.Println("\nout-of-bounds probe (walk runs one element past the segment):")
+	k, err := kernel.New(smallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	overrun := asm.MustAssemble(`
+		ldi  r3, 9           ; segment holds 8 words
+	loop:
+		ld   r5, r1, 0
+		leai r1, r1, 8
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	ip, err := k.LoadProgram(overrun, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := k.AllocSegment(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.Run(1_000_000)
+	fmt.Printf("  guarded pointers: %v after %d instructions — %v\n", th.State, th.Instret, th.Fault)
+	fmt.Println("  SFI: the masked address silently wraps inside the fault domain; the bug reads the")
+	fmt.Println("  wrong word instead of faulting (sandboxing isolates domains, it does not bound objects)")
+	fmt.Println("\nand SFI's guarantee holds only for code its rewriter produced; hand-written code")
+	fmt.Println("bypasses it entirely, while the tag bit binds every instruction on the machine (Sec 5.4)")
+
+	// Demonstrate the fine-grained alternative guarded pointers offer:
+	// a 1-byte... (word-granularity here) capability for a single slot.
+	slot, err := core.SubSeg(seg, 3) // one 8-byte word
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbonus: SUBSEG narrows a capability to a single word: %v\n", slot)
+}
+
+func smallConfig() machine.Config {
+	cfg := machine.MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	return cfg
+}
+
+func run(src string) (cycles, instr uint64) {
+	k, err := kernel.New(smallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg, err := k.AllocSegment(16384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := k.Spawn(1, ip, map[int]word.Word{
+		1: seg.Word(),
+		7: word.FromUint(0xffff),
+		8: word.FromUint(0x1000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.Run(10_000_000)
+	if th.State != machine.Halted {
+		log.Fatalf("%v: %v", th.State, th.Fault)
+	}
+	return k.M.Stats().Cycles, k.M.Stats().Instructions
+}

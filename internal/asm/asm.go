@@ -1,0 +1,409 @@
+// Package asm is a small two-pass assembler for the simulated MAP
+// instruction set. It exists so examples, tests and benchmarks can
+// express the paper's code sequences (protected subsystem entry, cast
+// sequences, array loops) as real programs executed by the machine
+// rather than as hand-constructed word arrays.
+//
+// Syntax, one statement per line:
+//
+//	; comment   or   # comment
+//	label:                    ; define a label at the next word
+//	    ldi   r1, 100         ; mnemonics from package isa
+//	    ld    r2, r1, 8       ; ld rd, raddr, imm
+//	    st    r1, 8, r2       ; st raddr, imm, rval
+//	    beqz  r1, done        ; branch targets are labels (relative)
+//	    .word 42              ; literal data word
+//	    .space 8              ; 8 zero words
+//	    .align 4              ; pad with zeros to a 4-word boundary
+//	done:
+//	    halt
+//
+// Immediate operands are decimal or 0x-hex integers, or =label, which
+// evaluates to the label's byte offset from the start of the program
+// (for leabi-based addressing of embedded data).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// Program is an assembled image: a flat sequence of words plus the
+// label table (word indices).
+type Program struct {
+	Words  []word.Word
+	Labels map[string]int
+}
+
+// ByteSize returns the program size in bytes.
+func (p *Program) ByteSize() uint64 {
+	return uint64(len(p.Words)) * word.BytesPerWord
+}
+
+// LabelByte returns the byte offset of a label within the program.
+func (p *Program) LabelByte(name string) (uint64, error) {
+	i, ok := p.Labels[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined label %q", name)
+	}
+	return uint64(i) * word.BytesPerWord, nil
+}
+
+type stmt struct {
+	lineNo int
+	op     string   // mnemonic or a directive (".word", ".space", ".align")
+	args   []string // raw operand tokens
+	addr   int      // word index assigned in pass 1
+	size   int      // words occupied
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	// Pass 1: strip comments, collect statements, assign word
+	// addresses (directives may occupy zero or many words) and bind
+	// labels to word indices.
+	labels := make(map[string]int)
+	var stmts []stmt
+	addr := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		// Leading labels, possibly several per line.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:colon])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("asm: line %d: bad label %q", lineNo+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = addr
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op := strings.ToLower(fields[0])
+		argText := strings.Join(fields[1:], " ")
+		var args []string
+		if strings.TrimSpace(argText) != "" {
+			for _, a := range strings.Split(argText, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		st := stmt{lineNo: lineNo + 1, op: op, args: args, addr: addr}
+		size, err := stmtSize(st, addr)
+		if err != nil {
+			return nil, err
+		}
+		st.size = size
+		addr += size
+		stmts = append(stmts, st)
+	}
+
+	// Pass 2: encode.
+	p := &Program{Labels: labels}
+	for _, s := range stmts {
+		ws, err := encodeStmt(s, labels)
+		if err != nil {
+			return nil, err
+		}
+		p.Words = append(p.Words, ws...)
+	}
+	return p, nil
+}
+
+// stmtSize returns the number of words a statement occupies at the
+// given word address.
+func stmtSize(s stmt, addr int) (int, error) {
+	switch s.op {
+	case ".space":
+		if len(s.args) != 1 {
+			return 0, lineErr(s, ".space takes one count")
+		}
+		n, err := strconv.Atoi(s.args[0])
+		if err != nil || n < 0 {
+			return 0, lineErr(s, "bad .space count %q", s.args[0])
+		}
+		return n, nil
+	case ".align":
+		if len(s.args) != 1 {
+			return 0, lineErr(s, ".align takes one word count")
+		}
+		a, err := strconv.Atoi(s.args[0])
+		if err != nil || a <= 0 || a&(a-1) != 0 {
+			return 0, lineErr(s, "bad .align %q (power-of-two words)", s.args[0])
+		}
+		return (a - addr%a) % a, nil
+	default:
+		return 1, nil
+	}
+}
+
+// MustAssemble panics on assembly errors; for statically known sources
+// in tests and examples.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func encodeStmt(s stmt, labels map[string]int) ([]word.Word, error) {
+	switch s.op {
+	case ".word":
+		if len(s.args) != 1 {
+			return nil, lineErr(s, ".word takes one value")
+		}
+		v, err := parseImm(s.args[0], labels)
+		if err != nil {
+			return nil, lineErr(s, "%v", err)
+		}
+		return []word.Word{word.FromInt(v)}, nil
+	case ".space", ".align":
+		return make([]word.Word, s.size), nil
+	}
+
+	op, ok := isa.OpByName[s.op]
+	if !ok {
+		return nil, lineErr(s, "unknown mnemonic %q", s.op)
+	}
+	inst := isa.Inst{Op: op}
+
+	reg := func(tok string) (int, error) {
+		if len(tok) < 2 || (tok[0] != 'r' && tok[0] != 'R') {
+			return 0, fmt.Errorf("expected register, got %q", tok)
+		}
+		n, err := strconv.Atoi(tok[1:])
+		if err != nil || n < 0 || n >= isa.NumRegs {
+			return 0, fmt.Errorf("bad register %q", tok)
+		}
+		return n, nil
+	}
+	imm := func(tok string) (int64, error) {
+		return parseImm(tok, labels)
+	}
+	// Branch displacement: a label resolves to a relative instruction
+	// count (target − (here+1)), an integer is taken literally.
+	disp := func(tok string) (int64, error) {
+		if target, ok := labels[tok]; ok {
+			return int64(target - (s.addr + 1)), nil
+		}
+		return parseImm(tok, labels)
+	}
+
+	var err error
+	bind := func(n int, f func() error) error {
+		if len(s.args) != n {
+			return lineErr(s, "%s takes %d operands, got %d", s.op, n, len(s.args))
+		}
+		return f()
+	}
+
+	switch op {
+	case isa.NOP, isa.HALT:
+		err = bind(0, func() error { return nil })
+	case isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SLT, isa.SEQ, isa.LEA, isa.LEAB,
+		isa.RESTRICT, isa.SUBSEG,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FSLT:
+		err = bind(3, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Ra, e = reg(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Rb, e = reg(s.args[2]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.ADDI, isa.SUBI, isa.SHLI, isa.SHRI, isa.SLTI, isa.SEQI,
+		isa.LEAI, isa.LEABI, isa.LD, isa.LDB:
+		err = bind(3, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Ra, e = reg(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Imm, e = imm(s.args[2]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.ST, isa.STB: // st raddr, imm, rval
+		err = bind(3, func() error {
+			var e error
+			if inst.Ra, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Imm, e = imm(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Rb, e = reg(s.args[2]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.MOV, isa.SETPTR, isa.ISPTR, isa.GETPERM, isa.GETLEN,
+		isa.ITOF, isa.FTOI:
+		err = bind(2, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Ra, e = reg(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.MOVIP:
+		err = bind(1, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.LDI:
+		err = bind(2, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Imm, e = imm(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.BR, isa.TRAP:
+		err = bind(1, func() error {
+			var e error
+			if inst.Imm, e = disp(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.BEQZ, isa.BNEZ:
+		err = bind(2, func() error {
+			var e error
+			if inst.Ra, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Imm, e = disp(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.JMP:
+		err = bind(1, func() error {
+			var e error
+			if inst.Ra, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	case isa.JMPL:
+		err = bind(2, func() error {
+			var e error
+			if inst.Rd, e = reg(s.args[0]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			if inst.Ra, e = reg(s.args[1]); e != nil {
+				return lineErr(s, "%v", e)
+			}
+			return nil
+		})
+	default:
+		err = lineErr(s, "mnemonic %q not handled", s.op)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	w, encErr := isa.Encode(inst)
+	if encErr != nil {
+		return nil, lineErr(s, "%v", encErr)
+	}
+	return []word.Word{w}, nil
+}
+
+func parseImm(tok string, labels map[string]int) (int64, error) {
+	if strings.HasPrefix(tok, "=") {
+		name := tok[1:]
+		i, ok := labels[name]
+		if !ok {
+			return 0, fmt.Errorf("undefined label %q", name)
+		}
+		return int64(i) * word.BytesPerWord, nil
+	}
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		// Accept full-width unsigned constants (e.g. 0xffffffffffffffff
+		// in a .word) by reinterpreting the bits.
+		if u, uerr := strconv.ParseUint(tok, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func lineErr(s stmt, format string, args ...interface{}) error {
+	return fmt.Errorf("asm: line %d: %s", s.lineNo, fmt.Sprintf(format, args...))
+}
+
+// Disassemble renders a program listing for diagnostics.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	byIndex := make(map[int][]string)
+	for name, i := range p.Labels {
+		byIndex[i] = append(byIndex[i], name)
+	}
+	for i, w := range p.Words {
+		for _, name := range byIndex[i] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		if inst, err := isa.Decode(w); err == nil {
+			fmt.Fprintf(&b, "  %04x  %s\n", i*word.BytesPerWord, inst)
+		} else {
+			fmt.Fprintf(&b, "  %04x  .word %#x\n", i*word.BytesPerWord, w.Bits)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a trivial program
+		ldi  r1, 100
+		addi r2, r1, 0x20
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 3 {
+		t.Fatalf("len = %d", len(p.Words))
+	}
+	i0, _ := isa.Decode(p.Words[0])
+	if i0.Op != isa.LDI || i0.Rd != 1 || i0.Imm != 100 {
+		t.Errorf("inst 0 = %v", i0)
+	}
+	i1, _ := isa.Decode(p.Words[1])
+	if i1.Op != isa.ADDI || i1.Rd != 2 || i1.Ra != 1 || i1.Imm != 0x20 {
+		t.Errorf("inst 1 = %v", i1)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+	loop:
+		subi r1, r1, 1
+		bnez r1, loop
+		br   done
+		nop
+	done:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnez, _ := isa.Decode(p.Words[1])
+	if bnez.Imm != -2 {
+		t.Errorf("backward branch imm = %d, want -2", bnez.Imm)
+	}
+	br, _ := isa.Decode(p.Words[2])
+	if br.Imm != 1 {
+		t.Errorf("forward branch imm = %d, want 1 (skips nop)", br.Imm)
+	}
+	if p.Labels["done"] != 4 {
+		t.Errorf("done label = %d", p.Labels["done"])
+	}
+}
+
+func TestWordDirectiveAndLabelByte(t *testing.T) {
+	p, err := Assemble(`
+		ld r1, r2, =data
+		halt
+	data:
+		.word 0x1234
+		.word -7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, _ := isa.Decode(p.Words[0])
+	if ld.Imm != 16 {
+		t.Errorf("=data imm = %d, want 16 (byte offset)", ld.Imm)
+	}
+	if p.Words[2].Int() != 0x1234 || p.Words[3].Int() != -7 {
+		t.Errorf("data words = %v %v", p.Words[2], p.Words[3])
+	}
+	off, err := p.LabelByte("data")
+	if err != nil || off != 16 {
+		t.Errorf("LabelByte = %d, %v", off, err)
+	}
+	if _, err := p.LabelByte("nothere"); err == nil {
+		t.Error("LabelByte of missing label succeeded")
+	}
+	if p.ByteSize() != 32 {
+		t.Errorf("ByteSize = %d", p.ByteSize())
+	}
+}
+
+func TestStoreSyntax(t *testing.T) {
+	p := MustAssemble(`st r3, 24, r5`)
+	st, _ := isa.Decode(p.Words[0])
+	if st.Op != isa.ST || st.Ra != 3 || st.Imm != 24 || st.Rb != 5 {
+		t.Errorf("st = %v", st)
+	}
+}
+
+func TestAllMnemonicsAssemble(t *testing.T) {
+	src := `
+	start:
+		nop
+		add r1, r2, r3
+		addi r1, r2, 5
+		sub r1, r2, r3
+		subi r1, r2, 5
+		mul r1, r2, r3
+		and r1, r2, r3
+		or r1, r2, r3
+		xor r1, r2, r3
+		shl r1, r2, r3
+		shli r1, r2, 3
+		shr r1, r2, r3
+		shri r1, r2, 3
+		slt r1, r2, r3
+		slti r1, r2, 9
+		seq r1, r2, r3
+		seqi r1, r2, 9
+		mov r1, r2
+		ldi r1, -12
+		br start
+		beqz r1, start
+		bnez r1, start
+		jmp r4
+		jmpl r14, r4
+		trap 3
+		ld r1, r2, 8
+		st r2, 8, r1
+		lea r1, r2, r3
+		leai r1, r2, 8
+		leab r1, r2, r3
+		leabi r1, r2, 8
+		restrict r1, r2, r3
+		subseg r1, r2, r3
+		setptr r1, r2
+		isptr r1, r2
+		getperm r1, r2
+		getlen r1, r2
+		movip r5
+		halt
+	`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Words {
+		if _, err := isa.Decode(w); err != nil {
+			t.Errorf("word %d does not decode: %v", i, err)
+		}
+	}
+	dis := Disassemble(p)
+	if !strings.Contains(dis, "start:") || !strings.Contains(dis, "restrict") {
+		t.Errorf("disassembly missing content:\n%s", dis)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",              // unknown mnemonic
+		"add r1, r2",                // wrong arity
+		"add r1, r2, r16",           // bad register
+		"ldi r1, zzz",               // bad immediate
+		"ld r1, r2, =nope",          // undefined label
+		"9bad: nop",                 // bad label name
+		"dup: nop\ndup: nop",        // duplicate label
+		".word",                     // missing value
+		"ldi r1, 99999999999999999", // immediate overflow
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled bad source %q", src)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p := MustAssemble(`a: b: halt`)
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+}
+
+func TestDisassembleDataWord(t *testing.T) {
+	p := MustAssemble("d: .word 0xffffffffffffffff")
+	if !strings.Contains(Disassemble(p), ".word") {
+		t.Error("data word not shown as .word")
+	}
+}
+
+func TestSpaceDirective(t *testing.T) {
+	p := MustAssemble(`
+		ldi r1, 1
+	buf:
+		.space 4
+	after:
+		halt
+	`)
+	if len(p.Words) != 6 {
+		t.Fatalf("len = %d, want 6", len(p.Words))
+	}
+	if p.Labels["buf"] != 1 || p.Labels["after"] != 5 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+	for i := 1; i < 5; i++ {
+		if !p.Words[i].IsZero() {
+			t.Errorf("space word %d = %v", i, p.Words[i])
+		}
+	}
+	if _, err := Assemble(".space -1"); err == nil {
+		t.Error("negative .space accepted")
+	}
+	if _, err := Assemble(".space x"); err == nil {
+		t.Error("junk .space accepted")
+	}
+}
+
+func TestAlignDirective(t *testing.T) {
+	p := MustAssemble(`
+		ldi r1, 1
+		.align 4
+	data:
+		.word 9
+	`)
+	if p.Labels["data"] != 4 {
+		t.Errorf("data at %d, want 4", p.Labels["data"])
+	}
+	if len(p.Words) != 5 {
+		t.Errorf("len = %d", len(p.Words))
+	}
+	// Already aligned: no padding.
+	q := MustAssemble(".align 2\na: .word 1")
+	if q.Labels["a"] != 0 {
+		t.Errorf("aligned-at-zero label = %d", q.Labels["a"])
+	}
+	if _, err := Assemble(".align 3"); err == nil {
+		t.Error("non-power-of-two .align accepted")
+	}
+	if _, err := Assemble(".align 0"); err == nil {
+		t.Error(".align 0 accepted")
+	}
+}
+
+func TestBranchAcrossSpace(t *testing.T) {
+	p := MustAssemble(`
+		br over
+		.space 6
+	over:
+		halt
+	`)
+	br, _ := isa.Decode(p.Words[0])
+	if br.Imm != 6 {
+		t.Errorf("branch over .space imm = %d, want 6", br.Imm)
+	}
+}

@@ -1,0 +1,242 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// This file adds separate assembly and linking: modules export labels
+// with `.export name` and reference other modules' labels as `=name`
+// immediates after declaring `.import name`. The linker lays modules
+// out in order inside one code segment and patches the immediates with
+// final byte offsets (all addressing stays segment-relative, so the
+// linked image is loadable anywhere — position independence falls out
+// of LEAB-based addressing).
+//
+// Branch targets remain module-local: control transfer between modules
+// goes through pointers (LEAB + jmpl), as the protection model intends.
+
+// Module is a relocatable unit: an assembled program plus its symbol
+// interface.
+type Module struct {
+	Name    string
+	Prog    *Program
+	Exports map[string]int // label → word index within the module
+	fixups  []fixup
+	imports map[string]bool
+}
+
+type fixup struct {
+	wordIdx int    // instruction to patch
+	symbol  string // imported label whose final byte offset goes in imm
+	lineNo  int
+}
+
+// AssembleModule assembles src as a relocatable module. Directives
+// beyond Assemble's:
+//
+//	.export label     make label visible to other modules
+//	.import name      declare an external label; `=name` immediates
+//	                  are left as fixups for the linker
+func AssembleModule(name, src string) (*Module, error) {
+	m := &Module{Name: name, Exports: make(map[string]int), imports: make(map[string]bool)}
+
+	// Pre-pass: strip .export/.import lines, remember them.
+	var kept []string
+	var exports []string
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == ".export" {
+			exports = append(exports, f[1])
+			kept = append(kept, "")
+			continue
+		}
+		if len(f) == 2 && f[0] == ".import" {
+			if !isIdent(f[1]) {
+				return nil, fmt.Errorf("asm: %s line %d: bad import %q", name, lineNo+1, f[1])
+			}
+			m.imports[f[1]] = true
+			kept = append(kept, "")
+			continue
+		}
+		kept = append(kept, raw)
+	}
+
+	// Substitute imported `=sym` with placeholder 0 and record fixups.
+	// We do this by assembling with a symbol table extended by fake
+	// zero-offset labels, then remembering which instructions used
+	// them.
+	body := strings.Join(kept, "\n")
+	prog, fixups, err := assembleWithImports(name, body, m.imports)
+	if err != nil {
+		return nil, err
+	}
+	m.Prog = prog
+	m.fixups = fixups
+
+	for _, e := range exports {
+		idx, ok := prog.Labels[e]
+		if !ok {
+			return nil, fmt.Errorf("asm: %s: exported label %q not defined", name, e)
+		}
+		m.Exports[e] = idx
+	}
+	return m, nil
+}
+
+// assembleWithImports assembles body treating `=sym` for declared
+// imports as zero placeholders, returning the fixups to patch.
+func assembleWithImports(name, body string, imports map[string]bool) (*Program, []fixup, error) {
+	var fixups []fixup
+	// Rewrite `=sym` tokens for imports into `0` while remembering the
+	// statement order; then map statement order to word index after
+	// assembly. Simplest robust approach: rewrite line by line and
+	// record (line number, symbol); after assembly, recover the word
+	// index by re-scanning statements the same way Assemble does.
+	lines := strings.Split(body, "\n")
+	type pending struct {
+		lineNo int
+		symbol string
+	}
+	var pend []pending
+	for i, raw := range lines {
+		code := raw
+		comment := ""
+		if j := strings.IndexAny(raw, ";#"); j >= 0 {
+			code, comment = raw[:j], raw[j:]
+		}
+		changed := false
+		for sym := range imports {
+			tok := "=" + sym
+			if strings.Contains(code, tok) {
+				code = strings.ReplaceAll(code, tok, "0")
+				pend = append(pend, pending{lineNo: i + 1, symbol: sym})
+				changed = true
+			}
+		}
+		if changed {
+			lines[i] = code + comment
+		}
+	}
+	prog, err := Assemble(strings.Join(lines, "\n"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("asm: module %s: %w", name, err)
+	}
+	// Recover word indices: re-run the statement scan to map source
+	// lines to word addresses.
+	lineToAddr, err := lineAddresses(strings.Join(lines, "\n"))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range pend {
+		addr, ok := lineToAddr[p.lineNo]
+		if !ok {
+			return nil, nil, fmt.Errorf("asm: module %s: internal fixup miss at line %d", name, p.lineNo)
+		}
+		fixups = append(fixups, fixup{wordIdx: addr, symbol: p.symbol, lineNo: p.lineNo})
+	}
+	return prog, fixups, nil
+}
+
+// lineAddresses maps source line numbers to the word index their
+// statement occupies (first word for multi-word directives).
+func lineAddresses(src string) (map[int]int, error) {
+	out := make(map[int]int)
+	addr := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		st := stmt{lineNo: lineNo + 1, op: strings.ToLower(f[0])}
+		if len(f) > 1 {
+			for _, a := range strings.Split(strings.Join(f[1:], " "), ",") {
+				st.args = append(st.args, strings.TrimSpace(a))
+			}
+		}
+		size, err := stmtSize(st, addr)
+		if err != nil {
+			return nil, err
+		}
+		out[lineNo+1] = addr
+		addr += size
+	}
+	return out, nil
+}
+
+// Link concatenates modules into one loadable program, resolving
+// imported `=sym` immediates to final byte offsets from the image
+// base. Exported labels appear in the result's label table prefixed
+// with the module name ("module.label") plus unprefixed when unique.
+func Link(modules ...*Module) (*Program, error) {
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("asm: nothing to link")
+	}
+	// Layout and global symbol table.
+	base := make(map[*Module]int)
+	globals := make(map[string]int) // exported label → image word index
+	dup := make(map[string]bool)
+	total := 0
+	for _, m := range modules {
+		base[m] = total
+		total += len(m.Prog.Words)
+		for name, idx := range m.Exports {
+			if _, exists := globals[name]; exists {
+				dup[name] = true
+			}
+			globals[name] = base[m] + idx
+		}
+	}
+	for name := range dup {
+		return nil, fmt.Errorf("asm: duplicate export %q", name)
+	}
+
+	out := &Program{Labels: make(map[string]int)}
+	for _, m := range modules {
+		off := base[m]
+		out.Words = append(out.Words, m.Prog.Words...)
+		for name, idx := range m.Prog.Labels {
+			out.Labels[m.Name+"."+name] = off + idx
+		}
+		for _, fx := range m.fixups {
+			target, ok := globals[fx.symbol]
+			if !ok {
+				return nil, fmt.Errorf("asm: %s line %d: undefined import %q", m.Name, fx.lineNo, fx.symbol)
+			}
+			w := out.Words[off+fx.wordIdx]
+			inst, err := isa.Decode(w)
+			if err != nil {
+				return nil, fmt.Errorf("asm: %s line %d: fixup on non-instruction", m.Name, fx.lineNo)
+			}
+			inst.Imm = int64(target) * word.BytesPerWord
+			patched, err := isa.Encode(inst)
+			if err != nil {
+				return nil, err
+			}
+			out.Words[off+fx.wordIdx] = patched
+		}
+	}
+	for name, idx := range globals {
+		out.Labels[name] = idx
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleModuleExports(t *testing.T) {
+	m, err := AssembleModule("lib", `
+		.export fn
+		nop
+	fn:
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Exports["fn"] != 1 {
+		t.Errorf("export fn = %d", m.Exports["fn"])
+	}
+	if _, err := AssembleModule("lib", ".export nothere\nnop"); err == nil {
+		t.Error("export of undefined label accepted")
+	}
+	if _, err := AssembleModule("lib", ".import 9bad\nnop"); err == nil {
+		t.Error("bad import name accepted")
+	}
+}
+
+func TestLinkTwoModules(t *testing.T) {
+	// main calls lib.fn by loading its linked byte offset, building a
+	// pointer with LEAB, and jumping.
+	main, err := AssembleModule("main", `
+		.import fn
+		ldi  r2, =fn       ; linked byte offset of fn
+		movip r3
+		leab r3, r3, r2    ; pointer to fn
+		jmpl r14, r3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := AssembleModule("lib", `
+		.export fn
+	fn:
+		ldi r5, 777
+		jmp r14
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Link(main, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main is 5 words; fn is the 6th word (index 5).
+	if prog.Labels["fn"] != 5 || prog.Labels["lib.fn"] != 5 {
+		t.Errorf("labels = %v", prog.Labels)
+	}
+	// The ldi must have been patched to fn's byte offset.
+	inst, _ := isa.Decode(prog.Words[0])
+	if inst.Op != isa.LDI || inst.Imm != 40 {
+		t.Errorf("patched ldi = %v, want imm 40", inst)
+	}
+	if !strings.Contains(Disassemble(prog), "lib.fn:") {
+		t.Error("module-qualified labels missing from listing")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	if _, err := Link(); err == nil {
+		t.Error("empty link accepted")
+	}
+	a, _ := AssembleModule("a", ".export x\nx: nop")
+	b, _ := AssembleModule("b", ".export x\nx: nop")
+	if _, err := Link(a, b); err == nil {
+		t.Error("duplicate export accepted")
+	}
+	c, _ := AssembleModule("c", ".import missing\nldi r1, =missing\nhalt")
+	if _, err := Link(c); err == nil {
+		t.Error("undefined import accepted")
+	}
+}
+
+func TestLocalLabelsStillWork(t *testing.T) {
+	m, err := AssembleModule("m", `
+		.import ext
+		br skip
+		.word 1
+	skip:
+		ldi r1, =ext
+		ld  r2, r3, =data  ; local =label unaffected by import machinery
+		halt
+	data:
+		.word 42
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := AssembleModule("lib", ".export ext\next: halt")
+	prog, err := Link(m, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// data is local at word 5 (br, .word, ldi, ld, halt, data) → byte 40.
+	ld, _ := isa.Decode(prog.Words[3])
+	if ld.Op != isa.LD || ld.Imm != 40 {
+		t.Errorf("local =data = %v", ld)
+	}
+	// ext is at word 6 (m is 6 words) → byte 48.
+	ldi, _ := isa.Decode(prog.Words[2])
+	if ldi.Imm != 48 {
+		t.Errorf("=ext patched to %d, want 48", ldi.Imm)
+	}
+}

@@ -1,0 +1,187 @@
+// Package baseline implements trace-driven models of the protection
+// schemes the paper compares against in Sec 5, plus guarded pointers
+// themselves, all sharing one cycle vocabulary so their context-switch,
+// per-reference, and storage costs are directly comparable:
+//
+//   - Guarded pointers (the paper): no per-reference protection cost,
+//     translation below a shared virtually-addressed cache, zero-cost
+//     domain switches, one shared page table.
+//   - Separate address spaces without ASIDs: TLB and virtual cache
+//     flushed on every protection-domain switch.
+//   - Separate address spaces with ASIDs: no flushes, but the cache is
+//     effectively partitioned by ASID (synonyms forbid in-cache
+//     sharing) and each process carries its own page table.
+//   - Domain-Page protection [17]: single address space plus a
+//     per-domain protection table cached by a PLB probed on every
+//     access.
+//   - HP PA-RISC page groups [18]: protection resolved via the TLB and
+//     four page-group registers compared on every access, forcing a
+//     TLB port per cache bank.
+//   - Traditional capability tables (System/38, i432 style): an extra
+//     serialized capability-to-segment translation on every reference.
+//   - Software fault isolation [25]: extra check instructions inserted
+//     before every unproven memory reference.
+//
+// Each model consumes a workload.Trace and reports cycles, event
+// counters and the protection/translation storage it needs — the
+// quantities behind experiments E6, E7, E10 and E13.
+package baseline
+
+import (
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Costs fixes the shared cycle and storage prices. They deliberately
+// favour nobody: every model pays the same for cache hits, misses and
+// page-table walks; the schemes differ only in *which* events their
+// design forces.
+type Costs struct {
+	CacheHit     uint64 // cycles for a cache hit
+	CacheMissMem uint64 // additional cycles for an external memory access
+	WalkRefs     uint64 // memory references per page-table (or table) walk
+
+	SwitchHeavy uint64 // install a new page table: base swap + pipeline drain
+	SwitchLight uint64 // reload a couple of registers (ASID, page groups)
+
+	SFICheckInstrs uint64 // inserted instructions per unproven memory ref
+	CapLookup      uint64 // serialized capability-table access on a cap-cache hit
+
+	PTEBytes     uint64 // per page-table entry
+	ProtBytes    uint64 // per protection-table entry (Domain-Page)
+	SegDescBytes uint64 // per segment/capability descriptor
+}
+
+// DefaultCosts returns the parameters used throughout EXPERIMENTS.md.
+func DefaultCosts() Costs {
+	return Costs{
+		CacheHit:       1,
+		CacheMissMem:   10,
+		WalkRefs:       3,
+		SwitchHeavy:    24,
+		SwitchLight:    4,
+		SFICheckInstrs: 2,
+		CapLookup:      1,
+		PTEBytes:       8,
+		ProtBytes:      8,
+		SegDescBytes:   16,
+	}
+}
+
+// Result is the common report of a model run.
+type Result struct {
+	Model string
+	Refs  uint64
+
+	Cycles       uint64
+	SwitchCycles uint64 // portion of Cycles spent installing domains
+
+	CacheMisses  uint64
+	CacheFlushes uint64
+	TLBMisses    uint64
+	TLBFlushes   uint64
+	PLBMisses    uint64
+
+	ExtraInstructions uint64 // software checks (SFI) or table ops
+	TableBytes        uint64 // protection/translation storage beyond one shared page table
+	PortsPerBank      int    // lookaside ports required per cache bank (replication pressure, Sec 5.1)
+}
+
+// CPR returns cycles per reference.
+func (r Result) CPR() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Refs)
+}
+
+// Model is a protection-scheme cost model.
+type Model interface {
+	Name() string
+	Run(t *workload.Trace) Result
+}
+
+// --- shared machinery --------------------------------------------------
+
+// cachelet is the small set-associative cache model every scheme runs
+// behind, optionally partitioning by an address-space identifier (which
+// is how ASID schemes lose in-cache sharing).
+type cachelet struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      [][]cacheline
+	clock     uint64
+}
+
+type cacheline struct {
+	tag   uint64
+	asid  uint16
+	valid bool
+	used  uint64
+}
+
+func newCachelet(sets, ways int, lineShift uint) *cachelet {
+	c := &cachelet{sets: sets, ways: ways, lineShift: lineShift}
+	c.tags = make([][]cacheline, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]cacheline, ways)
+	}
+	return c
+}
+
+// access returns whether (addr, asid) hits, inserting on miss. The set
+// index is hashed (as large real caches do) so page-strided workloads
+// measure protection costs rather than pathological set conflicts.
+func (c *cachelet) access(addr uint64, asid uint16) bool {
+	c.clock++
+	line := addr >> c.lineShift
+	set := c.tags[int(line*0x9e3779b1>>16)%c.sets]
+	victim, oldest := 0, ^uint64(0)
+	for i := range set {
+		if set[i].valid && set[i].tag == line && set[i].asid == asid {
+			set[i].used = c.clock
+			return true
+		}
+		if !set[i].valid {
+			victim, oldest = i, 0
+			continue
+		}
+		if set[i].used < oldest {
+			victim, oldest = i, set[i].used
+		}
+	}
+	set[victim] = cacheline{tag: line, asid: asid, valid: true, used: c.clock}
+	return false
+}
+
+func (c *cachelet) flush() {
+	for i := range c.tags {
+		for j := range c.tags[i] {
+			c.tags[i][j].valid = false
+		}
+	}
+}
+
+// defaultCachelet matches the per-model cache budget used in the
+// experiments: 1024 sets × 2 ways × 32-byte lines = 64KB.
+func defaultCachelet() *cachelet { return newCachelet(1024, 2, 5) }
+
+// defaultTLB matches the 64-entry TLB of the machine model.
+func defaultTLB() *vm.TLB { return vm.NewTLB(64) }
+
+// walkCycles is the price of one table walk.
+func (c Costs) walkCycles() uint64 { return c.WalkRefs * c.CacheMissMem }
+
+// All returns one instance of every model, in presentation order.
+func All(c Costs) []Model {
+	return []Model{
+		NewGuarded(c),
+		NewPageNoASID(c),
+		NewPageASID(c),
+		NewDomainPage(c),
+		NewPageGroup(c),
+		NewCapTable(c),
+		NewSFI(c),
+	}
+}

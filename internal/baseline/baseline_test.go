@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func interleave(domains, quantum int) *workload.Trace {
+	return workload.Interleaved(domains, 200, quantum, 4, 1<<30)
+}
+
+func TestAllModelsRunAndCount(t *testing.T) {
+	tr := interleave(4, 1)
+	for _, m := range All(DefaultCosts()) {
+		res := m.Run(tr)
+		if res.Model != m.Name() || res.Model == "" {
+			t.Errorf("model name mismatch: %q vs %q", res.Model, m.Name())
+		}
+		if res.Refs != uint64(len(tr.Refs)) {
+			t.Errorf("%s: refs = %d, want %d", m.Name(), res.Refs, len(tr.Refs))
+		}
+		if res.Cycles < res.Refs {
+			t.Errorf("%s: cycles %d < refs %d", m.Name(), res.Cycles, res.Refs)
+		}
+		if res.CPR() <= 0 {
+			t.Errorf("%s: CPR = %v", m.Name(), res.CPR())
+		}
+	}
+}
+
+func TestGuardedBeatsFlushOnInterleaving(t *testing.T) {
+	// The headline claim: under cycle-by-cycle multi-domain
+	// interleaving, guarded pointers cost nothing extra while
+	// flush-based paging collapses.
+	tr := interleave(8, 1)
+	c := DefaultCosts()
+	g := NewGuarded(c).Run(tr)
+	f := NewPageNoASID(c).Run(tr)
+	if g.Cycles >= f.Cycles {
+		t.Fatalf("guarded %d !< flush %d", g.Cycles, f.Cycles)
+	}
+	if f.Cycles < 2*g.Cycles {
+		t.Errorf("flush only %.2fx slower — switch cost not visible", float64(f.Cycles)/float64(g.Cycles))
+	}
+	if g.SwitchCycles != 0 {
+		t.Error("guarded model charged switch cycles")
+	}
+	if f.TLBFlushes == 0 || f.CacheFlushes == 0 {
+		t.Error("flush model did not flush")
+	}
+}
+
+func TestGuardedFlatInDomainCount(t *testing.T) {
+	// Guarded CPR must stay ~flat from 1 to 12 domains (same total
+	// refs); flush-based CPR must grow.
+	c := DefaultCosts()
+	g1 := NewGuarded(c).Run(interleave(1, 1)).CPR()
+	g12 := NewGuarded(c).Run(interleave(12, 1)).CPR()
+	if g12 > g1*1.6 {
+		t.Errorf("guarded CPR grew from %.2f to %.2f across domains", g1, g12)
+	}
+	f1 := NewPageNoASID(c).Run(interleave(1, 1)).CPR()
+	f12 := NewPageNoASID(c).Run(interleave(12, 1)).CPR()
+	if f12 < f1*2 {
+		t.Errorf("flush CPR %.2f → %.2f: switch cost invisible", f1, f12)
+	}
+}
+
+func TestASIDAvoidsFlushesButLosesSharing(t *testing.T) {
+	c := DefaultCosts()
+	tr := interleave(4, 1)
+	a := NewPageASID(c).Run(tr)
+	if a.TLBFlushes != 0 || a.CacheFlushes != 0 {
+		t.Error("ASID model flushed")
+	}
+	// On a *shared* working set, ASID caching duplicates lines: more
+	// misses than the shared-cache guarded model.
+	sh := workload.Shared(4, 8, 50, 1<<30)
+	aShared := NewPageASID(c).Run(sh)
+	gShared := NewGuarded(c).Run(sh)
+	if aShared.CacheMisses <= gShared.CacheMisses {
+		t.Errorf("ASID misses %d !> guarded %d on shared data",
+			aShared.CacheMisses, gShared.CacheMisses)
+	}
+}
+
+func TestDomainPageCloseToGuardedButNeedsPLB(t *testing.T) {
+	c := DefaultCosts()
+	tr := interleave(4, 1)
+	d := NewDomainPage(c).Run(tr)
+	g := NewGuarded(c).Run(tr)
+	// Domain-Page is the viable alternative (Sec 5.1): no flushes,
+	// modest overhead...
+	if d.Cycles > 2*g.Cycles {
+		t.Errorf("domain-page %d vs guarded %d: unexpectedly bad", d.Cycles, g.Cycles)
+	}
+	// ...but it needs a PLB port per bank and a protection table;
+	// guarded pointers need neither.
+	if d.PortsPerBank == 0 {
+		t.Error("domain-page reported no PLB ports")
+	}
+	if d.TableBytes == 0 {
+		t.Error("domain-page reported no protection table")
+	}
+	if d.PLBMisses == 0 {
+		t.Error("no PLB misses recorded")
+	}
+	if g.PortsPerBank != 0 || g.TableBytes != 0 {
+		t.Error("guarded model reported lookaside/table costs")
+	}
+}
+
+func TestPageGroupTLBOnEveryAccess(t *testing.T) {
+	c := DefaultCosts()
+	tr := interleave(2, 1)
+	p := NewPageGroup(c).Run(tr)
+	if p.PortsPerBank == 0 {
+		t.Error("page groups must port the TLB per bank")
+	}
+	if p.ExtraInstructions != 4*p.Refs {
+		t.Errorf("comparator ops = %d, want %d", p.ExtraInstructions, 4*p.Refs)
+	}
+}
+
+func TestCapTableTwoLevelPenalty(t *testing.T) {
+	c := DefaultCosts()
+	tr := workload.ArraySweep(0, 1<<30, 10000, 8, false)
+	cap := NewCapTable(c).Run(tr)
+	g := NewGuarded(c).Run(tr)
+	// Every reference pays at least the extra serialized lookup.
+	if cap.Cycles < g.Cycles+uint64(float64(cap.Refs)*0.9) {
+		t.Errorf("cap-table %d vs guarded %d: two-level cost missing", cap.Cycles, g.Cycles)
+	}
+	if cap.TableBytes == 0 {
+		t.Error("no capability table storage reported")
+	}
+}
+
+func TestSFIPerRefOverhead(t *testing.T) {
+	c := DefaultCosts()
+	tr := workload.ArraySweep(0, 1<<30, 5000, 8, false)
+	s := NewSFI(c).Run(tr)
+	g := NewGuarded(c).Run(tr)
+	if s.ExtraInstructions != c.SFICheckInstrs*uint64(len(tr.Refs)) {
+		t.Errorf("extra instructions = %d", s.ExtraInstructions)
+	}
+	if s.Cycles != g.Cycles+s.ExtraInstructions {
+		t.Errorf("SFI cycles %d, guarded %d + checks %d",
+			s.Cycles, g.Cycles, s.ExtraInstructions)
+	}
+}
+
+func TestTableBytesNxMGrowth(t *testing.T) {
+	// Sec 5.1: n pages shared by m processes cost n×m PTEs in
+	// page-based schemes; guarded pointers cost zero table bytes.
+	c := DefaultCosts()
+	for _, m := range []int{2, 4, 8} {
+		tr := workload.Shared(m, 16, 2, 1<<30)
+		p := NewPageNoASID(c).Run(tr)
+		want := uint64(16*m) * c.PTEBytes
+		if p.TableBytes != want {
+			t.Errorf("m=%d: TableBytes = %d, want %d", m, p.TableBytes, want)
+		}
+		if NewGuarded(c).Run(tr).TableBytes != 0 {
+			t.Error("guarded pays table bytes")
+		}
+	}
+}
+
+func TestTagOverheadBytes(t *testing.T) {
+	if got := TagOverheadBytes(64 << 20); got != 1<<20 {
+		t.Errorf("TagOverheadBytes(64MB) = %d, want 1MB", got)
+	}
+	ratio := float64(TagOverheadBytes(8<<20)) / float64(8<<20)
+	if ratio < 0.015 || ratio > 0.016 {
+		t.Errorf("tag ratio = %v", ratio)
+	}
+}
+
+func TestCacheletLRUAndFlush(t *testing.T) {
+	c := newCachelet(1, 2, 5) // one set, two ways
+	if c.access(0x00, 0) {
+		t.Error("cold hit")
+	}
+	c.access(0x20, 0)
+	c.access(0x00, 0) // refresh line 0
+	c.access(0x40, 0) // evicts 0x20
+	if !c.access(0x00, 0) {
+		t.Error("MRU line evicted")
+	}
+	if c.access(0x20, 0) {
+		t.Error("LRU line survived")
+	}
+	c.flush()
+	if c.access(0x00, 0) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestCacheletASIDPartitioning(t *testing.T) {
+	c := defaultCachelet()
+	c.access(0x1000, 1)
+	if c.access(0x1000, 2) {
+		t.Error("cross-ASID hit")
+	}
+	if !c.access(0x1000, 1) {
+		t.Error("same-ASID miss")
+	}
+}
+
+func TestResultCPRZeroRefs(t *testing.T) {
+	if (Result{}).CPR() != 0 {
+		t.Error("CPR of empty result")
+	}
+}

@@ -1,0 +1,342 @@
+package baseline
+
+import (
+	"repro/internal/vm"
+	"repro/internal/word"
+	"repro/internal/workload"
+)
+
+// Guarded models the paper's scheme: a single virtually-addressed
+// cache shared by all domains, one shared page table consulted only on
+// cache misses, and *no* protection events of any kind — the checks ride
+// inside the execution units on pointer bits that are already in
+// registers.
+type Guarded struct{ c Costs }
+
+// NewGuarded returns the guarded-pointer model.
+func NewGuarded(c Costs) *Guarded { return &Guarded{c} }
+
+// Name implements Model.
+func (g *Guarded) Name() string { return "guarded-ptr" }
+
+// TagOverheadBytes reports the only storage guarded pointers add: one
+// tag bit per 64-bit word over memBytes (Sec 4.1's 1.5%).
+func TagOverheadBytes(memBytes uint64) uint64 {
+	return memBytes / (8 * word.BytesPerWord)
+}
+
+// Run implements Model.
+func (g *Guarded) Run(t *workload.Trace) Result {
+	res := Result{Model: g.Name(), PortsPerBank: 0}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	for _, r := range t.Refs {
+		res.Refs++
+		res.Cycles += g.c.CacheHit
+		if cache.access(r.VAddr, 0) { // one shared cache: in-cache sharing works
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += g.c.CacheMissMem
+		// Translation happens only here, below the cache.
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += g.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+	}
+	// One shared page table; no per-domain state at all.
+	res.TableBytes = 0
+	return res
+}
+
+// PageNoASID models separate per-process address spaces without
+// address-space identifiers: every domain switch must flush the TLB and
+// purge the virtually-addressed cache (Sec 5.1).
+type PageNoASID struct{ c Costs }
+
+// NewPageNoASID returns the flush-on-switch paging model.
+func NewPageNoASID(c Costs) *PageNoASID { return &PageNoASID{c} }
+
+// Name implements Model.
+func (p *PageNoASID) Name() string { return "page-noasid" }
+
+// Run implements Model.
+func (p *PageNoASID) Run(t *workload.Trace) Result {
+	res := Result{Model: p.Name(), PortsPerBank: 0}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	cur := -1
+	for _, r := range t.Refs {
+		res.Refs++
+		if r.Domain != cur {
+			if cur >= 0 {
+				tlb.Flush()
+				cache.flush()
+				res.TLBFlushes++
+				res.CacheFlushes++
+				res.Cycles += p.c.SwitchHeavy
+				res.SwitchCycles += p.c.SwitchHeavy
+			}
+			cur = r.Domain
+		}
+		res.Cycles += p.c.CacheHit
+		if cache.access(r.VAddr, 0) {
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += p.c.CacheMissMem
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += p.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+	}
+	dp, _ := t.Pages()
+	res.TableBytes = uint64(dp) * p.c.PTEBytes // one PTE per (process, page)
+	return res
+}
+
+// PageASID models separate address spaces with ASIDs: no flushes, but
+// cache lines are tagged by ASID, so "no data can be shared in a
+// virtually addressed cache using this system" (Sec 5.1) — each domain
+// warms its own copies — and each process still owns a page table.
+type PageASID struct{ c Costs }
+
+// NewPageASID returns the ASID paging model.
+func NewPageASID(c Costs) *PageASID { return &PageASID{c} }
+
+// Name implements Model.
+func (p *PageASID) Name() string { return "page-asid" }
+
+// Run implements Model.
+func (p *PageASID) Run(t *workload.Trace) Result {
+	res := Result{Model: p.Name(), PortsPerBank: 0}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	cur := -1
+	for _, r := range t.Refs {
+		res.Refs++
+		if r.Domain != cur {
+			if cur >= 0 {
+				res.Cycles += p.c.SwitchLight
+				res.SwitchCycles += p.c.SwitchLight
+			}
+			cur = r.Domain
+		}
+		asid := uint16(r.Domain + 1)
+		res.Cycles += p.c.CacheHit
+		if cache.access(r.VAddr, asid) { // partitioned by ASID: no sharing
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += p.c.CacheMissMem
+		if _, hit := tlb.Lookup(r.VAddr, asid); !hit {
+			res.TLBMisses++
+			res.Cycles += p.c.walkCycles()
+			tlb.Insert(r.VAddr, asid, vm.PTE{Valid: true})
+		}
+	}
+	dp, _ := t.Pages()
+	res.TableBytes = uint64(dp) * p.c.PTEBytes
+	return res
+}
+
+// DomainPage models Koldinger et al.'s single-address-space design
+// [17]: one shared page table and cache, plus an independent per-domain
+// protection table cached in a PLB "probed in parallel with the
+// virtually addressed cache" on *every* access (Sec 5.1).
+type DomainPage struct{ c Costs }
+
+// NewDomainPage returns the Domain-Page model.
+func NewDomainPage(c Costs) *DomainPage { return &DomainPage{c} }
+
+// Name implements Model.
+func (d *DomainPage) Name() string { return "domain-page" }
+
+// Run implements Model.
+func (d *DomainPage) Run(t *workload.Trace) Result {
+	// The PLB must be probed on every access, so a multi-banked cache
+	// needs one PLB port per bank — the replication cost guarded
+	// pointers avoid.
+	res := Result{Model: d.Name(), PortsPerBank: 1}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	plb := vm.NewTLB(64)
+	cur := -1
+	for _, r := range t.Refs {
+		res.Refs++
+		if r.Domain != cur {
+			// PLB entries are domain-tagged: switches are cheap.
+			cur = r.Domain
+		}
+		asid := uint16(r.Domain + 1)
+		res.Cycles += d.c.CacheHit
+		// PLB probe in parallel with the cache; a miss costs a
+		// protection-table access.
+		if _, hit := plb.Lookup(r.VAddr, asid); !hit {
+			res.PLBMisses++
+			res.Cycles += d.c.CacheMissMem
+			plb.Insert(r.VAddr, asid, vm.PTE{Valid: true})
+		}
+		if cache.access(r.VAddr, 0) { // shared cache: sharing works
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += d.c.CacheMissMem
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += d.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+	}
+	dp, _ := t.Pages()
+	res.TableBytes = uint64(dp) * d.c.ProtBytes // per-(domain,page) protection entries
+	return res
+}
+
+// PageGroup models HP PA-RISC protection [18]: access control at page
+// granularity via page-group identifiers held in the TLB and compared
+// against four special registers on every memory reference — which is
+// why the TLB must be consulted (and thus ported) on every access,
+// "prohibitively expensive for a multi-banked cache" (Sec 5.1).
+type PageGroup struct{ c Costs }
+
+// NewPageGroup returns the PA-RISC page-group model.
+func NewPageGroup(c Costs) *PageGroup { return &PageGroup{c} }
+
+// Name implements Model.
+func (p *PageGroup) Name() string { return "pa-risc-groups" }
+
+// Run implements Model.
+func (p *PageGroup) Run(t *workload.Trace) Result {
+	res := Result{Model: p.Name(), PortsPerBank: 1}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	cur := -1
+	for _, r := range t.Refs {
+		res.Refs++
+		if r.Domain != cur {
+			if cur >= 0 {
+				// Reload the four page-group registers.
+				res.Cycles += p.c.SwitchLight
+				res.SwitchCycles += p.c.SwitchLight
+			}
+			cur = r.Domain
+		}
+		res.Cycles += p.c.CacheHit
+		// The TLB is consulted on *every* reference (protection lives
+		// in it), not just on misses.
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += p.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+		res.ExtraInstructions += 4 // four page-group comparisons
+		if cache.access(r.VAddr, 0) {
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += p.c.CacheMissMem
+	}
+	_, pages := t.Pages()
+	res.TableBytes = uint64(pages) * p.c.PTEBytes // group ids ride in the shared table
+	return res
+}
+
+// CapTable models traditional hardware capability systems (IBM
+// System/38 [13], Intel 432 [24]): every reference first translates the
+// capability to a virtual address through a capability/segment table —
+// "two levels of translation", the latency that "has prevented
+// traditional capabilities from becoming a widely-used protection
+// method" (Sec 5.3). A small capability cache keeps the common case to
+// one extra serialized cycle.
+type CapTable struct{ c Costs }
+
+// NewCapTable returns the two-level capability model.
+func NewCapTable(c Costs) *CapTable { return &CapTable{c} }
+
+// Name implements Model.
+func (m *CapTable) Name() string { return "cap-table" }
+
+// Run implements Model.
+func (m *CapTable) Run(t *workload.Trace) Result {
+	res := Result{Model: m.Name(), PortsPerBank: 1}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	capCache := vm.NewTLB(32) // cached capability→segment translations
+	cur := -1
+	for _, r := range t.Refs {
+		res.Refs++
+		if r.Domain != cur {
+			if cur >= 0 {
+				res.Cycles += m.c.SwitchHeavy // C-list base swap
+				res.SwitchCycles += m.c.SwitchHeavy
+			}
+			cur = r.Domain
+		}
+		asid := uint16(r.Domain + 1)
+		// Level 1: capability → virtual address, serialized before the
+		// cache access. Approximate one capability per touched page.
+		if _, hit := capCache.Lookup(r.VAddr, asid); hit {
+			res.Cycles += m.c.CapLookup
+		} else {
+			res.Cycles += m.c.CacheMissMem // capability table in memory
+			res.ExtraInstructions++
+			capCache.Insert(r.VAddr, asid, vm.PTE{Valid: true})
+		}
+		// Level 2: the ordinary access.
+		res.Cycles += m.c.CacheHit
+		if cache.access(r.VAddr, 0) {
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += m.c.CacheMissMem
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += m.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+	}
+	dp, _ := t.Pages()
+	res.TableBytes = uint64(dp) * m.c.SegDescBytes // per-process C-lists
+	return res
+}
+
+// SFI models software fault isolation [25]: the same single address
+// space and hardware as guarded pointers, but every unproven memory
+// reference carries inserted check instructions — "the overhead will be
+// paid for every reference" (Sec 5.4).
+type SFI struct{ c Costs }
+
+// NewSFI returns the sandboxing model.
+func NewSFI(c Costs) *SFI { return &SFI{c} }
+
+// Name implements Model.
+func (s *SFI) Name() string { return "sfi-sandbox" }
+
+// Run implements Model.
+func (s *SFI) Run(t *workload.Trace) Result {
+	res := Result{Model: s.Name(), PortsPerBank: 0}
+	cache := defaultCachelet()
+	tlb := defaultTLB()
+	for _, r := range t.Refs {
+		res.Refs++
+		// Inserted check/sandbox instructions, one cycle each.
+		res.ExtraInstructions += s.c.SFICheckInstrs
+		res.Cycles += s.c.SFICheckInstrs
+		res.Cycles += s.c.CacheHit
+		if cache.access(r.VAddr, 0) {
+			continue
+		}
+		res.CacheMisses++
+		res.Cycles += s.c.CacheMissMem
+		if _, hit := tlb.Lookup(r.VAddr, vm.GlobalASID); !hit {
+			res.TLBMisses++
+			res.Cycles += s.c.walkCycles()
+			tlb.Insert(r.VAddr, vm.GlobalASID, vm.PTE{Valid: true})
+		}
+	}
+	res.TableBytes = 0
+	return res
+}

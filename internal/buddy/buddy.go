@@ -1,0 +1,297 @@
+// Package buddy implements the buddy-system allocator the paper
+// prescribes for the single shared virtual address space: "A buddy
+// system memory allocation scheme, which combines adjacent free segments
+// into larger segments, can be used to reduce this fragmentation
+// problem" (Sec 4.2).
+//
+// Guarded-pointer segments must be power-of-two sized and aligned on
+// their length, which is exactly the block discipline of a buddy
+// allocator, so every block this package hands out is directly usable as
+// a segment. The allocator also keeps the fragmentation accounting that
+// experiment E8 reports: internal fragmentation (requested vs granted
+// bytes) and external fragmentation (how much of the free space is
+// usable for a large request).
+package buddy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator manages a power-of-two region of the virtual address space
+// with the buddy discipline.
+type Allocator struct {
+	base    uint64
+	logSize uint // region is 2^logSize bytes at base (base aligned)
+	minLog  uint // smallest block handed out
+
+	// free[k] holds base addresses of free blocks of size 2^k,
+	// maintained as a sorted set for deterministic behaviour and O(log n)
+	// buddy lookup.
+	free map[uint][]uint64
+
+	// allocated[addr] = logLen for live blocks, to validate frees.
+	allocated map[uint64]uint
+
+	stats Stats
+}
+
+// Stats aggregates the allocator's fragmentation accounting.
+type Stats struct {
+	// RequestedBytes is the total bytes callers asked for via AllocBytes
+	// (exact request sizes).
+	RequestedBytes uint64
+	// GrantedBytes is the total bytes actually reserved (power-of-two
+	// rounded). GrantedBytes − RequestedBytes is internal fragmentation.
+	GrantedBytes uint64
+	// LiveBytes is granted minus freed.
+	LiveBytes uint64
+	// Allocs and Frees count operations; Splits and Merges count buddy
+	// splits and coalesces.
+	Allocs, Frees, Splits, Merges uint64
+	// FailedAllocs counts allocation failures (no block large enough).
+	FailedAllocs uint64
+}
+
+// New returns an allocator over the 2^logSize-byte region at base. base
+// must be aligned to the region size; minLog is the smallest block order
+// ever handed out (requests below it are rounded up to it).
+func New(base uint64, logSize, minLog uint) (*Allocator, error) {
+	if logSize > 63 {
+		return nil, fmt.Errorf("buddy: region order %d too large", logSize)
+	}
+	if minLog > logSize {
+		return nil, fmt.Errorf("buddy: min order %d exceeds region order %d", minLog, logSize)
+	}
+	if base&(1<<logSize-1) != 0 {
+		return nil, fmt.Errorf("buddy: base %#x not aligned to 2^%d", base, logSize)
+	}
+	a := &Allocator{
+		base:      base,
+		logSize:   logSize,
+		minLog:    minLog,
+		free:      map[uint][]uint64{logSize: {base}},
+		allocated: make(map[uint64]uint),
+	}
+	return a, nil
+}
+
+// MinLog returns the smallest block order the allocator hands out.
+func (a *Allocator) MinLog() uint { return a.minLog }
+
+// RegionSize returns the total managed bytes.
+func (a *Allocator) RegionSize() uint64 { return 1 << a.logSize }
+
+// Alloc reserves a block of exactly 2^logLen bytes, aligned on its
+// length, and returns its base address.
+func (a *Allocator) Alloc(logLen uint) (uint64, error) {
+	if logLen < a.minLog {
+		logLen = a.minLog
+	}
+	if logLen > a.logSize {
+		a.stats.FailedAllocs++
+		return 0, fmt.Errorf("buddy: 2^%d exceeds region 2^%d", logLen, a.logSize)
+	}
+	// Find the smallest free block of order >= logLen.
+	k := logLen
+	for k <= a.logSize && len(a.free[k]) == 0 {
+		k++
+	}
+	if k > a.logSize {
+		a.stats.FailedAllocs++
+		return 0, fmt.Errorf("buddy: no free block of 2^%d bytes", logLen)
+	}
+	addr := a.popFree(k)
+	// Split down to the requested order, returning the upper halves.
+	for k > logLen {
+		k--
+		a.pushFree(k, addr+1<<k)
+		a.stats.Splits++
+	}
+	a.allocated[addr] = logLen
+	a.stats.Allocs++
+	a.stats.GrantedBytes += 1 << logLen
+	a.stats.LiveBytes += 1 << logLen
+	return addr, nil
+}
+
+// AllocBytes reserves at least n bytes, rounding the request up to the
+// next power of two (the internal-fragmentation cost of Sec 4.2, which
+// the stats record). It returns the block base and the granted order.
+func (a *Allocator) AllocBytes(n uint64) (addr uint64, logLen uint, err error) {
+	if n == 0 {
+		n = 1
+	}
+	logLen = CeilLog2(n)
+	addr, err = a.Alloc(logLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	if logLen < a.minLog {
+		logLen = a.minLog
+	}
+	a.stats.RequestedBytes += n
+	return addr, logLen, nil
+}
+
+// Free returns the block at addr to the allocator, coalescing with its
+// buddy repeatedly while the buddy is free.
+func (a *Allocator) Free(addr uint64) error {
+	logLen, ok := a.allocated[addr]
+	if !ok {
+		return fmt.Errorf("buddy: free of unallocated address %#x", addr)
+	}
+	delete(a.allocated, addr)
+	a.stats.Frees++
+	a.stats.LiveBytes -= 1 << logLen
+
+	k := logLen
+	for k < a.logSize {
+		buddy := a.buddyOf(addr, k)
+		if !a.removeFree(k, buddy) {
+			break
+		}
+		a.stats.Merges++
+		if buddy < addr {
+			addr = buddy
+		}
+		k++
+	}
+	a.pushFree(k, addr)
+	return nil
+}
+
+// buddyOf returns the address of the buddy of the 2^k block at addr.
+func (a *Allocator) buddyOf(addr uint64, k uint) uint64 {
+	return a.base + ((addr - a.base) ^ (1 << k))
+}
+
+// Stats returns a copy of the current accounting.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// FreeBytes returns the total bytes currently free.
+func (a *Allocator) FreeBytes() uint64 {
+	var total uint64
+	for k, blocks := range a.free {
+		total += uint64(len(blocks)) << k
+	}
+	return total
+}
+
+// LargestFree returns the order of the largest free block, and ok=false
+// if nothing is free.
+func (a *Allocator) LargestFree() (uint, bool) {
+	for k := int(a.logSize); k >= int(a.minLog); k-- {
+		if len(a.free[uint(k)]) > 0 {
+			return uint(k), true
+		}
+	}
+	return 0, false
+}
+
+// ExternalFragmentation returns 1 − largestFreeBlock/freeBytes: 0 when
+// all free space is one block, approaching 1 as the free space shatters
+// into small unusable pieces. Returns 0 when nothing is free.
+func (a *Allocator) ExternalFragmentation() float64 {
+	free := a.FreeBytes()
+	if free == 0 {
+		return 0
+	}
+	k, ok := a.LargestFree()
+	if !ok {
+		return 0
+	}
+	return 1 - float64(uint64(1)<<k)/float64(free)
+}
+
+// InternalFragmentation returns 1 − requested/granted over the lifetime
+// of the allocator: the waste from power-of-two rounding. Returns 0 if
+// no sized requests have been made.
+func (s Stats) InternalFragmentation() float64 {
+	if s.GrantedBytes == 0 || s.RequestedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.RequestedBytes)/float64(s.GrantedBytes)
+}
+
+// --- free-list maintenance -------------------------------------------
+
+func (a *Allocator) pushFree(k uint, addr uint64) {
+	list := a.free[k]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= addr })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = addr
+	a.free[k] = list
+}
+
+func (a *Allocator) popFree(k uint) uint64 {
+	list := a.free[k]
+	addr := list[0]
+	a.free[k] = list[1:]
+	return addr
+}
+
+func (a *Allocator) removeFree(k uint, addr uint64) bool {
+	list := a.free[k]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= addr })
+	if i >= len(list) || list[i] != addr {
+		return false
+	}
+	a.free[k] = append(list[:i], list[i+1:]...)
+	return true
+}
+
+// CeilLog2 returns the smallest k with 2^k >= n (n > 0).
+func CeilLog2(n uint64) uint {
+	k := uint(0)
+	for uint64(1)<<k < n {
+		k++
+	}
+	return k
+}
+
+// Reserve carves the specific block [addr, addr+2^logLen) out of the
+// free space, splitting larger free blocks as needed. It is the
+// allocator's restore path: checkpointed segment layouts are rebuilt
+// block by block. The block must be properly aligned and entirely
+// free.
+func (a *Allocator) Reserve(addr uint64, logLen uint) error {
+	if logLen < a.minLog {
+		return fmt.Errorf("buddy: reserve order 2^%d below minimum 2^%d", logLen, a.minLog)
+	}
+	if logLen > a.logSize {
+		return fmt.Errorf("buddy: reserve order 2^%d exceeds region", logLen)
+	}
+	if addr&(1<<logLen-1) != 0 {
+		return fmt.Errorf("buddy: reserve of %#x not aligned to 2^%d", addr, logLen)
+	}
+	if addr < a.base || addr+1<<logLen > a.base+1<<a.logSize {
+		return fmt.Errorf("buddy: reserve of %#x outside region", addr)
+	}
+	// Find the free block that contains the range.
+	k := logLen
+	for ; k <= a.logSize; k++ {
+		candidate := a.base + (addr-a.base)&^(1<<k-1)
+		if a.removeFree(k, candidate) {
+			// Split down, keeping the half containing addr.
+			cur := candidate
+			for k > logLen {
+				k--
+				if addr&(1<<k) != 0 {
+					a.pushFree(k, cur)
+					cur += 1 << k
+				} else {
+					a.pushFree(k, cur+1<<k)
+				}
+				a.stats.Splits++
+			}
+			a.allocated[addr] = logLen
+			a.stats.Allocs++
+			a.stats.GrantedBytes += 1 << logLen
+			a.stats.LiveBytes += 1 << logLen
+			return nil
+		}
+	}
+	return fmt.Errorf("buddy: range at %#x (2^%d) not free", addr, logLen)
+}

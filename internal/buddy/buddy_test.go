@@ -1,0 +1,309 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct {
+		n uint64
+		k uint
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}, {1 << 40, 40}}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.k {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.k)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 64, 4); err == nil {
+		t.Error("order 64 accepted")
+	}
+	if _, err := New(0, 10, 12); err == nil {
+		t.Error("minLog > logSize accepted")
+	}
+	if _, err := New(1, 10, 4); err == nil {
+		t.Error("misaligned base accepted")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a, _ := New(1<<20, 20, 4)
+	for _, k := range []uint{4, 6, 10, 15} {
+		addr, err := a.Alloc(k)
+		if err != nil {
+			t.Fatalf("Alloc(2^%d): %v", k, err)
+		}
+		if addr&(1<<k-1) != 0 {
+			t.Errorf("block of 2^%d at %#x not aligned on its length", k, addr)
+		}
+		if addr < 1<<20 || addr >= 1<<21 {
+			t.Errorf("block %#x outside region", addr)
+		}
+	}
+}
+
+func TestAllocRoundsUpToMinLog(t *testing.T) {
+	a, _ := New(0, 16, 6)
+	p, _ := a.Alloc(0)
+	q, _ := a.Alloc(0)
+	if q-p != 64 && p-q != 64 {
+		t.Errorf("tiny allocations %#x, %#x not spaced by min block 64", p, q)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a, _ := New(0, 10, 4) // 1KB region, 16B min
+	var got []uint64
+	for {
+		addr, err := a.Alloc(4)
+		if err != nil {
+			break
+		}
+		got = append(got, addr)
+	}
+	if len(got) != 64 {
+		t.Errorf("allocated %d 16-byte blocks from 1KB, want 64", len(got))
+	}
+	if a.FreeBytes() != 0 {
+		t.Errorf("FreeBytes = %d after exhaustion", a.FreeBytes())
+	}
+	if a.Stats().FailedAllocs != 1 {
+		t.Errorf("FailedAllocs = %d", a.Stats().FailedAllocs)
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	a, _ := New(0, 10, 4)
+	if _, err := a.Alloc(11); err == nil {
+		t.Error("over-region allocation accepted")
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	a, _ := New(0, 12, 4)
+	var addrs []uint64
+	for i := 0; i < 256; i++ { // exhaust with 16B blocks
+		addr, err := a.Alloc(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		if err := a.Free(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything, coalescing must restore one maximal
+	// block.
+	if k, ok := a.LargestFree(); !ok || k != 12 {
+		t.Errorf("LargestFree = %d, %v; want 12", k, ok)
+	}
+	if a.ExternalFragmentation() != 0 {
+		t.Errorf("ExternalFragmentation = %v after full free", a.ExternalFragmentation())
+	}
+	if a.Stats().Merges == 0 {
+		t.Error("no merges recorded")
+	}
+}
+
+func TestDoubleFreeAndBadFree(t *testing.T) {
+	a, _ := New(0, 12, 4)
+	addr, _ := a.Alloc(6)
+	if err := a.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addr); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := a.Free(0x123); err == nil {
+		t.Error("free of never-allocated address accepted")
+	}
+}
+
+func TestAllocBytesInternalFragmentation(t *testing.T) {
+	a, _ := New(0, 20, 4)
+	// Request 5 bytes -> granted 16 (minLog); request 1000 -> 1024.
+	if _, k, err := a.AllocBytes(5); err != nil || k != 4 {
+		t.Errorf("AllocBytes(5): k=%d err=%v, want k=4", k, err)
+	}
+	if _, k, err := a.AllocBytes(1000); err != nil || k != 10 {
+		t.Errorf("AllocBytes(1000): k=%d err=%v, want k=10", k, err)
+	}
+	s := a.Stats()
+	if s.RequestedBytes != 1005 || s.GrantedBytes != 16+1024 {
+		t.Errorf("stats = %+v", s)
+	}
+	frag := s.InternalFragmentation()
+	want := 1 - 1005.0/1040.0
+	if frag < want-1e-9 || frag > want+1e-9 {
+		t.Errorf("InternalFragmentation = %v, want %v", frag, want)
+	}
+	if _, k, err := a.AllocBytes(0); err != nil || k != 4 {
+		t.Errorf("AllocBytes(0): k=%d err=%v", k, err)
+	}
+}
+
+func TestExternalFragmentationSignal(t *testing.T) {
+	a, _ := New(0, 12, 4)
+	// Allocate all 16B blocks, free every other one: free space is
+	// shattered, largest free block is 16B.
+	var addrs []uint64
+	for {
+		addr, err := a.Alloc(4)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, addr)
+	}
+	for i := 0; i < len(addrs); i += 2 {
+		a.Free(addrs[i])
+	}
+	if f := a.ExternalFragmentation(); f < 0.9 {
+		t.Errorf("checkerboarded region fragmentation = %v, want > 0.9", f)
+	}
+	// A large allocation must fail even though half the region is free.
+	if _, err := a.Alloc(11); err == nil {
+		t.Error("2^11 alloc succeeded in checkerboarded region")
+	}
+}
+
+func TestLiveBytesAccounting(t *testing.T) {
+	a, _ := New(0, 16, 4)
+	p, _ := a.Alloc(8)
+	q, _ := a.Alloc(10)
+	if a.Stats().LiveBytes != 256+1024 {
+		t.Errorf("LiveBytes = %d", a.Stats().LiveBytes)
+	}
+	a.Free(p)
+	a.Free(q)
+	if a.Stats().LiveBytes != 0 {
+		t.Errorf("LiveBytes = %d after frees", a.Stats().LiveBytes)
+	}
+}
+
+// Property: a random alloc/free storm never hands out overlapping
+// blocks, never loses bytes, and full teardown always coalesces back to
+// one region-sized block.
+func TestRandomStormInvariants(t *testing.T) {
+	const regionLog = 16
+	a, _ := New(1<<regionLog, regionLog, 4)
+	rng := rand.New(rand.NewSource(42))
+	type block struct {
+		addr uint64
+		k    uint
+	}
+	var live []block
+
+	overlaps := func(x, y block) bool {
+		return x.addr < y.addr+1<<y.k && y.addr < x.addr+1<<x.k
+	}
+	for step := 0; step < 20000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			k := uint(rng.Intn(10)) + 4
+			addr, err := a.Alloc(k)
+			if err != nil {
+				continue
+			}
+			nb := block{addr, k}
+			for _, b := range live {
+				if overlaps(nb, b) {
+					t.Fatalf("block %+v overlaps live %+v", nb, b)
+				}
+			}
+			live = append(live, nb)
+		} else {
+			i := rng.Intn(len(live))
+			if err := a.Free(live[i].addr); err != nil {
+				t.Fatalf("free of live block: %v", err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		var liveBytes uint64
+		for _, b := range live {
+			liveBytes += 1 << b.k
+		}
+		if a.FreeBytes()+liveBytes != 1<<regionLog {
+			t.Fatalf("bytes lost: free %d + live %d != %d", a.FreeBytes(), liveBytes, 1<<regionLog)
+		}
+	}
+	for _, b := range live {
+		if err := a.Free(b.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k, ok := a.LargestFree(); !ok || k != regionLog {
+		t.Errorf("teardown left largest free 2^%d, want 2^%d", k, regionLog)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	a, _ := New(0x1000, 12, 3) // [0x1000, 0x2000)
+	if err := a.Reserve(0x1200, 9); err != nil {
+		t.Fatal(err)
+	}
+	// The reserved range is not handed out again.
+	seen := map[uint64]bool{}
+	for {
+		addr, err := a.Alloc(9)
+		if err != nil {
+			break
+		}
+		if addr >= 0x1200 && addr < 0x1400 {
+			t.Fatalf("allocator handed out reserved space at %#x", addr)
+		}
+		seen[addr] = true
+	}
+	if len(seen) != 7 { // 8 × 512B blocks minus the reserved one
+		t.Errorf("allocated %d blocks, want 7", len(seen))
+	}
+	// Freeing the reservation makes it allocatable again.
+	if err := a.Free(0x1200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(9); err != nil {
+		t.Errorf("freed reservation not reusable: %v", err)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	a, _ := New(0x1000, 12, 4)
+	if err := a.Reserve(0x1100, 3); err == nil {
+		t.Error("below-minimum order accepted")
+	}
+	if err := a.Reserve(0x1000, 13); err == nil {
+		t.Error("over-region order accepted")
+	}
+	if err := a.Reserve(0x1010, 6); err == nil {
+		t.Error("misaligned reserve accepted")
+	}
+	if err := a.Reserve(0x8000, 6); err == nil {
+		t.Error("out-of-region reserve accepted")
+	}
+	a.Reserve(0x1000, 12) // whole region
+	if err := a.Reserve(0x1400, 8); err == nil {
+		t.Error("reserve of allocated space accepted")
+	}
+}
+
+func TestReserveThenCoalesce(t *testing.T) {
+	a, _ := New(0, 14, 4)
+	for _, r := range []struct {
+		addr uint64
+		k    uint
+	}{{0x0, 6}, {0x1000, 8}, {0x2a0, 5}} {
+		if err := a.Reserve(r.addr, r.k); err != nil {
+			t.Fatalf("Reserve(%#x, %d): %v", r.addr, r.k, err)
+		}
+	}
+	a.Free(0x0)
+	a.Free(0x1000)
+	a.Free(0x2a0)
+	if k, ok := a.LargestFree(); !ok || k != 14 {
+		t.Errorf("region did not coalesce after reserve+free: 2^%d", k)
+	}
+}

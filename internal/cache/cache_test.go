@@ -1,0 +1,265 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+func testSpace(t *testing.T) *vm.Space {
+	t.Helper()
+	s, err := vm.NewSpace(1<<22, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnsureMapped(0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallConfig() Config {
+	return Config{Banks: 4, Sets: 8, Ways: 2, LineBytes: 32, HitLatency: 1, MissPenalty: 10}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := testSpace(t)
+	bad := []Config{
+		{Banks: 0, Sets: 8, Ways: 2, LineBytes: 32},
+		{Banks: 4, Sets: 7, Ways: 2, LineBytes: 32},
+		{Banks: 4, Sets: 8, Ways: 2, LineBytes: 24},
+		{Banks: 4, Sets: 8, Ways: 2, LineBytes: 4},
+	}
+	for _, cfg := range bad {
+		if _, err := New(s, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	c, err := New(s, MMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeBytes() != 128<<10 {
+		t.Errorf("MMachine cache size = %d, want 128KB", c.SizeBytes())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	done, hit, err := c.Access(0x1000, false, 0)
+	if err != nil || hit {
+		t.Fatalf("first access: hit=%v err=%v", hit, err)
+	}
+	if done != 1+10 {
+		t.Errorf("miss done = %d, want 11", done)
+	}
+	done, hit, err = c.Access(0x1008, false, done)
+	if err != nil || !hit {
+		t.Fatalf("same-line access: hit=%v err=%v", hit, err)
+	}
+	if done != 11+1 {
+		t.Errorf("hit done = %d, want 12", done)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Accesses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHitPathNeverTranslates(t *testing.T) {
+	// The central single-address-space claim: once a line is resident,
+	// references to it do not touch the TLB or page table.
+	s := testSpace(t)
+	c, _ := New(s, smallConfig())
+	c.Access(0x2000, false, 0)
+	before := s.Stats().Translations
+	for i := 0; i < 10; i++ {
+		c.Access(0x2000, false, uint64(100+i*10))
+	}
+	if s.Stats().Translations != before {
+		t.Errorf("hit path performed %d translations", s.Stats().Translations-before)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	// Consecutive lines land in consecutive banks.
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i*32, false, 0)
+	}
+	st := c.Stats()
+	for b, n := range st.BankAccesses {
+		if n != 2 {
+			t.Errorf("bank %d accesses = %d, want 2", b, n)
+		}
+	}
+}
+
+func TestBankConflictStalls(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	// Warm two lines in the same bank (stride banks*line = 128).
+	d1, _, _ := c.Access(0x0000, false, 0)
+	c.Access(0x0080, false, d1)
+	c.ResetStats()
+	// Two same-cycle hits to the same bank: second stalls one cycle.
+	doneA, hitA, _ := c.Access(0x0000, false, 1000)
+	doneB, hitB, _ := c.Access(0x0080, false, 1000)
+	if !hitA || !hitB {
+		t.Fatal("expected warm hits")
+	}
+	if doneA != 1001 {
+		t.Errorf("first done = %d", doneA)
+	}
+	if doneB != 1002 {
+		t.Errorf("conflicting done = %d, want 1002", doneB)
+	}
+	if c.Stats().ConflictCycles != 1 {
+		t.Errorf("ConflictCycles = %d, want 1", c.Stats().ConflictCycles)
+	}
+}
+
+func TestDifferentBanksNoConflict(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	d1, _, _ := c.Access(0x0000, false, 0)
+	d2, _, _ := c.Access(0x0020, false, d1)
+	c.ResetStats()
+	_ = d2
+	doneA, _, _ := c.Access(0x0000, false, 2000)
+	doneB, _, _ := c.Access(0x0020, false, 2000)
+	if doneA != 2001 || doneB != 2001 {
+		t.Errorf("parallel bank hits done = %d, %d; want both 2001", doneA, doneB)
+	}
+	if c.Stats().ConflictCycles != 0 {
+		t.Errorf("ConflictCycles = %d", c.Stats().ConflictCycles)
+	}
+}
+
+func TestExternalInterfaceSerializesMisses(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	// Two same-cycle misses in different banks must serialize on the
+	// single external memory interface.
+	doneA, hitA, _ := c.Access(0x0000, false, 0)
+	doneB, hitB, _ := c.Access(0x0020, false, 0)
+	if hitA || hitB {
+		t.Fatal("expected misses")
+	}
+	if doneA != 11 {
+		t.Errorf("first miss done = %d", doneA)
+	}
+	if doneB != 21 {
+		t.Errorf("second miss done = %d, want 21 (serialized)", doneB)
+	}
+	if c.Stats().MemWaitCycles == 0 {
+		t.Error("no memory interface waiting recorded")
+	}
+}
+
+func TestLRUReplacementWithinSet(t *testing.T) {
+	cfg := smallConfig() // 4 banks × 8 sets × 2 ways, 32B lines
+	c, _ := New(testSpace(t), cfg)
+	// Three lines mapping to the same bank and set: stride =
+	// banks*sets*line = 4*8*32 = 1024.
+	a, b2, c3 := uint64(0), uint64(1024), uint64(2048)
+	c.Access(a, false, 0)
+	c.Access(b2, false, 100)
+	c.Access(a, false, 200)  // refresh a
+	c.Access(c3, false, 300) // evicts b2 (LRU)
+	c.ResetStats()
+	if _, hit, _ := c.Access(a, false, 400); !hit {
+		t.Error("a evicted despite being MRU")
+	}
+	if _, hit, _ := c.Access(b2, false, 500); hit {
+		t.Error("LRU line b2 survived")
+	}
+}
+
+func TestWritebackPenalty(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	c.Access(0, true, 0)                    // dirty line at set 0 bank 0
+	c.Access(1024, false, 100)              // second way
+	d, hit, _ := c.Access(2048, false, 200) // evict dirty line
+	if hit {
+		t.Fatal("unexpected hit")
+	}
+	// writeback + fill = 2 × MissPenalty after the tag check cycle.
+	if d != 200+1+20 {
+		t.Errorf("done = %d, want 221", d)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("Writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestReadWriteWordFunctional(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	w := word.Tagged(0xabcdef)
+	done, err := c.WriteWord(0x3000, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.ReadWord(0x3000, done)
+	if err != nil || got != w {
+		t.Errorf("ReadWord = %v, %v", got, err)
+	}
+}
+
+func TestUnmappedMissReturnsError(t *testing.T) {
+	s, _ := vm.NewSpace(1<<20, 16)
+	c, _ := New(s, smallConfig())
+	if _, _, err := c.Access(0x5000, false, 0); err == nil {
+		t.Error("access to unmapped page succeeded")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i*32, false, i*100)
+	}
+	if c.Live() != 16 {
+		t.Fatalf("Live = %d", c.Live())
+	}
+	if n := c.InvalidateAll(); n != 16 {
+		t.Errorf("InvalidateAll = %d", n)
+	}
+	if c.Live() != 0 {
+		t.Error("lines survive InvalidateAll")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c, _ := New(testSpace(t), smallConfig())
+	c.Access(0x1000, false, 0)
+	c.Access(0x1020, false, 100)
+	c.Access(0x8000, false, 200)
+	if n := c.InvalidateRange(0x1000, 0x40); n != 2 {
+		t.Errorf("InvalidateRange = %d, want 2", n)
+	}
+	if _, hit, _ := c.Access(0x8000, false, 300); !hit {
+		t.Error("untouched line was invalidated")
+	}
+	if n := c.InvalidateRange(0x1000, 0); n != 0 {
+		t.Errorf("zero-size invalidate = %d", n)
+	}
+}
+
+func TestFourRequestsPerCycleAcrossBanks(t *testing.T) {
+	// The M-Machine claim: the memory system accepts up to four
+	// requests per cycle, one per bank.
+	c, _ := New(testSpace(t), smallConfig())
+	var warm uint64
+	for i := uint64(0); i < 4; i++ {
+		warm, _, _ = c.Access(i*32, false, warm)
+	}
+	c.ResetStats()
+	for i := uint64(0); i < 4; i++ {
+		done, hit, _ := c.Access(i*32, false, 5000)
+		if !hit || done != 5001 {
+			t.Errorf("bank %d: hit=%v done=%d", i, hit, done)
+		}
+	}
+	if c.Stats().ConflictCycles != 0 {
+		t.Errorf("conflicts among 4 distinct banks: %d", c.Stats().ConflictCycles)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import "fmt"
+
+// FaultCode classifies the protection exceptions a guarded-pointer
+// machine can raise. The paper performs all of these checks before a
+// memory operation issues (Sec 2.2), so a fault is always attributable to
+// a specific pointer and operation, never to a state left in a table.
+type FaultCode uint8
+
+const (
+	// FaultNone is the zero value; it never appears in a returned Fault.
+	FaultNone FaultCode = iota
+
+	// FaultTag: a word without the pointer bit was used where a guarded
+	// pointer is required (e.g. as the address operand of a load).
+	FaultTag
+
+	// FaultPerm: the pointer's permission field does not allow the
+	// attempted operation (e.g. store through a read-only pointer).
+	FaultPerm
+
+	// FaultBounds: an LEA/LEAB result would lie outside the segment of
+	// the source pointer — the masked comparator of Fig. 2 saw a fixed
+	// (segment) bit change.
+	FaultBounds
+
+	// FaultPriv: a privileged operation (SETPTR, or executing a
+	// privileged instruction) was attempted without an
+	// execute-privileged instruction pointer.
+	FaultPriv
+
+	// FaultLength: a segment length field is malformed (log2 length
+	// greater than the 54-bit address space) or a SUBSEG/RESTRICT
+	// argument is not a strict reduction.
+	FaultLength
+
+	// FaultImmutable: an attempt to modify a pointer type that the
+	// architecture defines as unmodifiable (ENTER and KEY pointers,
+	// Sec 2.1).
+	FaultImmutable
+)
+
+var faultNames = [...]string{
+	FaultNone:      "none",
+	FaultTag:       "tag",
+	FaultPerm:      "permission",
+	FaultBounds:    "bounds",
+	FaultPriv:      "privilege",
+	FaultLength:    "length",
+	FaultImmutable: "immutable",
+}
+
+func (c FaultCode) String() string {
+	if int(c) < len(faultNames) {
+		return faultNames[c]
+	}
+	return fmt.Sprintf("fault(%d)", uint8(c))
+}
+
+// Fault is the error type returned by all pointer operations. It records
+// which check failed and a human-readable context. Fault implements
+// error; callers that need the code should use errors.As or the Code
+// accessor.
+type Fault struct {
+	Code FaultCode
+	Op   string // the architectural operation, e.g. "LEA", "RESTRICT"
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	if f.Msg == "" {
+		return fmt.Sprintf("%s: %s fault", f.Op, f.Code)
+	}
+	return fmt.Sprintf("%s: %s fault: %s", f.Op, f.Code, f.Msg)
+}
+
+func faultf(code FaultCode, op, format string, args ...interface{}) *Fault {
+	return &Fault{Code: code, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the fault code from an error produced by this package,
+// or FaultNone if err is nil or not a *Fault.
+func CodeOf(err error) FaultCode {
+	if f, ok := err.(*Fault); ok {
+		return f.Code
+	}
+	return FaultNone
+}

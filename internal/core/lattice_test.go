@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The RESTRICT permission relation must be a strict partial order:
+// irreflexive, antisymmetric, transitive. These are the algebraic
+// guarantees behind "a user process can only restrict access".
+
+func TestStrictSubsetIrreflexive(t *testing.T) {
+	for p := PermKey; p < NumPerms; p++ {
+		if StrictSubset(p, p) {
+			t.Errorf("%v ⊂ %v", p, p)
+		}
+	}
+}
+
+func TestStrictSubsetAntisymmetric(t *testing.T) {
+	for a := PermKey; a < NumPerms; a++ {
+		for b := PermKey; b < NumPerms; b++ {
+			if StrictSubset(a, b) && StrictSubset(b, a) {
+				t.Errorf("both %v ⊂ %v and %v ⊂ %v", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestStrictSubsetTransitive(t *testing.T) {
+	for a := PermKey; a < NumPerms; a++ {
+		for b := PermKey; b < NumPerms; b++ {
+			for c := PermKey; c < NumPerms; c++ {
+				if StrictSubset(a, b) && StrictSubset(b, c) && !StrictSubset(a, c) {
+					t.Errorf("%v ⊂ %v ⊂ %v but not %v ⊂ %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// Restrict transitivity at the operation level: any permission
+// reachable in two RESTRICT steps is reachable in one.
+func TestRestrictPathIndependence(t *testing.T) {
+	base := MustMake(PermExecutePriv, 12, 0x7000)
+	for mid := PermKey; mid < NumPerms; mid++ {
+		m, err := Restrict(base, mid)
+		if err != nil {
+			continue
+		}
+		for to := PermKey; to < NumPerms; to++ {
+			two, err2 := Restrict(m, to)
+			if err2 != nil {
+				continue
+			}
+			one, err1 := Restrict(base, to)
+			if err1 != nil {
+				t.Errorf("reachable via %v→%v→%v but not directly", base.Perm(), mid, to)
+				continue
+			}
+			if one != two {
+				t.Errorf("path dependence: %v vs %v", one, two)
+			}
+		}
+	}
+}
+
+// LEA composes additively: LEA(LEA(p,a),b) == LEA(p,a+b) whenever all
+// three succeed.
+func TestLEAComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := MustMake(PermReadWrite, 16, 0xab0000)
+	for i := 0; i < 3000; i++ {
+		a := rng.Int63n(1<<17) - 1<<16
+		b := rng.Int63n(1<<17) - 1<<16
+		q1, err1 := LEA(p, a)
+		if err1 != nil {
+			continue
+		}
+		q2, err2 := LEA(q1, b)
+		direct, errD := LEA(p, a+b)
+		if err2 == nil && errD == nil && q2 != direct {
+			t.Fatalf("LEA(%d)+LEA(%d) = %v, LEA(%d) = %v", a, b, q2, a+b, direct)
+		}
+		if err2 == nil && errD != nil {
+			t.Fatalf("stepwise LEA reached %v but direct LEA(%d) faults", q2, a+b)
+		}
+	}
+}
+
+// SubSeg composes: narrowing twice equals narrowing once to the final
+// length (the address is preserved throughout).
+func TestSubSegComposition(t *testing.T) {
+	p := MustMake(PermReadWrite, 20, 0x12345678&uint64(AddrMask))
+	for k2 := uint(1); k2 < 20; k2++ {
+		mid, err := SubSeg(p, k2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k1 := uint(0); k1 < k2; k1++ {
+			two, err := SubSeg(mid, k1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			one, err := SubSeg(p, k1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if one != two {
+				t.Fatalf("SubSeg path dependence at %d,%d", k2, k1)
+			}
+		}
+	}
+}
+
+// Word round trips are idempotent: Decode(p.Word()).Word() == p.Word().
+func TestWordRoundTripIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		p := MustMake(Perm(rng.Intn(7)+1), uint(rng.Intn(55)), rng.Uint64()&AddrMask)
+		q, err := Decode(p.Word())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Word() != p.Word() {
+			t.Fatalf("round trip changed bits: %v vs %v", q.Word(), p.Word())
+		}
+	}
+}
+
+// Derivation never changes which segment a pointer names: Base and
+// LogLen are invariant under LEA/LEAB, and permissions are invariant
+// under LEA/LEAB/SubSeg.
+func TestDerivationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		p := MustMake(PermReadWrite, uint(rng.Intn(20)+3), rng.Uint64()&AddrMask)
+		if q, err := LEA(p, rng.Int63n(1<<20)-1<<19); err == nil {
+			if q.Base() != p.Base() || q.LogLen() != p.LogLen() || q.Perm() != p.Perm() {
+				t.Fatalf("LEA changed segment identity: %v → %v", p, q)
+			}
+		}
+		if q, err := LEAB(p, rng.Int63n(1<<20)); err == nil {
+			if q.Base() != p.Base() || q.Perm() != p.Perm() {
+				t.Fatalf("LEAB changed segment: %v → %v", p, q)
+			}
+		}
+		if q, err := SubSeg(p, uint(rng.Intn(int(p.LogLen())))); err == nil {
+			if q.Perm() != p.Perm() || q.Addr() != p.Addr() {
+				t.Fatalf("SubSeg changed perm/addr: %v → %v", p, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import "repro/internal/word"
+
+// This file implements the pointer-manipulation operations of Sec 2.2.
+// Each models one instruction of the guarded-pointer architecture; all
+// run entirely in user mode except SetPtr.
+
+// LEA implements the load-effective-address instruction: it adds an
+// integer byte offset to a data or execute pointer and returns the new
+// pointer, raising a bounds fault if the result leaves the source
+// pointer's segment. The bounds check is Fig. 2's masked comparator: the
+// fixed (segment) portion of the address must be identical before and
+// after the add.
+func LEA(p Pointer, off int64) (Pointer, error) {
+	if !p.Perm().Modifiable() {
+		return Pointer{}, faultf(FaultImmutable, "LEA", "%s pointer may not be modified", p.Perm())
+	}
+	newAddr := (p.Addr() + uint64(off)) & AddrMask
+	if (p.Addr()^newAddr)&^p.offsetMask() != 0 {
+		return Pointer{}, faultf(FaultBounds, "LEA",
+			"%s + %d leaves segment [%#x,+2^%d)", p, off, p.Base(), p.LogLen())
+	}
+	return p.withAddr(newAddr), nil
+}
+
+// LEAB implements the load-effective-address-from-base instruction: it
+// adds an offset to the *base* of the pointer's segment rather than to
+// its current address. The paper provides it "for efficiency" and it is
+// the primitive from which the pointer↔integer cast sequences are built
+// (Sec 2.2, "Pointer Arithmetic").
+func LEAB(p Pointer, off int64) (Pointer, error) {
+	if !p.Perm().Modifiable() {
+		return Pointer{}, faultf(FaultImmutable, "LEAB", "%s pointer may not be modified", p.Perm())
+	}
+	newAddr := (p.Base() + uint64(off)) & AddrMask
+	if (p.Base()^newAddr)&^p.offsetMask() != 0 {
+		return Pointer{}, faultf(FaultBounds, "LEAB",
+			"base %#x + %d leaves segment of size 2^%d", p.Base(), off, p.LogLen())
+	}
+	return p.withAddr(newAddr), nil
+}
+
+// Restrict implements the RESTRICT instruction: substitute permission t
+// into p, legal only when t is a strict subset of p's rights. It lets a
+// process grant another process weaker access to a segment it holds —
+// "without system software interaction" (Sec 2.2).
+func Restrict(p Pointer, t Perm) (Pointer, error) {
+	if !p.Perm().Modifiable() {
+		return Pointer{}, faultf(FaultImmutable, "RESTRICT", "%s pointer may not be modified", p.Perm())
+	}
+	if !StrictSubset(t, p.Perm()) {
+		return Pointer{}, faultf(FaultPerm, "RESTRICT",
+			"%s is not a strict subset of %s", t, p.Perm())
+	}
+	return Pointer{bits: p.bits&^(uint64(permMask)<<permShift) | uint64(t)<<permShift}, nil
+}
+
+// SubSeg implements the SUBSEG instruction: substitute segment-length
+// exponent l into p, legal only when l is strictly less than p's current
+// length field. The new (smaller, still aligned) segment is the 2^l-byte
+// block containing p's current address; the address field is unchanged.
+func SubSeg(p Pointer, l uint) (Pointer, error) {
+	if !p.Perm().Modifiable() {
+		return Pointer{}, faultf(FaultImmutable, "SUBSEG", "%s pointer may not be modified", p.Perm())
+	}
+	if l >= p.LogLen() {
+		return Pointer{}, faultf(FaultLength, "SUBSEG",
+			"2^%d is not smaller than current segment 2^%d", l, p.LogLen())
+	}
+	return Pointer{bits: p.bits&^(uint64(lenMask)<<lenShift) | uint64(l)<<lenShift}, nil
+}
+
+// SetPtr implements the privileged SETPTR instruction: convert an
+// arbitrary integer word into a guarded pointer by setting the tag bit.
+// priv is the supervisor-mode bit of the executing instruction pointer;
+// without it the operation raises a privilege fault. The resulting word
+// must still decode as a structurally valid pointer.
+func SetPtr(w word.Word, priv bool) (Pointer, error) {
+	if !priv {
+		return Pointer{}, faultf(FaultPriv, "SETPTR", "privileged instruction in user mode")
+	}
+	return Decode(word.Tagged(w.Bits))
+}
+
+// EnterToExecute models what a jump through an enter pointer does in
+// hardware: the enter permission is converted to the corresponding
+// execute permission as the pointer is installed in the instruction
+// pointer (Sec 2.1). Jumping to a non-enter pointer is handled by the
+// jump legality check, not here.
+func EnterToExecute(p Pointer) (Pointer, error) {
+	t, ok := p.Perm().EnterTarget()
+	if !ok {
+		return Pointer{}, faultf(FaultPerm, "ENTER", "%s is not an enter pointer", p.Perm())
+	}
+	return Pointer{bits: p.bits&^(uint64(permMask)<<permShift) | uint64(t)<<permShift}, nil
+}
+
+// JumpTarget validates p as the target of a jump executed under the
+// given privilege and returns the execute pointer to install in the
+// instruction pointer. Execute pointers transfer directly; enter
+// pointers are converted. Privileged mode is *entered* by jumping to an
+// enter-privileged pointer and *exited* by jumping to a user pointer —
+// no mode bit exists outside the IP itself.
+func JumpTarget(p Pointer) (Pointer, error) {
+	switch {
+	case p.Perm().CanExecute():
+		return p, nil
+	case p.Perm().IsEnter():
+		return EnterToExecute(p)
+	default:
+		return Pointer{}, faultf(FaultPerm, "JMP", "%s pointer is not a jump target", p.Perm())
+	}
+}
+
+// CheckLoad validates w as the address operand of a load of size bytes
+// and returns the decoded pointer. All checks complete before the
+// access issues; after this the access cannot raise a protection
+// violation (TLB misses may still occur, Sec 2.2).
+func CheckLoad(w word.Word, size uint64) (Pointer, error) {
+	p, err := Decode(w)
+	if err != nil {
+		return Pointer{}, err
+	}
+	if !p.Perm().CanLoad() {
+		return Pointer{}, faultf(FaultPerm, "LOAD", "%s pointer cannot load", p.Perm())
+	}
+	if err := checkSpan(p, size, "LOAD"); err != nil {
+		return Pointer{}, err
+	}
+	return p, nil
+}
+
+// CheckStore validates w as the address operand of a store of size
+// bytes.
+func CheckStore(w word.Word, size uint64) (Pointer, error) {
+	p, err := Decode(w)
+	if err != nil {
+		return Pointer{}, err
+	}
+	if !p.Perm().CanStore() {
+		return Pointer{}, faultf(FaultPerm, "STORE", "%s pointer cannot store", p.Perm())
+	}
+	if err := checkSpan(p, size, "STORE"); err != nil {
+		return Pointer{}, err
+	}
+	return p, nil
+}
+
+// checkSpan verifies that size bytes starting at the pointer's address
+// stay inside the segment (an access may not straddle the segment end).
+func checkSpan(p Pointer, size uint64, op string) error {
+	if size == 0 {
+		return nil
+	}
+	if p.Offset()+size > p.SegSize() {
+		return faultf(FaultBounds, op,
+			"%d-byte access at offset %#x exceeds segment size 2^%d", size, p.Offset(), p.LogLen())
+	}
+	return nil
+}
+
+// PtrToInt implements the pointer-to-integer cast code sequence of
+// Sec 2.2 (LEAB to find the base, subtract): it returns the pointer's
+// offset within its segment as an integer. No privilege is required.
+func PtrToInt(p Pointer) (int64, error) {
+	if !p.Perm().Modifiable() {
+		return 0, faultf(FaultImmutable, "PTRTOINT", "%s pointer may not be inspected arithmetically", p.Perm())
+	}
+	base, err := LEAB(p, 0)
+	if err != nil {
+		return 0, err
+	}
+	return int64(p.Addr() - base.Addr()), nil
+}
+
+// IntToPtr implements the integer-to-pointer cast: given a data-segment
+// pointer seg and an integer v, produce a pointer into seg with offset
+// v, "as long as the integer fits into the offset field of the data
+// segment" (Sec 2.2). It is simply LEAB and requires no privilege.
+func IntToPtr(seg Pointer, v int64) (Pointer, error) {
+	if v < 0 || uint64(v) >= seg.SegSize() {
+		return Pointer{}, faultf(FaultBounds, "INTTOPTR",
+			"integer %d does not fit in offset field of 2^%d-byte segment", v, seg.LogLen())
+	}
+	return LEAB(seg, v)
+}

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestLEAInBounds(t *testing.T) {
+	p := MustMake(PermReadWrite, 12, 0x5000) // [0x5000,0x6000)
+	q, err := LEA(p, 0x800)
+	if err != nil {
+		t.Fatalf("LEA: %v", err)
+	}
+	if q.Addr() != 0x5800 {
+		t.Errorf("Addr = %#x, want 0x5800", q.Addr())
+	}
+	if q.Perm() != p.Perm() || q.LogLen() != p.LogLen() {
+		t.Error("LEA must preserve permission and length fields")
+	}
+}
+
+func TestLEANegativeOffset(t *testing.T) {
+	p := MustMake(PermReadOnly, 12, 0x5800)
+	q, err := LEA(p, -0x400)
+	if err != nil {
+		t.Fatalf("LEA: %v", err)
+	}
+	if q.Addr() != 0x5400 {
+		t.Errorf("Addr = %#x, want 0x5400", q.Addr())
+	}
+}
+
+func TestLEAOverflowFaults(t *testing.T) {
+	p := MustMake(PermReadWrite, 12, 0x5000)
+	if _, err := LEA(p, 0x1000); CodeOf(err) != FaultBounds {
+		t.Errorf("overflow: err = %v, want bounds fault", err)
+	}
+	if _, err := LEA(p, -1); CodeOf(err) != FaultBounds {
+		t.Errorf("underflow: err = %v, want bounds fault", err)
+	}
+	// The address datapath is 54 bits wide: an offset of exactly 2^54
+	// wraps to the identity (still in segment, no violation)...
+	if q, err := LEA(p, 1<<54); err != nil || q != p {
+		t.Errorf("2^54 wrap: got %v, %v; want identity", q, err)
+	}
+	// ...while 2^54 + 0x1000 wraps to an out-of-segment address and
+	// must fault like any other escape.
+	if _, err := LEA(p, 1<<54+0x1000); CodeOf(err) != FaultBounds {
+		t.Errorf("wrap+escape: err = %v, want bounds fault", err)
+	}
+}
+
+func TestLEALastByte(t *testing.T) {
+	p := MustMake(PermReadWrite, 4, 0x100) // [0x100,0x110)
+	if q, err := LEA(p, 15); err != nil || q.Addr() != 0x10f {
+		t.Errorf("LEA to last byte: %v %v", q, err)
+	}
+	if _, err := LEA(p, 16); CodeOf(err) != FaultBounds {
+		t.Errorf("LEA one past end must bounds-fault, got %v", err)
+	}
+}
+
+func TestLEAImmutablePerms(t *testing.T) {
+	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
+		p := MustMake(perm, 12, 0x5000)
+		if _, err := LEA(p, 0); CodeOf(err) != FaultImmutable {
+			t.Errorf("LEA on %v: err = %v, want immutable fault", perm, err)
+		}
+		if _, err := LEAB(p, 0); CodeOf(err) != FaultImmutable {
+			t.Errorf("LEAB on %v: err = %v, want immutable fault", perm, err)
+		}
+	}
+}
+
+func TestLEAFullSpaceSegmentNeverFaults(t *testing.T) {
+	p := MustMake(PermReadWrite, 54, 0x42)
+	f := func(off int64) bool {
+		q, err := LEA(p, off)
+		return err == nil && q.Addr() == (0x42+uint64(off))&AddrMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLEAB(t *testing.T) {
+	p := MustMake(PermReadWrite, 12, 0x5abc) // base 0x5000
+	q, err := LEAB(p, 0x10)
+	if err != nil {
+		t.Fatalf("LEAB: %v", err)
+	}
+	if q.Addr() != 0x5010 {
+		t.Errorf("Addr = %#x, want 0x5010", q.Addr())
+	}
+	if _, err := LEAB(p, 0x1000); CodeOf(err) != FaultBounds {
+		t.Errorf("LEAB past end: err = %v, want bounds fault", err)
+	}
+	if _, err := LEAB(p, -1); CodeOf(err) != FaultBounds {
+		t.Errorf("LEAB below base: err = %v, want bounds fault", err)
+	}
+}
+
+// Property: any sequence of successful LEA operations stays inside the
+// original segment — the central containment invariant of the paper.
+func TestLEAClosureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		logLen := uint(rng.Intn(20))
+		base := (rng.Uint64() & AddrMask) &^ (1<<logLen - 1)
+		p := MustMake(PermReadWrite, logLen, base+rng.Uint64()%(1<<logLen))
+		orig := p
+		for step := 0; step < 50; step++ {
+			off := rng.Int63n(1<<(logLen+2)) - 1<<(logLen+1)
+			q, err := LEA(p, off)
+			if err != nil {
+				continue // faulting derivations produce nothing
+			}
+			p = q
+			if !orig.Contains(p.Addr()) {
+				t.Fatalf("LEA escaped segment: %v from %v", p, orig)
+			}
+			if p.Base() != orig.Base() || p.LogLen() != orig.LogLen() {
+				t.Fatalf("LEA changed segment identity: %v from %v", p, orig)
+			}
+		}
+	}
+}
+
+func TestRestrictLattice(t *testing.T) {
+	cases := []struct {
+		from, to Perm
+		ok       bool
+	}{
+		{PermReadWrite, PermReadOnly, true},
+		{PermReadWrite, PermKey, true},
+		{PermReadOnly, PermKey, true},
+		{PermExecutePriv, PermExecuteUser, true},
+		{PermExecutePriv, PermEnterPriv, true},
+		{PermExecutePriv, PermEnterUser, true},
+		{PermExecutePriv, PermReadOnly, true},
+		{PermExecuteUser, PermEnterUser, true},
+		{PermExecuteUser, PermReadOnly, true},
+		{PermExecuteUser, PermKey, true},
+
+		{PermReadOnly, PermReadWrite, false}, // amplification
+		{PermReadOnly, PermReadOnly, false},  // not strict
+		{PermReadWrite, PermReadWrite, false},
+		{PermReadOnly, PermExecuteUser, false},
+		{PermExecuteUser, PermExecutePriv, false},
+		{PermExecuteUser, PermEnterPriv, false},
+		{PermReadWrite, PermEnterUser, false},
+	}
+	for _, c := range cases {
+		p := MustMake(c.from, 12, 0x3000)
+		q, err := Restrict(p, c.to)
+		if c.ok {
+			if err != nil {
+				t.Errorf("Restrict(%v→%v): %v", c.from, c.to, err)
+				continue
+			}
+			if q.Perm() != c.to || q.Addr() != p.Addr() || q.LogLen() != p.LogLen() {
+				t.Errorf("Restrict(%v→%v) produced %v", c.from, c.to, q)
+			}
+		} else if CodeOf(err) != FaultPerm {
+			t.Errorf("Restrict(%v→%v): err = %v, want perm fault", c.from, c.to, err)
+		}
+	}
+}
+
+func TestRestrictOnImmutable(t *testing.T) {
+	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
+		p := MustMake(perm, 12, 0x3000)
+		if _, err := Restrict(p, PermKey); CodeOf(err) != FaultImmutable {
+			t.Errorf("Restrict on %v: err = %v, want immutable fault", perm, err)
+		}
+	}
+}
+
+// Property: RESTRICT never amplifies — whatever the resulting
+// permission, it cannot do anything the source could not.
+func TestRestrictMonotoneProperty(t *testing.T) {
+	for from := PermKey; from < NumPerms; from++ {
+		for to := PermKey; to < NumPerms; to++ {
+			p := MustMake(from, 10, 0x800)
+			q, err := Restrict(p, to)
+			if err != nil {
+				continue
+			}
+			if q.Perm().CanStore() && !from.CanStore() {
+				t.Errorf("%v→%v amplified store", from, to)
+			}
+			if q.Perm().CanLoad() && !from.CanLoad() {
+				t.Errorf("%v→%v amplified load", from, to)
+			}
+			if q.Perm().Privileged() && !from.Privileged() {
+				t.Errorf("%v→%v amplified privilege", from, to)
+			}
+		}
+	}
+}
+
+func TestSubSeg(t *testing.T) {
+	p := MustMake(PermReadWrite, 12, 0x5abc)
+	q, err := SubSeg(p, 8)
+	if err != nil {
+		t.Fatalf("SubSeg: %v", err)
+	}
+	if q.LogLen() != 8 || q.Addr() != p.Addr() {
+		t.Errorf("SubSeg produced %v", q)
+	}
+	// New segment is the aligned 2^8 block containing the address.
+	if q.Base() != 0x5a00 {
+		t.Errorf("new base = %#x, want 0x5a00", q.Base())
+	}
+	if _, err := SubSeg(p, 12); CodeOf(err) != FaultLength {
+		t.Errorf("SubSeg equal length: err = %v, want length fault", err)
+	}
+	if _, err := SubSeg(p, 13); CodeOf(err) != FaultLength {
+		t.Errorf("SubSeg larger: err = %v, want length fault", err)
+	}
+}
+
+func TestSubSegImmutable(t *testing.T) {
+	p := MustMake(PermEnterUser, 12, 0x5000)
+	if _, err := SubSeg(p, 4); CodeOf(err) != FaultImmutable {
+		t.Errorf("err = %v, want immutable fault", err)
+	}
+}
+
+// Property: SubSeg shrinks the segment and the result is always nested
+// inside the original.
+func TestSubSegNestingProperty(t *testing.T) {
+	f := func(logLen, sub uint8, addr uint64) bool {
+		ll := uint(logLen)%54 + 1 // 1..54
+		s := uint(sub) % ll       // 0..ll-1
+		p := MustMake(PermReadWrite, ll, addr&AddrMask)
+		q, err := SubSeg(p, s)
+		if err != nil {
+			return false
+		}
+		return p.Contains(q.Base()) && p.Contains(q.Base()+q.SegSize()-1) &&
+			q.SegSize() < p.SegSize()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetPtrPrivilege(t *testing.T) {
+	image := MustMake(PermReadWrite, 12, 0x9000).Word().Untag()
+	if _, err := SetPtr(image, false); CodeOf(err) != FaultPriv {
+		t.Errorf("user SETPTR: err = %v, want priv fault", err)
+	}
+	p, err := SetPtr(image, true)
+	if err != nil {
+		t.Fatalf("priv SETPTR: %v", err)
+	}
+	if p.Perm() != PermReadWrite || p.Addr() != 0x9000 {
+		t.Errorf("SETPTR produced %v", p)
+	}
+	// Even privileged SETPTR cannot make a structurally invalid pointer.
+	if _, err := SetPtr(word.FromUint(uint64(60)<<lenShift|uint64(PermReadOnly)<<permShift), true); CodeOf(err) != FaultLength {
+		t.Errorf("SETPTR bad length: err = %v, want length fault", err)
+	}
+}
+
+func TestEnterToExecute(t *testing.T) {
+	eu := MustMake(PermEnterUser, 10, 0x400)
+	x, err := EnterToExecute(eu)
+	if err != nil {
+		t.Fatalf("EnterToExecute: %v", err)
+	}
+	if x.Perm() != PermExecuteUser || x.Addr() != eu.Addr() || x.LogLen() != eu.LogLen() {
+		t.Errorf("converted to %v", x)
+	}
+	ep := MustMake(PermEnterPriv, 10, 0x400)
+	if x, _ := EnterToExecute(ep); x.Perm() != PermExecutePriv {
+		t.Errorf("enter-priv converted to %v", x.Perm())
+	}
+	if _, err := EnterToExecute(MustMake(PermReadOnly, 10, 0x400)); CodeOf(err) != FaultPerm {
+		t.Errorf("non-enter: err = %v, want perm fault", err)
+	}
+}
+
+func TestJumpTarget(t *testing.T) {
+	exec := MustMake(PermExecuteUser, 10, 0x400)
+	if ip, err := JumpTarget(exec); err != nil || ip != exec {
+		t.Errorf("jump to execute: %v %v", ip, err)
+	}
+	enter := MustMake(PermEnterPriv, 10, 0x400)
+	ip, err := JumpTarget(enter)
+	if err != nil || ip.Perm() != PermExecutePriv {
+		t.Errorf("jump to enter-priv: %v %v", ip, err)
+	}
+	if _, err := JumpTarget(MustMake(PermReadWrite, 10, 0x400)); CodeOf(err) != FaultPerm {
+		t.Errorf("jump to data pointer: err = %v, want perm fault", err)
+	}
+	if _, err := JumpTarget(MustMake(PermKey, 10, 0x400)); CodeOf(err) != FaultPerm {
+		t.Errorf("jump to key: err = %v, want perm fault", err)
+	}
+}
+
+func TestCheckLoadStore(t *testing.T) {
+	rw := MustMake(PermReadWrite, 6, 0x40) // 64-byte segment
+	if _, err := CheckLoad(rw.Word(), 8); err != nil {
+		t.Errorf("load via rw: %v", err)
+	}
+	if _, err := CheckStore(rw.Word(), 8); err != nil {
+		t.Errorf("store via rw: %v", err)
+	}
+	ro := MustMake(PermReadOnly, 6, 0x40)
+	if _, err := CheckLoad(ro.Word(), 8); err != nil {
+		t.Errorf("load via ro: %v", err)
+	}
+	if _, err := CheckStore(ro.Word(), 8); CodeOf(err) != FaultPerm {
+		t.Errorf("store via ro: err = %v, want perm fault", err)
+	}
+	exec := MustMake(PermExecuteUser, 6, 0x40)
+	if _, err := CheckLoad(exec.Word(), 8); err != nil {
+		t.Errorf("load via execute (execute is read-only): %v", err)
+	}
+	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
+		p := MustMake(perm, 6, 0x40)
+		if _, err := CheckLoad(p.Word(), 8); CodeOf(err) != FaultPerm {
+			t.Errorf("load via %v: err = %v, want perm fault", perm, err)
+		}
+	}
+	if _, err := CheckLoad(word.FromInt(0x40), 8); CodeOf(err) != FaultTag {
+		t.Errorf("load via integer: err = %v, want tag fault", err)
+	}
+}
+
+func TestCheckSpanStraddle(t *testing.T) {
+	p := MustMake(PermReadWrite, 4, 0x10a) // [0x100,0x110), offset 0xa
+	if _, err := CheckLoad(p.Word(), 6); err != nil {
+		t.Errorf("6 bytes at offset 10 of 16: %v", err)
+	}
+	if _, err := CheckLoad(p.Word(), 7); CodeOf(err) != FaultBounds {
+		t.Errorf("7 bytes at offset 10 of 16: err = %v, want bounds fault", err)
+	}
+	if _, err := CheckLoad(p.Word(), 0); err != nil {
+		t.Errorf("zero-size access: %v", err)
+	}
+}
+
+func TestPtrIntCasts(t *testing.T) {
+	seg := MustMake(PermReadWrite, 12, 0x5000)
+	p, _ := LEA(seg, 0x123)
+	off, err := PtrToInt(p)
+	if err != nil || off != 0x123 {
+		t.Errorf("PtrToInt = %d, %v; want 0x123", off, err)
+	}
+	q, err := IntToPtr(seg, 0x456)
+	if err != nil || q.Addr() != 0x5456 {
+		t.Errorf("IntToPtr = %v, %v", q, err)
+	}
+	if _, err := IntToPtr(seg, 0x1000); CodeOf(err) != FaultBounds {
+		t.Errorf("IntToPtr overflow: err = %v, want bounds fault", err)
+	}
+	if _, err := IntToPtr(seg, -1); CodeOf(err) != FaultBounds {
+		t.Errorf("IntToPtr negative: err = %v, want bounds fault", err)
+	}
+	if _, err := PtrToInt(MustMake(PermKey, 12, 0x5000)); CodeOf(err) != FaultImmutable {
+		t.Errorf("PtrToInt on key: err = %v, want immutable fault", err)
+	}
+}
+
+// Property: round-tripping an offset through IntToPtr then PtrToInt is
+// the identity for any in-range offset — the paper's C cast sequences
+// compose correctly.
+func TestCastRoundTripProperty(t *testing.T) {
+	seg := MustMake(PermReadWrite, 20, 0x100000)
+	f := func(off uint32) bool {
+		v := int64(off % (1 << 20))
+		p, err := IntToPtr(seg, v)
+		if err != nil {
+			return false
+		}
+		back, err := PtrToInt(p)
+		return err == nil && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: user-mode pointer algebra cannot forge a pointer to memory
+// outside the segments it starts with. Starting from one pointer, any
+// sequence of LEA/LEAB/Restrict/SubSeg yields pointers whose segments
+// are contained in the original segment.
+func TestNoForgeryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	orig := MustMake(PermReadWrite, 16, 0xabcd0000&uint64(AddrMask))
+	held := []Pointer{orig}
+	for step := 0; step < 5000; step++ {
+		p := held[rng.Intn(len(held))]
+		var q Pointer
+		var err error
+		switch rng.Intn(4) {
+		case 0:
+			q, err = LEA(p, rng.Int63n(1<<17)-1<<16)
+		case 1:
+			q, err = LEAB(p, rng.Int63n(1<<17)-1<<16)
+		case 2:
+			q, err = Restrict(p, Perm(rng.Intn(int(NumPerms))))
+		case 3:
+			q, err = SubSeg(p, uint(rng.Intn(17)))
+		}
+		if err != nil {
+			continue
+		}
+		if !orig.Contains(q.Base()) || !orig.Contains(q.Base()+q.SegSize()-1) {
+			t.Fatalf("derived pointer %v escapes original segment %v", q, orig)
+		}
+		held = append(held, q)
+		if len(held) > 64 {
+			held = held[1:]
+		}
+	}
+}

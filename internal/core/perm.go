@@ -1,0 +1,164 @@
+package core
+
+// Perm is the 4-bit permission field of a guarded pointer (Fig. 1). The
+// encodings below cover the paper's representative set (Sec 2.1): data
+// access (read-only, read/write), code access (execute-user,
+// execute-privileged), protected entry points (enter-user,
+// enter-privileged) and unforgeable identifiers (key). Values 8–15 are
+// reserved; decoding them yields PermInvalid behavior (no rights).
+type Perm uint8
+
+const (
+	// PermNone grants no rights and marks a malformed pointer.
+	PermNone Perm = 0
+
+	// PermKey is an unforgeable, unalterable identifier. It may not be
+	// dereferenced, jumped to, or modified — its only use is comparison.
+	PermKey Perm = 1
+
+	// PermReadOnly allows loads from the segment.
+	PermReadOnly Perm = 2
+
+	// PermReadWrite allows loads and stores.
+	PermReadWrite Perm = 3
+
+	// PermExecuteUser is a read-only pointer that may also be the target
+	// of a jump; it does not enable privileged instructions.
+	PermExecuteUser Perm = 4
+
+	// PermExecutePriv is an execute pointer that additionally encodes
+	// the supervisor mode bit: privileged instructions may only execute
+	// under an execute-privileged instruction pointer.
+	PermExecutePriv Perm = 5
+
+	// PermEnterUser is a protected entry point: jumping to it converts
+	// it to PermExecuteUser in the instruction pointer. It may not be
+	// modified or dereferenced.
+	PermEnterUser Perm = 6
+
+	// PermEnterPriv is the privileged protected entry point, converting
+	// to PermExecutePriv on jump. Jumping to one is how privileged mode
+	// is entered (Sec 2.2, "Pointer Creation").
+	PermEnterPriv Perm = 7
+
+	// NumPerms is the count of architecturally defined permission
+	// encodings.
+	NumPerms = 8
+)
+
+var permNames = [...]string{
+	PermNone:        "none",
+	PermKey:         "key",
+	PermReadOnly:    "read-only",
+	PermReadWrite:   "read/write",
+	PermExecuteUser: "execute-user",
+	PermExecutePriv: "execute-priv",
+	PermEnterUser:   "enter-user",
+	PermEnterPriv:   "enter-priv",
+}
+
+func (p Perm) String() string {
+	if int(p) < len(permNames) {
+		return permNames[p]
+	}
+	return "reserved"
+}
+
+// Valid reports whether p is one of the architecturally defined
+// permission encodings other than PermNone.
+func (p Perm) Valid() bool { return p > PermNone && p < NumPerms }
+
+// CanLoad reports whether a pointer with this permission may be the
+// address operand of a load. Execute pointers are read-only pointers
+// (Sec 2.1), so they can load.
+func (p Perm) CanLoad() bool {
+	switch p {
+	case PermReadOnly, PermReadWrite, PermExecuteUser, PermExecutePriv:
+		return true
+	}
+	return false
+}
+
+// CanStore reports whether a pointer with this permission may be the
+// address operand of a store.
+func (p Perm) CanStore() bool { return p == PermReadWrite }
+
+// CanExecute reports whether the pointer may sit in the instruction
+// pointer (i.e. is an execute pointer of either mode).
+func (p Perm) CanExecute() bool {
+	return p == PermExecuteUser || p == PermExecutePriv
+}
+
+// IsEnter reports whether the pointer is a protected entry point.
+func (p Perm) IsEnter() bool {
+	return p == PermEnterUser || p == PermEnterPriv
+}
+
+// CanJumpTo reports whether a jump instruction accepts the pointer as a
+// target: execute pointers (direct transfer) and enter pointers
+// (protected entry, converted on the way in).
+func (p Perm) CanJumpTo() bool { return p.CanExecute() || p.IsEnter() }
+
+// Privileged reports whether the permission carries supervisor
+// authority when installed in the instruction pointer.
+func (p Perm) Privileged() bool {
+	return p == PermExecutePriv || p == PermEnterPriv
+}
+
+// Modifiable reports whether LEA/LEAB/RESTRICT/SUBSEG may operate on a
+// pointer with this permission. "A read-only, read/write, or execute
+// pointer's address field may be altered as long as it remains within
+// its segment bounds" (Sec 2.1); enter and key pointers are immutable.
+func (p Perm) Modifiable() bool {
+	switch p {
+	case PermReadOnly, PermReadWrite, PermExecuteUser, PermExecutePriv:
+		return true
+	}
+	return false
+}
+
+// EnterTarget returns the execute permission an enter pointer converts
+// to when jumped through, and ok=false if p is not an enter permission.
+func (p Perm) EnterTarget() (Perm, bool) {
+	switch p {
+	case PermEnterUser:
+		return PermExecuteUser, true
+	case PermEnterPriv:
+		return PermExecutePriv, true
+	}
+	return PermNone, false
+}
+
+// permSubsets[p] is the set (bitmask) of permissions that are *strict*
+// subsets of p for the purposes of the RESTRICT instruction. The
+// operation-set reasoning:
+//
+//	key          ⟶ ∅ (no rights): strict subset of every other valid perm
+//	read-only    ⟶ {load}
+//	read/write   ⟶ {load, store}
+//	execute-user ⟶ {load, jump-user}
+//	execute-priv ⟶ {load, jump-user, jump-priv, privileged}
+//	enter-user   ⟶ {protected entry at user level}
+//	enter-priv   ⟶ {protected entry at privileged level}
+//
+// An enter pointer conveys strictly less than the corresponding execute
+// pointer (the holder can transfer control to the segment but can never
+// read it or jump to an arbitrary offset), so execute→enter is a legal
+// restriction. Enter and key pointers themselves are immutable, so
+// nothing may be derived from them.
+var permSubsets = [NumPerms]uint16{
+	PermReadWrite:   1<<PermReadOnly | 1<<PermKey,
+	PermReadOnly:    1 << PermKey,
+	PermExecuteUser: 1<<PermReadOnly | 1<<PermEnterUser | 1<<PermKey,
+	PermExecutePriv: 1<<PermExecuteUser | 1<<PermReadOnly |
+		1<<PermEnterPriv | 1<<PermEnterUser | 1<<PermKey,
+}
+
+// StrictSubset reports whether to is a strict subset of from, i.e.
+// whether RESTRICT(from → to) is architecturally legal.
+func StrictSubset(to, from Perm) bool {
+	if !from.Valid() || !to.Valid() || int(from) >= NumPerms {
+		return false
+	}
+	return permSubsets[from]&(1<<to) != 0
+}

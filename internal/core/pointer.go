@@ -1,0 +1,175 @@
+// Package core implements guarded pointers, the primary contribution of
+// Carter, Keckler & Dally, "Hardware Support for Fast Capability-based
+// Addressing" (ASPLOS 1994).
+//
+// A guarded pointer is a tagged 64-bit word laid out as in Fig. 1 of the
+// paper:
+//
+//	tag | permission (4 bits) | segment length (6 bits) | address (54 bits)
+//
+// The segment-length field holds the base-2 logarithm of the segment
+// size in bytes; segments are power-of-two sized and aligned on their
+// length, so the length field splits the address into a fixed segment
+// part and a variable offset part. The whole capability — what may be
+// done, to which segment, at which byte — travels inside the pointer, so
+// no capability or segment tables exist anywhere in the system and a
+// single level of translation suffices.
+//
+// All functions in this package are pure: they model the combinational
+// checking hardware of Sec 2.2 (a permission decoder, an adder, and a
+// masked comparator) and either produce a new pointer or a *Fault.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Field geometry of Fig. 1.
+const (
+	// AddrBits is the width of the virtual address: 64 data bits minus
+	// 4 permission bits minus 6 length bits.
+	AddrBits = 54
+
+	// LenBits is the width of the segment-length field.
+	LenBits = 6
+
+	// PermBits is the width of the permission field.
+	PermBits = 4
+
+	// AddrMask selects the 54 address bits of a pointer word.
+	AddrMask uint64 = (1 << AddrBits) - 1
+
+	// MaxLogLen is the largest legal segment-length exponent: a single
+	// segment spanning the entire 2^54-byte space.
+	MaxLogLen = AddrBits
+
+	lenShift  = AddrBits
+	permShift = AddrBits + LenBits
+	lenMask   = (1 << LenBits) - 1
+	permMask  = (1 << PermBits) - 1
+)
+
+// AddressSpaceBytes is the size of the single shared virtual address
+// space: 2^54 bytes ≈ 1.8 × 10^16 (Sec 4.2).
+const AddressSpaceBytes = uint64(1) << AddrBits
+
+// Pointer is a decoded guarded pointer. It is a value type wrapping the
+// underlying tagged word; the zero value is not a valid pointer
+// (Perm() == PermNone only arises from malformed words, which every
+// operation rejects).
+type Pointer struct {
+	bits uint64 // full 64-bit pointer image (perm|len|addr)
+}
+
+// Make constructs a guarded pointer from its fields. This is the model
+// of the privileged SETPTR path: no subset or bounds discipline is
+// applied, only structural validity (the kernel may "amplify pointer
+// permissions and increase segment lengths", Sec 2.2). Non-privileged
+// code must derive pointers with LEA/LEAB/Restrict/SubSeg instead.
+func Make(p Perm, logLen uint, addr uint64) (Pointer, error) {
+	if !p.Valid() {
+		return Pointer{}, faultf(FaultPerm, "SETPTR", "invalid permission %d", p)
+	}
+	if logLen > MaxLogLen {
+		return Pointer{}, faultf(FaultLength, "SETPTR", "segment length 2^%d exceeds address space", logLen)
+	}
+	if addr > AddrMask {
+		return Pointer{}, faultf(FaultBounds, "SETPTR", "address %#x exceeds 54 bits", addr)
+	}
+	return Pointer{bits: uint64(p)<<permShift | uint64(logLen)<<lenShift | addr}, nil
+}
+
+// MustMake is Make for statically correct arguments; it panics on error
+// and is intended for tests and kernel bring-up tables.
+func MustMake(p Perm, logLen uint, addr uint64) Pointer {
+	ptr, err := Make(p, logLen, addr)
+	if err != nil {
+		panic(err)
+	}
+	return ptr
+}
+
+// Decode validates that w is a guarded pointer (tag set, permission and
+// length fields well formed) and returns its decoded form. This is the
+// check every address operand undergoes before a memory operation
+// issues.
+func Decode(w word.Word) (Pointer, error) {
+	if !w.Tag {
+		return Pointer{}, faultf(FaultTag, "DECODE", "word %s is not a pointer", w)
+	}
+	p := Pointer{bits: w.Bits}
+	if !p.Perm().Valid() {
+		return Pointer{}, faultf(FaultPerm, "DECODE", "reserved permission encoding %d", p.rawPerm())
+	}
+	if p.LogLen() > MaxLogLen {
+		return Pointer{}, faultf(FaultLength, "DECODE", "segment length 2^%d exceeds address space", p.LogLen())
+	}
+	return p, nil
+}
+
+// IsPointer implements the ISPOINTER instruction: it reports the state
+// of the tag bit without any other validation (Sec 2.2, "Pointer
+// Identification"). Garbage collectors use it to find pointers.
+func IsPointer(w word.Word) bool { return w.Tag }
+
+// Word returns the pointer's 65-bit machine representation (64 bits plus
+// tag).
+func (p Pointer) Word() word.Word { return word.Tagged(p.bits) }
+
+// Perm returns the 4-bit permission field.
+func (p Pointer) Perm() Perm { return Perm(p.rawPerm()) }
+
+func (p Pointer) rawPerm() uint8 { return uint8(p.bits >> permShift & permMask) }
+
+// LogLen returns the segment-length field: log2 of the segment size in
+// bytes.
+func (p Pointer) LogLen() uint { return uint(p.bits >> lenShift & lenMask) }
+
+// Addr returns the 54-bit byte address the pointer currently designates.
+func (p Pointer) Addr() uint64 { return p.bits & AddrMask }
+
+// SegSize returns the segment size in bytes.
+func (p Pointer) SegSize() uint64 { return 1 << p.LogLen() }
+
+// offsetMask selects the variable offset bits of the address.
+func (p Pointer) offsetMask() uint64 { return p.SegSize() - 1 }
+
+// Base returns the segment base: the address with all offset bits
+// cleared. "This allows the base of a segment to be determined by
+// setting all of the offset bits to zero" (Sec 2).
+func (p Pointer) Base() uint64 { return p.Addr() &^ p.offsetMask() }
+
+// Offset returns the pointer's byte offset within its segment.
+func (p Pointer) Offset() uint64 { return p.Addr() & p.offsetMask() }
+
+// Limit returns the first byte address past the end of the segment.
+// For a full-address-space segment this wraps to 0 in 54-bit arithmetic;
+// callers wanting the size should use SegSize.
+func (p Pointer) Limit() uint64 { return (p.Base() + p.SegSize()) & AddrMask }
+
+// Contains reports whether byte address a lies inside the pointer's
+// segment.
+func (p Pointer) Contains(a uint64) bool {
+	return a&AddrMask&^p.offsetMask() == p.Base()
+}
+
+// Overlaps reports whether the segments of p and q share any byte.
+// Because segments are power-of-two sized and aligned, two segments
+// overlap exactly when one contains the other's base.
+func (p Pointer) Overlaps(q Pointer) bool {
+	return p.Contains(q.Base()) || q.Contains(p.Base())
+}
+
+// WithAddr returns a copy of p whose address field is a. It performs no
+// checking and is unexported machinery for the checked operations in
+// ops.go.
+func (p Pointer) withAddr(a uint64) Pointer {
+	return Pointer{bits: p.bits&^AddrMask | a&AddrMask}
+}
+
+// String renders the pointer as perm/len@addr(+offset) for diagnostics.
+func (p Pointer) String() string {
+	return fmt.Sprintf("[%s 2^%d @%#x+%#x]", p.Perm(), p.LogLen(), p.Base(), p.Offset())
+}

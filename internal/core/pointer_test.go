@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestMakeFieldsRoundTrip(t *testing.T) {
+	for perm := PermKey; perm < NumPerms; perm++ {
+		for _, logLen := range []uint{0, 1, 3, 12, 32, 53, 54} {
+			addr := uint64(0x2a5a5a5a5a5a5) & AddrMask
+			p, err := Make(perm, logLen, addr)
+			if err != nil {
+				t.Fatalf("Make(%v, %d, %#x): %v", perm, logLen, addr, err)
+			}
+			if p.Perm() != perm {
+				t.Errorf("Perm = %v, want %v", p.Perm(), perm)
+			}
+			if p.LogLen() != logLen {
+				t.Errorf("LogLen = %d, want %d", p.LogLen(), logLen)
+			}
+			if p.Addr() != addr {
+				t.Errorf("Addr = %#x, want %#x", p.Addr(), addr)
+			}
+		}
+	}
+}
+
+func TestMakeRejectsBadFields(t *testing.T) {
+	if _, err := Make(PermNone, 4, 0); CodeOf(err) != FaultPerm {
+		t.Errorf("PermNone: err = %v, want perm fault", err)
+	}
+	if _, err := Make(Perm(12), 4, 0); CodeOf(err) != FaultPerm {
+		t.Errorf("reserved perm: err = %v, want perm fault", err)
+	}
+	if _, err := Make(PermReadOnly, 55, 0); CodeOf(err) != FaultLength {
+		t.Errorf("log len 55: err = %v, want length fault", err)
+	}
+	if _, err := Make(PermReadOnly, 4, 1<<54); CodeOf(err) != FaultBounds {
+		t.Errorf("addr 2^54: err = %v, want bounds fault", err)
+	}
+}
+
+func TestDecodeRequiresTag(t *testing.T) {
+	p := MustMake(PermReadWrite, 10, 0x1000)
+	if _, err := Decode(p.Word()); err != nil {
+		t.Fatalf("Decode of valid pointer word: %v", err)
+	}
+	if _, err := Decode(p.Word().Untag()); CodeOf(err) != FaultTag {
+		t.Errorf("Decode of untagged word: err = %v, want tag fault", err)
+	}
+}
+
+func TestDecodeRejectsReservedPerm(t *testing.T) {
+	// Forge a tagged word with permission encoding 9 (reserved).
+	w := word.Tagged(uint64(9)<<permShift | 0x100)
+	if _, err := Decode(w); CodeOf(err) != FaultPerm {
+		t.Errorf("err = %v, want perm fault", err)
+	}
+}
+
+func TestDecodeRejectsOverlongSegment(t *testing.T) {
+	w := word.Tagged(uint64(PermReadOnly)<<permShift | uint64(60)<<lenShift)
+	if _, err := Decode(w); CodeOf(err) != FaultLength {
+		t.Errorf("err = %v, want length fault", err)
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	f := func(permRaw uint8, logLen uint8, addr uint64) bool {
+		perm := Perm(permRaw%7 + 1)
+		p, err := Make(perm, uint(logLen)%55, addr&AddrMask)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(p.Word())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseOffsetReconstructAddr(t *testing.T) {
+	f := func(logLen uint8, addr uint64) bool {
+		p := MustMake(PermReadWrite, uint(logLen)%55, addr&AddrMask)
+		return p.Base()+p.Offset() == p.Addr() &&
+			p.Base()&(p.SegSize()-1) == 0 && // base aligned on length
+			p.Offset() < p.SegSize()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MustMake(PermReadOnly, 12, 0x5000) // segment [0x5000, 0x6000)
+	for _, a := range []uint64{0x5000, 0x5fff, 0x5800} {
+		if !p.Contains(a) {
+			t.Errorf("Contains(%#x) = false, want true", a)
+		}
+	}
+	for _, a := range []uint64{0x4fff, 0x6000, 0} {
+		if p.Contains(a) {
+			t.Errorf("Contains(%#x) = true, want false", a)
+		}
+	}
+}
+
+func TestContainsFullSpaceSegment(t *testing.T) {
+	p := MustMake(PermReadWrite, 54, 0)
+	for _, a := range []uint64{0, 1, AddrMask, 1 << 53} {
+		if !p.Contains(a) {
+			t.Errorf("full-space segment must contain %#x", a)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	outer := MustMake(PermReadWrite, 16, 0x10000) // [0x10000,0x20000)
+	inner := MustMake(PermReadOnly, 8, 0x10100)   // [0x10100,0x10200)
+	other := MustMake(PermReadOnly, 8, 0x20000)
+	if !outer.Overlaps(inner) || !inner.Overlaps(outer) {
+		t.Error("nested segments must overlap (symmetric)")
+	}
+	if outer.Overlaps(other) || other.Overlaps(outer) {
+		t.Error("disjoint segments must not overlap")
+	}
+	if !outer.Overlaps(outer) {
+		t.Error("segment overlaps itself")
+	}
+}
+
+func TestLimitWrap(t *testing.T) {
+	p := MustMake(PermReadOnly, 54, 123)
+	if p.Limit() != 0 {
+		t.Errorf("full-space Limit = %#x, want 0 (wraps)", p.Limit())
+	}
+	q := MustMake(PermReadOnly, 3, 0x10)
+	if q.Limit() != 0x18 {
+		t.Errorf("Limit = %#x, want 0x18", q.Limit())
+	}
+}
+
+func TestIsPointer(t *testing.T) {
+	p := MustMake(PermKey, 0, 99)
+	if !IsPointer(p.Word()) {
+		t.Error("ISPOINTER on pointer = false")
+	}
+	if IsPointer(word.FromInt(99)) {
+		t.Error("ISPOINTER on integer = true")
+	}
+}
+
+func TestSegmentAlignmentInvariant(t *testing.T) {
+	// Segments are aligned on their length: Base mod SegSize == 0, for
+	// random addresses and lengths.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		logLen := uint(rng.Intn(55))
+		addr := rng.Uint64() & AddrMask
+		p := MustMake(PermReadWrite, logLen, addr)
+		if p.Base()%p.SegSize() != 0 {
+			t.Fatalf("base %#x not aligned to 2^%d", p.Base(), logLen)
+		}
+		if !p.Contains(p.Addr()) {
+			t.Fatalf("segment does not contain its own address")
+		}
+	}
+}
+
+func TestAddressSpaceSize(t *testing.T) {
+	// Sec 4.2: 2^54 bytes ≈ 1.8e16.
+	if AddressSpaceBytes != 1<<54 {
+		t.Fatalf("AddressSpaceBytes = %d", AddressSpaceBytes)
+	}
+	if float64(AddressSpaceBytes) < 1.7e16 || float64(AddressSpaceBytes) > 1.9e16 {
+		t.Errorf("address space %e not ≈1.8e16", float64(AddressSpaceBytes))
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	p := MustMake(PermEnterUser, 6, 0x1234)
+	s := p.String()
+	if s == "" {
+		t.Error("empty String")
+	}
+	for _, c := range []FaultCode{FaultTag, FaultPerm, FaultBounds, FaultPriv, FaultLength, FaultImmutable} {
+		if c.String() == "" {
+			t.Errorf("FaultCode %d has empty name", c)
+		}
+	}
+	if FaultCode(99).String() != "fault(99)" {
+		t.Errorf("out-of-range fault code name: %s", FaultCode(99))
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	_, err := Make(PermNone, 0, 0)
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("error is %T, want *Fault", err)
+	}
+	if f.Op != "SETPTR" || f.Code != FaultPerm {
+		t.Errorf("fault = %+v", f)
+	}
+	if f.Error() == "" {
+		t.Error("empty Error()")
+	}
+	bare := &Fault{Code: FaultTag, Op: "X"}
+	if bare.Error() != "X: tag fault" {
+		t.Errorf("bare fault = %q", bare.Error())
+	}
+	if CodeOf(nil) != FaultNone {
+		t.Error("CodeOf(nil) != FaultNone")
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/multi"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+func init() {
+	register("E14", "Sec 3 — multicomputer: remote access over the 3D mesh", runE14)
+	register("E15", "Sec 3/6 — global capabilities: cross-node sharing without protection state", runE15)
+}
+
+// runE14 measures remote memory access on the mesh multicomputer: a
+// thread on node 0 walks a segment homed 0..3 hops away. Latency grows
+// with distance; the protection cost stays zero because the checks
+// completed on the issuing node before the request ever entered the
+// network.
+func runE14() (string, error) {
+	var b strings.Builder
+	cfg := multi.DefaultConfig()
+	cfg.Mesh = noc.Config{DimX: 4, DimY: 1, DimZ: 1, RouterLatency: 2, InjectLatency: 1}
+	cfg.Node.PhysBytes = 1 << 20
+
+	tbl := stats.NewTable("Dependent-load latency vs home-node distance (4×1×1 mesh, 2-cycle hops)",
+		"hops", "zero-load round trip", "measured cycles/load", "network messages")
+	prog := asm.MustAssemble(`
+		ldi r3, 200
+	loop:
+		ld r2, r1, 0
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	for dst := 0; dst < 4; dst++ {
+		s, err := multi.New(cfg)
+		if err != nil {
+			return "", err
+		}
+		seg, err := s.Nodes[dst].K.AllocSegment(4096)
+		if err != nil {
+			return "", err
+		}
+		ip, err := s.Nodes[0].K.LoadProgram(prog, false)
+		if err != nil {
+			return "", err
+		}
+		th, err := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+		if err != nil {
+			return "", err
+		}
+		cycles := s.Run(10_000_000)
+		if th.State != machine.Halted {
+			return "", fmt.Errorf("dst %d: %v %v", dst, th.State, th.Fault)
+		}
+		zeroLoad := "-"
+		if dst > 0 {
+			zeroLoad = fmt.Sprintf("%d", 2*s.Net.ZeroLoadLatency(0, dst))
+		}
+		tbl.AddRow(s.Net.Hops(0, dst), zeroLoad,
+			float64(cycles)/200, s.Net.Stats().Messages)
+	}
+	b.WriteString(tbl.String())
+
+	// Contention: 7 nodes hammer one home node simultaneously.
+	s, err := multi.New(multiSmall())
+	if err != nil {
+		return "", err
+	}
+	shared, err := s.Nodes[0].K.AllocSegment(4096)
+	if err != nil {
+		return "", err
+	}
+	for nid := 1; nid < len(s.Nodes); nid++ {
+		ip, err := s.Nodes[nid].K.LoadProgram(prog, false)
+		if err != nil {
+			return "", err
+		}
+		if _, err := s.Nodes[nid].K.Spawn(1, ip, map[int]word.Word{1: shared.Word()}); err != nil {
+			return "", err
+		}
+	}
+	cycles := s.Run(10_000_000)
+	for _, n := range s.Nodes {
+		for _, th := range n.K.M.Threads() {
+			if th.State != machine.Halted {
+				return "", fmt.Errorf("node %d thread: %v %v", n.ID, th.State, th.Fault)
+			}
+		}
+	}
+	ns := s.Net.Stats()
+	fmt.Fprintf(&b, "\nhot-spot: 7 nodes × 200 loads against one home node: %d cycles, "+
+		"%d messages, %d link-contention cycles,\nhome-bank conflicts %d — "+
+		"the home's banked cache and the mesh serialize fairly; no protection structure is involved\n",
+		cycles, ns.Messages, ns.ContentionCycles, s.Nodes[0].K.M.Cache.Stats().ConflictCycles)
+	return b.String(), nil
+}
+
+func multiSmall() multi.Config {
+	cfg := multi.DefaultConfig()
+	cfg.Node.PhysBytes = 1 << 20
+	return cfg
+}
+
+// runE15 demonstrates the global-capability property: a capability
+// minted on one node is transferred to every other node as a plain
+// word and used there, with per-node protection state identically
+// zero. The same sharing under per-node page-table schemes would need
+// an entry per (node, page).
+func runE15() (string, error) {
+	var b strings.Builder
+	s, err := multi.New(multiSmall())
+	if err != nil {
+		return "", err
+	}
+
+	// Node 0 owns a table and a mailbox per peer; it publishes a
+	// read-only capability to each mailbox; every peer polls its
+	// mailbox, then sums the table remotely.
+	table, err := s.Nodes[0].K.AllocSegment(512)
+	if err != nil {
+		return "", err
+	}
+	var sum int64
+	words := make([]word.Word, 64)
+	for i := range words {
+		words[i] = word.FromInt(int64(i) * 3)
+		sum += int64(i) * 3
+	}
+	if err := s.Nodes[0].K.WriteWords(table, words); err != nil {
+		return "", err
+	}
+
+	consumer := asm.MustAssemble(`
+	wait:
+		ld    r3, r1, 0      ; poll mailbox for the capability
+		isptr r4, r3
+		beqz  r4, wait
+		ldi   r5, 64
+		ldi   r6, 0
+	loop:
+		ld    r7, r3, 0
+		add   r6, r6, r7
+		subi  r5, r5, 1
+		beqz  r5, done
+		leai  r3, r3, 8
+		br    loop
+	done:
+		halt
+	`)
+
+	var mailboxes []word.Word
+	var threads []*machine.Thread
+	for nid := 1; nid < len(s.Nodes); nid++ {
+		mb, err := s.Nodes[0].K.AllocSegment(64)
+		if err != nil {
+			return "", err
+		}
+		mailboxes = append(mailboxes, mb.Word())
+		ip, err := s.Nodes[nid].K.LoadProgram(consumer, false)
+		if err != nil {
+			return "", err
+		}
+		th, err := s.Nodes[nid].K.Spawn(nid, ip, map[int]word.Word{1: mb.Word()})
+		if err != nil {
+			return "", err
+		}
+		threads = append(threads, th)
+	}
+	// Publish: the "producer" here is the node-0 kernel writing one
+	// tagged word per mailbox — capability transfer is just a store.
+	// The consumers get only read rights.
+	ro, err := core.Restrict(table, core.PermReadOnly)
+	if err != nil {
+		return "", err
+	}
+	for _, mb := range mailboxes {
+		p, err := decodePtr(mb)
+		if err != nil {
+			return "", err
+		}
+		if err := s.Nodes[0].K.WriteWords(p, []word.Word{ro.Word()}); err != nil {
+			return "", err
+		}
+	}
+	cycles := s.Run(20_000_000)
+	ok := 0
+	for _, th := range threads {
+		if th.State == machine.Halted && th.Reg(6).Int() == sum {
+			ok++
+		} else if th.State != machine.Halted {
+			return "", fmt.Errorf("consumer: %v %v", th.State, th.Fault)
+		}
+	}
+
+	tbl := stats.NewTable("Cross-node sharing of one 512B segment (2×2×2 mesh)",
+		"metric", "value")
+	tbl.AddRow("consumer nodes that obtained + used the capability", fmt.Sprintf("%d/7", ok))
+	tbl.AddRow("capability-transfer cost per node", "1 stored word (the pointer itself)")
+	tbl.AddRow("inter-node protection/translation state", "0 bytes")
+	tbl.AddRow("page-table scheme equivalent (1 page × 7 nodes)", "7 PTEs + kernel handshakes")
+	tbl.AddRow("total cycles", cycles)
+	tbl.AddRow("mesh messages", s.Net.Stats().Messages)
+	b.WriteString(tbl.String())
+	b.WriteString("\na guarded pointer is valid machine-wide: sharing across nodes and protection domains is\nsending one word (Sec 6), with all checks performed by the user of the capability\n")
+	return b.String(), nil
+}
+
+func decodePtr(w word.Word) (core.Pointer, error) {
+	return core.Decode(w)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E18", "Sec 4.2 — sparse software capabilities vs the tag bit", runE18)
+}
+
+// runE18 quantifies the paper's opportunity-cost observation: systems
+// like Amoeba protect objects by hiding software capabilities in a
+// huge sparse address space, "a strategy which becomes less attractive
+// if the virtual address space shrinks by a factor of 1000" (64 → 54
+// bits is exactly 2^10 = 1024×). A Monte-Carlo guessing attack
+// measures the forgery probability at each width; the tag bit is then
+// shown to make the question moot.
+func runE18() (string, error) {
+	var b strings.Builder
+	const objects = 1 << 26 // 64M live objects hidden in the space
+	const trials = 4_000_000
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Forging a sparse capability: %d objects hidden in a 2^s space (%.0e random guesses)",
+			objects, float64(trials)),
+		"address bits s", "analytic P[hit]/guess", "measured hits", "expected guesses to forge")
+	rng := workload.NewRNG(0xa0eba)
+	for _, bits := range []uint{44, 54, 64} {
+		// Place objects pseudo-randomly (keyed hash stands in for the
+		// object table: an address is valid iff hash(addr) < density).
+		space := uint64(1)<<(bits-1) + (uint64(1)<<(bits-1) - 1) // 2^bits-1 without overflow at 64
+		density := float64(objects) / float64(space)
+		hits := 0
+		for i := 0; i < trials; i++ {
+			guess := rng.Uint64() & space
+			// keyed membership: deterministic, uniform density
+			h := (guess*0x9e3779b97f4a7c15 ^ 0xda7a) * 0x2545f4914f6cdd1d
+			if float64(h)/float64(^uint64(0)) < density {
+				hits++
+			}
+		}
+		expect := float64(space) / float64(objects)
+		tbl.AddRow(fmt.Sprintf("%d", bits),
+			fmt.Sprintf("%.2e", density),
+			hits,
+			fmt.Sprintf("%.2e", expect))
+	}
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nshrinking 64 → 54 bits costs sparse schemes a factor of %d in forgery resistance (paper: \"a factor of 1000\")\n", 1<<10)
+
+	// The tag bit ends the arms race: a user-mode forger cannot
+	// materialize ANY tagged word, so even the exact bit image of a
+	// valid capability is useless. Exhaustively check that every
+	// pointer-typed operation rejects untagged words.
+	img := core.MustMake(core.PermReadWrite, 12, 0x42000).Word().Untag()
+	rejections := 0
+	if _, err := core.Decode(img); err != nil {
+		rejections++
+	}
+	if _, err := core.CheckLoad(img, 8); err != nil {
+		rejections++
+	}
+	if _, err := core.CheckStore(img, 8); err != nil {
+		rejections++
+	}
+	if _, err := core.SetPtr(img, false); err != nil {
+		rejections++
+	}
+	fmt.Fprintf(&b, "guarded pointers: the exact 64-bit image of a live capability is rejected by %d/4 pointer\noperations (tag absent); forgery probability is 0, independent of address-space size —\nSec 4.2: \"this particular use of a sparse virtual address space can be replaced by the\ncapability mechanism provided by guarded pointers\"\n", rejections)
+	return b.String(), nil
+}

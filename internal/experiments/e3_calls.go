@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+func init() {
+	register("E3", "Fig. 3 — protected subsystem entry: enter pointers vs kernel call gates", runE3)
+	register("E4", "Fig. 4 — two-way protection with a return segment", runE4)
+}
+
+func callConfig() machine.Config {
+	cfg := machine.MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = 4 << 20
+	return cfg
+}
+
+// measure runs a single-threaded workload for two iteration counts and
+// returns the marginal cycles per iteration, cancelling setup cost.
+func measure(build func(k *kernel.Kernel, iters int64) (*machine.Thread, error)) (float64, error) {
+	run := func(iters int64) (uint64, error) {
+		k, err := kernel.New(callConfig())
+		if err != nil {
+			return 0, err
+		}
+		th, err := build(k, iters)
+		if err != nil {
+			return 0, err
+		}
+		k.Run(100_000_000)
+		if th.State != machine.Halted {
+			return 0, fmt.Errorf("thread %v: %v", th.State, th.Fault)
+		}
+		return k.M.Stats().Cycles, nil
+	}
+	const n1, n2 = 200, 1200
+	c1, err := run(n1)
+	if err != nil {
+		return 0, err
+	}
+	c2, err := run(n2)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c2-c1) / float64(n2-n1), nil
+}
+
+// enterCaller builds a caller looping `iters` protected calls through
+// the enter pointer in r1 (one-way protection, Fig. 3).
+func enterCaller(k *kernel.Kernel, enter core.Pointer, iters int64) (*machine.Thread, error) {
+	src := fmt.Sprintf(`
+		ldi r15, %d
+	loop:
+		jmpl r14, r1
+		subi r15, r15, 1
+		bnez r15, loop
+		halt
+	`, iters)
+	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	if err != nil {
+		return nil, err
+	}
+	return k.Spawn(1, ip, map[int]word.Word{1: enter.Word()})
+}
+
+func runE3() (string, error) {
+	var b strings.Builder
+	tbl := stats.NewTable("Protected subsystem call cost (Fig. 3 vs conventional)",
+		"mechanism", "cycles/call", "vs empty loop")
+
+	// Baseline: the bare loop.
+	empty, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
+		src := fmt.Sprintf("ldi r15, %d\nloop: subi r15, r15, 1\nbnez r15, loop\nhalt", iters)
+		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		if err != nil {
+			return nil, err
+		}
+		return k.Spawn(1, ip, nil)
+	})
+	if err != nil {
+		return "", err
+	}
+	tbl.AddRow("empty loop (baseline)", empty, 0.0)
+
+	// 1. Minimal enter-pointer call: jump in, jump back.
+	minimal, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
+		enter, err := k.InstallSubsystem(asm.MustAssemble("entry: jmp r14"), "entry", nil)
+		if err != nil {
+			return nil, err
+		}
+		return enterCaller(k, enter, iters)
+	})
+	if err != nil {
+		return "", err
+	}
+	tbl.AddRow("enter pointer (minimal)", minimal, minimal-empty)
+
+	// 2. Full Fig. 3 subsystem: loads two private data pointers from
+	// its code segment and dereferences one.
+	fig3, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
+		d1, err := k.AllocSegment(256)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := k.AllocSegment(256)
+		if err != nil {
+			return nil, err
+		}
+		sub := asm.MustAssemble(`
+		entry:
+			movip r10
+			leab  r10, r10, r0
+			ld    r11, r10, =gp1
+			ld    r12, r10, =gp2
+			ld    r13, r11, 0
+			ldi   r11, 0
+			ldi   r12, 0
+			jmp   r14
+		gp1:
+			.word 0
+		gp2:
+			.word 0
+		`)
+		enter, err := k.InstallSubsystem(sub, "entry", map[string]core.Pointer{"gp1": d1, "gp2": d2})
+		if err != nil {
+			return nil, err
+		}
+		return enterCaller(k, enter, iters)
+	})
+	if err != nil {
+		return "", err
+	}
+	tbl.AddRow("enter pointer (Fig. 3: load GP1, GP2, use, scrub)", fig3, fig3-empty)
+
+	// 3. Conventional baseline: kernel-mediated call gate via TRAP.
+	gateMin, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
+		target, err := k.LoadProgram(asm.MustAssemble("jmp r14"), false)
+		if err != nil {
+			return nil, err
+		}
+		id, err := k.RegisterGate(target)
+		if err != nil {
+			return nil, err
+		}
+		src := fmt.Sprintf(`
+			ldi r15, %d
+			ldi r2, %d
+		loop:
+			trap 3
+			subi r15, r15, 1
+			bnez r15, loop
+			halt
+		`, iters, id)
+		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		if err != nil {
+			return nil, err
+		}
+		return k.Spawn(1, ip, nil)
+	})
+	if err != nil {
+		return "", err
+	}
+	tbl.AddRow("kernel call gate (TRAP, minimal)", gateMin, gateMin-empty)
+
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nenter-pointer advantage over trap gate: %s (trap cost = %d cycles of pipeline drain + vector)\n",
+		stats.Ratio(gateMin-empty, minimal-empty), callConfig().TrapCost)
+	return b.String(), nil
+}
+
+// runE4 reproduces the Fig. 4 two-way protected call: the caller
+// encapsulates its protection domain in a return segment, scrubs its
+// registers, and recovers them through an enter pointer on return. Cost
+// is measured as a function of the number of live pointers saved.
+func runE4() (string, error) {
+	tbl := stats.NewTable("Two-way protected call via return segment (Fig. 4)",
+		"live pointers saved", "cycles/call", "instructions touched/call")
+
+	for _, live := range []int{0, 2, 4, 6} {
+		cpc, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
+			return buildTwoWay(k, live, iters)
+		})
+		if err != nil {
+			return "", err
+		}
+		// caller: live stores + live scrubs + jmp; stub: movip, leab,
+		// live loads, ld retip, jmp; subsystem: jmp.
+		instr := 2*live + 1 + (live + 4) + 1
+		tbl.AddRow(live, cpc, instr)
+	}
+	return tbl.String() + "\nthe return segment encapsulates the caller's domain: the subsystem never sees a caller capability\n", nil
+}
+
+// buildTwoWay wires the full Fig. 4 structure: subsystem (segment 2),
+// return segment (segment 3) holding the reload stub and save slots,
+// and a caller that saves/scrubs `live` pointer registers per call.
+// Register convention: r1 = ENTER2, r2 = r/w pointer to return segment,
+// r13 = ENTER3 (the only capabilities the caller keeps across the
+// call); r4.. hold the live pointers.
+func buildTwoWay(k *kernel.Kernel, live int, iters int64) (*machine.Thread, error) {
+	if live > 6 {
+		// r4..r9 hold live pointers; r10 is the reload stub's base
+		// scratch and r12..r15 are the call convention.
+		return nil, fmt.Errorf("at most 6 live registers supported")
+	}
+
+	// Segment 2: the subsystem. Two-way protected: it returns by
+	// jumping through the return-segment enter pointer in r13 and
+	// never receives an execute pointer into the caller.
+	enter2, err := k.InstallSubsystem(asm.MustAssemble("entry: jmp r13"), "entry", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Segment 3: the return segment — reload stub plus save slots.
+	var stub strings.Builder
+	stub.WriteString("stub:\n movip r10\n leab r10, r10, r0\n")
+	for i := 0; i < live; i++ {
+		fmt.Fprintf(&stub, " ld r%d, r10, =sv%d\n", 4+i, i)
+	}
+	stub.WriteString(" ld r14, r10, =svret\n jmp r14\n")
+	for i := 0; i < live; i++ {
+		fmt.Fprintf(&stub, "sv%d: .word 0\n", i)
+	}
+	stub.WriteString("svret: .word 0\n")
+	retProg, err := asm.Assemble(stub.String())
+	if err != nil {
+		return nil, err
+	}
+	retSeg, err := k.AllocSegment(retProg.ByteSize())
+	if err != nil {
+		return nil, err
+	}
+	if err := k.WriteWords(retSeg, retProg.Words); err != nil {
+		return nil, err
+	}
+	enter3, err := core.Make(core.PermEnterUser, retSeg.LogLen(), retSeg.Base())
+	if err != nil {
+		return nil, err
+	}
+
+	// The caller. Setup stores RETIP (provided in r12) into the return
+	// segment once; each call saves the live pointers, scrubs them,
+	// and enters the subsystem.
+	var cs strings.Builder
+	svretOff, err := retProg.LabelByte("svret")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&cs, " ldi r15, %d\n st r2, %d, r12\n ldi r12, 0\n", iters, svretOff)
+	cs.WriteString("loop:\n")
+	for i := 0; i < live; i++ {
+		off, err := retProg.LabelByte(fmt.Sprintf("sv%d", i))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&cs, " st r2, %d, r%d\n", off, 4+i)
+	}
+	for i := 0; i < live; i++ {
+		fmt.Fprintf(&cs, " ldi r%d, 0\n", 4+i)
+	}
+	cs.WriteString(" jmp r1\nafter:\n subi r15, r15, 1\n bnez r15, loop\n halt\n")
+	callerProg, err := asm.Assemble(cs.String())
+	if err != nil {
+		return nil, err
+	}
+	callerIP, err := k.LoadProgram(callerProg, false)
+	if err != nil {
+		return nil, err
+	}
+	afterOff, err := callerProg.LabelByte("after")
+	if err != nil {
+		return nil, err
+	}
+	retIP, err := core.LEAB(callerIP, int64(afterOff))
+	if err != nil {
+		return nil, err
+	}
+
+	// Live pointers the caller must protect.
+	regs := map[int]word.Word{
+		1:  enter2.Word(),
+		2:  retSeg.Word(),
+		13: enter3.Word(),
+		12: retIP.Word(),
+	}
+	for i := 0; i < live; i++ {
+		seg, err := k.AllocSegment(64)
+		if err != nil {
+			return nil, err
+		}
+		regs[4+i] = seg.Word()
+	}
+	return k.Spawn(1, callerIP, regs)
+}

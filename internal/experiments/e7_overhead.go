@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/buddy"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E7", "Sec 4.1 / 5.1 claims — storage overhead: tag bit vs protection tables", runE7)
+	register("E8", "Sec 4.2 claim — buddy allocation and power-of-two fragmentation", runE8)
+}
+
+// runE7 measures the two storage claims: the fixed ~1.5% tag-bit cost
+// of guarded pointers (Sec 4.1) against the n×m growth of per-process
+// translation/protection state when n pages are shared among m
+// processes (Sec 5.1).
+func runE7() (string, error) {
+	var b strings.Builder
+
+	// Tag-plane cost on the M-Machine's own memory.
+	m := mem.New(8 << 20)
+	fmt.Fprintf(&b, "tag plane for the 8MB M-Machine node memory: %d bytes = %.2f%% (paper: 1.5%%)\n\n",
+		m.OverheadBytes(), 100*float64(m.OverheadBytes())/float64(m.Size()))
+
+	const sharedPages = 1024
+	costs := baseline.DefaultCosts()
+	tbl := stats.NewTable(
+		fmt.Sprintf("Protection state for %d pages (4MB) shared among m processes", sharedPages),
+		"m", "guarded (tag share)", "page tables (n×m PTEs)", "domain-page prot entries", "capability C-lists")
+	for _, procs := range []int{1, 2, 4, 8, 16, 32} {
+		tr := workload.Shared(procs, sharedPages, 1, 1<<30)
+		dp, _ := tr.Pages()
+		// Guarded pointers: the shared data costs its tag plane only —
+		// and each process holds one 8-byte pointer.
+		guarded := baseline.TagOverheadBytes(sharedPages*4096) + uint64(procs)*8
+		tbl.AddRow(procs,
+			fmt.Sprintf("%d B", guarded),
+			fmt.Sprintf("%d B", uint64(dp)*costs.PTEBytes),
+			fmt.Sprintf("%d B", uint64(dp)*costs.ProtBytes),
+			fmt.Sprintf("%d B", uint64(dp)*costs.SegDescBytes))
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\nguarded-pointer state is constant in m (one tag plane + one pointer per sharer);\ntable-based schemes replicate an entry per (process, page) — the n×m blowup of Sec 5.1\n")
+	return b.String(), nil
+}
+
+// runE8 reproduces the Sec 4.2 fragmentation analysis: power-of-two
+// segments cause internal fragmentation, and a buddy allocator bounds
+// external fragmentation by coalescing.
+func runE8() (string, error) {
+	var b strings.Builder
+	tbl := stats.NewTable("Buddy allocation under three request distributions (2^24-byte region, 100k ops, 50% frees)",
+		"distribution", "internal frag", "external frag", "failed allocs", "splits", "merges")
+
+	for _, dist := range []workload.SizeDist{
+		workload.SizesUniformLog, workload.SizesSmallObjects, workload.SizesPowersOfTwo,
+	} {
+		res, err := fragmentationRun(dist, 100_000)
+		if err != nil {
+			return "", err
+		}
+		tbl.AddRow(dist.String(),
+			fmt.Sprintf("%.1f%%", 100*res.internal),
+			fmt.Sprintf("%.1f%%", 100*res.external),
+			res.failed, res.splits, res.merges)
+	}
+	b.WriteString(tbl.String())
+	b.WriteString("\ninternal fragmentation is bounded (<50%, ~25% expected for uniform sizes) and vanishes for\npower-of-two requests; buddy coalescing keeps external fragmentation from compounding (Sec 4.2)\n")
+	return b.String(), nil
+}
+
+type fragResult struct {
+	internal, external float64
+	failed             uint64
+	splits, merges     uint64
+}
+
+func fragmentationRun(dist workload.SizeDist, ops int) (fragResult, error) {
+	a, err := newFragAllocator()
+	if err != nil {
+		return fragResult{}, err
+	}
+	rng := workload.NewRNG(uint64(dist) + 17)
+	sizes := workload.Sizes(rng, dist, ops, 4, 16)
+	var live []uint64
+	for _, sz := range sizes {
+		if len(live) > 0 && rng.Float64() < 0.5 {
+			i := rng.Intn(len(live))
+			if err := a.Free(live[i]); err != nil {
+				return fragResult{}, err
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		addr, _, err := a.AllocBytes(sz)
+		if err != nil {
+			continue // counted by the allocator as a failure
+		}
+		live = append(live, addr)
+	}
+	st := a.Stats()
+	return fragResult{
+		internal: st.InternalFragmentation(),
+		external: a.ExternalFragmentation(),
+		failed:   st.FailedAllocs,
+		splits:   st.Splits,
+		merges:   st.Merges,
+	}, nil
+}
+
+func newFragAllocator() (*buddy.Allocator, error) {
+	return buddy.New(0, 24, 3)
+}

@@ -1,0 +1,69 @@
+// Package experiments regenerates every figure and quantitative claim
+// of the paper as a printed table. Each experiment is a pure function
+// returning a rendered report; the registry maps experiment ids (E1 …
+// E13, as indexed in DESIGN.md) to runners so cmd/experiments and the
+// root benchmark suite share one implementation.
+//
+// The paper has no measured tables — its evaluation is Figures 1–5 plus
+// quantitative claims embedded in the text — so each experiment either
+// animates a figure on the simulator (E1–E5) or measures a claim
+// against the competing schemes of Sec 5 (E6–E13). EXPERIMENTS.md
+// records the paper-claim vs measured-shape comparison for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run produces the rendered report.
+	Run func() (string, error)
+}
+
+// registry in id order.
+var registry []Experiment
+
+func register(id, title string, run func() (string, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in id order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(strings.TrimPrefix(id, "E"), "%d", &n)
+	return n
+}
+
+// Lookup finds an experiment by id (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and concatenates the reports.
+func RunAll() (string, error) {
+	var b strings.Builder
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(&b, "=== %s: %s ===\n%s\n", e.ID, e.Title, out)
+	}
+	return b.String(), nil
+}

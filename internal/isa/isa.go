@@ -1,0 +1,335 @@
+// Package isa defines the instruction set of the simulated MAP
+// processor: a compact 64-bit-word RISC encoding carrying the paper's
+// pointer-manipulation instructions (LEA, LEAB, RESTRICT, SUBSEG,
+// SETPTR, ISPOINTER) alongside the conventional integer, branch and
+// memory operations a real program needs (Sec 2.2: "implementing
+// guarded pointers requires adding a small number of pointer
+// manipulation instructions to the architecture of a conventional
+// machine").
+//
+// Instructions are stored as ordinary untagged words in memory; an
+// execute pointer is what makes a segment runnable. The fixed format is
+//
+//	bits 56..63  opcode
+//	bits 52..55  rd   (destination register)
+//	bits 48..51  ra   (first source register)
+//	bits 44..47  rb   (second source register)
+//	bits  0..43  imm  (44-bit signed immediate)
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// NumRegs is the size of the general register file. Every register
+// holds a full tagged word, so pointers and data share the same file —
+// "guarded pointers concentrate process state in general purpose
+// registers instead of auxiliary or special memory" (Sec 6).
+const NumRegs = 16
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set. Ops marked (ptr) are the guarded-pointer
+// additions; SETPTR is the single privileged operation in the
+// architecture.
+const (
+	NOP  Op = iota
+	HALT    // stop this thread
+
+	// Integer ALU. Register forms use ra, rb; immediate forms use ra,
+	// imm (sign-extended 44 bits).
+	ADD
+	ADDI
+	SUB
+	SUBI
+	MUL
+	AND
+	OR
+	XOR
+	SHL
+	SHLI
+	SHR
+	SHRI
+	SLT  // rd = (ra < rb) signed
+	SLTI // rd = (ra < imm)
+	SEQ  // rd = (ra == rb)
+	SEQI
+	MOV // rd = ra
+	LDI // rd = imm
+
+	// Control. Branch displacements are in instructions (words),
+	// applied to the instruction pointer with a bounds-checked LEA —
+	// control flow cannot leave the code segment.
+	BR   // IP += imm
+	BEQZ // if ra == 0: IP += imm
+	BNEZ // if ra != 0: IP += imm
+	JMP  // IP = ra (execute or enter pointer)
+	JMPL // rd = return execute pointer (IP+1 instr); IP = ra
+	TRAP // software trap into the kernel, code = imm
+
+	// Memory. The address operand must be a guarded pointer; the
+	// effective address ra+imm is produced by a checked LEA and the
+	// permission check happens before issue.
+	LD  // rd = Mem[ra + imm]            (64-bit word, aligned)
+	ST  // Mem[ra + imm] = rb
+	LDB // rd = zero-extended byte at ra+imm (any alignment)
+	STB // byte at ra+imm = low byte of rb; clears the word's tag
+
+	// Pointer manipulation (ptr).
+	LEA      // rd = LEA(ra, rb)
+	LEAI     // rd = LEA(ra, imm)
+	LEAB     // rd = LEAB(ra, rb)
+	LEABI    // rd = LEAB(ra, imm)
+	RESTRICT // rd = RESTRICT(ra, perm rb)
+	SUBSEG   // rd = SUBSEG(ra, log-length rb)
+	SETPTR   // rd = tagged(ra)            [privileged]
+	ISPTR    // rd = tag(ra) ? 1 : 0
+	GETPERM  // rd = permission field of ra (integer)
+	GETLEN   // rd = length field of ra (integer)
+	MOVIP    // rd = current execute pointer (for Fig. 3 data loads)
+
+	// Floating point (the cluster's third execution unit, Sec 3).
+	// Values are IEEE-754 doubles carried in untagged words.
+	FADD // rd = ra + rb
+	FSUB // rd = ra - rb
+	FMUL // rd = ra * rb
+	FDIV // rd = ra / rb
+	FSLT // rd = (ra < rb) as integer 0/1
+	ITOF // rd = float64(int ra)
+	FTOI // rd = int64(float ra), truncating
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", ADDI: "addi", SUB: "sub", SUBI: "subi", MUL: "mul",
+	AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHLI: "shli", SHR: "shr", SHRI: "shri",
+	SLT: "slt", SLTI: "slti", SEQ: "seq", SEQI: "seqi",
+	MOV: "mov", LDI: "ldi",
+	BR: "br", BEQZ: "beqz", BNEZ: "bnez", JMP: "jmp", JMPL: "jmpl", TRAP: "trap",
+	LD: "ld", ST: "st", LDB: "ldb", STB: "stb",
+	LEA: "lea", LEAI: "leai", LEAB: "leab", LEABI: "leabi",
+	RESTRICT: "restrict", SUBSEG: "subseg", SETPTR: "setptr", ISPTR: "isptr",
+	GETPERM: "getperm", GETLEN: "getlen", MOVIP: "movip",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FSLT: "fslt",
+	ITOF: "itof", FTOI: "ftoi",
+}
+
+// Unit identifies which of a cluster's three execution units an
+// instruction occupies: the MAP groups an integer unit, a memory unit,
+// and a floating-point unit per cluster and statically schedules them
+// as a long-instruction-word processor (Sec 3).
+type Unit uint8
+
+const (
+	// UnitInt executes integer ALU, pointer-manipulation and control
+	// instructions.
+	UnitInt Unit = iota
+	// UnitMem executes loads and stores.
+	UnitMem
+	// UnitFP executes floating-point instructions.
+	UnitFP
+	// NumUnits is the number of units in a cluster.
+	NumUnits = 3
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitInt:
+		return "int"
+	case UnitMem:
+		return "mem"
+	case UnitFP:
+		return "fp"
+	}
+	return "unit?"
+}
+
+// Unit returns the execution unit class of the opcode.
+func (o Op) Unit() Unit {
+	switch o {
+	case LD, ST, LDB, STB:
+		return UnitMem
+	case FADD, FSUB, FMUL, FDIV, FSLT, ITOF, FTOI:
+		return UnitFP
+	default:
+		return UnitInt
+	}
+}
+
+// IsControl reports whether the instruction can redirect or stop the
+// instruction stream; a wide-issue packet ends at the first such
+// instruction.
+func (o Op) IsControl() bool {
+	switch o {
+	case BR, BEQZ, BNEZ, JMP, JMPL, TRAP, HALT:
+		return true
+	}
+	return false
+}
+
+// DestReg returns the register an instruction writes, or -1 if it
+// writes none. The wide-issue hazard check uses this.
+func (i Inst) DestReg() int {
+	switch i.Op {
+	case NOP, HALT, BR, BEQZ, BNEZ, JMP, TRAP, ST, STB:
+		return -1
+	default:
+		return i.Rd
+	}
+}
+
+// SrcRegs appends the registers an instruction reads to dst and
+// returns it.
+func (i Inst) SrcRegs(dst []int) []int {
+	switch i.Op {
+	case NOP, HALT, BR, TRAP, LDI, MOVIP:
+		return dst
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, SLT, SEQ,
+		LEA, LEAB, RESTRICT, SUBSEG,
+		FADD, FSUB, FMUL, FDIV, FSLT:
+		return append(dst, i.Ra, i.Rb)
+	case ST, STB:
+		return append(dst, i.Ra, i.Rb)
+	case BEQZ, BNEZ, JMP, JMPL:
+		return append(dst, i.Ra)
+	default: // single-source register forms
+		return append(dst, i.Ra)
+	}
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// OpByName maps mnemonics back to opcodes (built once at init).
+var OpByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := NOP; op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op         Op
+	Rd, Ra, Rb int
+	Imm        int64 // sign-extended 44-bit immediate
+}
+
+// Field geometry.
+const (
+	immBits = 44
+	immMask = (1 << immBits) - 1
+	immSign = 1 << (immBits - 1)
+
+	// MaxImm and MinImm bound the encodable immediate.
+	MaxImm = immSign - 1
+	MinImm = -immSign
+)
+
+// Encode packs the instruction into an untagged machine word. It
+// returns an error if a field is out of range.
+func Encode(i Inst) (word.Word, error) {
+	if !i.Op.Valid() {
+		return word.Word{}, fmt.Errorf("isa: invalid opcode %d", i.Op)
+	}
+	if !regOK(i.Rd) || !regOK(i.Ra) || !regOK(i.Rb) {
+		return word.Word{}, fmt.Errorf("isa: register out of range in %+v", i)
+	}
+	if i.Imm < MinImm || i.Imm > MaxImm {
+		return word.Word{}, fmt.Errorf("isa: immediate %d out of 44-bit range", i.Imm)
+	}
+	bits := uint64(i.Op)<<56 |
+		uint64(i.Rd)<<52 |
+		uint64(i.Ra)<<48 |
+		uint64(i.Rb)<<44 |
+		uint64(i.Imm)&immMask
+	return word.FromUint(bits), nil
+}
+
+// MustEncode is Encode for statically valid instructions.
+func MustEncode(i Inst) word.Word {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func regOK(r int) bool { return r >= 0 && r < NumRegs }
+
+// Decode unpacks a machine word into an instruction. Tagged words are
+// not instructions (executing a pointer is meaningless) and undefined
+// opcodes are rejected; both produce an error the machine turns into an
+// illegal-instruction fault.
+func Decode(w word.Word) (Inst, error) {
+	if w.Tag {
+		return Inst{}, fmt.Errorf("isa: cannot execute a pointer word %s", w)
+	}
+	op := Op(w.Bits >> 56)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", op)
+	}
+	imm := int64(w.Bits & immMask)
+	if imm&immSign != 0 {
+		imm -= 1 << immBits
+	}
+	return Inst{
+		Op:  op,
+		Rd:  int(w.Bits >> 52 & 0xf),
+		Ra:  int(w.Bits >> 48 & 0xf),
+		Rb:  int(w.Bits >> 44 & 0xf),
+		Imm: imm,
+	}, nil
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, SLT, SEQ, LEA, LEAB,
+		FADD, FSUB, FMUL, FDIV, FSLT:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	case RESTRICT, SUBSEG:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	case ADDI, SUBI, SHLI, SHRI, SLTI, SEQI, LEAI, LEABI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case MOV, SETPTR, ISPTR, GETPERM, GETLEN, ITOF, FTOI:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Ra)
+	case MOVIP:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rd)
+	case LDI:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case BR:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case BEQZ, BNEZ:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Ra, i.Imm)
+	case JMP:
+		return fmt.Sprintf("%s r%d", i.Op, i.Ra)
+	case JMPL:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Ra)
+	case TRAP:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case LD, LDB:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case ST, STB:
+		return fmt.Sprintf("%s r%d, %d, r%d", i.Op, i.Ra, i.Imm, i.Rb)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Rb, i.Imm)
+	}
+}

@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, ra, rb uint8, imm int32) bool {
+		i := Inst{
+			Op:  Op(op) % numOps,
+			Rd:  int(rd) % NumRegs,
+			Ra:  int(ra) % NumRegs,
+			Rb:  int(rb) % NumRegs,
+			Imm: int64(imm),
+		}
+		w, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		j, err := Decode(w)
+		return err == nil && i == j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmediateRange(t *testing.T) {
+	for _, imm := range []int64{MaxImm, MinImm, 0, -1, 1} {
+		i := Inst{Op: LDI, Imm: imm}
+		w, err := Encode(i)
+		if err != nil {
+			t.Fatalf("Encode(imm=%d): %v", imm, err)
+		}
+		j, _ := Decode(w)
+		if j.Imm != imm {
+			t.Errorf("imm %d round-tripped to %d", imm, j.Imm)
+		}
+	}
+	if _, err := Encode(Inst{Op: LDI, Imm: MaxImm + 1}); err == nil {
+		t.Error("over-range immediate accepted")
+	}
+	if _, err := Encode(Inst{Op: LDI, Imm: MinImm - 1}); err == nil {
+		t.Error("under-range immediate accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(Inst{Op: numOps}); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := Encode(Inst{Op: ADD, Rd: 16}); err == nil {
+		t.Error("register 16 accepted")
+	}
+	if _, err := Encode(Inst{Op: ADD, Ra: -1}); err == nil {
+		t.Error("negative register accepted")
+	}
+}
+
+func TestDecodeRejectsTaggedWord(t *testing.T) {
+	if _, err := Decode(word.Tagged(0)); err == nil {
+		t.Error("decoded a pointer as an instruction")
+	}
+}
+
+func TestDecodeRejectsUndefinedOpcode(t *testing.T) {
+	if _, err := Decode(word.FromUint(uint64(200) << 56)); err == nil {
+		t.Error("undefined opcode decoded")
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for op := NOP; op < numOps; op++ {
+		name := op.String()
+		if name == "" || name[0] == 'o' && name[1] == 'p' && name[2] == '(' {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if seen[name] {
+			t.Errorf("duplicate mnemonic %q", name)
+		}
+		seen[name] = true
+		if OpByName[name] != op {
+			t.Errorf("OpByName[%q] = %v, want %v", name, OpByName[name], op)
+		}
+	}
+	if Op(250).String() != "op(250)" {
+		t.Errorf("invalid op name: %s", Op(250))
+	}
+	if Op(250).Valid() {
+		t.Error("Op(250).Valid() = true")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic on bad instruction")
+		}
+	}()
+	MustEncode(Inst{Op: numOps})
+}
+
+func TestStringCoversAllOps(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		i := Inst{Op: op, Rd: 1, Ra: 2, Rb: 3, Imm: 4}
+		if i.String() == "" {
+			t.Errorf("empty disassembly for %v", op)
+		}
+	}
+}
+
+func TestUnitClassification(t *testing.T) {
+	cases := map[Op]Unit{
+		ADD: UnitInt, LDI: UnitInt, BR: UnitInt, JMP: UnitInt,
+		LEA: UnitInt, RESTRICT: UnitInt, SETPTR: UnitInt,
+		LD: UnitMem, ST: UnitMem,
+		FADD: UnitFP, FSUB: UnitFP, FMUL: UnitFP, FDIV: UnitFP,
+		FSLT: UnitFP, ITOF: UnitFP, FTOI: UnitFP,
+	}
+	for op, want := range cases {
+		if got := op.Unit(); got != want {
+			t.Errorf("%v.Unit() = %v, want %v", op, got, want)
+		}
+	}
+	for _, u := range []Unit{UnitInt, UnitMem, UnitFP, Unit(9)} {
+		if u.String() == "" {
+			t.Errorf("unit %d unnamed", u)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	control := []Op{BR, BEQZ, BNEZ, JMP, JMPL, TRAP, HALT}
+	for _, op := range control {
+		if !op.IsControl() {
+			t.Errorf("%v not control", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, ST, LEA, NOP, FADD, MOVIP} {
+		if op.IsControl() {
+			t.Errorf("%v is control", op)
+		}
+	}
+}
+
+func TestDestReg(t *testing.T) {
+	noDest := []Op{NOP, HALT, BR, BEQZ, BNEZ, JMP, TRAP, ST}
+	for _, op := range noDest {
+		if (Inst{Op: op, Rd: 5}).DestReg() != -1 {
+			t.Errorf("%v has a dest", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, LEA, MOV, LDI, JMPL, SETPTR, FADD, MOVIP} {
+		if (Inst{Op: op, Rd: 5}).DestReg() != 5 {
+			t.Errorf("%v dest != rd", op)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	check := func(i Inst, want ...int) {
+		t.Helper()
+		got := i.SrcRegs(nil)
+		if len(got) != len(want) {
+			t.Errorf("%v: srcs = %v, want %v", i.Op, got, want)
+			return
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("%v: srcs = %v, want %v", i.Op, got, want)
+			}
+		}
+	}
+	check(Inst{Op: ADD, Ra: 1, Rb: 2}, 1, 2)
+	check(Inst{Op: ST, Ra: 3, Rb: 4}, 3, 4)
+	check(Inst{Op: FADD, Ra: 5, Rb: 6}, 5, 6)
+	check(Inst{Op: LD, Ra: 7}, 7)
+	check(Inst{Op: BEQZ, Ra: 8}, 8)
+	check(Inst{Op: JMPL, Ra: 9}, 9)
+	check(Inst{Op: MOV, Ra: 2}, 2)
+	check(Inst{Op: LDI})
+	check(Inst{Op: NOP})
+	check(Inst{Op: MOVIP})
+	check(Inst{Op: HALT})
+	// Appends to an existing slice.
+	base := []int{15}
+	if got := (Inst{Op: ADD, Ra: 1, Rb: 2}).SrcRegs(base); len(got) != 3 || got[0] != 15 {
+		t.Errorf("SrcRegs append = %v", got)
+	}
+}

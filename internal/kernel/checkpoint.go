@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+// This file implements whole-system checkpoint/restore: the complete
+// architectural state — segment layout, resident and swapped pages
+// (tag bits included), and every thread's registers and instruction
+// pointer — serialized with encoding/gob and rebuilt into a fresh
+// kernel.
+//
+// A guarded-pointer machine checkpoints unusually cleanly: protection
+// state IS the data. There are no protection tables, ASIDs or
+// capability lists to capture; saving the tagged words saves every
+// capability in the system.
+//
+// Scope: architectural state only. Timing state (cache contents, TLB,
+// cycle counters) restarts cold, and Go-side hooks (trap services,
+// gates, process objects) are code, not data — re-register them after
+// restore.
+
+// Checkpoint is the serializable system image.
+type Checkpoint struct {
+	RegionBase uint64
+	RegionLog  uint
+
+	Segments   map[uint64]uint
+	Revoked    map[uint64]bool
+	NextDomain int
+
+	Resident []PageImage
+	Swapped  []PageImage
+	Threads  []ThreadImage
+}
+
+// PageImage is one page of tagged words; Frame is meaningful only for
+// resident pages (placement is preserved exactly).
+type PageImage struct {
+	VAddr uint64
+	Frame uint64
+	Words []word.Word
+}
+
+// ThreadImage is one hardware thread's architectural state.
+type ThreadImage struct {
+	Domain  int
+	State   machine.ThreadState
+	IPWord  word.Word
+	Regs    [16]word.Word
+	Instret uint64
+}
+
+// Checkpoint captures the current system image. Call it with the
+// machine quiescent (between Run calls); blocked threads are captured
+// as ready (their in-flight memory operation has already committed
+// functionally).
+func (k *Kernel) Checkpoint() (*Checkpoint, error) {
+	cp := &Checkpoint{
+		RegionBase: k.regionBase,
+		RegionLog:  k.regionLog,
+		Segments:   make(map[uint64]uint, len(k.segments)),
+		Revoked:    make(map[uint64]bool, len(k.revoked)),
+		NextDomain: k.nextDomain,
+	}
+	for b, l := range k.segments {
+		cp.Segments[b] = l
+	}
+	for b := range k.revoked {
+		cp.Revoked[b] = true
+	}
+
+	wordsPerPage := vm.PageSize / word.BytesPerWord
+	var walkErr error
+	k.M.Space.PT.Walk(func(page uint64, pte vm.PTE) bool {
+		img := PageImage{VAddr: page, Frame: pte.Frame, Words: make([]word.Word, wordsPerPage)}
+		for i := 0; i < wordsPerPage; i++ {
+			w, err := k.M.Space.Phys.ReadWord(pte.Frame + uint64(i)*word.BytesPerWord)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			img.Words[i] = w
+		}
+		cp.Resident = append(cp.Resident, img)
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	for page, words := range k.M.Space.SwapContents() {
+		cp.Swapped = append(cp.Swapped, PageImage{VAddr: page, Words: words})
+	}
+
+	for _, t := range k.M.Threads() {
+		cp.Threads = append(cp.Threads, ThreadImage{
+			Domain:  t.Domain,
+			State:   t.State,
+			IPWord:  t.IP.Word(),
+			Regs:    t.Regs,
+			Instret: t.Instret,
+		})
+	}
+	return cp, nil
+}
+
+// Restore rebuilds a kernel+machine from a checkpoint under the given
+// machine configuration (which must provide at least as much physical
+// memory as the image uses). Thread fault state is not preserved:
+// faulted threads restore as faulted with a nil fault record.
+func Restore(cfg machine.Config, cp *Checkpoint) (*Kernel, error) {
+	k, err := NewWithRegion(cfg, cp.RegionBase, cp.RegionLog)
+	if err != nil {
+		return nil, err
+	}
+	k.nextDomain = cp.NextDomain
+
+	for base, logLen := range cp.Segments {
+		if err := k.VAS.Reserve(base, logLen); err != nil {
+			return nil, fmt.Errorf("kernel: restore segment %#x: %w", base, err)
+		}
+		k.segments[base] = logLen
+		for _, pg := range pagesOf(base, uint64(1)<<logLen) {
+			k.pageRefs[pg]++
+		}
+	}
+	for base := range cp.Revoked {
+		k.revoked[base] = true
+	}
+
+	for _, img := range cp.Resident {
+		if err := k.M.Space.Frames.Claim(img.Frame); err != nil {
+			return nil, fmt.Errorf("kernel: restore page %#x: %w", img.VAddr, err)
+		}
+		if err := k.M.Space.PT.Map(img.VAddr, img.Frame); err != nil {
+			return nil, err
+		}
+		for i, w := range img.Words {
+			if err := k.M.Space.Phys.WriteWord(img.Frame+uint64(i)*word.BytesPerWord, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, img := range cp.Swapped {
+		if err := k.M.Space.RestoreSwapPage(img.VAddr, img.Words); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, ti := range cp.Threads {
+		t, err := k.M.AddThread(ti.Domain)
+		if err != nil {
+			return nil, err
+		}
+		ip, err := core.Decode(ti.IPWord)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: restore thread IP: %w", err)
+		}
+		if err := t.SetIP(ip); err != nil {
+			return nil, err
+		}
+		t.Regs = ti.Regs
+		t.Instret = ti.Instret
+		switch ti.State {
+		case machine.Halted:
+			t.State = machine.Halted
+		case machine.Faulted:
+			t.State = machine.Faulted
+		default:
+			t.State = machine.Ready // blocked operations already committed
+		}
+	}
+	return k, nil
+}
+
+// Encode writes the checkpoint with encoding/gob.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}

@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+// This file implements the two expensive maintenance operations that
+// capability systems without protected indirection must provide in
+// software (Sec 4.3): sweeping the address space to rewrite or destroy
+// copies of a capability, and garbage-collecting virtual address space
+// by chasing tag bits.
+
+// SweepStats reports the cost of a sweep — the quantity E9 compares
+// against unmap-based revocation.
+type SweepStats struct {
+	SegmentsScanned   int
+	WordsScanned      uint64
+	PointersRewritten uint64
+}
+
+// SweepRevoke scans every live segment and destroys (untags) every
+// guarded pointer into the target pointer's segment. This is the
+// paper's "scanning the entire virtual address space to update all
+// copies" path: correct, but costing a full sweep, which is why
+// unmapping (FreeSegment/Revoke) is the preferred mechanism.
+func (k *Kernel) SweepRevoke(target core.Pointer) (SweepStats, error) {
+	var st SweepStats
+	k.stats.SweepsPerformed++
+	for base, logLen := range k.segments {
+		if k.revoked[base] {
+			continue // contents already unmapped
+		}
+		st.SegmentsScanned++
+		size := uint64(1) << logLen
+		for off := uint64(0); off < size; off += word.BytesPerWord {
+			w, err := k.M.Space.ReadWord(base + off)
+			if err != nil {
+				return st, err
+			}
+			st.WordsScanned++
+			if !w.Tag {
+				continue
+			}
+			p, err := core.Decode(w)
+			if err != nil {
+				continue // malformed tagged word: not a revocation target
+			}
+			if target.Contains(p.Addr()) {
+				if err := k.M.Space.WriteWord(base+off, w.Untag()); err != nil {
+					return st, err
+				}
+				st.PointersRewritten++
+			}
+		}
+	}
+	// Registers are part of the reachable state too: scrub pointers
+	// held by live threads.
+	for _, t := range k.M.Threads() {
+		for r := 0; r < len(t.Regs); r++ {
+			w := t.Regs[r]
+			if !w.Tag {
+				continue
+			}
+			if p, err := core.Decode(w); err == nil && target.Contains(p.Addr()) {
+				t.Regs[r] = w.Untag()
+				st.PointersRewritten++
+			}
+		}
+	}
+	return st, nil
+}
+
+// Revoke invalidates every pointer into p's segment at once by
+// unmapping its pages — the cheap revocation path of Sec 4.3. The
+// segment's virtual range stays reserved (so it is not reissued) until
+// FreeSegment releases it; accesses through stale pointers raise page
+// faults.
+//
+// Revocation "operates on a page granularity while segments may be any
+// size" (Sec 4.3): only pages wholly inside the segment can be
+// unmapped. Where the segment shares a page with live neighbours the
+// kernel can only destroy the data (zero the words); stale pointers to
+// those bytes read zeroes rather than faulting — precisely the
+// limitation the paper describes.
+func (k *Kernel) Revoke(p core.Pointer) error {
+	base, logLen, ok := k.findSegment(p.Addr())
+	if !ok {
+		return errUnknownSegment(p)
+	}
+	size := uint64(1) << logLen
+	end := base + size
+	for _, pg := range pagesOf(base, size) {
+		if pg >= base && pg+vm.PageSize <= end {
+			if _, err := k.M.Space.UnmapRange(pg, vm.PageSize); err != nil {
+				return err
+			}
+			continue
+		}
+		lo, hi := pg, pg+vm.PageSize
+		if lo < base {
+			lo = base
+		}
+		if hi > end {
+			hi = end
+		}
+		if err := k.M.Space.ZeroWords(lo, hi); err != nil {
+			return err
+		}
+	}
+	k.M.Cache.InvalidateRange(base, size)
+	k.revoked[base] = true
+	k.stats.Revocations++
+	return nil
+}
+
+// GCStats reports an address-space collection.
+type GCStats struct {
+	RootPointers  int
+	LiveSegments  int
+	FreedSegments int
+	WordsScanned  uint64
+}
+
+// CollectAddressSpace garbage-collects the virtual address space:
+// starting from the given roots (plus every live thread's registers and
+// instruction pointer), it marks the segments reachable through guarded
+// pointers — "the live segments can be found by recursively scanning
+// the reachable segments from all live processes" (Sec 4.3), with
+// pointers self-identifying via the tag bit — and frees everything
+// else.
+func (k *Kernel) CollectAddressSpace(roots []word.Word) (GCStats, error) {
+	var st GCStats
+	k.stats.GCRuns++
+
+	var queue []uint64 // segment bases to scan
+	marked := make(map[uint64]bool)
+	markWord := func(w word.Word) {
+		if !w.Tag {
+			return
+		}
+		p, err := core.Decode(w)
+		if err != nil {
+			return
+		}
+		base, _, ok := k.findSegment(p.Addr())
+		if !ok || marked[base] {
+			return
+		}
+		marked[base] = true
+		queue = append(queue, base)
+	}
+
+	for _, w := range roots {
+		st.RootPointers++
+		markWord(w)
+	}
+	for _, t := range k.M.Threads() {
+		markWord(t.IP.Word())
+		for _, w := range t.Regs {
+			markWord(w)
+		}
+	}
+
+	for len(queue) > 0 {
+		base := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if k.revoked[base] {
+			continue // contents unmapped; nothing to scan
+		}
+		size := uint64(1) << k.segments[base]
+		for off := uint64(0); off < size; off += word.BytesPerWord {
+			w, err := k.M.Space.ReadWord(base + off)
+			if err != nil {
+				return st, err
+			}
+			st.WordsScanned++
+			markWord(w)
+		}
+	}
+
+	st.LiveSegments = len(marked)
+	for base := range k.segments {
+		if marked[base] {
+			continue
+		}
+		p, err := core.Make(core.PermReadWrite, k.segments[base], base)
+		if err != nil {
+			return st, err
+		}
+		if err := k.FreeSegment(p); err != nil {
+			return st, err
+		}
+		st.FreedSegments++
+	}
+	return st, nil
+}
+
+func errUnknownSegment(p core.Pointer) error {
+	return &core.Fault{Code: core.FaultBounds, Op: "KERNEL", Msg: "unknown segment " + p.String()}
+}

@@ -1,0 +1,338 @@
+// Package kernel is the privileged runtime of the simulated machine.
+//
+// In a guarded-pointer system almost nothing needs to be privileged
+// (Sec 2.3): the kernel's job reduces to allocating segments out of the
+// single shared virtual address space (with the buddy discipline of
+// Sec 4.2), minting the initial pointers for processes (the SETPTR
+// authority), wiring up protected subsystems (Figs. 3 & 4), revoking
+// segments by unmapping (Sec 4.3), and garbage-collecting the address
+// space by chasing tag bits (Sec 4.3).
+//
+// The kernel runs as Go code with supervisor authority over the
+// machine, standing in for the small privileged code segments a real
+// M-Machine would boot with; everything user-level runs as real
+// simulated instructions.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/buddy"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+// Default virtual-region geometry: user segments are carved from a
+// 256MB region at 256MB — the base must be aligned on the region size
+// so every buddy block is aligned on its own length, as guarded-pointer
+// segments require. (The full 2^54 space exists; the buddy region just
+// bounds what this kernel hands out.)
+const (
+	DefaultRegionBase = 1 << 28
+	DefaultRegionLog  = 28
+	// MinSegLog is the smallest segment the kernel allocates (one
+	// word). The architecture supports single-byte segments; the
+	// kernel's word floor keeps segments loadable/storable.
+	MinSegLog = 3
+)
+
+// Kernel owns a machine and its address space.
+type Kernel struct {
+	M   *machine.Machine
+	VAS *buddy.Allocator
+
+	segments   map[uint64]uint // base → logLen for every live segment
+	pageRefs   map[uint64]int  // page base → count of live segments overlapping it
+	nextDomain int
+	services   map[int64]Service
+	gates      map[int64]gate
+	revoked    map[uint64]bool // segments unmapped by Revoke but not yet freed
+	procs      []*Process
+	owner      map[*machine.Thread]*Process
+	queue      []pendingStart
+	stats      Stats
+
+	pagerReserve       int
+	clockHand          uint64
+	zeroCost, swapCost uint64
+	pagingStats        PagingStats
+
+	regionBase uint64
+	regionLog  uint
+}
+
+// Stats counts kernel-level events.
+type Stats struct {
+	SegmentsAllocated uint64
+	SegmentsFreed     uint64
+	Revocations       uint64
+	SweepsPerformed   uint64
+	GCRuns            uint64
+}
+
+// Service is a kernel-registered trap service. It runs with the
+// trapping thread stopped; registers are its argument/result interface.
+type Service func(k *Kernel, t *machine.Thread) error
+
+// Trap codes understood by the default handler.
+const (
+	TrapAllocSegment int64 = 1 // r1 = size in bytes → r1 = r/w pointer
+	TrapFreeSegment  int64 = 2 // r1 = pointer
+	TrapCallGate     int64 = 3 // r2 = service id: kernel-mediated domain call
+	// TrapServiceBase is the first code available to RegisterService.
+	TrapServiceBase int64 = 16
+)
+
+// New boots a kernel over a fresh machine with the default segment
+// region.
+func New(cfg machine.Config) (*Kernel, error) {
+	return NewWithRegion(cfg, DefaultRegionBase, DefaultRegionLog)
+}
+
+// NewWithRegion boots a kernel whose segments are carved from the
+// 2^logSize-byte region at base (base must be aligned on the region
+// size). Multicomputer configurations give each node a region inside
+// its slice of the shared 54-bit space.
+func NewWithRegion(cfg machine.Config, base uint64, logSize uint) (*Kernel, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vas, err := buddy.New(base, logSize, MinSegLog)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		M:          m,
+		VAS:        vas,
+		segments:   make(map[uint64]uint),
+		pageRefs:   make(map[uint64]int),
+		services:   make(map[int64]Service),
+		revoked:    make(map[uint64]bool),
+		owner:      make(map[*machine.Thread]*Process),
+		regionBase: base,
+		regionLog:  logSize,
+	}
+	m.OnTrap = k.handleTrap
+	return k, nil
+}
+
+// Stats returns a copy of the kernel counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Segments returns the number of live segments.
+func (k *Kernel) Segments() int { return len(k.segments) }
+
+// NewDomain mints a fresh protection-domain identifier.
+func (k *Kernel) NewDomain() int {
+	k.nextDomain++
+	return k.nextDomain
+}
+
+// AllocSegment reserves a fresh power-of-two segment of at least size
+// bytes, maps and zeroes its pages, and returns a read/write pointer to
+// its base. This is the privileged pointer-minting path: the returned
+// word is the only way the segment's bytes can ever be named.
+func (k *Kernel) AllocSegment(size uint64) (core.Pointer, error) {
+	base, logLen, err := k.VAS.AllocBytes(size)
+	if err != nil {
+		return core.Pointer{}, err
+	}
+	if err := k.M.Space.EnsureMapped(base, uint64(1)<<logLen); err != nil {
+		k.VAS.Free(base)
+		return core.Pointer{}, err
+	}
+	p, err := core.Make(core.PermReadWrite, logLen, base)
+	if err != nil {
+		k.VAS.Free(base)
+		return core.Pointer{}, err
+	}
+	k.segments[base] = logLen
+	for _, pg := range pagesOf(base, uint64(1)<<logLen) {
+		k.pageRefs[pg]++
+	}
+	k.stats.SegmentsAllocated++
+	return p, nil
+}
+
+// pagesOf lists the base addresses of the pages overlapping
+// [base, base+size).
+func pagesOf(base, size uint64) []uint64 {
+	if size == 0 {
+		return nil
+	}
+	var pages []uint64
+	first := base &^ uint64(vm.PageMask)
+	last := (base + size - 1) &^ uint64(vm.PageMask)
+	for pg := first; ; pg += vm.PageSize {
+		pages = append(pages, pg)
+		if pg == last {
+			break
+		}
+	}
+	return pages
+}
+
+// findSegment locates the registered segment containing addr. A
+// SUBSEG-narrowed or LEA-advanced pointer still resolves to its true
+// allocation.
+func (k *Kernel) findSegment(addr uint64) (base uint64, logLen uint, ok bool) {
+	for b, ll := range k.segments {
+		if addr >= b && addr < b+1<<ll {
+			return b, ll, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FreeSegment releases the segment designated by p (any pointer into
+// the segment will do). Its words are zeroed so no stale capabilities
+// leak, and each of its pages is unmapped once no other live segment
+// shares it — segments smaller than a page can share pages, which is
+// the page-granularity caveat of Sec 4.3.
+func (k *Kernel) FreeSegment(p core.Pointer) error {
+	base, logLen, ok := k.findSegment(p.Addr())
+	if !ok {
+		return fmt.Errorf("kernel: free of unknown segment %#x", p.Base())
+	}
+	size := uint64(1) << logLen
+	if !k.revoked[base] {
+		if err := k.M.Space.ZeroWords(base, base+size); err != nil {
+			return err
+		}
+	}
+	k.M.Cache.InvalidateRange(base, size)
+	for _, pg := range pagesOf(base, size) {
+		k.pageRefs[pg]--
+		if k.pageRefs[pg] > 0 {
+			continue
+		}
+		delete(k.pageRefs, pg)
+		k.M.Space.DropSwapped(pg)
+		if _, err := k.M.Space.UnmapRange(pg, vm.PageSize); err != nil {
+			return err
+		}
+	}
+	if err := k.VAS.Free(base); err != nil {
+		return err
+	}
+	delete(k.segments, base)
+	delete(k.revoked, base)
+	k.stats.SegmentsFreed++
+	return nil
+}
+
+// WriteWords copies words into the address space starting at p's
+// address (which must have store permission covering the span).
+func (k *Kernel) WriteWords(p core.Pointer, ws []word.Word) error {
+	span := uint64(len(ws)) * word.BytesPerWord
+	if p.Offset()+span > p.SegSize() {
+		return fmt.Errorf("kernel: %d words exceed segment %v", len(ws), p)
+	}
+	for i, w := range ws {
+		if err := k.M.Space.WriteWord(p.Addr()+uint64(i)*word.BytesPerWord, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWord reads one word at p's address.
+func (k *Kernel) ReadWord(p core.Pointer) (word.Word, error) {
+	return k.M.Space.ReadWord(p.Addr())
+}
+
+// LoadProgram allocates a code segment, writes the assembled image into
+// it, and returns an execute pointer (privileged if priv) to its base.
+func (k *Kernel) LoadProgram(p *asm.Program, priv bool) (core.Pointer, error) {
+	seg, err := k.AllocSegment(p.ByteSize())
+	if err != nil {
+		return core.Pointer{}, err
+	}
+	if err := k.WriteWords(seg, p.Words); err != nil {
+		return core.Pointer{}, err
+	}
+	perm := core.PermExecuteUser
+	if priv {
+		perm = core.PermExecutePriv
+	}
+	return core.Make(perm, seg.LogLen(), seg.Base())
+}
+
+// Spawn creates a hardware thread in the given domain, starting at the
+// entry pointer (execute or enter). regs preloads argument registers.
+func (k *Kernel) Spawn(domain int, entry core.Pointer, regs map[int]word.Word) (*machine.Thread, error) {
+	t, err := k.M.AddThread(domain)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.SetIP(entry); err != nil {
+		k.M.RemoveThread(t)
+		return nil, err
+	}
+	for r, w := range regs {
+		t.SetReg(r, w)
+	}
+	return t, nil
+}
+
+// RegisterService installs a kernel trap service and returns its code
+// (≥ TrapServiceBase).
+func (k *Kernel) RegisterService(s Service) int64 {
+	code := TrapServiceBase + int64(len(k.services))
+	k.services[code] = s
+	return code
+}
+
+// handleTrap is the machine's trap vector.
+func (k *Kernel) handleTrap(m *machine.Machine, t *machine.Thread, code int64) error {
+	switch code {
+	case TrapAllocSegment:
+		size := uint64(t.Reg(1).Int())
+		p, err := k.AllocSegment(size)
+		if err != nil {
+			return err
+		}
+		t.SetReg(1, p.Word())
+		return nil
+	case TrapFreeSegment:
+		p, err := core.Decode(t.Reg(1))
+		if err != nil {
+			return err
+		}
+		return k.FreeSegment(p)
+	case TrapCallGate:
+		return k.callGate(t)
+	default:
+		if s, ok := k.services[code]; ok {
+			return s(k, t)
+		}
+		return fmt.Errorf("kernel: unknown trap code %d", code)
+	}
+}
+
+// Run drives the machine until all threads finish or maxCycles pass.
+func (k *Kernel) Run(maxCycles uint64) uint64 { return k.M.Run(maxCycles) }
+
+// SegmentAt locates the registered segment containing addr, reporting
+// its geometry and whether it has been revoked. Multi-node maintenance
+// (machine-wide GC) uses it to resolve foreign capabilities.
+func (k *Kernel) SegmentAt(addr uint64) (base uint64, logLen uint, revoked, ok bool) {
+	base, logLen, ok = k.findSegment(addr)
+	if !ok {
+		return 0, 0, false, false
+	}
+	return base, logLen, k.revoked[base], true
+}
+
+// SegmentBases returns the base address of every live segment.
+func (k *Kernel) SegmentBases() []uint64 {
+	out := make([]uint64, 0, len(k.segments))
+	for b := range k.segments {
+		out = append(out, b)
+	}
+	return out
+}

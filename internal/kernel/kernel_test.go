@@ -1,0 +1,619 @@
+package kernel
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+var osReadFile = os.ReadFile
+
+func testKernel(t *testing.T) *Kernel {
+	t.Helper()
+	cfg := machine.MMachine()
+	cfg.Clusters = 2
+	cfg.SlotsPerCluster = 2
+	cfg.PhysBytes = 4 << 20
+	cfg.TrapCost = 10
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAllocSegmentBasics(t *testing.T) {
+	k := testKernel(t)
+	p, err := k.AllocSegment(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Perm() != core.PermReadWrite {
+		t.Errorf("perm = %v", p.Perm())
+	}
+	if p.SegSize() != 128 {
+		t.Errorf("size = %d, want 128 (rounded)", p.SegSize())
+	}
+	if p.Offset() != 0 {
+		t.Errorf("offset = %d", p.Offset())
+	}
+	// The segment is mapped and zeroed.
+	w, err := k.ReadWord(p)
+	if err != nil || !w.IsZero() {
+		t.Errorf("fresh segment word = %v, %v", w, err)
+	}
+	if k.Segments() != 1 {
+		t.Errorf("Segments = %d", k.Segments())
+	}
+}
+
+func TestSegmentsDoNotOverlap(t *testing.T) {
+	k := testKernel(t)
+	var ptrs []core.Pointer
+	for i := 0; i < 50; i++ {
+		p, err := k.AllocSegment(uint64(8 << (i % 8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range ptrs {
+			if p.Overlaps(q) {
+				t.Fatalf("segment %v overlaps %v", p, q)
+			}
+		}
+		ptrs = append(ptrs, p)
+	}
+}
+
+func TestFreeSegmentRevokesAccess(t *testing.T) {
+	k := testKernel(t)
+	p, _ := k.AllocSegment(4096)
+	if err := k.WriteWords(p, []word.Word{word.FromInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FreeSegment(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadWord(p); err == nil {
+		t.Error("read after free succeeded")
+	}
+	if err := k.FreeSegment(p); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestFreeSegmentViaDerivedPointer(t *testing.T) {
+	k := testKernel(t)
+	p, _ := k.AllocSegment(4096)
+	inner, err := core.LEA(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowed, err := core.SubSeg(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FreeSegment(narrowed); err != nil {
+		t.Fatalf("free via derived pointer: %v", err)
+	}
+	if k.Segments() != 0 {
+		t.Error("segment still registered")
+	}
+}
+
+func TestWriteWordsBounds(t *testing.T) {
+	k := testKernel(t)
+	p, _ := k.AllocSegment(16) // 2 words
+	if err := k.WriteWords(p, make([]word.Word, 3)); err == nil {
+		t.Error("overlong write accepted")
+	}
+}
+
+func TestLoadProgramAndRun(t *testing.T) {
+	k := testKernel(t)
+	prog := asm.MustAssemble(`
+		ldi r1, 11
+		ldi r2, 31
+		mul r3, r1, r2
+		halt
+	`)
+	ip, err := k.LoadProgram(prog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Perm() != core.PermExecuteUser {
+		t.Errorf("perm = %v", ip.Perm())
+	}
+	th, err := k.Spawn(k.NewDomain(), ip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10000)
+	if th.State != machine.Halted {
+		t.Fatalf("thread: %v %v", th.State, th.Fault)
+	}
+	if th.Reg(3).Int() != 341 {
+		t.Errorf("r3 = %d", th.Reg(3).Int())
+	}
+}
+
+func TestSpawnWithArgsAndPrivProgram(t *testing.T) {
+	k := testKernel(t)
+	prog := asm.MustAssemble(`
+		setptr r2, r1
+		halt
+	`)
+	ip, err := k.LoadProgram(prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Perm() != core.PermExecutePriv {
+		t.Fatalf("perm = %v", ip.Perm())
+	}
+	raw := core.MustMake(core.PermReadOnly, 3, 0x100).Word().Untag()
+	th, err := k.Spawn(0, ip, map[int]word.Word{1: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(1000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if !th.Reg(2).Tag {
+		t.Error("privileged SETPTR failed")
+	}
+}
+
+func TestTrapAllocAndFree(t *testing.T) {
+	k := testKernel(t)
+	prog := asm.MustAssemble(`
+		ldi r1, 256
+		trap 1          ; alloc → r1 = pointer
+		isptr r2, r1
+		mov r3, r1
+		ldi r4, 42
+		st  r1, 0, r4
+		ld  r5, r1, 0
+		trap 2          ; free r1
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, nil)
+	k.Run(10000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(2).Int() != 1 {
+		t.Error("trap alloc did not return a pointer")
+	}
+	if th.Reg(5).Int() != 42 {
+		t.Errorf("r5 = %d", th.Reg(5).Int())
+	}
+	// One code segment remains; the data segment was freed.
+	if k.Segments() != 1 {
+		t.Errorf("Segments = %d, want 1", k.Segments())
+	}
+}
+
+func TestUnknownTrapFaults(t *testing.T) {
+	k := testKernel(t)
+	ip, _ := k.LoadProgram(asm.MustAssemble("trap 99\nhalt"), false)
+	th, _ := k.Spawn(0, ip, nil)
+	k.Run(1000)
+	if th.State != machine.Faulted {
+		t.Error("unknown trap did not fault")
+	}
+}
+
+func TestRegisterService(t *testing.T) {
+	k := testKernel(t)
+	called := false
+	code := k.RegisterService(func(k *Kernel, t *machine.Thread) error {
+		called = true
+		t.SetReg(1, word.FromInt(123))
+		return nil
+	})
+	src := "trap " + itoa(code) + "\nhalt"
+	ip, _ := k.LoadProgram(asm.MustAssemble(src), false)
+	th, _ := k.Spawn(0, ip, nil)
+	k.Run(1000)
+	if !called || th.Reg(1).Int() != 123 {
+		t.Errorf("service: called=%v r1=%d", called, th.Reg(1).Int())
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestInstallSubsystemFig3(t *testing.T) {
+	// Fig. 3 end-to-end: subsystem's data pointer lives in its code
+	// segment; the caller holds only an enter pointer, calls through
+	// it, and the subsystem touches its private data.
+	k := testKernel(t)
+	private, _ := k.AllocSegment(64)
+	k.WriteWords(private, []word.Word{word.FromInt(777)})
+
+	sub := asm.MustAssemble(`
+	entry:
+		movip r2
+		leab  r3, r2, r0     ; code segment base
+		ld    r4, r3, =gp1   ; load private data pointer (Fig. 3C)
+		ld    r5, r4, 0      ; use it
+		jmp   r14            ; return (Fig. 3D)
+	gp1:
+		.word 0              ; patched with the private pointer
+	`)
+	enter, err := k.InstallSubsystem(sub, "entry", map[string]core.Pointer{"gp1": private})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enter.Perm() != core.PermEnterUser {
+		t.Fatalf("perm = %v", enter.Perm())
+	}
+
+	caller := asm.MustAssemble(`
+		jmpl r14, r1
+		mov  r6, r5
+		halt
+	`)
+	ip, _ := k.LoadProgram(caller, false)
+	th, _ := k.Spawn(k.NewDomain(), ip, map[int]word.Word{1: enter.Word()})
+	k.Run(10000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(6).Int() != 777 {
+		t.Errorf("r6 = %d, want 777 (subsystem read private data)", th.Reg(6).Int())
+	}
+
+	// The caller cannot read the subsystem's code segment (and hence
+	// its embedded capability) through the enter pointer.
+	spy := asm.MustAssemble(`
+		ld r2, r1, 0
+		halt
+	`)
+	ip2, _ := k.LoadProgram(spy, false)
+	th2, _ := k.Spawn(k.NewDomain(), ip2, map[int]word.Word{1: enter.Word()})
+	k.Run(10000)
+	if th2.State != machine.Faulted || core.CodeOf(th2.Fault) != core.FaultPerm {
+		t.Errorf("spy fault = %v, want perm fault", th2.Fault)
+	}
+}
+
+func TestInstallSubsystemBadLabels(t *testing.T) {
+	k := testKernel(t)
+	prog := asm.MustAssemble("entry: halt")
+	if _, err := k.InstallSubsystem(prog, "missing", nil); err == nil {
+		t.Error("missing entry label accepted")
+	}
+	if _, err := k.InstallSubsystem(prog, "entry", map[string]core.Pointer{"nope": {}}); err == nil {
+		t.Error("missing slot label accepted")
+	}
+}
+
+func TestCallGateBaseline(t *testing.T) {
+	k := testKernel(t)
+	service := asm.MustAssemble(`
+		ldi r5, 555
+		jmp r14
+	`)
+	target, _ := k.LoadProgram(service, false)
+	id, err := k.RegisterGate(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := asm.MustAssemble(`
+		ldi r2, ` + itoa(id) + `
+		trap 3
+		halt
+	`)
+	ip, _ := k.LoadProgram(caller, false)
+	th, _ := k.Spawn(0, ip, nil)
+	k.Run(10000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(5).Int() != 555 {
+		t.Errorf("r5 = %d", th.Reg(5).Int())
+	}
+}
+
+func TestCallGateValidation(t *testing.T) {
+	k := testKernel(t)
+	data, _ := k.AllocSegment(64)
+	if _, err := k.RegisterGate(data); err == nil {
+		t.Error("data pointer accepted as gate")
+	}
+	// Invalid gate id faults the caller.
+	ip, _ := k.LoadProgram(asm.MustAssemble("ldi r2, 77\ntrap 3\nhalt"), false)
+	th, _ := k.Spawn(0, ip, nil)
+	k.Run(1000)
+	if th.State != machine.Faulted {
+		t.Error("bad gate id did not fault")
+	}
+}
+
+func TestRevokeInvalidatesAllCopies(t *testing.T) {
+	k := testKernel(t)
+	seg, _ := k.AllocSegment(4096)
+	holder, _ := k.AllocSegment(64)
+	// A copy of the capability sits in memory.
+	if err := k.WriteWords(holder, []word.Word{seg.Word()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Revoke(seg); err != nil {
+		t.Fatal(err)
+	}
+	// The stored copy is still a pointer but every use faults.
+	w, err := k.ReadWord(holder)
+	if err != nil || !w.Tag {
+		t.Fatalf("stored capability: %v %v", w, err)
+	}
+	if _, err := k.ReadWord(seg); err == nil {
+		t.Error("access through revoked segment succeeded")
+	}
+	if err := k.Revoke(core.MustMake(core.PermReadOnly, 3, 0x100)); err == nil {
+		t.Error("revoking unknown segment succeeded")
+	}
+	// FreeSegment releases the reservation afterwards.
+	if err := k.FreeSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRevoke(t *testing.T) {
+	k := testKernel(t)
+	target, _ := k.AllocSegment(256)
+	a, _ := k.AllocSegment(64)
+	b, _ := k.AllocSegment(64)
+	inner, _ := core.LEA(target, 8)
+	k.WriteWords(a, []word.Word{target.Word(), word.FromInt(5)})
+	k.WriteWords(b, []word.Word{inner.Word(), b.Word()})
+
+	st, err := k.SweepRevoke(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PointersRewritten != 2 {
+		t.Errorf("rewritten = %d, want 2", st.PointersRewritten)
+	}
+	if st.WordsScanned == 0 || st.SegmentsScanned != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Copies are destroyed...
+	wa, _ := k.ReadWord(a)
+	if wa.Tag {
+		t.Error("pointer in segment a survived sweep")
+	}
+	// ...unrelated pointers survive.
+	wb, _ := k.M.Space.ReadWord(b.Addr() + 8)
+	if !wb.Tag {
+		t.Error("unrelated pointer was destroyed")
+	}
+}
+
+func TestSweepRevokeScrubsRegisters(t *testing.T) {
+	k := testKernel(t)
+	target, _ := k.AllocSegment(64)
+	ip, _ := k.LoadProgram(asm.MustAssemble("halt"), false)
+	th, _ := k.Spawn(0, ip, map[int]word.Word{7: target.Word()})
+	st, err := k.SweepRevoke(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PointersRewritten != 1 {
+		t.Errorf("rewritten = %d", st.PointersRewritten)
+	}
+	if th.Reg(7).Tag {
+		t.Error("register capability survived sweep")
+	}
+}
+
+func TestCollectAddressSpace(t *testing.T) {
+	k := testKernel(t)
+	// live chain: root → a → b; garbage: c, d (d points to c, both
+	// unreachable).
+	a, _ := k.AllocSegment(64)
+	b, _ := k.AllocSegment(64)
+	c, _ := k.AllocSegment(64)
+	d, _ := k.AllocSegment(64)
+	k.WriteWords(a, []word.Word{b.Word()})
+	k.WriteWords(c, []word.Word{word.FromInt(31337)})
+	k.WriteWords(d, []word.Word{c.Word()})
+
+	st, err := k.CollectAddressSpace([]word.Word{a.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveSegments != 2 || st.FreedSegments != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if _, err := k.ReadWord(b); err != nil {
+		t.Error("live segment b was collected")
+	}
+	// c and d were freed and unregistered. They share a page with the
+	// live segments, so their addresses still read — but as zeroes (the
+	// kernel scrubs freed segments), and their space is reusable.
+	if w, err := k.ReadWord(c); err == nil && !w.IsZero() {
+		t.Errorf("garbage segment c not scrubbed: %v", w)
+	}
+	if k.Segments() != 2 {
+		t.Errorf("Segments = %d", k.Segments())
+	}
+	if e, err := k.AllocSegment(64); err != nil {
+		t.Errorf("freed space not reusable: %v", err)
+	} else if e.Base() != c.Base() && e.Base() != d.Base() {
+		t.Errorf("new segment at %#x, expected recycled c/d space", e.Base())
+	}
+}
+
+func TestCollectKeepsThreadReachable(t *testing.T) {
+	k := testKernel(t)
+	seg, _ := k.AllocSegment(64)
+	ip, _ := k.LoadProgram(asm.MustAssemble("halt"), false)
+	th, _ := k.Spawn(0, ip, map[int]word.Word{3: seg.Word()})
+	_ = th
+	st, err := k.CollectAddressSpace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the code segment (via IP) and the data segment (via r3)
+	// survive with no explicit roots.
+	if st.FreedSegments != 0 || k.Segments() != 2 {
+		t.Errorf("GC freed reachable segments: %+v", st)
+	}
+}
+
+func TestCollectSkipsRevokedSegments(t *testing.T) {
+	k := testKernel(t)
+	seg, _ := k.AllocSegment(64)
+	holder, _ := k.AllocSegment(64)
+	k.WriteWords(holder, []word.Word{seg.Word()})
+	if err := k.Revoke(seg); err != nil {
+		t.Fatal(err)
+	}
+	// GC with the holder as root must not crash on the unmapped
+	// segment; the revoked segment is marked (a pointer names it) but
+	// not scanned.
+	if _, err := k.CollectAddressSpace([]word.Word{holder.Word()}); err != nil {
+		t.Fatalf("GC over revoked segment: %v", err)
+	}
+}
+
+func TestTrapAllocFailurePropagates(t *testing.T) {
+	k := testKernel(t)
+	ip, _ := k.LoadProgram(asm.MustAssemble(`
+		ldi r1, 1
+		shli r1, r1, 40   ; 2^40 bytes: exceeds the kernel region
+		trap 1
+		halt
+	`), false)
+	th, _ := k.Spawn(0, ip, nil)
+	k.Run(10000)
+	if th.State != machine.Faulted {
+		t.Error("impossible allocation did not fault the thread")
+	}
+	if !strings.Contains(th.Fault.Error(), "buddy") {
+		t.Errorf("fault = %v", th.Fault)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	k := testKernel(t)
+	p, _ := k.AllocSegment(64)
+	k.FreeSegment(p)
+	q, _ := k.AllocSegment(64)
+	k.Revoke(q)
+	k.SweepRevoke(q)
+	k.CollectAddressSpace(nil)
+	st := k.Stats()
+	if st.SegmentsAllocated != 2 || st.SegmentsFreed < 1 ||
+		st.Revocations != 1 || st.SweepsPerformed != 1 || st.GCRuns != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkedProgramRuns(t *testing.T) {
+	// Separate assembly + link: main calls a library routine through a
+	// LEAB-derived pointer to the linked offset — position independent,
+	// so it runs wherever the kernel loads it.
+	k := testKernel(t)
+	main, err := asm.AssembleModule("main", `
+		.import triple
+		ldi  r2, =triple
+		movip r3
+		leab r3, r3, r2
+		ldi  r4, 14
+		jmpl r14, r3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := asm.AssembleModule("lib", `
+		.export triple
+	triple:
+		add r5, r4, r4
+		add r5, r5, r4
+		jmp r14
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Link(main, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := k.LoadProgram(prog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := k.Spawn(1, ip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(5).Int() != 42 {
+		t.Errorf("triple(14) = %d", th.Reg(5).Int())
+	}
+}
+
+func TestMemlibEndToEnd(t *testing.T) {
+	// The shipped sample library runs correctly when linked and loaded.
+	k := testKernel(t)
+	read := func(path string) string {
+		t.Helper()
+		b, err := osReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	use, err := asm.AssembleModule("usemem", read("../../programs/usemem.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := asm.AssembleModule("memlib", read("../../programs/memlib.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Link(use, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := k.LoadProgram(prog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := k.AllocSegment(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(1_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(5).Int() != 224 {
+		t.Errorf("memsum = %d, want 224", th.Reg(5).Int())
+	}
+}

@@ -1,0 +1,263 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+// pagingKernel boots a kernel with very little physical memory so the
+// pager has to work: frames beyond the reserve get evicted.
+func pagingKernel(t *testing.T, physPages int) *Kernel {
+	t.Helper()
+	cfg := machine.MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = uint64(physPages) * vm.PageSize
+	cfg.TrapCost = 10
+	k, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.EnableDemandPaging(0)
+	return k
+}
+
+func TestLazySegmentDemandZero(t *testing.T) {
+	k := pagingKernel(t, 64)
+	seg, err := k.AllocSegmentLazy(8 * vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.PagingStatsSnapshot().DemandZero != 0 {
+		t.Fatal("pages materialized before any touch")
+	}
+	// Touch two pages via a program; only those two materialize.
+	prog := asm.MustAssemble(`
+		ldi r2, 77
+		st  r1, 0, r2
+		ld  r3, r1, 0
+		st  r1, 8192, r2
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	k.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(3).Int() != 77 {
+		t.Errorf("r3 = %d", th.Reg(3).Int())
+	}
+	if got := k.PagingStatsSnapshot().DemandZero; got != 2 {
+		t.Errorf("DemandZero = %d, want 2 (touched pages only)", got)
+	}
+}
+
+func TestPagerRefusesForeignAddresses(t *testing.T) {
+	k := pagingKernel(t, 64)
+	// A forged-by-kernel pointer outside any registered segment: the
+	// pager must not materialize it.
+	prog := asm.MustAssemble("ld r2, r1, 0\nhalt")
+	ip, _ := k.LoadProgram(prog, false)
+	wild := mustPtr(t, k, 0x3000000) // outside the kernel region
+	th, _ := k.Spawn(1, ip, map[int]word.Word{1: wild})
+	k.Run(100000)
+	if th.State != machine.Faulted {
+		t.Error("access outside any segment did not fault")
+	}
+	if k.PagingStatsSnapshot().Refused == 0 {
+		t.Error("pager did not record the refusal")
+	}
+}
+
+func mustPtr(t *testing.T, k *Kernel, addr uint64) word.Word {
+	t.Helper()
+	p, err := core.Make(core.PermReadWrite, 12, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Word()
+}
+
+func TestWorkingSetLargerThanMemory(t *testing.T) {
+	// 16 physical pages; the program sweeps a 32-page lazy segment
+	// twice and verifies its data — forcing eviction and swap-in, with
+	// capabilities surviving the swap.
+	k := pagingKernel(t, 16)
+	seg, err := k.AllocSegmentLazy(32 * vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+		; pass 1: write page i's first word = i
+		ldi r2, 32
+		mov r3, r1
+		ldi r4, 0
+	wr:
+		st   r3, 0, r4
+		addi r4, r4, 1
+		subi r2, r2, 1
+		beqz r2, rd_init
+		leai r3, r3, 4096
+		br   wr
+	rd_init:
+		; pass 2: read back and sum
+		ldi r2, 32
+		mov r3, r1
+		ldi r5, 0
+	rd:
+		ld   r6, r3, 0
+		add  r5, r5, r6
+		subi r2, r2, 1
+		beqz r2, done
+		leai r3, r3, 4096
+		br   rd
+	done:
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	k.Run(10_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(5).Int() != 31*32/2 {
+		t.Errorf("sum = %d, want %d", th.Reg(5).Int(), 31*32/2)
+	}
+	st := k.PagingStatsSnapshot()
+	if st.Evictions == 0 || st.SwapIns == 0 {
+		t.Errorf("no paging happened: %+v", st)
+	}
+	if k.ResidentFrames() > 16 {
+		t.Errorf("resident frames %d exceed physical memory", k.ResidentFrames())
+	}
+}
+
+func TestCapabilitiesSurviveSwap(t *testing.T) {
+	k := pagingKernel(t, 16)
+	// Segment A holds a capability to segment B; A gets swapped out
+	// and back; the capability must still work.
+	a, err := k.AllocSegment(vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.AllocSegment(vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.WriteWords(b, []word.Word{word.FromInt(616)})
+	k.WriteWords(a, []word.Word{b.Word()})
+
+	if err := k.M.Space.SwapOut(a.Base()); err != nil {
+		t.Fatal(err)
+	}
+	k.M.Cache.InvalidateRange(a.Base(), vm.PageSize)
+
+	prog := asm.MustAssemble(`
+		ld r2, r1, 0   ; faults; pager swaps the page back in
+		ld r3, r2, 0   ; dereference the recovered capability
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, map[int]word.Word{1: a.Word()})
+	k.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(3).Int() != 616 {
+		t.Errorf("r3 = %d, want 616", th.Reg(3).Int())
+	}
+	if k.PagingStatsSnapshot().SwapIns != 1 {
+		t.Errorf("SwapIns = %d", k.PagingStatsSnapshot().SwapIns)
+	}
+}
+
+func TestFreeLazySegmentNeverTouched(t *testing.T) {
+	k := pagingKernel(t, 16)
+	seg, err := k.AllocSegmentLazy(4 * vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FreeSegment(seg); err != nil {
+		t.Fatalf("freeing untouched lazy segment: %v", err)
+	}
+	if k.Segments() != 0 {
+		t.Error("segment still registered")
+	}
+}
+
+func TestFreeSegmentPurgesSwap(t *testing.T) {
+	k := pagingKernel(t, 16)
+	seg, _ := k.AllocSegment(vm.PageSize)
+	k.WriteWords(seg, []word.Word{word.FromInt(5)})
+	k.M.Space.SwapOut(seg.Base())
+	if err := k.FreeSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	if k.M.Space.SwappedPages() != 0 {
+		t.Error("backing store entry leaked after free")
+	}
+}
+
+func TestCodePagesSwapToo(t *testing.T) {
+	// Evicting the running thread's code page must be recoverable:
+	// the fetch faults and the pager brings it back.
+	k := pagingKernel(t, 16)
+	prog := asm.MustAssemble(`
+		ldi r3, 5
+	loop:
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	ip, _ := k.LoadProgram(prog, false)
+	th, _ := k.Spawn(1, ip, nil)
+	// Let it start, then yank its code page mid-run.
+	for i := 0; i < 3; i++ {
+		k.M.Step()
+	}
+	if err := k.M.Space.SwapOut(ip.Base()); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if k.PagingStatsSnapshot().SwapIns == 0 {
+		t.Error("code page not recovered via pager")
+	}
+}
+
+func TestPagingCostsCharged(t *testing.T) {
+	// With costs set, a swap-in stalls the faulting thread for the
+	// configured service time; the same workload without costs is
+	// much faster.
+	run := func(zero, swap uint64) uint64 {
+		k := pagingKernel(t, 16)
+		k.SetPagingCosts(zero, swap)
+		seg, err := k.AllocSegment(vm.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.M.Space.SwapOut(seg.Base()); err != nil {
+			t.Fatal(err)
+		}
+		ip, _ := k.LoadProgram(asm.MustAssemble("ld r2, r1, 0\nhalt"), false)
+		th, _ := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+		k.Run(1_000_000)
+		if th.State != machine.Halted {
+			t.Fatalf("%v %v", th.State, th.Fault)
+		}
+		return k.M.Stats().Cycles
+	}
+	free := run(0, 0)
+	paid := run(0, 5000)
+	if paid < free+4500 {
+		t.Errorf("swap cost not charged: %d vs %d cycles", paid, free)
+	}
+}

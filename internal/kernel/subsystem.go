@@ -1,0 +1,88 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// This file implements protected-subsystem linkage, Figs. 3 and 4 of
+// the paper, plus the kernel-mediated call gate that experiment E3 uses
+// as the conventional baseline.
+
+// InstallSubsystem loads prog into a fresh code segment, patches the
+// program's labeled pointer slots with the given capabilities (the GP1,
+// GP2 data-structure pointers of Fig. 3 live *inside* the code segment,
+// reachable only through the execute pointer the entry conversion
+// yields), and returns an enter-user pointer to the entry label.
+//
+// The caller receiving the returned pointer can transfer control to the
+// subsystem but can never read its embedded capabilities or jump
+// anywhere but the entry point — that is the whole protection argument
+// of Sec 2.3.
+func (k *Kernel) InstallSubsystem(prog *asm.Program, entry string, slots map[string]core.Pointer) (core.Pointer, error) {
+	seg, err := k.AllocSegment(prog.ByteSize())
+	if err != nil {
+		return core.Pointer{}, err
+	}
+	if err := k.WriteWords(seg, prog.Words); err != nil {
+		return core.Pointer{}, err
+	}
+	for label, ptr := range slots {
+		off, err := prog.LabelByte(label)
+		if err != nil {
+			return core.Pointer{}, err
+		}
+		slot, err := core.LEAB(seg, int64(off))
+		if err != nil {
+			return core.Pointer{}, err
+		}
+		if err := k.M.Space.WriteWord(slot.Addr(), ptr.Word()); err != nil {
+			return core.Pointer{}, err
+		}
+	}
+	entryOff, err := prog.LabelByte(entry)
+	if err != nil {
+		return core.Pointer{}, err
+	}
+	return core.Make(core.PermEnterUser, seg.LogLen(), seg.Base()+entryOff)
+}
+
+// gate bookkeeping for the trap-mediated baseline.
+type gate struct {
+	target core.Pointer
+}
+
+// RegisterGate registers target (an execute pointer) as a kernel call
+// gate and returns its id. This models the conventional design the
+// paper contrasts with enter pointers: entering a protected subsystem
+// requires trapping to the kernel, which validates the gate id in a
+// table and performs the transfer.
+func (k *Kernel) RegisterGate(target core.Pointer) (int64, error) {
+	if !target.Perm().CanExecute() {
+		return 0, fmt.Errorf("kernel: gate target %v is not executable", target)
+	}
+	if k.gates == nil {
+		k.gates = make(map[int64]gate)
+	}
+	id := int64(len(k.gates) + 1)
+	k.gates[id] = gate{target: target}
+	return id, nil
+}
+
+// callGate implements TrapCallGate: r2 holds the gate id; the kernel
+// looks it up, places the return execute pointer in r14 (the thread's
+// IP is already past the trap), and transfers control. The machine has
+// already charged TrapCost — the fixed pipeline-drain price an enter
+// pointer avoids entirely.
+func (k *Kernel) callGate(t *machine.Thread) error {
+	id := t.Reg(2).Int()
+	g, ok := k.gates[id]
+	if !ok {
+		return fmt.Errorf("kernel: invalid gate id %d", id)
+	}
+	t.SetReg(14, t.IP.Word())
+	return t.SetIP(g.target)
+}

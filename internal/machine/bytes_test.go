@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func TestByteLoadStore(t *testing.T) {
+	_, th := runOne(t, `
+		ldi r2, 0xab
+		stb r1, 3, r2      ; unaligned byte store
+		ldb r3, r1, 3
+		ldb r4, r1, 2      ; neighbouring byte untouched (zero)
+		halt
+	`, func(m *Machine, th *Thread) {
+		th.SetReg(1, dataSeg(t, m, 0x40000, 12).Word())
+	})
+	if th.State != Halted {
+		t.Fatalf("fault: %v", th.Fault)
+	}
+	if th.Reg(3).Int() != 0xab {
+		t.Errorf("ldb = %#x", th.Reg(3).Int())
+	}
+	if th.Reg(4).Int() != 0 {
+		t.Errorf("neighbour byte = %#x", th.Reg(4).Int())
+	}
+}
+
+func TestByteStoreDestroysCapability(t *testing.T) {
+	// Overwriting one byte of a stored capability must clear its tag —
+	// otherwise byte stores would be a capability-forging tool.
+	_, th := runOne(t, `
+		st  r1, 0, r1      ; park the capability in memory
+		ldi r2, 0xff
+		stb r1, 3, r2      ; corrupt one byte of it
+		ld  r3, r1, 0      ; reload the word
+		isptr r4, r3
+		halt
+	`, func(m *Machine, th *Thread) {
+		th.SetReg(1, dataSeg(t, m, 0x40000, 12).Word())
+	})
+	if th.State != Halted {
+		t.Fatalf("fault: %v", th.Fault)
+	}
+	if th.Reg(4).Int() != 0 {
+		t.Error("partially overwritten capability kept its tag")
+	}
+}
+
+func TestSingleByteSegment(t *testing.T) {
+	// "one may address 2^54 one-byte segments" (Sec 5.2): a 2^0
+	// segment admits exactly its one byte, and word access to it
+	// faults (spans the segment).
+	_, th := runOne(t, `
+		ldi r2, 0x5a
+		stb r1, 0, r2
+		ldb r3, r1, 0
+		ld  r4, r1, 0    ; 8-byte access to a 1-byte segment: bounds fault
+		halt
+	`, func(m *Machine, th *Thread) {
+		m.Space.EnsureMapped(0x40000, 4096)
+		oneByte := core.MustMake(core.PermReadWrite, 0, 0x40005)
+		th.SetReg(1, oneByte.Word())
+	})
+	if th.Reg(3).Int() != 0x5a {
+		t.Errorf("byte via 1-byte segment = %#x", th.Reg(3).Int())
+	}
+	if th.State != Faulted || core.CodeOf(th.Fault) != core.FaultBounds {
+		t.Errorf("word access to 1-byte segment: %v %v", th.State, th.Fault)
+	}
+}
+
+func TestByteBoundsChecked(t *testing.T) {
+	_, th := runOne(t, `
+		ldb r2, r1, 16   ; one past the end of a 16-byte segment
+		halt
+	`, func(m *Machine, th *Thread) {
+		m.Space.EnsureMapped(0x40000, 4096)
+		th.SetReg(1, core.MustMake(core.PermReadWrite, 4, 0x40000).Word())
+	})
+	if th.State != Faulted || core.CodeOf(th.Fault) != core.FaultBounds {
+		t.Errorf("fault = %v, want bounds", th.Fault)
+	}
+}
+
+func TestByteStoreNeedsWriteRights(t *testing.T) {
+	_, th := runOne(t, `
+		stb r1, 0, r2
+		halt
+	`, func(m *Machine, th *Thread) {
+		ro, _ := core.Restrict(dataSeg(t, m, 0x40000, 12), core.PermReadOnly)
+		th.SetReg(1, ro.Word())
+		th.SetReg(2, word.FromInt(1))
+	})
+	if th.State != Faulted || core.CodeOf(th.Fault) != core.FaultPerm {
+		t.Errorf("fault = %v, want perm", th.Fault)
+	}
+}
+
+func TestByteLoadZeroExtends(t *testing.T) {
+	_, th := runOne(t, `
+		ldi r2, -1
+		st  r1, 0, r2
+		ldb r3, r1, 7    ; the top byte of 0xffff... is 0xff
+		halt
+	`, func(m *Machine, th *Thread) {
+		th.SetReg(1, dataSeg(t, m, 0x40000, 12).Word())
+	})
+	if th.State != Halted {
+		t.Fatal(th.Fault)
+	}
+	if th.Reg(3).Int() != 0xff {
+		t.Errorf("ldb = %d, want 255 (zero-extended)", th.Reg(3).Int())
+	}
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// Debugger attaches breakpoints, watchpoints and single-stepping to a
+// machine, built on the OnIssue observation hook plus its own memory
+// snapshots. It is a development facility of the simulator, not an
+// architectural feature — a real MAP would implement equivalents with
+// privileged exception vectors.
+type Debugger struct {
+	m *Machine
+
+	breakpoints map[uint64]bool
+	watchpoints map[uint64]word.Word // vaddr → last observed value
+
+	// Hit is set when a stop condition fires during Step/Continue.
+	Hit *DebugEvent
+
+	prevIssue func(*Thread, isa.Inst)
+}
+
+// DebugEvent describes why execution stopped.
+type DebugEvent struct {
+	Reason string // "breakpoint" or "watchpoint"
+	Thread *Thread
+	Addr   uint64
+	Old    word.Word // watchpoints: previous value
+	New    word.Word // watchpoints: observed value
+}
+
+func (e *DebugEvent) String() string {
+	switch e.Reason {
+	case "watchpoint":
+		return fmt.Sprintf("watchpoint @%#x: %v -> %v (thread %d)", e.Addr, e.Old, e.New, e.Thread.ID)
+	default:
+		return fmt.Sprintf("%s @%#x (thread %d)", e.Reason, e.Addr, e.Thread.ID)
+	}
+}
+
+// Attach creates a debugger on m. Only one debugger should be attached
+// at a time; it chains any existing OnIssue hook.
+func Attach(m *Machine) *Debugger {
+	d := &Debugger{
+		m:           m,
+		breakpoints: make(map[uint64]bool),
+		watchpoints: make(map[uint64]word.Word),
+		prevIssue:   m.OnIssue,
+	}
+	m.OnIssue = d.onIssue
+	return d
+}
+
+// Detach restores the machine's previous issue hook.
+func (d *Debugger) Detach() { d.m.OnIssue = d.prevIssue }
+
+// SetBreakpoint arms a breakpoint at the instruction address.
+func (d *Debugger) SetBreakpoint(vaddr uint64) { d.breakpoints[vaddr] = true }
+
+// ClearBreakpoint disarms it.
+func (d *Debugger) ClearBreakpoint(vaddr uint64) { delete(d.breakpoints, vaddr) }
+
+// Watch arms a watchpoint on the word at vaddr: execution stops at the
+// end of any cycle that changed it.
+func (d *Debugger) Watch(vaddr uint64) error {
+	w, err := d.m.Space.ReadWord(vaddr)
+	if err != nil {
+		return err
+	}
+	d.watchpoints[vaddr] = w
+	return nil
+}
+
+// Unwatch disarms a watchpoint.
+func (d *Debugger) Unwatch(vaddr uint64) { delete(d.watchpoints, vaddr) }
+
+func (d *Debugger) onIssue(t *Thread, inst isa.Inst) {
+	if d.prevIssue != nil {
+		d.prevIssue(t, inst)
+	}
+	if d.Hit == nil && d.breakpoints[t.IP.Addr()] {
+		d.Hit = &DebugEvent{Reason: "breakpoint", Thread: t, Addr: t.IP.Addr()}
+	}
+}
+
+// checkWatch scans watchpoints after a cycle; the last writer thread
+// is unknown at this granularity, so the event carries the machine's
+// most recently issued thread via the breakpoint path only.
+func (d *Debugger) checkWatch() {
+	if d.Hit != nil {
+		return
+	}
+	for addr, old := range d.watchpoints {
+		w, err := d.m.Space.ReadWord(addr)
+		if err != nil {
+			continue // page swapped/unmapped; keep the old snapshot
+		}
+		if w != old {
+			var th *Thread
+			if ts := d.m.Threads(); len(ts) > 0 {
+				th = ts[0]
+			}
+			d.Hit = &DebugEvent{Reason: "watchpoint", Thread: th, Addr: addr, Old: old, New: w}
+			d.watchpoints[addr] = w
+			return
+		}
+	}
+}
+
+// StepCycle advances the machine one cycle and reports any stop event.
+func (d *Debugger) StepCycle() *DebugEvent {
+	d.Hit = nil
+	d.m.Step()
+	d.checkWatch()
+	return d.Hit
+}
+
+// Continue runs until a breakpoint/watchpoint fires, every thread
+// finishes, or maxCycles elapse. It returns the stop event, or nil.
+func (d *Debugger) Continue(maxCycles uint64) *DebugEvent {
+	d.Hit = nil
+	for i := uint64(0); i < maxCycles && !d.m.Done(); i++ {
+		d.m.Step()
+		d.checkWatch()
+		if d.Hit != nil {
+			return d.Hit
+		}
+	}
+	return nil
+}
+
+// Disassemble returns the instruction at vaddr, if it decodes.
+func (d *Debugger) Disassemble(vaddr uint64) (string, error) {
+	w, err := d.m.Space.ReadWord(vaddr)
+	if err != nil {
+		return "", err
+	}
+	inst, err := isa.Decode(w)
+	if err != nil {
+		return "", err
+	}
+	return inst.String(), nil
+}

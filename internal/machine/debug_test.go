@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func debugMachine(t *testing.T, src string) (*Machine, *Thread, *Debugger, uint64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 0x10000
+	ip := loadAt(t, m, src, base, false)
+	th, _ := m.AddThread(0)
+	th.SetIP(ip)
+	return m, th, Attach(m), base
+}
+
+func TestBreakpoint(t *testing.T) {
+	_, th, d, base := debugMachine(t, `
+		ldi r1, 1
+		ldi r2, 2
+		ldi r3, 3
+		halt
+	`)
+	d.SetBreakpoint(base + 16) // third instruction
+	ev := d.Continue(1000)
+	if ev == nil || ev.Reason != "breakpoint" || ev.Addr != base+16 {
+		t.Fatalf("event = %v", ev)
+	}
+	// The breakpointed instruction has issued; r3 set, thread running.
+	if th.Reg(3).Int() != 3 {
+		t.Errorf("r3 = %d at breakpoint", th.Reg(3).Int())
+	}
+	if th.State == Halted {
+		t.Error("stopped after halt, not at breakpoint")
+	}
+	// Clearing lets it finish.
+	d.ClearBreakpoint(base + 16)
+	if ev := d.Continue(1000); ev != nil {
+		t.Errorf("spurious stop: %v", ev)
+	}
+	if th.State != Halted {
+		t.Error("program did not complete")
+	}
+}
+
+func TestBreakpointInLoopHitsRepeatedly(t *testing.T) {
+	_, _, d, base := debugMachine(t, `
+		ldi r1, 3
+	loop:
+		subi r1, r1, 1
+		bnez r1, loop
+		halt
+	`)
+	d.SetBreakpoint(base + 8) // the subi
+	hits := 0
+	for {
+		ev := d.Continue(1000)
+		if ev == nil {
+			break
+		}
+		hits++
+		if hits > 10 {
+			t.Fatal("runaway breakpoint")
+		}
+	}
+	if hits != 3 {
+		t.Errorf("hits = %d, want 3", hits)
+	}
+}
+
+func TestWatchpoint(t *testing.T) {
+	m, th, d, _ := debugMachine(t, `
+		ldi r2, 11
+		ldi r3, 0
+		ldi r3, 0      ; filler
+		st  r1, 8, r2  ; fires the watchpoint
+		ldi r4, 99
+		halt
+	`)
+	seg := dataSeg(t, m, 0x40000, 12)
+	th.SetReg(1, seg.Word())
+	if err := d.Watch(0x40008); err != nil {
+		t.Fatal(err)
+	}
+	ev := d.Continue(1000)
+	if ev == nil || ev.Reason != "watchpoint" {
+		t.Fatalf("event = %v", ev)
+	}
+	if ev.Addr != 0x40008 || ev.New.Int() != 11 || !ev.Old.IsZero() {
+		t.Errorf("event = %v", ev)
+	}
+	// Execution stopped promptly: the instruction after the store has
+	// not set r4 yet... (it stops at end of the same cycle; r4 is set
+	// on a later cycle).
+	if th.Reg(4).Int() == 99 {
+		t.Error("watchpoint fired late")
+	}
+	d.Unwatch(0x40008)
+	if ev := d.Continue(1000); ev != nil {
+		t.Errorf("spurious stop: %v", ev)
+	}
+}
+
+func TestWatchOnBadAddress(t *testing.T) {
+	_, _, d, _ := debugMachine(t, "halt")
+	if err := d.Watch(0xdead000); err == nil {
+		t.Error("watch on unmapped address accepted")
+	}
+}
+
+func TestStepCycle(t *testing.T) {
+	m, th, d, _ := debugMachine(t, `
+		ldi r1, 7
+		ldi r2, 8
+		halt
+	`)
+	if ev := d.StepCycle(); ev != nil {
+		t.Errorf("unexpected event: %v", ev)
+	}
+	if th.Reg(1).Int() != 7 || th.Reg(2).Int() != 0 {
+		t.Errorf("after one cycle: r1=%d r2=%d", th.Reg(1).Int(), th.Reg(2).Int())
+	}
+	d.StepCycle()
+	if th.Reg(2).Int() != 8 {
+		t.Error("second cycle did not execute")
+	}
+	_ = m
+}
+
+func TestDisassembleAndDetach(t *testing.T) {
+	m, _, d, base := debugMachine(t, "ldi r5, 123\nhalt")
+	s, err := d.Disassemble(base)
+	if err != nil || s != "ldi r5, 123" {
+		t.Errorf("disassemble = %q, %v", s, err)
+	}
+	if _, err := d.Disassemble(0xbad000); err == nil {
+		t.Error("disassemble of unmapped address succeeded")
+	}
+	d.Detach()
+	d.SetBreakpoint(base)
+	m.Run(1000)
+	if d.Hit != nil {
+		t.Error("detached debugger still observed issues")
+	}
+}
+
+func TestDebugEventString(t *testing.T) {
+	th := &Thread{ID: 3}
+	bp := &DebugEvent{Reason: "breakpoint", Thread: th, Addr: 0x10}
+	wp := &DebugEvent{Reason: "watchpoint", Thread: th, Addr: 0x20,
+		Old: word.FromInt(1), New: word.FromInt(2)}
+	if bp.String() == "" || wp.String() == "" {
+		t.Error("empty event strings")
+	}
+}

@@ -1,0 +1,464 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/word"
+)
+
+// execute runs one instruction for t at the current cycle.
+//
+// Fault discipline: protection faults are raised *before* any state is
+// committed and do not advance the instruction pointer, so a fault
+// handler that repairs the cause (e.g. maps a page) can simply return
+// true and the instruction re-executes. TRAP is the exception — it
+// advances the IP first, so the kernel's return path resumes after the
+// trap.
+func (m *Machine) execute(t *Thread) {
+	if t.IP.Addr()%word.BytesPerWord != 0 {
+		m.fault(t, &core.Fault{Code: core.FaultBounds, Op: "FETCH", Msg: "unaligned instruction pointer"})
+		return
+	}
+	var w word.Word
+	var err error
+	var fetchDone uint64
+	if m.Remote != nil && m.Remote.IsRemote(t.IP.Addr()) {
+		// Execute pointers are valid machine-wide (Sec 3): running code
+		// homed on another node fetches each instruction over the mesh.
+		// Correct, and deliberately slow — real software migrates code.
+		w, fetchDone, err = m.Remote.ReadWord(t.IP.Addr(), m.cycle)
+	} else {
+		w, err = m.Space.ReadWord(t.IP.Addr())
+	}
+	if err != nil {
+		m.fault(t, err)
+		return
+	}
+	if fetchDone > 0 {
+		defer func() {
+			if t.State == Ready && fetchDone > m.cycle+1 {
+				t.State = Blocked
+				t.blockedUntil = fetchDone
+			} else if t.State == Blocked && fetchDone > t.blockedUntil {
+				t.blockedUntil = fetchDone
+			}
+		}()
+	}
+	inst, err := isa.Decode(w)
+	if err != nil {
+		m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: err.Error()})
+		return
+	}
+	if m.OnIssue != nil {
+		m.OnIssue(t, inst)
+	}
+
+	r := &t.Regs
+	intA := func() int64 { return r[inst.Ra].Int() }
+	intB := func() int64 { return r[inst.Rb].Int() }
+	// setInt writes an untagged integer result: any pointer operand of
+	// a non-pointer operation has its tag cleared in the result
+	// (Sec 2.2).
+	setInt := func(v int64) { r[inst.Rd] = word.FromInt(v) }
+	setBool := func(b bool) {
+		if b {
+			setInt(1)
+		} else {
+			setInt(0)
+		}
+	}
+	// setPtr commits a pointer result from a checked operation.
+	setPtr := func(p core.Pointer, err error) bool {
+		if err != nil {
+			m.fault(t, err)
+			return false
+		}
+		r[inst.Rd] = p.Word()
+		return true
+	}
+
+	switch inst.Op {
+	case isa.NOP:
+	case isa.HALT:
+		t.State = Halted
+		m.retire(t)
+		return
+
+	case isa.ADD:
+		setInt(intA() + intB())
+	case isa.ADDI:
+		setInt(intA() + inst.Imm)
+	case isa.SUB:
+		setInt(intA() - intB())
+	case isa.SUBI:
+		setInt(intA() - inst.Imm)
+	case isa.MUL:
+		setInt(intA() * intB())
+	case isa.AND:
+		setInt(intA() & intB())
+	case isa.OR:
+		setInt(intA() | intB())
+	case isa.XOR:
+		setInt(intA() ^ intB())
+	case isa.SHL:
+		setInt(intA() << (uint64(intB()) & 63))
+	case isa.SHLI:
+		setInt(intA() << (uint64(inst.Imm) & 63))
+	case isa.SHR:
+		setInt(int64(uint64(intA()) >> (uint64(intB()) & 63)))
+	case isa.SHRI:
+		setInt(int64(uint64(intA()) >> (uint64(inst.Imm) & 63)))
+	case isa.SLT:
+		setBool(intA() < intB())
+	case isa.SLTI:
+		setBool(intA() < inst.Imm)
+	case isa.SEQ:
+		setBool(r[inst.Ra] == r[inst.Rb])
+	case isa.SEQI:
+		setBool(intA() == inst.Imm)
+	case isa.MOV:
+		r[inst.Rd] = r[inst.Ra] // verbatim copy: copying a capability is legal
+	case isa.LDI:
+		setInt(inst.Imm)
+
+	case isa.BR:
+		m.branch(t, inst.Imm)
+		return
+	case isa.BEQZ:
+		if intA() == 0 {
+			m.branch(t, inst.Imm)
+			return
+		}
+	case isa.BNEZ:
+		if intA() != 0 {
+			m.branch(t, inst.Imm)
+			return
+		}
+
+	case isa.JMP, isa.JMPL:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		ip, err := core.JumpTarget(p)
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		if ip.Addr()%word.BytesPerWord != 0 {
+			m.fault(t, &core.Fault{Code: core.FaultBounds, Op: "JMP", Msg: "unaligned jump target"})
+			return
+		}
+		if inst.Op == isa.JMPL {
+			ret, err := core.LEA(t.IP, word.BytesPerWord)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			r[inst.Rd] = ret.Word()
+		}
+		t.IP = ip
+		m.retire(t)
+		return
+
+	case isa.TRAP:
+		// Advance first: the kernel resumes the thread after the trap.
+		if !m.advance(t) {
+			return
+		}
+		m.stats.Traps++
+		m.retire(t)
+		if m.OnTrap == nil {
+			m.fault(t, &core.Fault{Code: core.FaultPriv, Op: "TRAP", Msg: "no trap handler installed"})
+			return
+		}
+		if m.cfg.TrapCost > 0 {
+			t.State = Blocked
+			t.blockedUntil = m.cycle + m.cfg.TrapCost
+		}
+		if err := m.OnTrap(m, t, inst.Imm); err != nil {
+			m.fault(t, err)
+		}
+		return
+
+	case isa.LD:
+		p, ok := m.effectiveAddress(t, inst, false)
+		if !ok {
+			return
+		}
+		var v word.Word
+		var done uint64
+		var err error
+		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
+			v, done, err = m.Remote.ReadWord(p.Addr(), m.cycle)
+		} else {
+			v, done, err = m.Cache.ReadWord(p.Addr(), m.cycle)
+		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		r[inst.Rd] = v
+		m.block(t, done)
+	case isa.ST:
+		p, ok := m.effectiveAddress(t, inst, true)
+		if !ok {
+			return
+		}
+		var done uint64
+		var err error
+		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
+			done, err = m.Remote.WriteWord(p.Addr(), r[inst.Rb], m.cycle)
+		} else {
+			done, err = m.Cache.WriteWord(p.Addr(), r[inst.Rb], m.cycle)
+		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		m.block(t, done)
+
+	case isa.LDB:
+		p, ok := m.effectiveAddressSized(t, inst, false, 1)
+		if !ok {
+			return
+		}
+		var bval byte
+		var done uint64
+		var err error
+		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
+			var wv word.Word
+			wv, done, err = m.Remote.ReadWord(p.Addr()&^7, m.cycle)
+			bval = byte(wv.Bits >> ((p.Addr() & 7) * 8))
+		} else {
+			done, _, err = m.Cache.Access(p.Addr(), false, m.cycle)
+			if err == nil {
+				bval, err = m.Space.ByteAt(p.Addr())
+			}
+		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		setInt(int64(bval))
+		m.block(t, done)
+	case isa.STB:
+		p, ok := m.effectiveAddressSized(t, inst, true, 1)
+		if !ok {
+			return
+		}
+		bval := byte(r[inst.Rb].Bits)
+		var done uint64
+		var err error
+		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
+			// Remote read-modify-write of the containing word; the tag
+			// is cleared like any partial overwrite.
+			base := p.Addr() &^ 7
+			var wv word.Word
+			wv, done, err = m.Remote.ReadWord(base, m.cycle)
+			if err == nil {
+				shift := (p.Addr() & 7) * 8
+				wv.Bits = wv.Bits&^(uint64(0xff)<<shift) | uint64(bval)<<shift
+				wv.Tag = false
+				done, err = m.Remote.WriteWord(base, wv, done)
+			}
+		} else {
+			done, _, err = m.Cache.Access(p.Addr(), true, m.cycle)
+			if err == nil {
+				err = m.Space.SetByteAt(p.Addr(), bval)
+			}
+		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		m.block(t, done)
+
+	case isa.LEA, isa.LEAI, isa.LEAB, isa.LEABI:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		off := inst.Imm
+		if inst.Op == isa.LEA || inst.Op == isa.LEAB {
+			off = intB()
+		}
+		if inst.Op == isa.LEA || inst.Op == isa.LEAI {
+			if !setPtr(core.LEA(p, off)) {
+				return
+			}
+		} else {
+			if !setPtr(core.LEAB(p, off)) {
+				return
+			}
+		}
+	case isa.RESTRICT:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		if !setPtr(core.Restrict(p, core.Perm(r[inst.Rb].Uint()&0xf))) {
+			return
+		}
+	case isa.SUBSEG:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		if !setPtr(core.SubSeg(p, uint(r[inst.Rb].Uint()&0x3f))) {
+			return
+		}
+	case isa.SETPTR:
+		if !setPtr(core.SetPtr(r[inst.Ra], t.Privileged())) {
+			return
+		}
+	case isa.ISPTR:
+		setBool(core.IsPointer(r[inst.Ra]))
+	case isa.GETPERM:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		setInt(int64(p.Perm()))
+	case isa.GETLEN:
+		p, err := core.Decode(r[inst.Ra])
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		setInt(int64(p.LogLen()))
+	case isa.MOVIP:
+		r[inst.Rd] = t.IP.Word()
+
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FSLT:
+		// Floating-point operands ride in untagged words as IEEE-754
+		// bits; feeding a pointer to an FP unit clears its tag like any
+		// other non-pointer operation.
+		a := math.Float64frombits(r[inst.Ra].Uint())
+		bv := math.Float64frombits(r[inst.Rb].Uint())
+		switch inst.Op {
+		case isa.FADD:
+			r[inst.Rd] = word.FromUint(math.Float64bits(a + bv))
+		case isa.FSUB:
+			r[inst.Rd] = word.FromUint(math.Float64bits(a - bv))
+		case isa.FMUL:
+			r[inst.Rd] = word.FromUint(math.Float64bits(a * bv))
+		case isa.FDIV:
+			r[inst.Rd] = word.FromUint(math.Float64bits(a / bv))
+		case isa.FSLT:
+			setBool(a < bv)
+		}
+	case isa.ITOF:
+		r[inst.Rd] = word.FromUint(math.Float64bits(float64(intA())))
+	case isa.FTOI:
+		setInt(int64(math.Float64frombits(r[inst.Ra].Uint())))
+	}
+
+	if m.advance(t) {
+		m.retire(t)
+	}
+}
+
+// effectiveAddress performs the full pre-issue check sequence of
+// Sec 2.2 for a word load or store: decode the pointer operand, apply
+// the displacement with a bounds-checked LEA, check the permission and
+// the access span, and require natural alignment. After it succeeds
+// "the access is guaranteed not to cause a protection violation".
+func (m *Machine) effectiveAddress(t *Thread, inst isa.Inst, write bool) (core.Pointer, bool) {
+	return m.effectiveAddressSized(t, inst, write, word.BytesPerWord)
+}
+
+// effectiveAddressSized is effectiveAddress for an access of the given
+// size in bytes; byte accesses (size 1) have no alignment requirement,
+// which is how single-byte segments become usable.
+func (m *Machine) effectiveAddressSized(t *Thread, inst isa.Inst, write bool, size uint64) (core.Pointer, bool) {
+	addrWord := t.Regs[inst.Ra]
+	if inst.Imm != 0 {
+		p, err := core.Decode(addrWord)
+		if err != nil {
+			m.fault(t, err)
+			return core.Pointer{}, false
+		}
+		p, err = core.LEA(p, inst.Imm)
+		if err != nil {
+			m.fault(t, err)
+			return core.Pointer{}, false
+		}
+		addrWord = p.Word()
+	}
+	var p core.Pointer
+	var err error
+	if write {
+		p, err = core.CheckStore(addrWord, size)
+	} else {
+		p, err = core.CheckLoad(addrWord, size)
+	}
+	if err != nil {
+		m.fault(t, err)
+		return core.Pointer{}, false
+	}
+	if p.Addr()%size != 0 {
+		m.fault(t, &core.Fault{Code: core.FaultBounds, Op: "MEM", Msg: "unaligned access"})
+		return core.Pointer{}, false
+	}
+	return p, true
+}
+
+// branch moves the IP by imm instructions relative to the *next*
+// instruction, through a bounds-checked LEA — control flow cannot leave
+// the code segment.
+func (m *Machine) branch(t *Thread, imm int64) {
+	ip, err := core.LEA(t.IP, (imm+1)*word.BytesPerWord)
+	if err != nil {
+		m.fault(t, err)
+		return
+	}
+	t.IP = ip
+	m.retire(t)
+}
+
+// advance steps the IP to the next instruction; a bounds fault here
+// means the thread ran off the end of its code segment.
+func (m *Machine) advance(t *Thread) bool {
+	ip, err := core.LEA(t.IP, word.BytesPerWord)
+	if err != nil {
+		m.fault(t, err)
+		return false
+	}
+	t.IP = ip
+	return true
+}
+
+// block parks the thread until its outstanding memory reference
+// completes. A thread blocked until cycle+1 is ready again on the very
+// next cycle, so single-cycle cache hits sustain one instruction per
+// cycle.
+func (m *Machine) block(t *Thread, done uint64) {
+	if done > m.cycle+1 {
+		t.State = Blocked
+		t.blockedUntil = done
+	}
+}
+
+func (m *Machine) retire(t *Thread) {
+	t.Instret++
+	m.stats.Instructions++
+}
+
+// fault routes a protection or translation fault to the kernel handler
+// or, absent one, terminates the thread.
+func (m *Machine) fault(t *Thread, err error) {
+	m.stats.Faults++
+	if m.OnFault != nil && m.OnFault(m, t, err) {
+		return
+	}
+	t.State = Faulted
+	t.Fault = err
+}

@@ -1,0 +1,363 @@
+// Package machine is a cycle-level simulator of a MAP-like
+// multithreaded processor (Sec 3, Fig. 5): several clusters, each with a
+// set of resident hardware threads issued cycle-by-cycle, in front of a
+// banked virtually-addressed cache and a single external memory
+// interface.
+//
+// Protection is entirely the guarded-pointer checks of internal/core,
+// performed in the execution stage before a memory operation issues.
+// The simulator can optionally model the *competing* schemes' context-
+// switch costs (TLB flush, full purge) so experiment E6 can measure the
+// paper's zero-cost-switch claim against page-based protection on
+// identical workloads.
+//
+// Modeling notes (documented substitutions):
+//   - each cluster issues one instruction per cycle (the MAP's 3-wide
+//     LIW issue within a cluster is folded into that single slot; the
+//     protection arguments depend on threads×clusters, not intra-
+//     cluster ILP);
+//   - instruction fetch is ideal (no I-cache traffic); data references
+//     go through the banked cache with full bank/interface arbitration.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/word"
+)
+
+// Scheme selects the context-switch cost model applied when a cluster's
+// issue slot moves between threads of different protection domains.
+type Scheme int
+
+const (
+	// SchemeGuarded is the paper's design: protection travels in
+	// pointers, so a domain switch costs nothing.
+	SchemeGuarded Scheme = iota
+	// SchemeFlushTLB models separate per-process address spaces without
+	// ASIDs: each domain switch stalls the cluster and flushes the TLB
+	// (Sec 5.1, "the old translations must be flushed from the TLB").
+	SchemeFlushTLB
+	// SchemeFlushAll additionally purges the (virtually addressed)
+	// cache, as required when synonyms would otherwise leak data.
+	SchemeFlushAll
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeGuarded:
+		return "guarded-pointers"
+	case SchemeFlushTLB:
+		return "page-flush-tlb"
+	case SchemeFlushAll:
+		return "page-flush-all"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Config fixes the machine geometry and cost knobs.
+type Config struct {
+	Clusters        int
+	SlotsPerCluster int
+	PhysBytes       uint64
+	TLBEntries      int
+	Cache           cache.Config
+
+	Scheme        Scheme
+	SwitchPenalty uint64 // cycles to install a new protection domain (non-guarded schemes)
+	TrapCost      uint64 // pipeline-drain + vector cost of a TRAP
+
+	// WideIssue enables the MAP's LIW cluster model: up to one
+	// instruction per execution unit (integer, memory, floating point)
+	// issues per cluster per cycle from the selected thread, subject to
+	// dependence checks. Off by default so single-issue experiments are
+	// directly comparable with the baseline models.
+	WideIssue bool
+}
+
+// MMachine returns the configuration of the chip described in Sec 3:
+// 4 clusters × 4 user threads, 128KB 4-banked cache, 8MB memory.
+func MMachine() Config {
+	return Config{
+		Clusters:        4,
+		SlotsPerCluster: 4,
+		PhysBytes:       8 << 20,
+		TLBEntries:      64,
+		Cache:           cache.MMachine(),
+		Scheme:          SchemeGuarded,
+		SwitchPenalty:   24, // page-table-base swap + pipeline refill, used only by baselines
+		TrapCost:        100,
+	}
+}
+
+// Stats aggregates machine-level counters.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	IdleCycles   uint64 // cluster-cycles with no ready thread
+	StallCycles  uint64 // cluster-cycles lost to domain-switch penalties
+	Switches     uint64 // thread-to-thread issue changes
+	DomainSwaps  uint64 // switches that crossed protection domains
+	Traps        uint64
+	Faults       uint64
+	// IssuePackets counts cluster-cycles that issued at least one
+	// instruction; Instructions/IssuePackets is the achieved issue
+	// width under WideIssue.
+	IssuePackets uint64
+}
+
+// TrapHandler is the kernel hook invoked by the TRAP instruction. It
+// runs with the thread's state already advanced past the trap.
+type TrapHandler func(m *Machine, t *Thread, code int64) error
+
+// FaultHandler is the kernel hook for protection faults; returning true
+// means the fault was handled and the thread may continue.
+type FaultHandler func(m *Machine, t *Thread, err error) bool
+
+type clusterState struct {
+	slots      []*Thread
+	rr         int
+	lastThread *Thread
+	stallUntil uint64
+}
+
+// RemoteAccess connects the machine to a multicomputer interconnect:
+// addresses whose home is another node are satisfied over the network
+// instead of the local cache. The protection checks have already
+// happened in the local execution unit by the time these are called —
+// capabilities are valid machine-wide because every node shares the
+// single 54-bit address space (Sec 3).
+type RemoteAccess interface {
+	// IsRemote reports whether addr's home is another node.
+	IsRemote(addr uint64) bool
+	// ReadWord performs a remote load issued at cycle now, returning
+	// the word and its completion cycle.
+	ReadWord(addr uint64, now uint64) (word.Word, uint64, error)
+	// WriteWord performs a remote store issued at cycle now, returning
+	// its completion (acknowledge) cycle.
+	WriteWord(addr uint64, w word.Word, now uint64) (uint64, error)
+}
+
+// Machine is the simulated processor plus its memory system.
+type Machine struct {
+	cfg      Config
+	Space    *vm.Space
+	Cache    *cache.Cache
+	clusters []*clusterState
+	threads  []*Thread
+	cycle    uint64
+	stats    Stats
+
+	OnTrap  TrapHandler
+	OnFault FaultHandler
+
+	// OnIssue, when non-nil, observes every instruction as it issues
+	// (tracing/debugging; no architectural effect).
+	OnIssue func(t *Thread, inst isa.Inst)
+
+	// Remote, when non-nil, handles references to other nodes of a
+	// multicomputer.
+	Remote RemoteAccess
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Clusters <= 0 || cfg.SlotsPerCluster <= 0 {
+		return nil, fmt.Errorf("machine: non-positive geometry %+v", cfg)
+	}
+	space, err := vm.NewSpace(cfg.PhysBytes, cfg.TLBEntries)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New(space, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, Space: space, Cache: c}
+	for i := 0; i < cfg.Clusters; i++ {
+		m.clusters = append(m.clusters, &clusterState{slots: make([]*Thread, cfg.SlotsPerCluster)})
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Stats returns a copy of the counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Threads returns the resident threads in creation order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// AddThread installs a new hardware thread in the first free slot and
+// returns it. The caller (normally the kernel) must set IP and initial
+// registers before running.
+func (m *Machine) AddThread(domain int) (*Thread, error) {
+	for ci, cl := range m.clusters {
+		for si, s := range cl.slots {
+			if s == nil {
+				t := &Thread{
+					ID:      len(m.threads),
+					Domain:  domain,
+					State:   Ready,
+					cluster: ci,
+					slot:    si,
+				}
+				cl.slots[si] = t
+				m.threads = append(m.threads, t)
+				return t, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("machine: all %d thread slots occupied",
+		m.cfg.Clusters*m.cfg.SlotsPerCluster)
+}
+
+// RemoveThread frees the thread's slot (it must be Done).
+func (m *Machine) RemoveThread(t *Thread) error {
+	if !t.Done() {
+		return fmt.Errorf("machine: removing live thread %d", t.ID)
+	}
+	cl := m.clusters[t.cluster]
+	if cl.slots[t.slot] != t {
+		return fmt.Errorf("machine: thread %d not resident", t.ID)
+	}
+	cl.slots[t.slot] = nil
+	if cl.lastThread == t {
+		cl.lastThread = nil
+	}
+	for i, th := range m.threads {
+		if th == t {
+			m.threads = append(m.threads[:i], m.threads[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Done reports whether every resident thread has halted or faulted.
+func (m *Machine) Done() bool {
+	if len(m.threads) == 0 {
+		return true
+	}
+	for _, t := range m.threads {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the machine one cycle: each cluster independently picks
+// a ready thread (round-robin) and executes one instruction.
+func (m *Machine) Step() {
+	for _, cl := range m.clusters {
+		m.stepCluster(cl)
+	}
+	m.cycle++
+	m.stats.Cycles++
+}
+
+// Run steps until every thread is done or maxCycles elapse; it returns
+// the number of cycles executed.
+func (m *Machine) Run(maxCycles uint64) uint64 {
+	start := m.cycle
+	for !m.Done() && m.cycle-start < maxCycles {
+		m.Step()
+	}
+	return m.cycle - start
+}
+
+func (m *Machine) stepCluster(cl *clusterState) {
+	if cl.stallUntil > m.cycle {
+		m.stats.StallCycles++
+		return
+	}
+	t := m.pickThread(cl)
+	if t == nil {
+		m.stats.IdleCycles++
+		return
+	}
+	if t != cl.lastThread {
+		if cl.lastThread != nil {
+			m.stats.Switches++
+			if cl.lastThread.Domain != t.Domain {
+				m.stats.DomainSwaps++
+				if penalty := m.switchPenalty(); penalty > 0 {
+					// A page-based scheme must install the new domain
+					// before the thread may issue: stall the cluster
+					// and destroy the stale state.
+					cl.stallUntil = m.cycle + penalty
+					cl.lastThread = t
+					m.stats.StallCycles++
+					return
+				}
+			}
+		}
+		cl.lastThread = t
+	}
+	m.stats.IssuePackets++
+	if m.cfg.WideIssue {
+		m.executeWide(t)
+		return
+	}
+	m.execute(t)
+}
+
+// switchPenalty applies the selected scheme's domain-switch cost and
+// returns the stall length.
+func (m *Machine) switchPenalty() uint64 {
+	switch m.cfg.Scheme {
+	case SchemeFlushTLB:
+		m.Space.TLB.Flush()
+		return m.cfg.SwitchPenalty
+	case SchemeFlushAll:
+		m.Space.TLB.Flush()
+		m.Cache.InvalidateAll()
+		return m.cfg.SwitchPenalty
+	}
+	return 0
+}
+
+// pickThread selects the thread to issue this cycle. The guarded
+// scheme round-robins freely — switching threads is free, so fairness
+// wins. The flush-based schemes are sticky: they keep issuing from the
+// current thread while it is ready, because every cross-domain switch
+// costs a stall-and-flush. This is the paper's observation (Sec 1) that
+// such schemes "preclude interleaving threads from different protection
+// domains" made operational.
+func (m *Machine) pickThread(cl *clusterState) *Thread {
+	if m.cfg.Scheme != SchemeGuarded && cl.lastThread != nil {
+		t := cl.lastThread
+		if !t.Done() {
+			if t.State == Blocked && m.cycle >= t.blockedUntil {
+				t.State = Ready
+			}
+			if t.State == Ready {
+				return t
+			}
+		}
+	}
+	n := len(cl.slots)
+	for i := 1; i <= n; i++ {
+		t := cl.slots[(cl.rr+i)%n]
+		if t == nil || t.Done() {
+			continue
+		}
+		if t.State == Blocked {
+			if m.cycle < t.blockedUntil {
+				continue
+			}
+			t.State = Ready
+		}
+		cl.rr = (cl.rr + i) % n
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// TestEveryOpcodeSemantics runs one program touching every integer,
+// shift, comparison and conversion opcode and checks the exact result
+// values — a complement to the differential test, which checks
+// consistency but not absolute correctness.
+func TestEveryOpcodeSemantics(t *testing.T) {
+	_, th := runOne(t, `
+		ldi  r1, 100
+		ldi  r2, 7
+		add  r3, r1, r2    ; 107
+		sub  r4, r1, r2    ; 93
+		subi r5, r1, 1     ; 99
+		mul  r6, r1, r2    ; 700
+		and  r7, r1, r2    ; 100&7 = 4
+		or   r8, r1, r2    ; 100|7 = 103
+		xor  r9, r1, r2    ; 100^7 = 99
+		shl  r10, r2, r2   ; 7<<7 = 896
+		shli r11, r2, 2    ; 28
+		shr  r12, r1, r2   ; 100>>7 = 0
+		shri r13, r1, 2    ; 25
+		halt
+	`, nil)
+	if th.State != Halted {
+		t.Fatalf("fault: %v", th.Fault)
+	}
+	want := map[int]int64{3: 107, 4: 93, 5: 99, 6: 700, 7: 4, 8: 103, 9: 99,
+		10: 896, 11: 28, 12: 0, 13: 25}
+	for r, v := range want {
+		if got := th.Reg(r).Int(); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestComparisonOpcodes(t *testing.T) {
+	_, th := runOne(t, `
+		ldi  r1, -5
+		ldi  r2, 3
+		slt  r3, r1, r2    ; 1 (signed!)
+		slt  r4, r2, r1    ; 0
+		slti r5, r1, 0     ; 1
+		slti r6, r2, 0     ; 0
+		seq  r7, r1, r1    ; 1
+		seq  r8, r1, r2    ; 0
+		seqi r9, r2, 3     ; 1
+		seqi r10, r2, 4    ; 0
+		halt
+	`, nil)
+	if th.State != Halted {
+		t.Fatal(th.Fault)
+	}
+	want := map[int]int64{3: 1, 4: 0, 5: 1, 6: 0, 7: 1, 8: 0, 9: 1, 10: 0}
+	for r, v := range want {
+		if got := th.Reg(r).Int(); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestNegativeShiftsAndWraparound(t *testing.T) {
+	_, th := runOne(t, `
+		ldi  r1, -1
+		shri r2, r1, 60    ; logical: 0xf
+		ldi  r3, 1
+		shli r4, r3, 63    ; min int64
+		add  r5, r4, r4    ; wraps to 0
+		halt
+	`, nil)
+	if th.State != Halted {
+		t.Fatal(th.Fault)
+	}
+	if th.Reg(2).Int() != 0xf {
+		t.Errorf("logical shift = %#x", th.Reg(2).Int())
+	}
+	if th.Reg(5).Int() != 0 {
+		t.Errorf("wrap = %d", th.Reg(5).Int())
+	}
+}
+
+func TestFPDivisionEdgeCases(t *testing.T) {
+	_, th := runOne(t, `
+		ldi  r1, 1
+		itof r2, r1
+		ldi  r3, 0
+		itof r4, r3
+		fdiv r5, r2, r4    ; 1/0 = +Inf
+		fdiv r6, r4, r4    ; 0/0 = NaN
+		halt
+	`, nil)
+	if th.State != Halted {
+		t.Fatal(th.Fault)
+	}
+	if !math.IsInf(math.Float64frombits(th.Reg(5).Uint()), 1) {
+		t.Errorf("1/0 = %v", math.Float64frombits(th.Reg(5).Uint()))
+	}
+	if !math.IsNaN(math.Float64frombits(th.Reg(6).Uint())) {
+		t.Errorf("0/0 = %v", math.Float64frombits(th.Reg(6).Uint()))
+	}
+}
+
+func TestGetPermGetLenOnVariousPointers(t *testing.T) {
+	_, th := runOne(t, `
+		getperm r3, r1
+		getlen  r4, r1
+		getperm r5, r2
+		getlen  r6, r2
+		halt
+	`, func(m *Machine, th *Thread) {
+		th.SetReg(1, dataSeg(t, m, 0x40000, 12).Word())
+		// Enter pointers may be inspected (GETPERM reads, doesn't
+		// modify).
+		enter := mustEnter(t, m)
+		th.SetReg(2, enter)
+	})
+	if th.State != Halted {
+		t.Fatal(th.Fault)
+	}
+	if th.Reg(3).Int() != 3 || th.Reg(4).Int() != 12 {
+		t.Errorf("rw ptr fields: perm=%d len=%d", th.Reg(3).Int(), th.Reg(4).Int())
+	}
+	if th.Reg(5).Int() != 6 {
+		t.Errorf("enter perm = %d", th.Reg(5).Int())
+	}
+	_ = th.Reg(6)
+}
+
+func mustEnter(t *testing.T, m *Machine) word.Word {
+	t.Helper()
+	p := loadAt(t, m, "halt", 0x60000, false)
+	e, err := core.Restrict(p, core.PermEnterUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Word()
+}

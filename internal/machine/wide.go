@@ -1,0 +1,85 @@
+package machine
+
+import "repro/internal/isa"
+
+// executeWide models the MAP cluster's LIW issue (Sec 3: "the three
+// execution units in a cluster are allocated and statically scheduled
+// as a long instruction word processor"): up to one instruction per
+// unit — integer, memory, floating point — issues from the selected
+// thread in one cycle.
+//
+// The compiler's static schedule is approximated by an in-order packet
+// builder with hardware-visible rules: a packet ends at the first
+//
+//   - repeated unit (two integer ops can't co-issue),
+//   - true dependence on a register written earlier in the packet,
+//   - control-flow instruction (it may issue as the packet's last op),
+//   - undecodable word or faulting/blocking instruction.
+//
+// Executing the packet serially within the cycle is safe because the
+// dependence check forbids exactly the orders where serial execution
+// would diverge from parallel-read semantics.
+func (m *Machine) executeWide(t *Thread) {
+	var unitsUsed [isa.NumUnits]bool
+	var written [isa.NumRegs]bool
+	var srcs []int
+
+	for slot := 0; slot < isa.NumUnits; slot++ {
+		if t.State != Ready {
+			return // blocked, halted or faulted mid-packet
+		}
+		// Peek at the next instruction; malformed fetches are handled
+		// (and faulted) by execute itself on the first slot.
+		w, err := m.Space.ReadWord(t.IP.Addr())
+		if err != nil {
+			if slot == 0 {
+				m.execute(t)
+			}
+			return
+		}
+		inst, derr := isa.Decode(w)
+		if derr != nil {
+			if slot == 0 {
+				m.execute(t)
+			}
+			return
+		}
+		u := inst.Op.Unit()
+		if unitsUsed[u] {
+			return // structural hazard: unit already claimed this cycle
+		}
+		if slot > 0 {
+			srcs = srcs[:0]
+			hazard := false
+			for _, r := range inst.SrcRegs(srcs) {
+				if written[r] {
+					hazard = true
+					break
+				}
+			}
+			if d := inst.DestReg(); d >= 0 && written[d] {
+				hazard = true // WAW within a packet is also illegal
+			}
+			if hazard {
+				return
+			}
+		}
+		unitsUsed[u] = true
+		if d := inst.DestReg(); d >= 0 {
+			written[d] = true
+		}
+		ipBefore := t.IP
+		m.execute(t)
+		if t.State == Faulted {
+			return
+		}
+		// A taken branch/jump/trap redirects the stream: end the packet.
+		if inst.Op.IsControl() {
+			return
+		}
+		// If a fault handler elected to retry (IP unchanged), stop.
+		if t.IP == ipBefore {
+			return
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mem
+
+import "fmt"
+
+// FrameAllocator hands out fixed-size physical page frames from a
+// Memory. Physical space "is allocated on a page-by-page basis,
+// independent of segmentation" (Sec 4.2), which is why power-of-two
+// segment rounding wastes little physical memory: only the touched pages
+// of a segment ever get frames.
+type FrameAllocator struct {
+	frameSize uint64
+	free      []uint64 // physical base addresses, LIFO
+	total     int
+}
+
+// NewFrameAllocator covers the whole of m with frames of frameSize bytes
+// (a power of two dividing the memory size).
+func NewFrameAllocator(m *Memory, frameSize uint64) (*FrameAllocator, error) {
+	if frameSize == 0 || frameSize&(frameSize-1) != 0 {
+		return nil, fmt.Errorf("mem: frame size %d is not a power of two", frameSize)
+	}
+	if m.Size()%frameSize != 0 {
+		return nil, fmt.Errorf("mem: memory size %d not a multiple of frame size %d", m.Size(), frameSize)
+	}
+	n := m.Size() / frameSize
+	fa := &FrameAllocator{frameSize: frameSize, total: int(n)}
+	// Hand out low addresses first: push in reverse so the LIFO pops
+	// ascending, which keeps test output and memory dumps readable.
+	for i := int64(n) - 1; i >= 0; i-- {
+		fa.free = append(fa.free, uint64(i)*frameSize)
+	}
+	return fa, nil
+}
+
+// FrameSize returns the frame size in bytes.
+func (fa *FrameAllocator) FrameSize() uint64 { return fa.frameSize }
+
+// Free returns the number of free frames.
+func (fa *FrameAllocator) Free() int { return len(fa.free) }
+
+// Total returns the total number of frames.
+func (fa *FrameAllocator) Total() int { return fa.total }
+
+// Alloc returns the physical base address of a free frame.
+func (fa *FrameAllocator) Alloc() (uint64, error) {
+	if len(fa.free) == 0 {
+		return 0, fmt.Errorf("mem: out of physical frames (%d in use)", fa.total)
+	}
+	f := fa.free[len(fa.free)-1]
+	fa.free = fa.free[:len(fa.free)-1]
+	return f, nil
+}
+
+// Release returns a frame to the allocator. The caller is responsible
+// for zeroing it (Memory.ZeroRange) before reuse across protection
+// domains.
+func (fa *FrameAllocator) Release(paddr uint64) error {
+	if paddr%fa.frameSize != 0 {
+		return fmt.Errorf("mem: release of unaligned frame %#x", paddr)
+	}
+	if len(fa.free) >= fa.total {
+		return fmt.Errorf("mem: double release of frame %#x", paddr)
+	}
+	fa.free = append(fa.free, paddr)
+	return nil
+}
+
+// Claim removes the specific frame at paddr from the free list — the
+// restore path for checkpointed page placements. It fails if the frame
+// is not free.
+func (fa *FrameAllocator) Claim(paddr uint64) error {
+	if paddr%fa.frameSize != 0 {
+		return fmt.Errorf("mem: claim of unaligned frame %#x", paddr)
+	}
+	for i, f := range fa.free {
+		if f == paddr {
+			fa.free = append(fa.free[:i], fa.free[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: frame %#x is not free", paddr)
+}

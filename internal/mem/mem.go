@@ -1,0 +1,146 @@
+// Package mem models the physical memory of a guarded-pointer machine:
+// a word-oriented store in which every 64-bit word carries the extra tag
+// bit (Sec 4.1: "a single tag bit is required on all memory words"). The
+// package also provides the physical frame allocator used by the paging
+// layer.
+//
+// Physical memory is word-addressable through byte addresses; the
+// machine's loads and stores operate on naturally aligned 64-bit words,
+// matching the M-Machine's 64-bit data types (Sec 3).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Memory is a tagged physical memory. The tag plane is stored separately
+// from the data plane, one bit per word, exactly mirroring the hardware
+// cost accounting of Sec 4.1.
+type Memory struct {
+	data []uint64
+	tags []uint64 // bitmap, 1 bit per word
+}
+
+// New returns a physical memory of the given size in bytes, rounded up
+// to a whole number of words. All words are untagged zero.
+func New(sizeBytes uint64) *Memory {
+	words := (sizeBytes + word.BytesPerWord - 1) / word.BytesPerWord
+	return &Memory{
+		data: make([]uint64, words),
+		tags: make([]uint64, (words+63)/64),
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) * word.BytesPerWord }
+
+// Words returns the memory size in words.
+func (m *Memory) Words() uint64 { return uint64(len(m.data)) }
+
+func (m *Memory) index(paddr uint64, op string) (uint64, error) {
+	if paddr%word.BytesPerWord != 0 {
+		return 0, fmt.Errorf("mem: %s at %#x: unaligned word access", op, paddr)
+	}
+	i := paddr / word.BytesPerWord
+	if i >= uint64(len(m.data)) {
+		return 0, fmt.Errorf("mem: %s at %#x: beyond physical memory (%d bytes)", op, paddr, m.Size())
+	}
+	return i, nil
+}
+
+// ReadWord returns the tagged word at physical byte address paddr, which
+// must be word-aligned and in range.
+func (m *Memory) ReadWord(paddr uint64) (word.Word, error) {
+	i, err := m.index(paddr, "read")
+	if err != nil {
+		return word.Word{}, err
+	}
+	return word.Word{Bits: m.data[i], Tag: m.tagAt(i)}, nil
+}
+
+// WriteWord stores the tagged word w at physical byte address paddr.
+func (m *Memory) WriteWord(paddr uint64, w word.Word) error {
+	i, err := m.index(paddr, "write")
+	if err != nil {
+		return err
+	}
+	m.data[i] = w.Bits
+	m.setTag(i, w.Tag)
+	return nil
+}
+
+func (m *Memory) tagAt(i uint64) bool { return m.tags[i/64]>>(i%64)&1 != 0 }
+
+func (m *Memory) setTag(i uint64, t bool) {
+	if t {
+		m.tags[i/64] |= 1 << (i % 64)
+	} else {
+		m.tags[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// ZeroRange clears size bytes starting at paddr (word aligned), data and
+// tags both — this is what frame recycling does before handing memory to
+// a new owner so stale pointers can never leak between protection
+// domains.
+func (m *Memory) ZeroRange(paddr, size uint64) error {
+	if size%word.BytesPerWord != 0 {
+		return fmt.Errorf("mem: zero range size %#x not word aligned", size)
+	}
+	for off := uint64(0); off < size; off += word.BytesPerWord {
+		if err := m.WriteWord(paddr+off, word.Word{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaggedWordsIn counts the tagged (pointer) words in the size-byte range
+// at paddr. The address-space garbage collector uses this scan: "pointers
+// are self identifying via the tag bit" (Sec 4.3).
+func (m *Memory) TaggedWordsIn(paddr, size uint64) (int, error) {
+	n := 0
+	for off := uint64(0); off+word.BytesPerWord <= size; off += word.BytesPerWord {
+		w, err := m.ReadWord(paddr + off)
+		if err != nil {
+			return n, err
+		}
+		if w.Tag {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ByteAt returns the byte at paddr (any alignment). The tag of the
+// containing word is irrelevant to a byte read — bytes are data.
+func (m *Memory) ByteAt(paddr uint64) (byte, error) {
+	w, err := m.ReadWord(paddr &^ 7)
+	if err != nil {
+		return 0, err
+	}
+	return byte(w.Bits >> ((paddr & 7) * 8)), nil
+}
+
+// SetByteAt stores one byte at paddr. Overwriting any byte of a word
+// that holds a guarded pointer CLEARS the word's tag: a partially
+// overwritten capability is no capability at all, which is what makes
+// byte stores safe to allow everywhere.
+func (m *Memory) SetByteAt(paddr uint64, b byte) error {
+	base := paddr &^ 7
+	w, err := m.ReadWord(base)
+	if err != nil {
+		return err
+	}
+	shift := (paddr & 7) * 8
+	w.Bits = w.Bits&^(uint64(0xff)<<shift) | uint64(b)<<shift
+	w.Tag = false
+	return m.WriteWord(base, w)
+}
+
+// OverheadBytes returns the storage cost of the tag plane in bytes
+// (rounded up), the "small increase in the amount of memory required"
+// of Sec 4.1.
+func (m *Memory) OverheadBytes() uint64 { return uint64(len(m.tags)) * 8 }

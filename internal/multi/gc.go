@@ -1,0 +1,105 @@
+package multi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// CollectAddressSpace garbage-collects the entire machine-wide virtual
+// address space: the mark phase chases tag bits across node boundaries
+// (a capability on node A keeps a segment on node B alive), then every
+// node frees its unmarked segments. This is the Sec 4.3 procedure —
+// "recursively scanning the reachable segments from all live processes"
+// — applied to the multicomputer's single global space, where it needs
+// no coordination protocol beyond reading memory: reachability is a
+// property of the data itself.
+func (s *System) CollectAddressSpace(roots []word.Word) (GCStats, error) {
+	var st GCStats
+	marked := make(map[uint64]bool) // segment bases are globally unique
+	var queue []uint64
+
+	mark := func(w word.Word) {
+		if !w.Tag {
+			return
+		}
+		p, err := core.Decode(w)
+		if err != nil {
+			return
+		}
+		home := HomeOf(p.Addr())
+		if home >= len(s.Nodes) {
+			return
+		}
+		base, _, _, ok := s.Nodes[home].K.SegmentAt(p.Addr())
+		if !ok || marked[base] {
+			return
+		}
+		marked[base] = true
+		queue = append(queue, base)
+	}
+
+	for _, w := range roots {
+		st.RootPointers++
+		mark(w)
+	}
+	for _, n := range s.Nodes {
+		for _, t := range n.K.M.Threads() {
+			mark(t.IP.Word())
+			for _, w := range t.Regs {
+				mark(w)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		base := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		home := HomeOf(base)
+		k := s.Nodes[home].K
+		_, logLen, revoked, ok := k.SegmentAt(base)
+		if !ok {
+			return st, fmt.Errorf("multi: marked segment %#x vanished", base)
+		}
+		if revoked {
+			continue // unmapped contents: nothing to scan
+		}
+		size := uint64(1) << logLen
+		for off := uint64(0); off < size; off += word.BytesPerWord {
+			w, err := k.M.Space.ReadWord(base + off)
+			if err != nil {
+				return st, err
+			}
+			st.WordsScanned++
+			mark(w)
+		}
+	}
+
+	st.LiveSegments = len(marked)
+	for _, n := range s.Nodes {
+		for _, base := range n.K.SegmentBases() {
+			if marked[base] {
+				continue
+			}
+			_, logLen, _, _ := n.K.SegmentAt(base)
+			p, err := core.Make(core.PermReadWrite, logLen, base)
+			if err != nil {
+				return st, err
+			}
+			if err := n.K.FreeSegment(p); err != nil {
+				return st, err
+			}
+			st.FreedSegments++
+		}
+	}
+	return st, nil
+}
+
+// GCStats mirrors kernel.GCStats for the machine-wide collection.
+type GCStats struct {
+	RootPointers  int
+	LiveSegments  int
+	FreedSegments int
+	WordsScanned  uint64
+}

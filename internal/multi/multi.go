@@ -1,0 +1,165 @@
+// Package multi assembles the full M-Machine multicomputer of Sec 3:
+// multithreaded MAP nodes on a 3-dimensional mesh, all sharing one
+// 54-bit byte-addressable global address space.
+//
+// The address space is partitioned by high address bits: node i is the
+// home of addresses [i·2^NodeShift, (i+1)·2^NodeShift). A guarded
+// pointer minted on any node is valid machine-wide — when a thread
+// dereferences an address homed elsewhere, the (already protection-
+// checked) access travels the mesh as a read/write transaction and is
+// serviced by the home node's banked cache. No inter-node protection
+// state exists: capability transfer between nodes is just sending a
+// tagged word.
+package multi
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/word"
+)
+
+// NodeShift is the number of address bits each node owns: 4GB per
+// node, leaving room for 2^22 nodes in the 54-bit space.
+const NodeShift = 32
+
+// Config fixes the multicomputer geometry.
+type Config struct {
+	Mesh noc.Config
+	Node machine.Config
+	// RegionLog is the per-node kernel segment region order (within
+	// the node's 2^NodeShift slice).
+	RegionLog uint
+}
+
+// DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
+func DefaultConfig() Config {
+	nodeCfg := machine.MMachine()
+	nodeCfg.PhysBytes = 4 << 20 // keep 8 nodes affordable to simulate
+	return Config{
+		Mesh:      noc.DefaultConfig(),
+		Node:      nodeCfg,
+		RegionLog: 26,
+	}
+}
+
+// System is the whole multicomputer.
+type System struct {
+	Net   *noc.Network
+	Nodes []*Node
+	cfg   Config
+	stats Stats
+}
+
+// Stats counts cross-node traffic.
+type Stats struct {
+	RemoteReads  uint64
+	RemoteWrites uint64
+}
+
+// Node is one mesh node: a kernel-managed MAP machine plus its network
+// interface.
+type Node struct {
+	ID  int
+	K   *kernel.Kernel
+	sys *System
+}
+
+// HomeOf returns the node id owning addr.
+func HomeOf(addr uint64) int { return int(addr >> NodeShift) }
+
+// New boots the multicomputer: one kernel+machine per mesh node, each
+// with a segment region inside its slice of the global space, wired to
+// the mesh for remote access.
+func New(cfg Config) (*System, error) {
+	net, err := noc.New(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.RegionLog >= NodeShift {
+		return nil, fmt.Errorf("multi: region 2^%d exceeds node slice 2^%d", cfg.RegionLog, NodeShift)
+	}
+	s := &System{Net: net, cfg: cfg}
+	for i := 0; i < net.Nodes(); i++ {
+		base := uint64(i) << NodeShift // aligned on any region ≤ 2^NodeShift
+		k, err := kernel.NewWithRegion(cfg.Node, base, cfg.RegionLog)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{ID: i, K: k, sys: s}
+		k.M.Remote = n
+		s.Nodes = append(s.Nodes, n)
+	}
+	return s, nil
+}
+
+// Stats returns a copy of the cross-node counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Step advances every node one cycle, in lockstep.
+func (s *System) Step() {
+	for _, n := range s.Nodes {
+		n.K.M.Step()
+	}
+}
+
+// Run steps until every node's threads are done or maxCycles elapse,
+// returning cycles executed.
+func (s *System) Run(maxCycles uint64) uint64 {
+	var c uint64
+	for c = 0; c < maxCycles && !s.Done(); c++ {
+		s.Step()
+	}
+	return c
+}
+
+// Done reports whether all threads on all nodes have finished.
+func (s *System) Done() bool {
+	for _, n := range s.Nodes {
+		if !n.K.M.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Node as the machine's RemoteAccess --------------------------------
+
+// IsRemote implements machine.RemoteAccess.
+func (n *Node) IsRemote(addr uint64) bool {
+	return HomeOf(addr) != n.ID
+}
+
+// ReadWord implements machine.RemoteAccess: a read request travels to
+// the home node, is serviced by the home's banked cache (contending
+// with the home's own threads), and the reply travels back.
+func (n *Node) ReadWord(addr uint64, now uint64) (word.Word, uint64, error) {
+	home := HomeOf(addr)
+	if home >= len(n.sys.Nodes) {
+		return word.Word{}, now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
+	}
+	n.sys.stats.RemoteReads++
+	reqArrive := n.sys.Net.Send(n.ID, home, now)
+	w, served, err := n.sys.Nodes[home].K.M.Cache.ReadWord(addr, reqArrive)
+	if err != nil {
+		return word.Word{}, served, err
+	}
+	return w, n.sys.Net.Send(home, n.ID, served), nil
+}
+
+// WriteWord implements machine.RemoteAccess.
+func (n *Node) WriteWord(addr uint64, w word.Word, now uint64) (uint64, error) {
+	home := HomeOf(addr)
+	if home >= len(n.sys.Nodes) {
+		return now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
+	}
+	n.sys.stats.RemoteWrites++
+	reqArrive := n.sys.Net.Send(n.ID, home, now)
+	served, err := n.sys.Nodes[home].K.M.Cache.WriteWord(addr, w, reqArrive)
+	if err != nil {
+		return served, err
+	}
+	return n.sys.Net.Send(home, n.ID, served), nil
+}

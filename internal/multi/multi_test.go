@@ -1,0 +1,453 @@
+package multi
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/word"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Node.PhysBytes = 1 << 20
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHomePartitioning(t *testing.T) {
+	if HomeOf(0) != 0 {
+		t.Error("address 0 not homed on node 0")
+	}
+	if HomeOf(uint64(3)<<NodeShift|0x1234) != 3 {
+		t.Error("home extraction broken")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RegionLog = 40
+	if _, err := New(cfg); err == nil {
+		t.Error("oversized region accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Mesh.DimX = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad mesh accepted")
+	}
+}
+
+func TestNodesGetDisjointRegions(t *testing.T) {
+	s := testSystem(t)
+	if len(s.Nodes) != 8 {
+		t.Fatalf("nodes = %d", len(s.Nodes))
+	}
+	var ptrs []core.Pointer
+	for _, n := range s.Nodes {
+		p, err := n.K.AllocSegment(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if HomeOf(p.Base()) != n.ID {
+			t.Errorf("node %d allocated segment homed on %d", n.ID, HomeOf(p.Base()))
+		}
+		for _, q := range ptrs {
+			if p.Overlaps(q) {
+				t.Errorf("segments overlap across nodes: %v %v", p, q)
+			}
+		}
+		ptrs = append(ptrs, p)
+	}
+}
+
+func TestRemoteLoadStoreFunctional(t *testing.T) {
+	// A thread on node 0 dereferences a capability minted on node 5:
+	// the single global address space means it just works, with the
+	// access travelling the mesh.
+	s := testSystem(t)
+	remoteSeg, err := s.Nodes[5].K.AllocSegment(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+		ldi r2, 777
+		st  r1, 0, r2     ; remote store to node 5
+		ld  r3, r1, 0     ; remote load back
+		halt
+	`)
+	ip, err := s.Nodes[0].K.LoadProgram(prog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: remoteSeg.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("thread: %v %v", th.State, th.Fault)
+	}
+	if th.Reg(3).Int() != 777 {
+		t.Errorf("r3 = %d", th.Reg(3).Int())
+	}
+	// The word physically lives in node 5's memory.
+	w, err := s.Nodes[5].K.ReadWord(remoteSeg)
+	if err != nil || w.Int() != 777 {
+		t.Errorf("home memory = %v, %v", w, err)
+	}
+	st := s.Stats()
+	if st.RemoteReads != 1 || st.RemoteWrites != 1 {
+		t.Errorf("remote traffic = %+v", st)
+	}
+	if s.Net.Stats().Messages != 4 { // req+reply × 2
+		t.Errorf("messages = %d", s.Net.Stats().Messages)
+	}
+}
+
+func TestProtectionChecksApplyToRemoteAccess(t *testing.T) {
+	// Restricting a remote capability to read-only is enforced on the
+	// *issuing* node before anything touches the network.
+	s := testSystem(t)
+	remoteSeg, _ := s.Nodes[3].K.AllocSegment(4096)
+	ro, err := core.Restrict(remoteSeg, core.PermReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+		st r1, 0, r1
+		halt
+	`)
+	ip, _ := s.Nodes[0].K.LoadProgram(prog, false)
+	th, _ := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: ro.Word()})
+	s.Run(100000)
+	if th.State != machine.Faulted || core.CodeOf(th.Fault) != core.FaultPerm {
+		t.Errorf("remote store via ro pointer: %v %v", th.State, th.Fault)
+	}
+	if s.Stats().RemoteWrites != 0 {
+		t.Error("faulting access reached the network")
+	}
+}
+
+func TestCapabilityTransferBetweenNodes(t *testing.T) {
+	// Node 1's thread publishes a capability into a node-0 mailbox;
+	// node 0's thread picks it up and uses it. Sharing across nodes is
+	// literally one word of data (Sec 6: "threads in different
+	// protection domains can share data merely by owning copies of a
+	// pointer").
+	s := testSystem(t)
+	mailbox, err := s.Nodes[0].K.AllocSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := s.Nodes[1].K.AllocSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Nodes[1].K.WriteWords(payload, []word.Word{word.FromInt(4242)}); err != nil {
+		t.Fatal(err)
+	}
+
+	producer := asm.MustAssemble(`
+		st r1, 0, r2      ; publish capability into the mailbox
+		halt
+	`)
+	consumer := asm.MustAssemble(`
+	wait:
+		ld  r3, r1, 0     ; poll the mailbox
+		isptr r4, r3
+		beqz r4, wait
+		ld  r5, r3, 0     ; dereference the received capability (remote)
+		halt
+	`)
+	pIP, _ := s.Nodes[1].K.LoadProgram(producer, false)
+	if _, err := s.Nodes[1].K.Spawn(1, pIP, map[int]word.Word{
+		1: mailbox.Word(), 2: payload.Word(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cIP, _ := s.Nodes[0].K.LoadProgram(consumer, false)
+	cTh, err := s.Nodes[0].K.Spawn(2, cIP, map[int]word.Word{1: mailbox.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1_000_000)
+	if cTh.State != machine.Halted {
+		t.Fatalf("consumer: %v %v", cTh.State, cTh.Fault)
+	}
+	if cTh.Reg(5).Int() != 4242 {
+		t.Errorf("consumer read %d through transferred capability", cTh.Reg(5).Int())
+	}
+}
+
+func TestRemoteLatencyGrowsWithDistance(t *testing.T) {
+	// One-dimensional mesh: remote access cost grows with hop count.
+	cfg := DefaultConfig()
+	cfg.Mesh = noc.Config{DimX: 4, DimY: 1, DimZ: 1, RouterLatency: 3, InjectLatency: 1}
+	cfg.Node.PhysBytes = 1 << 20
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+		ldi r3, 50
+	loop:
+		ld r2, r1, 0
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	var cycles []uint64
+	for dst := 1; dst < 4; dst++ {
+		cfg := cfg
+		s, err = New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := s.Nodes[dst].K.AllocSegment(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, _ := s.Nodes[0].K.LoadProgram(prog, false)
+		th, _ := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+		c := s.Run(1_000_000)
+		if th.State != machine.Halted {
+			t.Fatalf("dst %d: %v %v", dst, th.State, th.Fault)
+		}
+		cycles = append(cycles, c)
+	}
+	if !(cycles[0] < cycles[1] && cycles[1] < cycles[2]) {
+		t.Errorf("latency not monotone in distance: %v", cycles)
+	}
+}
+
+func TestDanglingHomeRejected(t *testing.T) {
+	s := testSystem(t)
+	// Forge (with kernel authority) a pointer homed past the mesh.
+	far := core.MustMake(core.PermReadWrite, 12, uint64(50)<<NodeShift)
+	prog := asm.MustAssemble("ld r2, r1, 0\nhalt")
+	ip, _ := s.Nodes[0].K.LoadProgram(prog, false)
+	th, _ := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: far.Word()})
+	s.Run(100000)
+	if th.State != machine.Faulted {
+		t.Error("access to nonexistent node did not fault")
+	}
+}
+
+func TestLocalAccessesBypassNetwork(t *testing.T) {
+	s := testSystem(t)
+	seg, _ := s.Nodes[2].K.AllocSegment(4096)
+	prog := asm.MustAssemble(`
+		ldi r2, 5
+		st r1, 0, r2
+		ld r3, r1, 0
+		halt
+	`)
+	ip, _ := s.Nodes[2].K.LoadProgram(prog, false)
+	th, _ := s.Nodes[2].K.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	s.Run(100000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if s.Net.Stats().Messages != 0 {
+		t.Errorf("local accesses generated %d network messages", s.Net.Stats().Messages)
+	}
+}
+
+func TestCrossNodeProtectedCall(t *testing.T) {
+	// A protected subsystem installed on node 2 is entered by a thread
+	// on node 0 through a global enter pointer: every instruction of
+	// the subsystem is fetched over the mesh, and its embedded private
+	// capability (to node-2 data) works from the caller's node.
+	s := testSystem(t)
+	private, err := s.Nodes[2].K.AllocSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Nodes[2].K.WriteWords(private, []word.Word{word.FromInt(2468)}); err != nil {
+		t.Fatal(err)
+	}
+	sub := asm.MustAssemble(`
+	entry:
+		movip r10
+		leab  r10, r10, r0
+		ld    r11, r10, =gp1
+		ld    r5,  r11, 0
+		ldi   r10, 0
+		ldi   r11, 0
+		jmp   r14
+	gp1:
+		.word 0
+	`)
+	enter, err := s.Nodes[2].K.InstallSubsystem(sub, "entry", map[string]core.Pointer{"gp1": private})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := asm.MustAssemble(`
+		jmpl r14, r1
+		halt
+	`)
+	ip, err := s.Nodes[0].K.LoadProgram(caller, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: enter.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(5).Int() != 2468 {
+		t.Errorf("cross-node subsystem returned %d", th.Reg(5).Int())
+	}
+	if s.Net.Stats().Messages == 0 {
+		t.Error("no mesh traffic for remote execution")
+	}
+}
+
+func TestRemoteExecutionSlowerThanLocal(t *testing.T) {
+	// Remote instruction fetch pays the mesh round trip per
+	// instruction: the same loop homed remotely must be much slower.
+	prog := asm.MustAssemble(`
+		ldi r3, 50
+	loop:
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	run := func(codeNode int) uint64 {
+		s := testSystem(t)
+		ip, err := s.Nodes[codeNode].K.LoadProgram(prog, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := s.Nodes[0].K.Spawn(1, ip, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Run(1_000_000)
+		if th.State != machine.Halted {
+			t.Fatalf("%v %v", th.State, th.Fault)
+		}
+		return c
+	}
+	local := run(0)
+	remote := run(7)
+	if remote < 3*local {
+		t.Errorf("remote execution %d cycles vs local %d — mesh cost missing", remote, local)
+	}
+}
+
+func TestMachineWideGC(t *testing.T) {
+	// A cross-node reachability chain: root (node 0) → seg on node 3 →
+	// seg on node 6. Garbage lives on nodes 1 and 3 (cyclic). The
+	// machine-wide collector must keep exactly the chain.
+	s := testSystem(t)
+	a, err := s.Nodes[0].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Nodes[3].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Nodes[6].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Nodes[1].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Nodes[3].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// live chain
+	s.Nodes[0].K.WriteWords(a, []word.Word{b.Word()})
+	s.Nodes[3].K.WriteWords(b, []word.Word{c.Word()})
+	// garbage cycle across nodes
+	s.Nodes[1].K.WriteWords(g1, []word.Word{g2.Word()})
+	s.Nodes[3].K.WriteWords(g2, []word.Word{g1.Word()})
+
+	st, err := s.CollectAddressSpace([]word.Word{a.Word()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveSegments != 3 {
+		t.Errorf("live = %d, want 3", st.LiveSegments)
+	}
+	if st.FreedSegments != 2 {
+		t.Errorf("freed = %d, want 2", st.FreedSegments)
+	}
+	// The chain still works end to end (remote read through b to c).
+	w, err := s.Nodes[3].K.ReadWord(b)
+	if err != nil || !w.Tag {
+		t.Fatalf("chain broken: %v %v", w, err)
+	}
+	if s.Nodes[1].K.Segments() != 0 {
+		t.Error("garbage survived on node 1")
+	}
+}
+
+func TestMachineWideGCKeepsThreadReachable(t *testing.T) {
+	s := testSystem(t)
+	seg, err := s.Nodes[4].K.AllocSegment(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A thread on node 0 holds the only reference (in a register).
+	ip, err := s.Nodes[0].K.LoadProgram(asm.MustAssemble("loop: br loop"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{7: seg.Word()}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.CollectAddressSpace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FreedSegments != 0 {
+		t.Errorf("GC freed %d segments reachable from a remote thread", st.FreedSegments)
+	}
+	if s.Nodes[4].K.Segments() != 1 {
+		t.Error("register-held remote segment collected")
+	}
+}
+
+func TestRemoteByteAccess(t *testing.T) {
+	s := testSystem(t)
+	seg, err := s.Nodes[5].K.AllocSegment(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+		st  r1, 0, r1    ; park the capability remotely
+		ldi r2, 0x7e
+		stb r1, 3, r2    ; remote byte store into the same word
+		ld  r3, r1, 0
+		isptr r4, r3     ; tag must be gone (partial overwrite, remotely)
+		ldb r5, r1, 3
+		halt
+	`)
+	ip, _ := s.Nodes[0].K.LoadProgram(prog, false)
+	th, _ := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
+	s.Run(1_000_000)
+	if th.State != machine.Halted {
+		t.Fatalf("%v %v", th.State, th.Fault)
+	}
+	if th.Reg(4).Int() != 0 {
+		t.Error("remote partial overwrite preserved the tag")
+	}
+	if th.Reg(5).Int() != 0x7e {
+		t.Errorf("remote ldb = %#x", th.Reg(5).Int())
+	}
+}

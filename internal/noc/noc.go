@@ -1,0 +1,184 @@
+// Package noc models the M-Machine's 3-dimensional mesh interconnect
+// (Sec 3: "The M-Machine is a multicomputer with a 3-dimensional mesh
+// interconnect and multithreaded processing nodes").
+//
+// Routing is dimension-order (X, then Y, then Z), the standard
+// deadlock-free choice for meshes of the period. Timing uses link
+// reservation: every directed link transmits one message per cycle, a
+// router adds a fixed per-hop latency, and a message's arrival time is
+// computed by reserving each link on its path no earlier than both the
+// message's arrival at that router and the link's previous departure —
+// which captures serialization and head-of-line contention without
+// simulating individual flits.
+//
+// The network is protection-oblivious by design: capabilities travel
+// inside pointer words like any other data, so no per-node protection
+// state, ACLs, or translation tables appear anywhere in the fabric.
+// That absence is the paper's point.
+package noc
+
+import "fmt"
+
+// Coord is a node position in the mesh.
+type Coord struct{ X, Y, Z int }
+
+// Config fixes mesh geometry and timing.
+type Config struct {
+	DimX, DimY, DimZ int
+	// RouterLatency is the cycles a message spends per hop (switch +
+	// link traversal).
+	RouterLatency uint64
+	// InjectLatency is the fixed cost to enter/exit the network
+	// (network interface serialization).
+	InjectLatency uint64
+}
+
+// DefaultConfig is a 2×2×2 mesh with 2-cycle hops, matching the scale
+// of early M-Machine configurations.
+func DefaultConfig() Config {
+	return Config{DimX: 2, DimY: 2, DimZ: 2, RouterLatency: 2, InjectLatency: 1}
+}
+
+// Kind distinguishes the transaction types remote memory access needs.
+type Kind uint8
+
+const (
+	// ReadReq asks the home node for the word at Addr.
+	ReadReq Kind = iota
+	// ReadReply carries the word back.
+	ReadReply
+	// WriteReq carries a word to store at Addr on the home node.
+	WriteReq
+	// WriteAck confirms the store.
+	WriteAck
+)
+
+var kindNames = [...]string{ReadReq: "read-req", ReadReply: "read-reply", WriteReq: "write-req", WriteAck: "write-ack"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages         uint64
+	TotalHops        uint64
+	TotalLatency     uint64 // sum of (arrival − injection)
+	ContentionCycles uint64 // cycles spent waiting for busy links
+}
+
+// link identifies a directed mesh link by its source router and
+// direction.
+type link struct {
+	from Coord
+	dim  int // 0=X 1=Y 2=Z
+	pos  bool
+}
+
+// Network is a dimension-order-routed 3D mesh.
+type Network struct {
+	cfg   Config
+	busy  map[link]uint64 // next free cycle per directed link
+	stats Stats
+}
+
+// New validates the configuration and builds the network.
+func New(cfg Config) (*Network, error) {
+	if cfg.DimX < 1 || cfg.DimY < 1 || cfg.DimZ < 1 {
+		return nil, fmt.Errorf("noc: non-positive mesh %dx%dx%d", cfg.DimX, cfg.DimY, cfg.DimZ)
+	}
+	return &Network{cfg: cfg, busy: make(map[link]uint64)}, nil
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.cfg.DimX * n.cfg.DimY * n.cfg.DimZ }
+
+// CoordOf converts a node id to its mesh coordinate.
+func (n *Network) CoordOf(id int) Coord {
+	return Coord{
+		X: id % n.cfg.DimX,
+		Y: id / n.cfg.DimX % n.cfg.DimY,
+		Z: id / (n.cfg.DimX * n.cfg.DimY),
+	}
+}
+
+// IDOf converts a coordinate to a node id.
+func (n *Network) IDOf(c Coord) int {
+	return c.X + n.cfg.DimX*(c.Y+n.cfg.DimY*c.Z)
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (n *Network) Hops(src, dst int) int {
+	a, b := n.CoordOf(src), n.CoordOf(dst)
+	return abs(a.X-b.X) + abs(a.Y-b.Y) + abs(a.Z-b.Z)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// path returns the directed links a dimension-order route traverses.
+func (n *Network) path(src, dst int) []link {
+	cur := n.CoordOf(src)
+	goal := n.CoordOf(dst)
+	var links []link
+	step := func(dim int, curv, goalv *int) {
+		for *curv != *goalv {
+			pos := *goalv > *curv
+			links = append(links, link{from: cur, dim: dim, pos: pos})
+			if pos {
+				*curv++
+			} else {
+				*curv--
+			}
+		}
+	}
+	step(0, &cur.X, &goal.X)
+	step(1, &cur.Y, &goal.Y)
+	step(2, &cur.Z, &goal.Z)
+	return links
+}
+
+// Send injects a message from src to dst at cycle now and returns its
+// arrival cycle at the destination's network interface. Sending to the
+// local node costs only the interface latency.
+func (n *Network) Send(src, dst int, now uint64) uint64 {
+	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
+		panic(fmt.Sprintf("noc: node out of range (%d→%d of %d)", src, dst, n.Nodes()))
+	}
+	n.stats.Messages++
+	t := now + n.cfg.InjectLatency
+	if src == dst {
+		n.stats.TotalLatency += t - now
+		return t
+	}
+	for _, l := range n.path(src, dst) {
+		n.stats.TotalHops++
+		if b := n.busy[l]; b > t {
+			n.stats.ContentionCycles += b - t
+			t = b
+		}
+		n.busy[l] = t + 1 // the link is occupied for one cycle
+		t += n.cfg.RouterLatency
+	}
+	t += n.cfg.InjectLatency
+	n.stats.TotalLatency += t - now
+	return t
+}
+
+// ZeroLoadLatency returns the uncontended latency between two nodes.
+func (n *Network) ZeroLoadLatency(src, dst int) uint64 {
+	if src == dst {
+		return n.cfg.InjectLatency
+	}
+	return 2*n.cfg.InjectLatency + uint64(n.Hops(src, dst))*n.cfg.RouterLatency
+}
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }

@@ -1,0 +1,188 @@
+// Package stats provides the small reporting toolkit the experiment
+// harness uses: fixed-width tables (one per reproduced figure/claim)
+// and simple histograms/summaries for latency and fragmentation
+// distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table renders rows of results in aligned columns, the way the
+// experiment harness prints each reproduced table/figure.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are rendered with %v, floats with 3
+// significant decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		var row strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			fmt.Fprintf(&row, "%-*s", widths[i], c)
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Summary holds order statistics over a sample set.
+type Summary struct {
+	Count          int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		Count: len(s),
+		Min:   s[0],
+		Max:   s[len(s)-1],
+		Mean:  sum / float64(len(s)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+	}
+}
+
+// Histogram counts samples in power-of-two buckets, used for segment
+// size and latency distributions.
+type Histogram struct {
+	buckets map[int]int
+	count   int
+}
+
+// Add records a sample (bucketed by floor(log2(v)); v==0 lands in
+// bucket -1).
+func (h *Histogram) Add(v uint64) {
+	if h.buckets == nil {
+		h.buckets = make(map[int]int)
+	}
+	b := -1
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	h.buckets[b]++
+	h.count++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return h.count }
+
+// Bucket returns the count in the bucket for values in [2^b, 2^(b+1)).
+func (h *Histogram) Bucket(b int) int { return h.buckets[b] }
+
+// String renders non-empty buckets in order.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "(empty)"
+	}
+	var keys []int
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		lo := uint64(0)
+		if k >= 0 {
+			lo = 1 << k
+		}
+		fmt.Fprintf(&b, "  [%d, …): %d\n", lo, h.buckets[k])
+	}
+	return b.String()
+}
+
+// Ratio formats a/b as a factor string like "3.42x"; "inf" if b is 0.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

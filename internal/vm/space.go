@@ -1,0 +1,167 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/word"
+)
+
+// Space is the machine's single shared virtual address space: the page
+// table, a TLB, physical memory and its frame allocator, glued together
+// with the translation discipline of the paper — translate only below
+// the (virtually addressed) cache, and never consult any protection
+// state here.
+type Space struct {
+	PT     *PageTable
+	TLB    *TLB
+	Phys   *mem.Memory
+	Frames *mem.FrameAllocator
+
+	stats     SpaceStats
+	swap      map[uint64]swapPage
+	swapStats SwapStats
+}
+
+// SpaceStats counts translation-layer work.
+type SpaceStats struct {
+	Translations uint64
+	PageWalks    uint64
+	PageFaults   uint64
+	DemandMaps   uint64
+}
+
+// NewSpace builds a Space over physBytes of physical memory with a
+// tlbEntries-entry TLB.
+func NewSpace(physBytes uint64, tlbEntries int) (*Space, error) {
+	phys := mem.New(physBytes)
+	frames, err := mem.NewFrameAllocator(phys, PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Space{
+		PT:     NewPageTable(),
+		TLB:    NewTLB(tlbEntries),
+		Phys:   phys,
+		Frames: frames,
+	}, nil
+}
+
+// Translate maps a 54-bit virtual address to a physical address,
+// consulting the TLB first and walking the page table on a miss. It
+// returns the physical address and whether the TLB hit. Unmapped pages
+// produce a *PageFaultError.
+func (s *Space) Translate(vaddr uint64) (paddr uint64, tlbHit bool, err error) {
+	s.stats.Translations++
+	if pte, ok := s.TLB.Lookup(vaddr, GlobalASID); ok {
+		return pte.Frame | vaddr&PageMask, true, nil
+	}
+	s.stats.PageWalks++
+	pte, ok := s.PT.Lookup(vaddr)
+	if !ok {
+		s.stats.PageFaults++
+		return 0, false, &PageFaultError{VAddr: vaddr}
+	}
+	s.TLB.Insert(vaddr, GlobalASID, pte)
+	return pte.Frame | vaddr&PageMask, false, nil
+}
+
+// EnsureMapped demand-maps every page overlapping [vaddr, vaddr+size),
+// allocating zeroed physical frames as needed. The kernel calls this
+// when it creates a segment; only the pages actually backing a segment
+// cost physical memory (Sec 4.2).
+func (s *Space) EnsureMapped(vaddr, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	first := vaddr &^ uint64(PageMask)
+	last := (vaddr + size - 1) &^ uint64(PageMask)
+	for page := first; ; page += PageSize {
+		if _, ok := s.PT.Lookup(page); !ok {
+			frame, err := s.Frames.Alloc()
+			if err != nil {
+				return fmt.Errorf("vm: mapping %#x: %w", page, err)
+			}
+			if err := s.Phys.ZeroRange(frame, PageSize); err != nil {
+				return err
+			}
+			if err := s.PT.Map(page, frame); err != nil {
+				return err
+			}
+			s.stats.DemandMaps++
+		}
+		if page == last {
+			return nil
+		}
+	}
+}
+
+// UnmapRange removes translations for every page overlapping
+// [vaddr, vaddr+size), releases their frames, and shoots the pages out
+// of the TLB. This is the revocation primitive of Sec 4.3: every guarded
+// pointer into the range is simultaneously invalidated, because all
+// subsequent uses page-fault. It returns the number of pages unmapped.
+func (s *Space) UnmapRange(vaddr, size uint64) (int, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	n := 0
+	first := vaddr &^ uint64(PageMask)
+	last := (vaddr + size - 1) &^ uint64(PageMask)
+	for page := first; ; page += PageSize {
+		if pte, ok := s.PT.Lookup(page); ok {
+			if err := s.Frames.Release(pte.Frame); err != nil {
+				return n, err
+			}
+			s.PT.Unmap(page)
+			s.TLB.Invalidate(page)
+			n++
+		}
+		if page == last {
+			return n, nil
+		}
+	}
+}
+
+// ReadWord translates and reads the naturally aligned word at vaddr.
+func (s *Space) ReadWord(vaddr uint64) (word.Word, error) {
+	paddr, _, err := s.Translate(vaddr)
+	if err != nil {
+		return word.Word{}, err
+	}
+	return s.Phys.ReadWord(paddr)
+}
+
+// WriteWord translates and writes the naturally aligned word at vaddr.
+func (s *Space) WriteWord(vaddr uint64, w word.Word) error {
+	paddr, _, err := s.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	s.PT.SetDirty(vaddr)
+	return s.Phys.WriteWord(paddr, w)
+}
+
+// ByteAt translates and reads the byte at vaddr (any alignment).
+func (s *Space) ByteAt(vaddr uint64) (byte, error) {
+	paddr, _, err := s.Translate(vaddr)
+	if err != nil {
+		return 0, err
+	}
+	return s.Phys.ByteAt(paddr)
+}
+
+// SetByteAt translates and writes the byte at vaddr; the containing
+// word's tag is cleared (capability integrity under partial
+// overwrite).
+func (s *Space) SetByteAt(vaddr uint64, b byte) error {
+	paddr, _, err := s.Translate(vaddr)
+	if err != nil {
+		return err
+	}
+	s.PT.SetDirty(vaddr)
+	return s.Phys.SetByteAt(paddr, b)
+}
+
+// Stats returns a copy of the translation counters.
+func (s *Space) Stats() SpaceStats { return s.stats }

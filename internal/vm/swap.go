@@ -1,0 +1,207 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// This file adds the backing store under the paging layer. The paper
+// assumes conventional paging beneath segmentation ("segmentation is
+// often implemented on top of a paging system which is responsible for
+// transferring fixed size pages", Sec 5.2); a single-address-space
+// system pages exactly like any other — the swap is keyed by virtual
+// page, and no per-process state exists.
+//
+// Swapped pages preserve their tag bits: capabilities survive a round
+// trip through the backing store, which is essential — paging out a
+// segment full of pointers must not launder or destroy them.
+
+// SwapStats counts backing-store traffic.
+type SwapStats struct {
+	SwapOuts uint64
+	SwapIns  uint64
+}
+
+// swapPage is one page of data+tags in the backing store.
+type swapPage []word.Word
+
+// EnsureSwap lazily creates the backing store.
+func (s *Space) ensureSwap() {
+	if s.swap == nil {
+		s.swap = make(map[uint64]swapPage)
+	}
+}
+
+// Swapped reports whether the page containing vaddr is in the backing
+// store.
+func (s *Space) Swapped(vaddr uint64) bool {
+	_, ok := s.swap[vaddr&^uint64(PageMask)]
+	return ok
+}
+
+// SwappedPages returns the number of pages in the backing store.
+func (s *Space) SwappedPages() int { return len(s.swap) }
+
+// SwapStatsSnapshot returns a copy of the swap counters.
+func (s *Space) SwapStatsSnapshot() SwapStats { return s.swapStats }
+
+// SwapOut writes the resident page containing vaddr to the backing
+// store, unmaps it, shoots it from the TLB and releases its frame.
+func (s *Space) SwapOut(vaddr uint64) error {
+	page := vaddr &^ uint64(PageMask)
+	pte, ok := s.PT.Lookup(page)
+	if !ok {
+		return fmt.Errorf("vm: swap-out of non-resident page %#x", page)
+	}
+	s.ensureSwap()
+	buf := make(swapPage, PageSize/word.BytesPerWord)
+	for i := range buf {
+		w, err := s.Phys.ReadWord(pte.Frame + uint64(i)*word.BytesPerWord)
+		if err != nil {
+			return err
+		}
+		buf[i] = w
+	}
+	s.swap[page] = buf
+	s.PT.Unmap(page)
+	s.TLB.Invalidate(page)
+	if err := s.Frames.Release(pte.Frame); err != nil {
+		return err
+	}
+	s.swapStats.SwapOuts++
+	return nil
+}
+
+// SwapIn restores the page containing vaddr from the backing store
+// into a free frame. The caller must have ensured a frame is free
+// (evicting another page if necessary).
+func (s *Space) SwapIn(vaddr uint64) error {
+	page := vaddr &^ uint64(PageMask)
+	buf, ok := s.swap[page]
+	if !ok {
+		return fmt.Errorf("vm: swap-in of page %#x not in backing store", page)
+	}
+	frame, err := s.Frames.Alloc()
+	if err != nil {
+		return fmt.Errorf("vm: swap-in of %#x: %w", page, err)
+	}
+	for i, w := range buf {
+		if err := s.Phys.WriteWord(frame+uint64(i)*word.BytesPerWord, w); err != nil {
+			return err
+		}
+	}
+	if err := s.PT.Map(page, frame); err != nil {
+		return err
+	}
+	delete(s.swap, page)
+	s.swapStats.SwapIns++
+	return nil
+}
+
+// DropSwapped discards any backing-store copy of the page containing
+// vaddr (used when the segment owning it is freed).
+func (s *Space) DropSwapped(vaddr uint64) {
+	delete(s.swap, vaddr&^uint64(PageMask))
+}
+
+// Walk visits every valid translation in ascending virtual-page order
+// is NOT guaranteed; fn receives the page base address and its PTE.
+// Returning false stops the walk.
+func (pt *PageTable) Walk(fn func(page uint64, pte PTE) bool) {
+	pt.walkNode(pt.root, 0, 0, fn)
+}
+
+func (pt *PageTable) walkNode(n *ptNode, level int, prefix uint64, fn func(uint64, PTE) bool) bool {
+	if n == nil {
+		return true
+	}
+	if level == levels-1 {
+		for i := range n.ptes {
+			if n.ptes[i].Valid {
+				vpn := prefix<<levelBits | uint64(i)
+				if !fn(vpn<<PageShift, n.ptes[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i, child := range n.children {
+		if child == nil {
+			continue
+		}
+		if !pt.walkNode(child, level+1, prefix<<levelBits|uint64(i), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// ResidentPages returns the base addresses of all mapped pages.
+func (s *Space) ResidentPages() []uint64 {
+	var pages []uint64
+	s.PT.Walk(func(page uint64, _ PTE) bool {
+		pages = append(pages, page)
+		return true
+	})
+	return pages
+}
+
+// ZeroWords zeroes the word range [lo, hi) wherever the words
+// currently live: resident pages are written through physical memory,
+// swapped pages are scrubbed in the backing store, and pages that were
+// never materialized are already zero by definition (demand-zero).
+func (s *Space) ZeroWords(lo, hi uint64) error {
+	if hi <= lo {
+		return nil
+	}
+	for page := lo &^ uint64(PageMask); page < hi; page += PageSize {
+		plo, phi := page, page+PageSize
+		if plo < lo {
+			plo = lo
+		}
+		if phi > hi {
+			phi = hi
+		}
+		if buf, ok := s.swap[page]; ok {
+			for a := plo; a < phi; a += word.BytesPerWord {
+				buf[(a-page)/word.BytesPerWord] = word.Word{}
+			}
+			continue
+		}
+		if _, ok := s.PT.Lookup(page); !ok {
+			continue
+		}
+		for a := plo; a < phi; a += word.BytesPerWord {
+			if err := s.WriteWord(a, word.Word{}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SwapContents returns a copy of the backing store (page base → words)
+// for checkpointing.
+func (s *Space) SwapContents() map[uint64][]word.Word {
+	out := make(map[uint64][]word.Word, len(s.swap))
+	for page, buf := range s.swap {
+		out[page] = append([]word.Word(nil), buf...)
+	}
+	return out
+}
+
+// RestoreSwapPage installs a page image directly into the backing
+// store — the restore path for checkpointed swap state.
+func (s *Space) RestoreSwapPage(page uint64, words []word.Word) error {
+	if page&uint64(PageMask) != 0 {
+		return fmt.Errorf("vm: swap restore of unaligned page %#x", page)
+	}
+	if len(words) != PageSize/word.BytesPerWord {
+		return fmt.Errorf("vm: swap restore of %d words, want %d", len(words), PageSize/word.BytesPerWord)
+	}
+	s.ensureSwap()
+	s.swap[page] = append(swapPage(nil), words...)
+	return nil
+}

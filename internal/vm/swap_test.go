@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestSwapOutIn(t *testing.T) {
+	s, _ := NewSpace(16*PageSize, 8)
+	s.EnsureMapped(0x3000, PageSize)
+	s.WriteWord(0x3000, word.Tagged(0xcafe)) // a capability in the page
+	s.WriteWord(0x3008, word.FromInt(-9))
+
+	freeBefore := s.Frames.Free()
+	if err := s.SwapOut(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Swapped(0x3456) {
+		t.Error("page not reported swapped")
+	}
+	if s.Frames.Free() != freeBefore+1 {
+		t.Error("frame not released")
+	}
+	if _, _, err := s.Translate(0x3000); err == nil {
+		t.Error("swapped page still translates")
+	}
+
+	if err := s.SwapIn(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Swapped(0x3000) {
+		t.Error("page still marked swapped after swap-in")
+	}
+	// Tags survive the round trip.
+	w, err := s.ReadWord(0x3000)
+	if err != nil || !w.Tag || w.Bits != 0xcafe {
+		t.Errorf("capability after swap round trip: %v %v", w, err)
+	}
+	w2, _ := s.ReadWord(0x3008)
+	if w2.Int() != -9 {
+		t.Errorf("data after swap: %v", w2)
+	}
+	st := s.SwapStatsSnapshot()
+	if st.SwapOuts != 1 || st.SwapIns != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	s, _ := NewSpace(16*PageSize, 8)
+	if err := s.SwapOut(0x5000); err == nil {
+		t.Error("swap-out of unmapped page accepted")
+	}
+	if err := s.SwapIn(0x5000); err == nil {
+		t.Error("swap-in of never-swapped page accepted")
+	}
+}
+
+func TestDropSwapped(t *testing.T) {
+	s, _ := NewSpace(16*PageSize, 8)
+	s.EnsureMapped(0x2000, PageSize)
+	s.SwapOut(0x2000)
+	s.DropSwapped(0x2000)
+	if s.Swapped(0x2000) || s.SwappedPages() != 0 {
+		t.Error("DropSwapped did not discard")
+	}
+}
+
+func TestWalkAndResidentPages(t *testing.T) {
+	s, _ := NewSpace(32*PageSize, 8)
+	want := map[uint64]bool{}
+	for _, v := range []uint64{0x1000, 0x7000, 1 << 30, (1 << 53) + 0x4000} {
+		if err := s.EnsureMapped(v, 8); err != nil {
+			t.Fatal(err)
+		}
+		want[v&^uint64(PageMask)] = true
+	}
+	got := map[uint64]bool{}
+	for _, pg := range s.ResidentPages() {
+		got[pg] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resident = %v, want %v", got, want)
+	}
+	for pg := range want {
+		if !got[pg] {
+			t.Errorf("page %#x missing from walk", pg)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.PT.Walk(func(uint64, PTE) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("walk did not stop early: %d", n)
+	}
+}
+
+func TestZeroWords(t *testing.T) {
+	s, _ := NewSpace(16*PageSize, 8)
+	s.EnsureMapped(0x1000, 2*PageSize)
+	s.WriteWord(0x1000, word.Tagged(1))
+	s.WriteWord(0x1ff8, word.FromInt(2))
+	s.WriteWord(0x2000, word.FromInt(3))
+	s.SwapOut(0x2000) // second page lives in swap now
+
+	if err := s.ZeroWords(0x1000, 0x2008); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := s.ReadWord(0x1000)
+	if !w.IsZero() {
+		t.Error("resident word not zeroed")
+	}
+	// Swapped page scrubbed in the backing store: swap it back and
+	// check.
+	if err := s.SwapIn(0x2000); err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := s.ReadWord(0x2000)
+	if !w2.IsZero() {
+		t.Errorf("swapped word not scrubbed: %v", w2)
+	}
+	// Zero over never-materialized pages is a no-op, not an error.
+	if err := s.ZeroWords(0x100000, 0x102000); err != nil {
+		t.Errorf("ZeroWords over unmapped: %v", err)
+	}
+	if err := s.ZeroWords(10, 10); err != nil {
+		t.Errorf("empty range: %v", err)
+	}
+}

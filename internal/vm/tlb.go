@@ -1,0 +1,133 @@
+package vm
+
+// TLB is a software model of a translation lookaside buffer with the
+// statistics that the paper's protection-scheme comparisons depend on.
+// It supports the three operating modes of Sec 5.1:
+//
+//   - guarded pointers / single address space: one shared set of
+//     translations, never flushed on a domain switch (ASID ignored);
+//   - separate address spaces without ASIDs: the OS must Flush on every
+//     protection-domain switch;
+//   - separate address spaces with ASIDs: entries are matched on
+//     (VPN, ASID) and survive switches, at the cost of losing in-cache
+//     sharing (synonyms).
+//
+// The replacement policy is LRU over a fully associative array, which is
+// what small hardware TLBs of the era implemented.
+type TLB struct {
+	entries []tlbEntry
+	clock   uint64
+	stats   TLBStats
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	asid  uint16
+	pte   PTE
+	valid bool
+	used  uint64
+}
+
+// TLBStats counts the events the experiments report.
+type TLBStats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+	// FlushedEntries is the total number of valid entries destroyed by
+	// flushes — the refill work a flush-based scheme imposes.
+	FlushedEntries uint64
+}
+
+// GlobalASID is the identifier used when the TLB runs in single-
+// address-space mode: all lookups and inserts share it.
+const GlobalASID uint16 = 0
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(size int) *TLB {
+	return &TLB{entries: make([]tlbEntry, size)}
+}
+
+// Size returns the entry count.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// Lookup probes for the page containing vaddr under asid. It updates
+// hit/miss statistics and LRU state.
+func (t *TLB) Lookup(vaddr uint64, asid uint16) (PTE, bool) {
+	vpn := vpnOf(vaddr)
+	t.clock++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn && e.asid == asid {
+			e.used = t.clock
+			t.stats.Hits++
+			return e.pte, true
+		}
+	}
+	t.stats.Misses++
+	return PTE{}, false
+}
+
+// Insert installs a translation, evicting the LRU entry if full.
+func (t *TLB) Insert(vaddr uint64, asid uint16, pte PTE) {
+	vpn := vpnOf(vaddr)
+	t.clock++
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn && e.asid == asid {
+			e.pte = pte
+			e.used = t.clock
+			return
+		}
+		if !e.valid {
+			victim = i
+			oldest = 0
+			continue
+		}
+		if e.used < oldest {
+			victim, oldest = i, e.used
+		}
+	}
+	t.entries[victim] = tlbEntry{vpn: vpn, asid: asid, pte: pte, valid: true, used: t.clock}
+}
+
+// Invalidate removes any entry for the page containing vaddr, under all
+// ASIDs (the shootdown a revocation-by-unmap performs).
+func (t *TLB) Invalidate(vaddr uint64) {
+	vpn := vpnOf(vaddr)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].vpn == vpn {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// Flush destroys every entry — the cost a no-ASID separate-address-space
+// scheme pays on each protection-domain switch.
+func (t *TLB) Flush() {
+	t.stats.Flushes++
+	for i := range t.entries {
+		if t.entries[i].valid {
+			t.stats.FlushedEntries++
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// Live returns the number of valid entries.
+func (t *TLB) Live() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// ResetStats zeroes the counters (entries are preserved).
+func (t *TLB) ResetStats() { t.stats = TLBStats{} }

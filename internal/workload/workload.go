@@ -1,0 +1,223 @@
+// Package workload generates the deterministic reference streams and
+// allocation traces that drive the experiments: array sweeps and
+// pointer-chases (the memory behaviour the paper's Sec 2.2 loop example
+// discusses), multi-domain interleavings (the multithreading scenario
+// of Sec 3), sharing matrices (the n×m page-table blowup of Sec 5.1),
+// and segment-size distributions (the fragmentation study of Sec 4.2).
+//
+// Everything is seeded and reproducible; no global randomness.
+package workload
+
+import "repro/internal/vm"
+
+// RNG is a small xorshift64* generator — deterministic across
+// platforms, no allocation, good enough distribution for workload
+// shaping.
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator; seed 0 is replaced with a fixed non-zero
+// constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Ref is one memory reference of a trace: which protection domain
+// issued it, where, and whether it writes.
+type Ref struct {
+	Domain int
+	VAddr  uint64
+	Write  bool
+}
+
+// Trace is a reference stream annotated with the domain-switch
+// structure the baseline models charge for.
+type Trace struct {
+	Refs    []Ref
+	Domains int
+}
+
+// Switches counts domain changes between consecutive references.
+func (t *Trace) Switches() int {
+	n := 0
+	for i := 1; i < len(t.Refs); i++ {
+		if t.Refs[i].Domain != t.Refs[i-1].Domain {
+			n++
+		}
+	}
+	return n
+}
+
+// Pages returns the set of distinct (domain, page) pairs and distinct
+// pages touched — the quantities that size per-process vs shared
+// translation tables.
+func (t *Trace) Pages() (domainPages, pages int) {
+	dp := make(map[[2]uint64]bool)
+	pg := make(map[uint64]bool)
+	for _, r := range t.Refs {
+		p := r.VAddr >> vm.PageShift
+		dp[[2]uint64{uint64(r.Domain), p}] = true
+		pg[p] = true
+	}
+	return len(dp), len(pg)
+}
+
+// ArraySweep returns a trace of n sequential word references starting
+// at base with the given byte stride, all from one domain. It is the
+// paper's `for i: a[i] = b[i]` access pattern.
+func ArraySweep(domain int, base uint64, n int, stride uint64, write bool) *Trace {
+	t := &Trace{Domains: 1}
+	for i := 0; i < n; i++ {
+		t.Refs = append(t.Refs, Ref{Domain: domain, VAddr: base + uint64(i)*stride, Write: write})
+	}
+	return t
+}
+
+// PointerChase returns a trace of n dependent references bouncing
+// pseudo-randomly within a working set of wsBytes at base.
+func PointerChase(rng *RNG, domain int, base uint64, wsBytes uint64, n int) *Trace {
+	t := &Trace{Domains: 1}
+	words := wsBytes / 8
+	if words == 0 {
+		words = 1
+	}
+	cur := uint64(0)
+	for i := 0; i < n; i++ {
+		t.Refs = append(t.Refs, Ref{Domain: domain, VAddr: base + cur*8})
+		cur = rng.Uint64() % words
+	}
+	return t
+}
+
+// Interleaved builds the Sec 3 scenario: `domains` protection domains
+// issue quantum-sized bursts of references round-robin, each domain
+// walking its own working set of wsPages pages (domain d's pages start
+// at base + d·wsPages·PageSize). With quantum 1 this is cycle-by-cycle
+// interleaving; large quanta approximate conventional timeslicing.
+func Interleaved(domains, quanta, quantum, wsPages int, base uint64) *Trace {
+	t := &Trace{Domains: domains}
+	pos := make([]int, domains)
+	for q := 0; q < quanta; q++ {
+		for d := 0; d < domains; d++ {
+			for i := 0; i < quantum; i++ {
+				pageIdx := pos[d] % (wsPages * (vm.PageSize / 8))
+				addr := base + uint64(d)*uint64(wsPages)*vm.PageSize + uint64(pageIdx)*8
+				t.Refs = append(t.Refs, Ref{Domain: d, VAddr: addr})
+				pos[d]++
+			}
+		}
+	}
+	return t
+}
+
+// Shared builds a trace in which m domains all sweep the same n shared
+// pages — the sharing scenario whose table cost Sec 5.1 analyses
+// (n×m page-table entries for page-based schemes, one pointer per
+// domain for guarded pointers).
+func Shared(domains, sharedPages, sweeps int, base uint64) *Trace {
+	t := &Trace{Domains: domains}
+	for s := 0; s < sweeps; s++ {
+		for d := 0; d < domains; d++ {
+			for p := 0; p < sharedPages; p++ {
+				t.Refs = append(t.Refs, Ref{Domain: d, VAddr: base + uint64(p)*vm.PageSize + uint64(s%512)*8})
+			}
+		}
+	}
+	return t
+}
+
+// SizeDist names a segment-size request distribution for the
+// fragmentation experiment (E8).
+type SizeDist int
+
+const (
+	// SizesUniformLog draws log2(size) uniformly in [lo, hi].
+	SizesUniformLog SizeDist = iota
+	// SizesSmallObjects mimics heap behaviour: many small requests,
+	// occasionally large ones.
+	SizesSmallObjects
+	// SizesPowersOfTwo requests exact powers of two (no internal
+	// fragmentation by construction).
+	SizesPowersOfTwo
+)
+
+func (d SizeDist) String() string {
+	switch d {
+	case SizesUniformLog:
+		return "uniform-log"
+	case SizesSmallObjects:
+		return "small-objects"
+	case SizesPowersOfTwo:
+		return "pow2-exact"
+	}
+	return "unknown"
+}
+
+// Sizes draws n segment-size requests in bytes from the distribution,
+// bounded by [1<<lo, 1<<hi].
+func Sizes(rng *RNG, d SizeDist, n int, lo, hi uint) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		switch d {
+		case SizesPowersOfTwo:
+			k := lo + uint(rng.Intn(int(hi-lo+1)))
+			out[i] = 1 << k
+		case SizesSmallObjects:
+			// 90% small (lo..lo+4 bits), 10% anywhere up to hi.
+			span := uint(4)
+			if rng.Float64() < 0.9 {
+				top := lo + span
+				if top > hi {
+					top = hi
+				}
+				out[i] = randBetween(rng, 1<<lo, 1<<top)
+			} else {
+				out[i] = randBetween(rng, 1<<lo, 1<<hi)
+			}
+		default: // SizesUniformLog
+			k := lo + uint(rng.Intn(int(hi-lo+1)))
+			out[i] = randBetween(rng, 1<<(k-min1(k)), 1<<k)
+		}
+		if out[i] == 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func min1(k uint) uint {
+	if k == 0 {
+		return 0
+	}
+	return 1
+}
+
+func randBetween(rng *RNG, lo, hi uint64) uint64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Uint64()%(hi-lo)
+}

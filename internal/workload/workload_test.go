@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds collided on first draw")
+	}
+	// Zero seed is remapped, not stuck at zero.
+	z := NewRNG(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Error("zero seed produces zeros")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Error("Intn of non-positive bound")
+	}
+}
+
+func TestArraySweep(t *testing.T) {
+	tr := ArraySweep(2, 0x1000, 10, 8, true)
+	if len(tr.Refs) != 10 {
+		t.Fatalf("refs = %d", len(tr.Refs))
+	}
+	for i, r := range tr.Refs {
+		if r.VAddr != 0x1000+uint64(i)*8 || r.Domain != 2 || !r.Write {
+			t.Fatalf("ref %d = %+v", i, r)
+		}
+	}
+	if tr.Switches() != 0 {
+		t.Error("single-domain sweep has switches")
+	}
+}
+
+func TestPointerChaseStaysInWorkingSet(t *testing.T) {
+	tr := PointerChase(NewRNG(5), 0, 0x4000, 1024, 500)
+	if len(tr.Refs) != 500 {
+		t.Fatalf("refs = %d", len(tr.Refs))
+	}
+	for _, r := range tr.Refs {
+		if r.VAddr < 0x4000 || r.VAddr >= 0x4000+1024 {
+			t.Fatalf("ref %#x escapes working set", r.VAddr)
+		}
+	}
+	// Degenerate working set.
+	tiny := PointerChase(NewRNG(5), 0, 0, 0, 3)
+	if len(tiny.Refs) != 3 {
+		t.Error("degenerate chase")
+	}
+}
+
+func TestInterleavedSwitchStructure(t *testing.T) {
+	tr := Interleaved(4, 10, 1, 2, 0x100000)
+	if tr.Domains != 4 {
+		t.Errorf("Domains = %d", tr.Domains)
+	}
+	if len(tr.Refs) != 40 {
+		t.Errorf("refs = %d", len(tr.Refs))
+	}
+	// quantum 1: every consecutive pair switches domain.
+	if got := tr.Switches(); got != 39 {
+		t.Errorf("switches = %d, want 39", got)
+	}
+	// Larger quantum: fewer switches.
+	tr2 := Interleaved(4, 10, 10, 2, 0x100000)
+	if tr2.Switches() >= tr.Switches()*2 {
+		t.Error("larger quantum did not reduce switch density")
+	}
+	// Domains touch disjoint pages.
+	pagesByDomain := map[int]map[uint64]bool{}
+	for _, r := range tr.Refs {
+		if pagesByDomain[r.Domain] == nil {
+			pagesByDomain[r.Domain] = map[uint64]bool{}
+		}
+		pagesByDomain[r.Domain][r.VAddr>>vm.PageShift] = true
+	}
+	for d1, p1 := range pagesByDomain {
+		for d2, p2 := range pagesByDomain {
+			if d1 >= d2 {
+				continue
+			}
+			for pg := range p1 {
+				if p2[pg] {
+					t.Fatalf("domains %d and %d share page %#x", d1, d2, pg)
+				}
+			}
+		}
+	}
+}
+
+func TestSharedPagesCounting(t *testing.T) {
+	tr := Shared(3, 4, 2, 0x200000)
+	dp, pages := tr.Pages()
+	if pages != 4 {
+		t.Errorf("pages = %d, want 4", pages)
+	}
+	if dp != 12 { // n×m: 4 pages × 3 domains
+		t.Errorf("domain-pages = %d, want 12", dp)
+	}
+}
+
+func TestSizesDistributions(t *testing.T) {
+	rng := NewRNG(11)
+	for _, d := range []SizeDist{SizesUniformLog, SizesSmallObjects, SizesPowersOfTwo} {
+		sizes := Sizes(rng, d, 1000, 4, 16)
+		if len(sizes) != 1000 {
+			t.Fatalf("%v: %d sizes", d, len(sizes))
+		}
+		for _, s := range sizes {
+			if s == 0 || s > 1<<16 {
+				t.Fatalf("%v: size %d out of range", d, s)
+			}
+		}
+		if d.String() == "unknown" {
+			t.Errorf("missing name for %d", d)
+		}
+	}
+	if SizeDist(99).String() != "unknown" {
+		t.Error("unknown dist name")
+	}
+	// Powers of two are exact.
+	for _, s := range Sizes(rng, SizesPowersOfTwo, 100, 3, 10) {
+		if s&(s-1) != 0 {
+			t.Fatalf("non-power-of-two %d", s)
+		}
+	}
+}
+
+func TestSmallObjectsSkew(t *testing.T) {
+	sizes := Sizes(NewRNG(13), SizesSmallObjects, 5000, 4, 20)
+	small := 0
+	for _, s := range sizes {
+		if s < 1<<9 {
+			small++
+		}
+	}
+	if float64(small)/float64(len(sizes)) < 0.6 {
+		t.Errorf("small-object dist not skewed: %d/%d small", small, len(sizes))
+	}
+}

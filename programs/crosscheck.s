@@ -1,0 +1,18 @@
+; crosscheck.s — exercises the pointer instructions end to end:
+; derives, restricts, narrows, stores a capability through itself,
+; reloads it and reads back. r9 ends as 1 if every step agreed.
+;
+;   go run ./cmd/mmsim programs/crosscheck.s
+	ldi   r2, 4242
+	st    r1, 16, r2      ; plant a value
+	leai  r3, r1, 16      ; derive pointer to it
+	ldi   r4, 2           ; PermReadOnly
+	restrict r5, r3, r4   ; weaken
+	ld    r6, r5, 0       ; read through the weak pointer
+	st    r1, 0, r5       ; spill the capability itself
+	ld    r7, r1, 0       ; reload it
+	ld    r8, r7, 0       ; and dereference again
+	seq   r9, r6, r8      ; both reads must agree
+	seqi  r10, r6, 4242
+	and   r9, r9, r10
+	halt

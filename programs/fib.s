@@ -1,0 +1,17 @@
+; fib.s — iterative Fibonacci; leaves fib(20) in r4 and stores the
+; sequence into the scratch segment (r1).
+;
+;   go run ./cmd/mmsim programs/fib.s
+	ldi  r2, 20        ; n
+	ldi  r3, 0         ; fib(i-2)
+	ldi  r4, 1         ; fib(i-1)
+	mov  r5, r1        ; cursor
+loop:
+	st   r5, 0, r4
+	add  r6, r3, r4    ; fib(i)
+	mov  r3, r4
+	mov  r4, r6
+	leai r5, r5, 8
+	subi r2, r2, 1
+	bnez r2, loop
+	halt

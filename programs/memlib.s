@@ -1,0 +1,37 @@
+; memlib.s — a tiny position-independent library: linked with mmld.
+;
+; Calling convention: arguments r4..r7, result r5, return via r14.
+; Pointers are capabilities: every routine is bounds-checked by the
+; hardware, so a bad length faults instead of corrupting memory.
+.export memfill
+.export memsum
+
+; memfill(dst=r4, words=r6, value=r7)
+memfill:
+	beqz r6, mf_done
+	mov  r8, r4
+	mov  r9, r6
+mf_loop:
+	st   r8, 0, r7
+	subi r9, r9, 1
+	beqz r9, mf_done
+	leai r8, r8, 8
+	br   mf_loop
+mf_done:
+	jmp  r14
+
+; memsum(src=r4, words=r6) -> r5
+memsum:
+	ldi  r5, 0
+	beqz r6, ms_done
+	mov  r8, r4
+	mov  r9, r6
+ms_loop:
+	ld   r10, r8, 0
+	add  r5, r5, r10
+	subi r9, r9, 1
+	beqz r9, ms_done
+	leai r8, r8, 8
+	br   ms_loop
+ms_done:
+	jmp  r14

@@ -1,0 +1,43 @@
+; sieve.s — Sieve of Eratosthenes over [2, 256); counts primes into r4.
+; The scratch segment (r1, default 4KB) holds one word per candidate.
+; Every store is bounds-checked by the pointer hardware.
+;
+;   go run ./cmd/mmsim programs/sieve.s
+	ldi  r2, 2          ; p
+outer:
+	slti r3, r2, 256
+	beqz r3, count
+	shli r4, r2, 3
+	lea  r5, r1, r4     ; &flags[p]
+	ld   r6, r5, 0
+	bnez r6, next       ; composite
+	; mark multiples 2p, 3p, ...
+	add  r7, r2, r2     ; m = 2p
+mark:
+	slti r3, r7, 256
+	beqz r3, next
+	shli r8, r7, 3
+	lea  r9, r1, r8
+	ldi  r10, 1
+	st   r9, 0, r10
+	add  r7, r7, r2
+	br   mark
+next:
+	addi r2, r2, 1
+	br   outer
+count:
+	ldi  r2, 2
+	ldi  r4, 0
+cloop:
+	slti r3, r2, 256
+	beqz r3, done
+	shli r5, r2, 3
+	lea  r6, r1, r5
+	ld   r7, r6, 0
+	bnez r7, skip
+	addi r4, r4, 1      ; prime
+skip:
+	addi r2, r2, 1
+	br   cloop
+done:
+	halt

@@ -1,0 +1,22 @@
+; usemem.s — links against memlib.s:
+;
+;   go run ./cmd/mmld programs/usemem.s programs/memlib.s
+;
+; Fills 32 words of the scratch segment with 7, sums them (expect 224
+; in r5), all through linked library calls.
+.import memfill
+.import memsum
+	ldi   r2, =memfill
+	movip r3
+	leab  r3, r3, r2    ; execute pointer to memfill
+	mov   r4, r1
+	ldi   r6, 32
+	ldi   r7, 7
+	jmpl  r14, r3
+	ldi   r2, =memsum
+	movip r3
+	leab  r3, r3, r2
+	mov   r4, r1
+	ldi   r6, 32
+	jmpl  r14, r3       ; r5 = 224
+	halt
