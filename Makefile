@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the tier-1 gate: formatting,
+# vet, the full test suite, and a race-detector pass over the telemetry
+# layer (the only package with lock-free fast paths).
+
+GO ?= go
+
+.PHONY: check fmt vet test race build bench bench-json
+
+check: fmt vet test race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the telemetry benchmark artifact (see docs/OBSERVABILITY.md).
+bench-json:
+	$(GO) run ./cmd/experiments -run E22 -json BENCH_telemetry.json > /dev/null

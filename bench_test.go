@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/multi"
 	"repro/internal/noc"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 	"repro/internal/workload"
 )
@@ -363,6 +364,73 @@ func BenchmarkSimulatorIPS(b *testing.B) {
 	if k.M.Stats().Instructions == 0 {
 		b.Fatal("no instructions executed")
 	}
+}
+
+// The telemetry variants of the IPS benchmark size the observability
+// tax: an attached-but-disabled tracer must stay within a few percent
+// of the tracer-free loop (every emit site gates on Tracer.Enabled
+// before constructing an event), while full instruction tracing is
+// allowed to be expensive — it is opt-in via -trace/-trace-out.
+func benchSimulatorIPS(b *testing.B, attach func(k *kernel.Kernel)) {
+	b.Helper()
+	cfg := machine.MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = 4 << 20
+	k, err := kernel.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := asm.MustAssemble(`
+	loop:
+		addi r2, r2, 1
+		br loop
+	`)
+	ip, err := k.LoadProgram(prog, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := k.Spawn(1, ip, nil); err != nil {
+		b.Fatal(err)
+	}
+	if attach != nil {
+		attach(k)
+	}
+	b.ResetTimer()
+	k.Run(uint64(b.N))
+	b.StopTimer()
+	if k.M.Stats().Instructions == 0 {
+		b.Fatal("no instructions executed")
+	}
+}
+
+func BenchmarkSimulatorIPS_TelemetryDisabled(b *testing.B) {
+	benchSimulatorIPS(b, func(k *kernel.Kernel) {
+		k.SetTracer(telemetry.NewTracer(1 << 10)) // attached, all kinds masked off
+	})
+}
+
+func BenchmarkSimulatorIPS_EventsNoInstr(b *testing.B) {
+	benchSimulatorIPS(b, func(k *kernel.Kernel) {
+		tr := telemetry.NewTracer(1 << 10)
+		tr.EnableAll()
+		tr.Disable(telemetry.EvInstr)
+		k.SetTracer(tr)
+	})
+}
+
+func BenchmarkSimulatorIPS_FullTrace(b *testing.B) {
+	benchSimulatorIPS(b, func(k *kernel.Kernel) {
+		tr := telemetry.NewTracer(1 << 10)
+		tr.EnableAll()
+		k.SetTracer(tr)
+	})
+}
+
+func BenchmarkSimulatorIPS_Profiler(b *testing.B) {
+	benchSimulatorIPS(b, func(k *kernel.Kernel) {
+		k.M.Profiler = telemetry.NewProfiler(1)
+	})
 }
 
 func mustKernel(b *testing.B) *kernel.Kernel {

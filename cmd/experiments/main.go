@@ -4,22 +4,41 @@
 //
 // Usage:
 //
-//	experiments            # run everything, E1..E21
-//	experiments -run E6    # run one experiment
-//	experiments -list      # list experiment ids and titles
+//	experiments                      # run everything, E1..E22
+//	experiments -run E6              # run one experiment
+//	experiments -list                # list experiment ids and titles
+//	experiments -json out.json       # also write machine-readable records
+//	experiments -run E22 -json -     # JSON for one experiment to stdout
+//
+// The JSON output contains one record per experiment: its id and title,
+// every table of the rendered report recovered as structured rows
+// (stats.ParseTables), and — for experiments that export them — a
+// telemetry metrics snapshot. docs/OBSERVABILITY.md documents the
+// schema and how BENCH_*.json files are derived from it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// record is one experiment's machine-readable result.
+type record struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Tables  []stats.TableData  `json:"tables"`
+	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -27,34 +46,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	runID := fs.String("run", "", "run a single experiment by id (e.g. E6)")
 	list := fs.Bool("list", false, "list experiments and exit")
+	jsonOut := fs.String("json", "", `also write machine-readable records to this file ("-" = stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var selected []experiments.Experiment
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
+		return 0
 	case *runID != "":
 		e, ok := experiments.Lookup(*runID)
 		if !ok {
 			fmt.Fprintf(stderr, "experiments: unknown id %q (try -list)\n", *runID)
 			return 2
 		}
+		selected = []experiments.Experiment{e}
+	default:
+		selected = experiments.All()
+	}
+
+	var records []record
+	for _, e := range selected {
 		out, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "=== %s: %s ===\n%s", e.ID, e.Title, out)
-	default:
-		out, err := experiments.RunAll()
-		fmt.Fprint(stdout, out)
-		if err != nil {
+		if len(selected) > 1 {
+			fmt.Fprintln(stdout)
+		}
+		if *jsonOut == "" {
+			continue
+		}
+		rec := record{ID: e.ID, Title: e.Title, Tables: stats.ParseTables(out)}
+		if e.Metrics != nil {
+			snap, err := e.Metrics()
+			if err != nil {
+				fmt.Fprintf(stderr, "experiments: %s metrics: %v\n", e.ID, err)
+				return 1
+			}
+			rec.Metrics = snap
+		}
+		records = append(records, rec)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, records, stdout); err != nil {
 			fmt.Fprintln(stderr, "experiments:", err)
 			return 1
 		}
 	}
 	return 0
+}
+
+func writeJSON(path string, records []record, stdout io.Writer) error {
+	var w io.Writer = stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
 }

@@ -18,13 +18,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/asm"
-	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -40,7 +41,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	maxCycles := fs.Uint64("max-cycles", 50_000_000, "cycle budget")
 	schemeName := fs.String("scheme", "guarded", "protection scheme: guarded | flush-tlb | flush-all")
 	verbose := fs.Bool("v", false, "dump full register file per thread")
-	trace := fs.Bool("trace", false, "print every issued instruction")
+	trace := fs.Bool("trace", false, "print every issued instruction (cycle, cluster, thread, pc)")
+	traceOut := fs.String("trace-out", "", "write the full event trace to a file: .jsonl suffix = JSON Lines, otherwise Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
+	metrics := fs.Bool("metrics", false, "print a JSON snapshot of the metrics registry after the run")
+	profile := fs.Bool("profile", false, "sample executed instruction addresses and print a flat hot-spot profile")
 	wide := fs.Bool("wide", false, "enable 3-wide LIW issue per cluster")
 	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
 	if err := fs.Parse(args); err != nil {
@@ -87,13 +91,65 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mmsim:", err)
 		return 1
 	}
+	// All tracing runs through one telemetry.Tracer: -trace attaches a
+	// human-readable sink for instruction events, -trace-out streams the
+	// full event set to a file.
+	var tracer *telemetry.Tracer
+	if *trace || *traceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultRingSize)
+		k.SetTracer(tracer)
+	}
 	if *trace {
-		k.M.OnIssue = func(t *machine.Thread, inst isa.Inst) {
-			fmt.Fprintf(stdout, "[%8d] t%d %#010x  %s\n", k.M.Cycle(), t.ID, t.IP.Addr(), inst)
+		tracer.Enable(telemetry.EvInstr)
+		tracer.Attach(telemetry.SinkFunc(func(ev telemetry.Event) {
+			if ev.Kind == telemetry.EvInstr {
+				fmt.Fprintf(stdout, "[%8d] c%d t%d %#010x  %s\n", ev.Cycle, ev.Cluster, ev.Thread, ev.Addr, ev.Detail)
+			}
+		}))
+	}
+	var closeTrace func() error
+	if *traceOut != "" {
+		tracer.EnableAll()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
 		}
+		if strings.HasSuffix(*traceOut, ".jsonl") {
+			sink := telemetry.NewJSONLSink(f)
+			tracer.Attach(sink)
+			closeTrace = func() error {
+				if err := sink.Err(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		} else {
+			sink := telemetry.NewChromeSink(f)
+			tracer.Attach(sink)
+			closeTrace = func() error {
+				if err := sink.Close(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		}
+	}
+	var prof *telemetry.Profiler
+	if *profile {
+		prof = telemetry.NewProfiler(1)
+		k.M.Profiler = prof
+	}
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.NewRegistry()
+		k.RegisterMetrics(reg)
 	}
 
 	var ths []*machine.Thread
+	var code []codeSeg
 	for i := 0; i < *threads; i++ {
 		ip, err := k.LoadProgram(prog, false)
 		if err != nil {
@@ -111,6 +167,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 		ths = append(ths, th)
+		code = append(code, codeSeg{start: ip.Addr(), size: prog.ByteSize(), thread: th.ID})
 	}
 
 	if *debug {
@@ -150,7 +207,71 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		st.Switches, st.DomainSwaps, st.StallCycles)
 	fmt.Fprintf(stdout, "cache: hits=%d misses=%d conflicts=%d  tlb: hits=%d misses=%d flushes=%d\n",
 		cs.Hits, cs.Misses, cs.ConflictCycles, ts.Hits, ts.Misses, ts.Flushes)
+
+	if prof != nil {
+		fmt.Fprintf(stdout, "\nflat profile (%d samples):\n%s",
+			prof.Samples(), prof.Report(20, symbolizer(prog, code)))
+	}
+	if reg != nil {
+		fmt.Fprintln(stdout, "\nmetrics:")
+		if err := reg.Snapshot().WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			exit = 1
+		}
+		fmt.Fprintln(stdout)
+	}
+	if closeTrace != nil {
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(stderr, "mmsim: trace-out:", err)
+			exit = 1
+		}
+	}
 	return exit
+}
+
+// codeSeg records where one thread's copy of the program was loaded, so
+// the profiler can map sampled instruction addresses back to labels.
+type codeSeg struct {
+	start, size uint64
+	thread      int
+}
+
+// symbolizer resolves a sampled address to "label+words" within the
+// loaded program (annotated with the owning thread when several copies
+// are loaded), falling back to the raw address.
+func symbolizer(prog *asm.Program, code []codeSeg) func(addr uint64) string {
+	type lab struct {
+		word int
+		name string
+	}
+	labels := make([]lab, 0, len(prog.Labels))
+	for name, idx := range prog.Labels {
+		labels = append(labels, lab{word: idx, name: name})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].word < labels[j].word })
+	return func(addr uint64) string {
+		for _, cs := range code {
+			if addr < cs.start || addr >= cs.start+cs.size {
+				continue
+			}
+			w := int((addr - cs.start) / word.BytesPerWord)
+			name := fmt.Sprintf("+%d", w)
+			for _, l := range labels {
+				if l.word > w {
+					break
+				}
+				name = l.name
+				if d := w - l.word; d > 0 {
+					name = fmt.Sprintf("%s+%d", l.name, d)
+				}
+			}
+			if len(code) > 1 {
+				name = fmt.Sprintf("%s (t%d)", name, cs.thread)
+			}
+			return name
+		}
+		return fmt.Sprintf("%#x", addr)
+	}
 }
 
 // debugREPL drives the machine interactively: b/w set break- and

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,6 +50,114 @@ func TestTraceAndWideFlags(t *testing.T) {
 	}
 	if !strings.Contains(out, "subi r3, r3, 1") {
 		t.Errorf("trace output missing instructions:\n%s", out)
+	}
+}
+
+func TestTraceLinesCarryCycleClusterThread(t *testing.T) {
+	code, out, _ := runCLI([]string{"-trace", "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	// Each trace line is "[   cycle] c<cluster> t<thread> <pc>  <disasm>".
+	re := regexp.MustCompile(`\[\s*\d+\] c\d+ t\d+ 0x[0-9a-f]+  subi r3, r3, 1`)
+	if !re.MatchString(out) {
+		t.Errorf("trace lines missing cycle/cluster/thread:\n%s", out)
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	code, out, _ := runCLI([]string{"-metrics", "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	i := strings.Index(out, "metrics:\n")
+	if i < 0 {
+		t.Fatalf("no metrics block:\n%s", out)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(out[i+len("metrics:\n"):]), &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, out)
+	}
+	for _, name := range []string{"machine.cycles", "machine.instructions", "cache.l1.accesses", "vm.translations", "kernel.segments_allocated"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+	if snap["machine.instructions"] <= 0 {
+		t.Errorf("machine.instructions = %v", snap["machine.instructions"])
+	}
+}
+
+func TestTraceOutChromeFormat(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	code, _, errb := runCLI([]string{"-trace-out", path, "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   uint64 `json:"ts"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var slices int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Errorf("no complete ('X') instruction slices among %d records", len(doc.TraceEvents))
+	}
+}
+
+func TestTraceOutJSONL(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	code, _, errb := runCLI([]string{"-trace-out", path, "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("only %d trace lines", len(lines))
+	}
+	kinds := map[string]int{}
+	for _, l := range lines {
+		var ev struct {
+			Kind  string `json:"kind"`
+			Cycle uint64 `json:"cycle"`
+		}
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["instr"] == 0 {
+		t.Errorf("no instr events in %v", kinds)
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	code, out, _ := runCLI([]string{"-profile", "-"}, countdown)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "flat profile") || !strings.Contains(out, "loop") {
+		t.Errorf("profile output missing loop label:\n%s", out)
 	}
 }
 

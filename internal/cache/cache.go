@@ -22,6 +22,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/word"
 )
@@ -76,6 +77,10 @@ type Cache struct {
 	cfg   Config
 	space *vm.Space
 	banks []bank
+
+	// Tracer, when non-nil, receives a cycle-stamped event per miss
+	// that goes to the external interface (set by the owning machine).
+	Tracer *telemetry.Tracer
 
 	lineShift uint
 	clock     uint64 // LRU clock, monotone per access
@@ -173,6 +178,10 @@ func (c *Cache) Access(vaddr uint64, write bool, now uint64) (done uint64, hit b
 	// Miss: translate (the only time translation happens) and fetch
 	// over the single external interface.
 	c.stats.Misses++
+	if c.Tracer != nil && c.Tracer.Enabled(telemetry.EvCacheMiss) {
+		c.Tracer.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvCacheMiss,
+			Thread: -1, Cluster: -1, Domain: -1, Addr: vaddr})
+	}
 	if _, _, err := c.space.Translate(vaddr); err != nil {
 		b.busyUntil = start + 1
 		return start + c.cfg.HitLatency, false, err
@@ -287,15 +296,38 @@ func (c *Cache) Live() int {
 	return n
 }
 
-// Stats returns a copy of the counters (the BankAccesses slice is
-// copied).
+// Stats returns a copy of the counters. The BankAccesses slice is
+// always a fresh defensive copy: callers may hold the snapshot across a
+// later ResetStats (or further accesses) without ever aliasing the live
+// per-bank counters.
 func (c *Cache) Stats() Stats {
 	s := c.stats
-	s.BankAccesses = append([]uint64(nil), c.stats.BankAccesses...)
+	s.BankAccesses = make([]uint64, len(c.stats.BankAccesses))
+	copy(s.BankAccesses, c.stats.BankAccesses)
 	return s
 }
 
-// ResetStats zeroes the counters, keeping contents.
+// ResetStats zeroes the counters, keeping contents. The live
+// BankAccesses slice is replaced, never shared, so snapshots taken
+// before the reset keep their values.
 func (c *Cache) ResetStats() {
 	c.stats = Stats{BankAccesses: make([]uint64, c.cfg.Banks)}
+}
+
+// RegisterMetrics publishes the cache counters under prefix
+// (canonically "cache.l1"): hits, misses, writebacks, conflict cycles,
+// memory-interface wait cycles, and per-bank access counts.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".accesses", func() uint64 { return c.stats.Accesses })
+	reg.Counter(prefix+".hits", func() uint64 { return c.stats.Hits })
+	reg.Counter(prefix+".misses", func() uint64 { return c.stats.Misses })
+	reg.Counter(prefix+".writebacks", func() uint64 { return c.stats.Writebacks })
+	reg.Counter(prefix+".conflict_cycles", func() uint64 { return c.stats.ConflictCycles })
+	reg.Counter(prefix+".mem_wait_cycles", func() uint64 { return c.stats.MemWaitCycles })
+	for i := 0; i < c.cfg.Banks; i++ {
+		bank := i
+		reg.Counter(fmt.Sprintf("%s.bank.%d.accesses", prefix, bank), func() uint64 {
+			return c.stats.BankAccesses[bank]
+		})
+	}
 }

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// Regression test: the Stats() snapshot must never alias the live
+// BankAccesses counters — neither against further accesses nor across a
+// mid-run ResetStats. A snapshot that shared the slice would silently
+// change under the caller (or, worse, let a caller mutate the live
+// counters).
+func TestStatsBankAccessesIsDefensiveCopy(t *testing.T) {
+	space, err := vm.NewSpace(1<<20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := space.EnsureMapped(0, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(space, Config{Banks: 4, Sets: 16, Ways: 2, LineBytes: 32, HitLatency: 1, MissPenalty: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch bank 0 a known number of times (line 0 maps to bank 0).
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Access(0, false, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Stats()
+	if snap.BankAccesses[0] != 3 {
+		t.Fatalf("bank0 = %d, want 3", snap.BankAccesses[0])
+	}
+
+	// Further traffic must not retroactively change the snapshot.
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Access(0, false, uint64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.BankAccesses[0] != 3 {
+		t.Errorf("snapshot aliased live counters: bank0 = %d after more traffic", snap.BankAccesses[0])
+	}
+
+	// Mutating the snapshot must not corrupt the live counters.
+	snap.BankAccesses[0] = 999
+	if got := c.Stats().BankAccesses[0]; got != 8 {
+		t.Errorf("live bank0 = %d, want 8 (snapshot mutation leaked in)", got)
+	}
+
+	// Resetting mid-run must leave earlier snapshots intact and start
+	// the live counters from a fresh slice.
+	before := c.Stats()
+	c.ResetStats()
+	if before.BankAccesses[0] != 8 {
+		t.Errorf("pre-reset snapshot changed by ResetStats: %d", before.BankAccesses[0])
+	}
+	after := c.Stats()
+	if after.BankAccesses[0] != 0 || after.Accesses != 0 {
+		t.Errorf("reset left residue: %+v", after)
+	}
+	if _, _, err := c.Access(0, false, 100); err != nil {
+		t.Fatal(err)
+	}
+	if before.BankAccesses[0] != 8 || after.BankAccesses[0] != 0 {
+		t.Errorf("post-reset traffic aliased old snapshots: before=%d after=%d",
+			before.BankAccesses[0], after.BankAccesses[0])
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultCodeStringsExhaustive pins the exact name of every declared
+// fault code: the telemetry layer exports codes numerically and uses
+// these strings as the human-readable legend, so a rename or reorder
+// here must be a deliberate, test-visible act.
+func TestFaultCodeStringsExhaustive(t *testing.T) {
+	want := map[FaultCode]string{
+		FaultNone:      "none",
+		FaultTag:       "tag",
+		FaultPerm:      "permission",
+		FaultBounds:    "bounds",
+		FaultPriv:      "privilege",
+		FaultLength:    "length",
+		FaultImmutable: "immutable",
+	}
+	// Every declared code must be covered: the names table and this map
+	// must agree in size, so adding a code without updating both fails.
+	if len(want) != len(faultNames) {
+		t.Fatalf("test covers %d codes, declaration has %d", len(want), len(faultNames))
+	}
+	for code, name := range want {
+		if got := code.String(); got != name {
+			t.Errorf("FaultCode(%d).String() = %q, want %q", uint8(code), got, name)
+		}
+	}
+	if got := FaultCode(200).String(); got != "fault(200)" {
+		t.Errorf("out-of-range code renders %q", got)
+	}
+}
+
+func TestFaultErrorAndCodeOf(t *testing.T) {
+	f := &Fault{Code: FaultPerm, Op: "ST", Msg: "read-only pointer"}
+	if f.Error() != "ST: permission fault: read-only pointer" {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	bare := &Fault{Code: FaultTag, Op: "LD"}
+	if bare.Error() != "LD: tag fault" {
+		t.Errorf("Error() without message = %q", bare.Error())
+	}
+	if CodeOf(f) != FaultPerm || CodeOf(nil) != FaultNone {
+		t.Error("CodeOf on fault / nil")
+	}
+	if CodeOf(errors.New("unrelated")) != FaultNone {
+		t.Error("CodeOf on foreign error")
+	}
+}

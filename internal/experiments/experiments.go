@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Experiment is one reproducible artifact.
@@ -23,6 +25,10 @@ type Experiment struct {
 	Title string
 	// Run produces the rendered report.
 	Run func() (string, error)
+	// Metrics, when non-nil, produces the experiment's machine-readable
+	// counters for -json output (in addition to the tables ParseTables
+	// recovers from the rendered report).
+	Metrics func() (telemetry.Snapshot, error)
 }
 
 // registry in id order.
@@ -30,6 +36,12 @@ var registry []Experiment
 
 func register(id, title string, run func() (string, error)) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// registerWithMetrics registers an experiment that also exports a
+// telemetry snapshot alongside its rendered report.
+func registerWithMetrics(id, title string, run func() (string, error), metrics func() (telemetry.Snapshot, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run, Metrics: metrics})
 }
 
 // All returns every experiment in id order.

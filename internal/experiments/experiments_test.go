@@ -4,12 +4,14 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registered %d experiments, want 21 (E1..E21)", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registered %d experiments, want 22 (E1..E22)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -312,6 +314,46 @@ func TestE21SoftwareSwitch(t *testing.T) {
 	}
 	if sw < 5 || sw > 60 {
 		t.Errorf("software switch = %.1f cycles, expected tens (register traffic only)", sw)
+	}
+}
+
+func TestE22TelemetryLayers(t *testing.T) {
+	out := runOne(t, "E22", "noc.msgs", "domain-swap", "cache.l1.accesses", "disabled", "full-trace")
+	if !strings.Contains(out, "ns/cycle") {
+		t.Errorf("overhead table missing:\n%s", out)
+	}
+	// The rendered report must parse back into at least three tables
+	// (metrics, event kinds, overhead) — this is what -json ships.
+	tables := stats.ParseTables(out)
+	if len(tables) < 3 {
+		t.Fatalf("parsed %d tables from E22 report:\n%s", len(tables), out)
+	}
+}
+
+func TestE22Metrics(t *testing.T) {
+	e, ok := Lookup("E22")
+	if !ok || e.Metrics == nil {
+		t.Fatal("E22 must register a Metrics func")
+	}
+	snap, err := e.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One live counter from every subsystem layer, plus the overhead
+	// figures the benchmark JSON records.
+	for _, name := range []string{"machine.instructions", "cache.l1.accesses", "vm.translations", "noc.msgs"} {
+		if snap.Get(name) <= 0 {
+			t.Errorf("metric %s = %v, want > 0", name, snap.Get(name))
+		}
+	}
+	for _, name := range []string{
+		"telemetry.hotloop.ns_per_cycle.detached",
+		"telemetry.hotloop.slowdown.disabled",
+		"telemetry.hotloop.slowdown.full-trace",
+	} {
+		if snap.Get(name) <= 0 {
+			t.Errorf("overhead figure %s missing", name)
+		}
 	}
 }
 

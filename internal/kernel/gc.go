@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/word"
 )
@@ -28,6 +29,8 @@ type SweepStats struct {
 func (k *Kernel) SweepRevoke(target core.Pointer) (SweepStats, error) {
 	var st SweepStats
 	k.stats.SweepsPerformed++
+	k.gcPhase("sweep-revoke", true)
+	defer k.gcPhase("sweep-revoke", false)
 	for base, logLen := range k.segments {
 		if k.revoked[base] {
 			continue // contents already unmapped
@@ -133,6 +136,7 @@ type GCStats struct {
 func (k *Kernel) CollectAddressSpace(roots []word.Word) (GCStats, error) {
 	var st GCStats
 	k.stats.GCRuns++
+	k.gcPhase("gc-mark", true)
 
 	var queue []uint64 // segment bases to scan
 	marked := make(map[uint64]bool)
@@ -180,6 +184,10 @@ func (k *Kernel) CollectAddressSpace(roots []word.Word) (GCStats, error) {
 		}
 	}
 
+	k.gcPhase("gc-mark", false)
+	k.gcPhase("gc-sweep", true)
+	defer k.gcPhase("gc-sweep", false)
+
 	st.LiveSegments = len(marked)
 	for base := range k.segments {
 		if marked[base] {
@@ -195,6 +203,20 @@ func (k *Kernel) CollectAddressSpace(roots []word.Word) (GCStats, error) {
 		st.FreedSegments++
 	}
 	return st, nil
+}
+
+// gcPhase brackets a kernel maintenance phase in the event trace.
+func (k *Kernel) gcPhase(name string, begin bool) {
+	tr := k.M.Tracer
+	if tr == nil || !tr.Enabled(telemetry.EvGCPhase) {
+		return
+	}
+	code := int64(0)
+	if begin {
+		code = 1
+	}
+	tr.Emit(telemetry.Event{Cycle: k.M.Cycle(), Kind: telemetry.EvGCPhase,
+		Thread: -1, Cluster: -1, Domain: -1, Code: code, Detail: name})
 }
 
 func errUnknownSegment(p core.Pointer) error {

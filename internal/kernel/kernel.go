@@ -21,6 +21,7 @@ import (
 	"repro/internal/buddy"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/word"
 )
@@ -122,6 +123,26 @@ func NewWithRegion(cfg machine.Config, base uint64, logSize uint) (*Kernel, erro
 
 // Stats returns a copy of the kernel counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// RegisterMetrics publishes the kernel counters (kernel.*) plus the
+// whole machine namespace (machine.*, cache.l1.*, vm.*) into reg.
+func (k *Kernel) RegisterMetrics(reg *telemetry.Registry) {
+	k.M.RegisterMetrics(reg)
+	reg.Counter("kernel.segments_allocated", func() uint64 { return k.stats.SegmentsAllocated })
+	reg.Counter("kernel.segments_freed", func() uint64 { return k.stats.SegmentsFreed })
+	reg.Counter("kernel.revocations", func() uint64 { return k.stats.Revocations })
+	reg.Counter("kernel.sweeps", func() uint64 { return k.stats.SweepsPerformed })
+	reg.Counter("kernel.gc_runs", func() uint64 { return k.stats.GCRuns })
+	reg.Register("kernel.live_segments", func() float64 { return float64(len(k.segments)) })
+	reg.Counter("kernel.paging.demand_zero", func() uint64 { return k.pagingStats.DemandZero })
+	reg.Counter("kernel.paging.swap_ins", func() uint64 { return k.pagingStats.SwapIns })
+	reg.Counter("kernel.paging.swap_outs", func() uint64 { return k.pagingStats.SwapOuts })
+	reg.Counter("kernel.paging.evictions", func() uint64 { return k.pagingStats.Evictions })
+}
+
+// SetTracer wires tr through the machine and memory system (see
+// machine.SetTracer); kernel maintenance phases emit through it too.
+func (k *Kernel) SetTracer(tr *telemetry.Tracer) { k.M.SetTracer(tr) }
 
 // Segments returns the number of live segments.
 func (k *Kernel) Segments() int { return len(k.segments) }

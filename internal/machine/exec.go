@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -53,6 +54,14 @@ func (m *Machine) execute(t *Thread) {
 	}
 	if m.OnIssue != nil {
 		m.OnIssue(t, inst)
+	}
+	if m.Profiler != nil {
+		m.Profiler.Sample(t.IP.Addr())
+	}
+	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvInstr) {
+		m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvInstr,
+			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
+			Addr: t.IP.Addr(), Detail: inst.String()})
 	}
 
 	r := &t.Regs
@@ -170,6 +179,10 @@ func (m *Machine) execute(t *Thread) {
 			return
 		}
 		m.stats.Traps++
+		if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvTrap) {
+			m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvTrap,
+				Thread: t.ID, Cluster: t.cluster, Domain: t.Domain, Code: inst.Imm})
+		}
 		m.retire(t)
 		if m.OnTrap == nil {
 			m.fault(t, &core.Fault{Code: core.FaultPriv, Op: "TRAP", Msg: "no trap handler installed"})
@@ -456,6 +469,11 @@ func (m *Machine) retire(t *Thread) {
 // or, absent one, terminates the thread.
 func (m *Machine) fault(t *Thread, err error) {
 	m.stats.Faults++
+	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvFault) {
+		m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvFault,
+			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
+			Addr: t.IP.Addr(), Code: int64(core.CodeOf(err)), Detail: err.Error()})
+	}
 	if m.OnFault != nil && m.OnFault(m, t, err) {
 		return
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/word"
 )
@@ -161,6 +162,16 @@ type Machine struct {
 	// Remote, when non-nil, handles references to other nodes of a
 	// multicomputer.
 	Remote RemoteAccess
+
+	// Tracer, when non-nil, receives cycle-stamped structured events
+	// (instructions, faults, traps, domain swaps, TLB flushes; install
+	// with SetTracer so the memory system emits too). Nil costs one
+	// pointer check per emit site.
+	Tracer *telemetry.Tracer
+
+	// Profiler, when non-nil, samples the address of every issued
+	// instruction for hot-spot attribution.
+	Profiler *telemetry.Profiler
 }
 
 // New builds a machine.
@@ -185,6 +196,45 @@ func New(cfg Config) (*Machine, error) {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetTracer installs tr as the event tracer for the machine and its
+// whole memory system (cache misses, TLB misses, page faults, swap
+// traffic all stamp events with the machine's cycle). Passing nil
+// detaches tracing everywhere.
+func (m *Machine) SetTracer(tr *telemetry.Tracer) {
+	m.Tracer = tr
+	m.Cache.Tracer = tr
+	m.Space.Tracer = tr
+	if tr == nil {
+		m.Space.Now = nil
+		return
+	}
+	m.Space.Now = func() uint64 { return m.cycle }
+}
+
+// RegisterMetrics publishes every machine-level counter plus the cache
+// and vm counters into reg under the canonical namespace
+// (machine.cycles, cache.l1.misses, vm.tlb.misses, …).
+func (m *Machine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("machine.cycles", func() uint64 { return m.stats.Cycles })
+	reg.Counter("machine.instructions", func() uint64 { return m.stats.Instructions })
+	reg.Counter("machine.idle_cycles", func() uint64 { return m.stats.IdleCycles })
+	reg.Counter("machine.stall_cycles", func() uint64 { return m.stats.StallCycles })
+	reg.Counter("machine.switches", func() uint64 { return m.stats.Switches })
+	reg.Counter("machine.domain_swaps", func() uint64 { return m.stats.DomainSwaps })
+	reg.Counter("machine.traps", func() uint64 { return m.stats.Traps })
+	reg.Counter("machine.faults", func() uint64 { return m.stats.Faults })
+	reg.Counter("machine.issue_packets", func() uint64 { return m.stats.IssuePackets })
+	reg.Register("machine.ipc", func() float64 {
+		if m.stats.Cycles == 0 {
+			return 0
+		}
+		return float64(m.stats.Instructions) / float64(m.stats.Cycles)
+	})
+	reg.Register("machine.threads", func() float64 { return float64(len(m.threads)) })
+	m.Cache.RegisterMetrics(reg, "cache.l1")
+	m.Space.RegisterMetrics(reg, "vm")
+}
 
 // Cycle returns the current cycle number.
 func (m *Machine) Cycle() uint64 { return m.cycle }
@@ -289,6 +339,11 @@ func (m *Machine) stepCluster(cl *clusterState) {
 			m.stats.Switches++
 			if cl.lastThread.Domain != t.Domain {
 				m.stats.DomainSwaps++
+				if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvDomainSwap) {
+					m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvDomainSwap,
+						Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
+						Detail: fmt.Sprintf("domain %d -> %d", cl.lastThread.Domain, t.Domain)})
+				}
 				if penalty := m.switchPenalty(); penalty > 0 {
 					// A page-based scheme must install the new domain
 					// before the thread may issue: stall the cluster
@@ -315,14 +370,28 @@ func (m *Machine) stepCluster(cl *clusterState) {
 func (m *Machine) switchPenalty() uint64 {
 	switch m.cfg.Scheme {
 	case SchemeFlushTLB:
-		m.Space.TLB.Flush()
+		m.flushTLBTraced()
 		return m.cfg.SwitchPenalty
 	case SchemeFlushAll:
-		m.Space.TLB.Flush()
+		m.flushTLBTraced()
 		m.Cache.InvalidateAll()
 		return m.cfg.SwitchPenalty
 	}
 	return 0
+}
+
+// flushTLBTraced flushes the TLB, recording how many live translations
+// the flush destroyed.
+func (m *Machine) flushTLBTraced() {
+	live := 0
+	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvTLBFlush) {
+		live = m.Space.TLB.Live()
+	}
+	m.Space.TLB.Flush()
+	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvTLBFlush) {
+		m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvTLBFlush,
+			Thread: -1, Cluster: -1, Domain: -1, Code: int64(live)})
+	}
 }
 
 // pickThread selects the thread to issue this cycle. The guarded

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// spawnAt loads src at a fixed base and installs it as a user thread.
+func spawnAt(t *testing.T, m *Machine, src string) *Thread {
+	t.Helper()
+	ip := loadAt(t, m, src, 0x10000, false)
+	th, err := m.AddThread(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// TestTelemetryWiring drives a real machine with the tracer, profiler
+// and metrics registry attached and checks that every layer reports:
+// instructions issue events with cycle/thread/cluster, the fault path
+// carries the fault code, and the registry namespace covers machine,
+// cache and vm.
+func TestTelemetryWiring(t *testing.T) {
+	cfg := MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = 1 << 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(1 << 12)
+	tr.EnableAll()
+	m.SetTracer(tr)
+	prof := telemetry.NewProfiler(1)
+	m.Profiler = prof
+
+	reg := telemetry.NewRegistry()
+	m.RegisterMetrics(reg)
+	start := reg.Snapshot()
+
+	th := spawnAt(t, m, "ld r2, r1, 0\nadd r3, r2, r2\nhalt\n")
+	th.SetReg(1, dataSeg(t, m, 0x80000, 12).Word())
+	m.Run(1000)
+	if th.State != Halted {
+		t.Fatalf("thread: %v %v", th.State, th.Fault)
+	}
+
+	var instr int
+	for _, ev := range tr.Events() {
+		if ev.Kind == telemetry.EvInstr {
+			instr++
+			if ev.Thread != th.ID || ev.Cluster != 0 || ev.Detail == "" {
+				t.Errorf("instr event incomplete: %+v", ev)
+			}
+		}
+	}
+	if instr != 3 {
+		t.Errorf("instr events = %d, want 3", instr)
+	}
+	if prof.Samples() != 3 {
+		t.Errorf("profiler samples = %d, want 3", prof.Samples())
+	}
+
+	d := reg.Snapshot().Delta(start)
+	if d.Get("machine.instructions") != 3 {
+		t.Errorf("machine.instructions delta = %v", d.Get("machine.instructions"))
+	}
+	for _, name := range []string{"machine.cycles", "cache.l1.accesses", "vm.translations", "vm.tlb.hits"} {
+		if d.Get(name) <= 0 {
+			t.Errorf("metric %s did not advance (delta %v)", name, d.Get(name))
+		}
+	}
+}
+
+// TestTelemetryFaultEventCarriesCode checks the fault emit site.
+func TestTelemetryFaultEventCarriesCode(t *testing.T) {
+	cfg := MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = 1 << 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(64)
+	tr.Enable(telemetry.EvFault)
+	m.SetTracer(tr)
+
+	// Loading through an untagged word is a tag fault (FaultTag == 1).
+	th := spawnAt(t, m, "ldi r1, 64\nld r2, r1, 0\nhalt\n")
+	m.Run(1000)
+	if th.State != Faulted {
+		t.Fatalf("thread: %v", th.State)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("fault events = %d, want 1", len(evs))
+	}
+	if evs[0].Kind != telemetry.EvFault || evs[0].Code != 1 || evs[0].Detail == "" {
+		t.Errorf("fault event = %+v", evs[0])
+	}
+}

@@ -62,6 +62,9 @@ func (t *Thread) SetIP(p core.Pointer) error {
 	return nil
 }
 
+// Cluster returns the cluster the thread is resident on.
+func (t *Thread) Cluster() int { return t.cluster }
+
 // Privileged reports whether the thread currently executes in
 // supervisor mode, which in a guarded-pointer machine is nothing more
 // than the permission of the instruction pointer (Sec 2.1).

@@ -17,7 +17,11 @@
 // That absence is the paper's point.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Coord is a node position in the mesh.
 type Coord struct{ X, Y, Z int }
@@ -83,6 +87,11 @@ type Network struct {
 	cfg   Config
 	busy  map[link]uint64 // next free cycle per directed link
 	stats Stats
+
+	// Tracer, when non-nil, receives one cycle-stamped event per
+	// injected message (Addr carries the source node, Code the
+	// destination).
+	Tracer *telemetry.Tracer
 }
 
 // New validates the configuration and builds the network.
@@ -169,6 +178,11 @@ func (n *Network) Send(src, dst int, now uint64) uint64 {
 	}
 	t += n.cfg.InjectLatency
 	n.stats.TotalLatency += t - now
+	if n.Tracer != nil && n.Tracer.Enabled(telemetry.EvNoCMsg) {
+		n.Tracer.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvNoCMsg,
+			Thread: -1, Cluster: -1, Domain: -1, Addr: uint64(src), Code: int64(dst),
+			Detail: fmt.Sprintf("node %d -> %d (arrive %d)", src, dst, t)})
+	}
 	return t
 }
 
@@ -182,3 +196,19 @@ func (n *Network) ZeroLoadLatency(src, dst int) uint64 {
 
 // Stats returns a copy of the counters.
 func (n *Network) Stats() Stats { return n.stats }
+
+// RegisterMetrics publishes the network counters under prefix
+// (canonically "noc"): noc.msgs, noc.hops, noc.latency_cycles,
+// noc.contention_cycles, plus the derived mean latency per message.
+func (n *Network) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".msgs", func() uint64 { return n.stats.Messages })
+	reg.Counter(prefix+".hops", func() uint64 { return n.stats.TotalHops })
+	reg.Counter(prefix+".latency_cycles", func() uint64 { return n.stats.TotalLatency })
+	reg.Counter(prefix+".contention_cycles", func() uint64 { return n.stats.ContentionCycles })
+	reg.Register(prefix+".mean_latency", func() float64 {
+		if n.stats.Messages == 0 {
+			return 0
+		}
+		return float64(n.stats.TotalLatency) / float64(n.stats.Messages)
+	})
+}

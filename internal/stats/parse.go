@@ -1,0 +1,118 @@
+package stats
+
+import "strings"
+
+// TableData is the machine-readable form of a Table: what the JSON
+// experiment output carries instead of (or alongside) the rendered
+// text. Cells stay strings — the renderer already fixed their
+// formatting, and consumers that want numbers can parse the columns
+// they care about.
+type TableData struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Data returns the table's contents as TableData (deep-copied, so the
+// caller can keep it across later AddRow calls).
+func (t *Table) Data() TableData {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return TableData{
+		Title:   t.Title,
+		Columns: append([]string(nil), t.Columns...),
+		Rows:    rows,
+	}
+}
+
+// ParseTables recovers every table embedded in a rendered report.
+//
+// It exploits two invariants of Table.String: the separator line under
+// the header is dashes exactly as wide as each column (so its dash runs
+// give the column byte offsets), and rows run from the separator to the
+// next blank line. This lets the experiment harness keep returning
+// plain-text reports — every substring the existing tests grep for is
+// untouched — while -json re-derives structure from the same bytes the
+// human reads.
+func ParseTables(report string) []TableData {
+	lines := strings.Split(report, "\n")
+	var out []TableData
+	for i := 1; i < len(lines); i++ {
+		if !isSeparatorLine(lines[i]) {
+			continue
+		}
+		spans := columnSpans(lines[i])
+		td := TableData{Columns: cellsAt(lines[i-1], spans)}
+		// The line above the header is the title iff it exists, is
+		// non-empty, and sits at the start of the report or after a
+		// blank line (otherwise it is body text of whatever precedes).
+		if i >= 2 && lines[i-2] != "" && !isSeparatorLine(lines[i-2]) && (i == 2 || lines[i-3] == "") {
+			td.Title = lines[i-2]
+		}
+		j := i + 1
+		for ; j < len(lines) && lines[j] != "" && !isSeparatorLine(lines[j]); j++ {
+			td.Rows = append(td.Rows, cellsAt(lines[j], spans))
+		}
+		i = j - 1
+		out = append(out, td)
+	}
+	return out
+}
+
+// isSeparatorLine reports whether line is a header/body separator:
+// nothing but dashes and the two-space column gaps.
+func isSeparatorLine(line string) bool {
+	dash := false
+	for _, r := range line {
+		switch r {
+		case '-':
+			dash = true
+		case ' ':
+		default:
+			return false
+		}
+	}
+	return dash
+}
+
+// span is a half-open byte range of one column; end < 0 means
+// "to end of line" (the last column loses its padding to TrimRight).
+type span struct{ start, end int }
+
+func columnSpans(sep string) []span {
+	var spans []span
+	start, in := 0, false
+	for i, r := range sep {
+		switch {
+		case r == '-' && !in:
+			start, in = i, true
+		case r != '-' && in:
+			spans = append(spans, span{start, i})
+			in = false
+		}
+	}
+	if in {
+		spans = append(spans, span{start, len(sep)})
+	}
+	if len(spans) > 0 {
+		spans[len(spans)-1].end = -1
+	}
+	return spans
+}
+
+func cellsAt(line string, spans []span) []string {
+	cells := make([]string, len(spans))
+	for i, sp := range spans {
+		if sp.start >= len(line) {
+			continue
+		}
+		end := sp.end
+		if end < 0 || end > len(line) {
+			end = len(line)
+		}
+		cells[i] = strings.TrimSpace(line[sp.start:end])
+	}
+	return cells
+}

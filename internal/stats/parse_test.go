@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTablesRoundTrip(t *testing.T) {
+	tb := NewTable("E5: cache schemes", "scheme", "cycles", "ratio", "note")
+	tb.AddRow("guarded", 100, 1.0, "baseline")
+	tb.AddRow("flush-all", 2500, 25.0, "flush on domain switch")
+	tb.AddRow("x", 1, 0.0, "")
+
+	got := ParseTables(tb.String())
+	if len(got) != 1 {
+		t.Fatalf("tables parsed = %d, want 1\n%s", len(got), tb.String())
+	}
+	if !reflect.DeepEqual(got[0], tb.Data()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got[0], tb.Data())
+	}
+}
+
+func TestParseTablesMultipleAndUntitled(t *testing.T) {
+	a := NewTable("first table", "k", "v")
+	a.AddRow("rows", 2)
+	a.AddRow("cols", 2)
+	b := NewTable("", "only")
+	b.AddRow("cell")
+
+	report := a.String() + "\nprose between tables\n\n" + b.String() + "\ntrailing prose\n"
+	got := ParseTables(report)
+	if len(got) != 2 {
+		t.Fatalf("tables parsed = %d, want 2:\n%s", len(got), report)
+	}
+	if got[0].Title != "first table" || len(got[0].Rows) != 2 {
+		t.Errorf("table 0 = %+v", got[0])
+	}
+	if got[1].Title != "" || !reflect.DeepEqual(got[1].Columns, []string{"only"}) {
+		t.Errorf("table 1 = %+v", got[1])
+	}
+	if !reflect.DeepEqual(got[1].Rows, [][]string{{"cell"}}) {
+		t.Errorf("table 1 rows = %+v", got[1].Rows)
+	}
+}
+
+func TestParseTablesShortRows(t *testing.T) {
+	// Rows with fewer cells than columns (the renderer permits them)
+	// must come back padded with empty strings, not crash.
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	got := ParseTables(tb.String())
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Rows, [][]string{{"x", "", ""}}) {
+		t.Errorf("parsed = %+v", got)
+	}
+}
+
+func TestParseTablesIgnoresPlainText(t *testing.T) {
+	if got := ParseTables("no tables here\njust prose\n"); len(got) != 0 {
+		t.Errorf("parsed %d tables from prose", len(got))
+	}
+	if got := ParseTables(""); len(got) != 0 {
+		t.Errorf("parsed %d tables from empty input", len(got))
+	}
+}
+
+func TestParseTablesAllExperimentStyles(t *testing.T) {
+	// A dash-only cell (used for "not applicable" entries) must not be
+	// mistaken for a separator because its line carries other text.
+	tb := NewTable("t", "scheme", "cost")
+	tb.AddRow("guarded", "-")
+	got := ParseTables(tb.String())
+	if len(got) != 1 || got[0].Rows[0][1] != "-" {
+		t.Fatalf("parsed = %+v", got)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize([]float64{}); s != (Summary{}) {
+		t.Errorf("empty input: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.P50 != 7 || s.P99 != 7 {
+		t.Errorf("single sample: %+v", s)
+	}
+	// Non-finite samples are dropped, not propagated.
+	s = Summarize([]float64{math.NaN(), 2, math.Inf(1), 4, math.Inf(-1)})
+	if s.Count != 2 || s.Min != 2 || s.Max != 4 || s.Mean != 3 {
+		t.Errorf("non-finite filtering: %+v", s)
+	}
+	if s := Summarize([]float64{math.NaN(), math.Inf(1)}); s != (Summary{}) {
+		t.Errorf("all non-finite should summarize as empty: %+v", s)
+	}
+}
+
+func TestTableDataIsDeepCopy(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("v1")
+	d := tb.Data()
+	tb.AddRow("v2")
+	d.Rows[0][0] = "mutated"
+	if tb.Data().Rows[0][0] != "v1" || len(d.Rows) != 1 {
+		t.Errorf("Data aliases table internals: %+v vs %+v", d, tb.Data())
+	}
+	if !strings.Contains(tb.String(), "v2") {
+		t.Error("table lost a row")
+	}
+}

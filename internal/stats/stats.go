@@ -104,12 +104,20 @@ type Summary struct {
 	P50, P90, P99  float64
 }
 
-// Summarize computes a Summary of xs (xs is not modified).
+// Summarize computes a Summary of xs (xs is not modified). Non-finite
+// samples (NaN, ±Inf) are discarded — a single poisoned division in an
+// experiment must not wipe out the whole summary — and Count reports
+// only the samples actually summarized.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
+	s := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			s = append(s, v)
+		}
+	}
+	if len(s) == 0 {
 		return Summary{}
 	}
-	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	var sum float64
 	for _, v := range s {

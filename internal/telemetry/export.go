@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLSink streams each event as one JSON object per line (JSON
+// Lines). Attach it to a tracer, then check Err after the run.
+type JSONLSink struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit writes one line; the first write error sticks and suppresses
+// further output.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	_, s.err = s.w.Write(b)
+}
+
+// Err returns the first write or marshal error.
+func (s *JSONLSink) Err() error { return s.err }
+
+// ChromeSink streams events in Chrome trace_event JSON ("JSON Array
+// Format"), loadable in chrome://tracing and Perfetto. Cycles map to
+// microsecond timestamps 1:1, clusters to pids and threads to tids, so
+// the viewer lays issued instructions out per thread with protection
+// events as instant markers. Close finishes the array.
+type ChromeSink struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewChromeSink writes the trace header to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: w}
+	_, s.err = io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return s
+}
+
+// Emit appends one trace record.
+func (s *ChromeSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	rec := chromeRecord(ev)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.n > 0 {
+		b = append([]byte(",\n"), b...)
+	}
+	s.n++
+	_, s.err = s.w.Write(b)
+}
+
+// Close terminates the JSON array; the sink must not be used after.
+func (s *ChromeSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	_, s.err = io.WriteString(s.w, "\n]}\n")
+	return s.err
+}
+
+// Err returns the first write or marshal error.
+func (s *ChromeSink) Err() error { return s.err }
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat"`
+	Phase string                 `json:"ph"`
+	TS    uint64                 `json:"ts"`
+	Dur   uint64                 `json:"dur,omitempty"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeRecord maps an Event onto the trace_event schema: instructions
+// become 1-cycle complete ("X") slices, GC phases become begin/end
+// ("B"/"E") slices, everything else a thread-scoped instant ("i").
+func chromeRecord(ev Event) chromeEvent {
+	rec := chromeEvent{
+		Cat:   ev.Kind.String(),
+		TS:    ev.Cycle,
+		PID:   ev.Cluster,
+		TID:   ev.Thread,
+		Phase: "i",
+		Scope: "t",
+	}
+	if rec.PID < 0 {
+		rec.PID = 0
+	}
+	if rec.TID < 0 {
+		rec.TID = 0
+	}
+	name := ev.Kind.String()
+	if ev.Detail != "" {
+		name = ev.Detail
+	}
+	rec.Name = name
+	switch ev.Kind {
+	case EvInstr:
+		rec.Phase, rec.Scope, rec.Dur = "X", "", 1
+	case EvGCPhase:
+		rec.Scope = ""
+		if ev.Code != 0 {
+			rec.Phase = "B"
+		} else {
+			rec.Phase = "E"
+		}
+	}
+	args := map[string]interface{}{}
+	if ev.Addr != 0 {
+		args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+	}
+	if ev.Code != 0 && ev.Kind != EvGCPhase {
+		args["code"] = ev.Code
+	}
+	if ev.Domain >= 0 {
+		args["domain"] = ev.Domain
+	}
+	if len(args) > 0 {
+		rec.Args = args
+	}
+	return rec
+}
+
+// WriteJSONLines writes events as JSON Lines to w.
+func WriteJSONLines(w io.Writer, events []Event) error {
+	s := NewJSONLSink(w)
+	for _, ev := range events {
+		s.Emit(ev)
+	}
+	return s.Err()
+}
+
+// WriteChromeTrace writes events as one Chrome trace_event document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	s := NewChromeSink(w)
+	for _, ev := range events {
+		s.Emit(ev)
+	}
+	return s.Close()
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps hierarchical metric names ("machine.cycles",
+// "cache.l1.misses", "vm.tlb.misses", …) to sampler functions over the
+// live counters of each subsystem. Sampling is pull-based: registering
+// costs one closure, and the counters themselves stay plain struct
+// fields on the hot path — a Snapshot reads them all at once.
+type Registry struct {
+	mu       sync.Mutex
+	names    []string
+	samplers map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{samplers: make(map[string]func() float64)}
+}
+
+// Register binds name to a gauge sampler. Re-registering a name
+// replaces its sampler (a machine rebuilt between runs re-registers).
+func (r *Registry) Register(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.samplers[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.samplers[name] = fn
+}
+
+// Counter binds name to a monotone uint64 counter sampler.
+func (r *Registry) Counter(name string, fn func() uint64) {
+	r.Register(name, func() float64 { return float64(fn()) })
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot samples every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := make(Snapshot, len(r.samplers))
+	for name, fn := range r.samplers {
+		s[name] = fn()
+	}
+	return s
+}
+
+// Snapshot is one point-in-time sample of a registry: metric name →
+// value. It marshals to JSON with sorted keys (encoding/json orders map
+// keys), so snapshots diff cleanly.
+type Snapshot map[string]float64
+
+// Delta returns s − prev per metric. Metrics absent from prev are
+// treated as starting at zero; metrics absent from s are dropped (the
+// sampler went away with its subsystem).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for name, v := range s {
+		out[name] = v - prev[name]
+	}
+	return out
+}
+
+// Get returns the value of name, or 0 if absent.
+func (s Snapshot) Get(name string) float64 { return s[name] }
+
+// WriteJSON writes the snapshot as one indented JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// String renders "name value" lines in sorted order — the human flavor
+// of WriteJSON.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		v := s[name]
+		if v == float64(int64(v)) {
+			fmt.Fprintf(&b, "%s %d\n", name, int64(v))
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", name, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySnapshotAndDelta(t *testing.T) {
+	reg := NewRegistry()
+	var cycles uint64
+	reg.Counter("machine.cycles", func() uint64 { return cycles })
+	reg.Register("machine.ipc", func() float64 { return 0.5 })
+
+	s1 := reg.Snapshot()
+	if got := s1.Get("machine.cycles"); got != 0 {
+		t.Errorf("cycles = %v, want 0", got)
+	}
+	cycles = 40
+	s2 := reg.Snapshot()
+	d := s2.Delta(s1)
+	if d.Get("machine.cycles") != 40 {
+		t.Errorf("delta cycles = %v, want 40", d.Get("machine.cycles"))
+	}
+	if d.Get("machine.ipc") != 0 {
+		t.Errorf("delta ipc = %v, want 0", d.Get("machine.ipc"))
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "machine.cycles" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRegistryReregisterReplaces(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", func() uint64 { return 1 })
+	reg.Counter("x", func() uint64 { return 2 })
+	if len(reg.Names()) != 1 {
+		t.Fatalf("names = %v", reg.Names())
+	}
+	if v := reg.Snapshot().Get("x"); v != 2 {
+		t.Errorf("x = %v, want 2 (replaced sampler)", v)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := Snapshot{"machine.cycles": 100, "cache.l1.misses": 7}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["machine.cycles"] != 100 || back["cache.l1.misses"] != 7 {
+		t.Errorf("round trip = %v", back)
+	}
+	if !strings.Contains(s.String(), "machine.cycles 100") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTracerMaskAndRing(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(Event{Kind: EvFault}) // nothing enabled: dropped
+	if tr.Total() != 0 {
+		t.Fatal("disabled kind recorded")
+	}
+	tr.Enable(EvFault)
+	if !tr.Enabled(EvFault) || tr.Enabled(EvTrap) {
+		t.Fatal("mask wrong")
+	}
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: EvFault})
+	}
+	tr.Emit(Event{Kind: EvTrap}) // still disabled
+	evs := tr.Events()
+	if len(evs) != 4 || evs[0].Cycle != 2 || evs[3].Cycle != 5 {
+		t.Errorf("ring = %+v", evs)
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d, want 6", tr.Total())
+	}
+	tr.Disable(EvFault)
+	if tr.Enabled(EvFault) {
+		t.Fatal("disable failed")
+	}
+}
+
+func TestTracerSinkReceivesEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.EnableAll()
+	var got []Event
+	tr.Attach(SinkFunc(func(ev Event) { got = append(got, ev) }))
+	tr.Emit(Event{Cycle: 9, Kind: EvTrap, Thread: 1, Cluster: 0, Domain: 2, Code: 16})
+	if len(got) != 1 || got[0].Code != 16 {
+		t.Fatalf("sink got %+v", got)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.EnableAll()
+	var n int
+	tr.Attach(SinkFunc(func(Event) { n++ })) // serialized under the tracer lock
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Cycle: uint64(i), Kind: Kind(i % int(numKinds)), Thread: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 4000 || n != 4000 {
+		t.Errorf("total = %d, sink saw %d, want 4000", tr.Total(), n)
+	}
+}
+
+func TestEventJSONHasKindName(t *testing.T) {
+	b, err := json.Marshal(Event{Cycle: 3, Kind: EvTLBMiss, Thread: -1, Cluster: -1, Domain: -1, Addr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"kind":"tlb-miss"`, `"cycle":3`, `"addr":4096`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json %s missing %s", s, want)
+		}
+	}
+}
+
+func TestJSONLinesExport(t *testing.T) {
+	var buf bytes.Buffer
+	evs := []Event{
+		{Cycle: 1, Kind: EvInstr, Detail: "addi r2, r2, 1"},
+		{Cycle: 2, Kind: EvFault, Code: 1, Detail: "tag fault"},
+	}
+	if err := WriteJSONLines(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+	}
+}
+
+func TestChromeTraceExportParses(t *testing.T) {
+	var buf bytes.Buffer
+	evs := []Event{
+		{Cycle: 1, Kind: EvInstr, Thread: 0, Cluster: 0, Domain: 1, Detail: "ld r2, r1, 0"},
+		{Cycle: 2, Kind: EvTLBMiss, Thread: 0, Cluster: 0, Domain: -1, Addr: 0x2000},
+		{Cycle: 3, Kind: EvGCPhase, Thread: -1, Cluster: -1, Domain: -1, Code: 1, Detail: "mark"},
+		{Cycle: 9, Kind: EvGCPhase, Thread: -1, Cluster: -1, Domain: -1, Code: 0, Detail: "mark"},
+	}
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			PID   int    `json:"pid"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("records = %d, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Phase != "X" || doc.TraceEvents[0].Name != "ld r2, r1, 0" {
+		t.Errorf("instr record = %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[2].Phase != "B" || doc.TraceEvents[3].Phase != "E" {
+		t.Errorf("gc phases = %+v %+v", doc.TraceEvents[2], doc.TraceEvents[3])
+	}
+}
+
+func TestProfilerFlatReport(t *testing.T) {
+	p := NewProfiler(1)
+	for i := 0; i < 90; i++ {
+		p.Sample(0x1000)
+	}
+	for i := 0; i < 10; i++ {
+		p.Sample(0x2000)
+	}
+	top := p.Top(1, nil)
+	if len(top) != 1 || top[0].Addr != 0x1000 || top[0].Samples != 90 {
+		t.Fatalf("top = %+v", top)
+	}
+	rep := p.Report(10, func(addr uint64) string {
+		if addr == 0x1000 {
+			return "loop+0x0"
+		}
+		return ""
+	})
+	for _, want := range []string{"100 samples", "loop+0x0", "90.0%", "0x2000"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestProfilerInterval(t *testing.T) {
+	p := NewProfiler(10)
+	for i := 0; i < 100; i++ {
+		p.Sample(uint64(0x100))
+	}
+	if p.Samples() != 10 {
+		t.Errorf("samples = %d, want 10", p.Samples())
+	}
+}
+
+func TestProfilerConcurrent(t *testing.T) {
+	p := NewProfiler(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Sample(uint64(i % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Samples() != 4000 {
+		t.Errorf("samples = %d", p.Samples())
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives every enabled event as it is emitted. Sinks run inline
+// on the emitting goroutine under the tracer's lock, so they must not
+// call back into the tracer.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ev Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// Tracer records cycle-stamped events into a bounded ring buffer and
+// fans them out to attached sinks. The zero kind mask records nothing;
+// Enabled is a single atomic load, so emit sites can gate the cost of
+// building an Event on it. A nil *Tracer is legal at every call site
+// that checks for it, which is how the simulator's disabled path stays
+// free.
+type Tracer struct {
+	mask atomic.Uint32 // bitmask of enabled kinds
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+	sinks []Sink
+}
+
+// DefaultRingSize bounds the in-memory event history when the caller
+// does not choose one.
+const DefaultRingSize = 1 << 16
+
+// NewTracer returns a tracer retaining the last ringSize events
+// (DefaultRingSize if ringSize <= 0). No kinds are enabled yet.
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Event, ringSize)}
+}
+
+// Enable turns on recording for the given kinds.
+func (t *Tracer) Enable(kinds ...Kind) {
+	for {
+		old := t.mask.Load()
+		m := old
+		for _, k := range kinds {
+			m |= 1 << uint(k)
+		}
+		if t.mask.CompareAndSwap(old, m) {
+			return
+		}
+	}
+}
+
+// EnableAll turns on every declared kind.
+func (t *Tracer) EnableAll() { t.Enable(Kinds()...) }
+
+// Disable turns off recording for the given kinds.
+func (t *Tracer) Disable(kinds ...Kind) {
+	for {
+		old := t.mask.Load()
+		m := old
+		for _, k := range kinds {
+			m &^= 1 << uint(k)
+		}
+		if t.mask.CompareAndSwap(old, m) {
+			return
+		}
+	}
+}
+
+// Enabled reports whether events of kind k are currently recorded.
+// Emit sites should gate Event construction on it.
+func (t *Tracer) Enabled(k Kind) bool {
+	return t.mask.Load()&(1<<uint(k)) != 0
+}
+
+// Attach adds a sink that will receive every subsequently emitted
+// enabled event.
+func (t *Tracer) Attach(s Sink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sinks = append(t.sinks, s)
+}
+
+// Emit records ev if its kind is enabled.
+func (t *Tracer) Emit(ev Event) {
+	if !t.Enabled(ev.Kind) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Total returns the number of events recorded since creation (including
+// those the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained ring contents in emission order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -17,6 +18,12 @@ type Space struct {
 	TLB    *TLB
 	Phys   *mem.Memory
 	Frames *mem.FrameAllocator
+
+	// Tracer, when non-nil, receives TLB-miss, page-fault and swap
+	// events; Now supplies the cycle stamp (the owning machine sets
+	// both — a bare Space leaves them nil and pays nothing).
+	Tracer *telemetry.Tracer
+	Now    func() uint64
 
 	stats     SpaceStats
 	swap      map[uint64]swapPage
@@ -57,13 +64,30 @@ func (s *Space) Translate(vaddr uint64) (paddr uint64, tlbHit bool, err error) {
 		return pte.Frame | vaddr&PageMask, true, nil
 	}
 	s.stats.PageWalks++
+	if s.Tracer != nil && s.Tracer.Enabled(telemetry.EvTLBMiss) {
+		s.Tracer.Emit(telemetry.Event{Cycle: s.cycle(), Kind: telemetry.EvTLBMiss,
+			Thread: -1, Cluster: -1, Domain: -1, Addr: vaddr})
+	}
 	pte, ok := s.PT.Lookup(vaddr)
 	if !ok {
 		s.stats.PageFaults++
+		if s.Tracer != nil && s.Tracer.Enabled(telemetry.EvPageFault) {
+			s.Tracer.Emit(telemetry.Event{Cycle: s.cycle(), Kind: telemetry.EvPageFault,
+				Thread: -1, Cluster: -1, Domain: -1, Addr: vaddr})
+		}
 		return 0, false, &PageFaultError{VAddr: vaddr}
 	}
 	s.TLB.Insert(vaddr, GlobalASID, pte)
 	return pte.Frame | vaddr&PageMask, false, nil
+}
+
+// cycle returns the owner-supplied cycle stamp, or 0 when the space
+// runs standalone.
+func (s *Space) cycle() uint64 {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return 0
 }
 
 // EnsureMapped demand-maps every page overlapping [vaddr, vaddr+size),
@@ -165,3 +189,21 @@ func (s *Space) SetByteAt(vaddr uint64, b byte) error {
 
 // Stats returns a copy of the translation counters.
 func (s *Space) Stats() SpaceStats { return s.stats }
+
+// RegisterMetrics publishes the translation, TLB and swap counters
+// under prefix (canonically "vm"): vm.translations, vm.tlb.misses,
+// vm.swap.outs, ….
+func (s *Space) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".translations", func() uint64 { return s.stats.Translations })
+	reg.Counter(prefix+".page_walks", func() uint64 { return s.stats.PageWalks })
+	reg.Counter(prefix+".page_faults", func() uint64 { return s.stats.PageFaults })
+	reg.Counter(prefix+".demand_maps", func() uint64 { return s.stats.DemandMaps })
+	reg.Counter(prefix+".tlb.hits", func() uint64 { return s.TLB.stats.Hits })
+	reg.Counter(prefix+".tlb.misses", func() uint64 { return s.TLB.stats.Misses })
+	reg.Counter(prefix+".tlb.flushes", func() uint64 { return s.TLB.stats.Flushes })
+	reg.Counter(prefix+".tlb.flushed_entries", func() uint64 { return s.TLB.stats.FlushedEntries })
+	reg.Counter(prefix+".swap.ins", func() uint64 { return s.swapStats.SwapIns })
+	reg.Counter(prefix+".swap.outs", func() uint64 { return s.swapStats.SwapOuts })
+	reg.Register(prefix+".swap.pages", func() float64 { return float64(len(s.swap)) })
+	reg.Register(prefix+".tlb.live", func() float64 { return float64(s.TLB.Live()) })
+}

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -70,6 +71,10 @@ func (s *Space) SwapOut(vaddr uint64) error {
 		return err
 	}
 	s.swapStats.SwapOuts++
+	if s.Tracer != nil && s.Tracer.Enabled(telemetry.EvSwapOut) {
+		s.Tracer.Emit(telemetry.Event{Cycle: s.cycle(), Kind: telemetry.EvSwapOut,
+			Thread: -1, Cluster: -1, Domain: -1, Addr: page})
+	}
 	return nil
 }
 
@@ -96,6 +101,10 @@ func (s *Space) SwapIn(vaddr uint64) error {
 	}
 	delete(s.swap, page)
 	s.swapStats.SwapIns++
+	if s.Tracer != nil && s.Tracer.Enabled(telemetry.EvSwapIn) {
+		s.Tracer.Emit(telemetry.Event{Cycle: s.cycle(), Kind: telemetry.EvSwapIn,
+			Thread: -1, Cluster: -1, Domain: -1, Addr: page})
+	}
 	return nil
 }
 
