@@ -1,10 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate: formatting,
-# vet, the full test suite, and a race-detector pass over the telemetry
-# layer (the only package with lock-free fast paths).
+# vet, the full test suite, and a race-detector pass over every package
+# with concurrency: the telemetry layer's lock-free fast paths, the
+# parallel multicomputer scheduler's determinism tests, and the
+# experiment worker pool.
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-json
+.PHONY: check fmt vet test race build bench bench-all bench-json
 
 check: fmt vet test race
 
@@ -25,8 +27,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry/
+	$(GO) test -race -run 'TestParallelRun|TestDeferredRemote' ./internal/multi/ ./internal/machine/
+	$(GO) test -race -run 'TestParallelRender' ./internal/experiments/
 
+# Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
+# section of BENCH_hotpath.json; the checked-in "baseline" numbers are
+# preserved.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachine_CycleLoop|BenchmarkMulti_Run8Nodes' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem .
 
 # Regenerate the telemetry benchmark artifact (see docs/OBSERVABILITY.md).

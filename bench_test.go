@@ -557,3 +557,162 @@ func BenchmarkE21_SoftwareSwitch(b *testing.B) {
 		}
 	}
 }
+
+// --- hot-path benchmarks (BENCH_hotpath.json) ----------------------------
+//
+// These measure the simulator's raw cycle-loop throughput, reported as
+// simulated instructions per host-second. BenchmarkMachine_CycleLoop
+// steps a single-cluster machine through a non-terminating workload so
+// the steady-state fetch/decode/execute path is isolated (0 allocs/op
+// is the hit-path contract); BenchmarkMulti_Run8Nodes runs the 8-node
+// multicomputer to completion under the serial and parallel schedulers.
+
+// hotpathFib is an ALU/branch loop: fetch + decode dominate.
+const hotpathFib = `
+	ldi  r3, 0
+	ldi  r4, 1
+loop:
+	add  r6, r3, r4
+	mov  r3, r4
+	mov  r4, r6
+	br   loop
+`
+
+// hotpathSweep walks a 2KB window of the scratch segment with paired
+// store/load traffic: the banked cache and translation paths dominate.
+const hotpathSweep = `
+	mov  r5, r1
+	ldi  r2, 256
+sweep:
+	st   r5, 0, r2
+	ld   r6, r5, 0
+	leai r5, r5, 8
+	subi r2, r2, 1
+	bnez r2, sweep
+	mov  r5, r1
+	ldi  r2, 256
+	br   sweep
+`
+
+func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
+	b.Helper()
+	prog := asm.MustAssemble(src)
+	cfg := machine.MMachine()
+	cfg.Clusters = 1
+	cfg.SlotsPerCluster = 1
+	cfg.PhysBytes = 4 << 20
+	k, err := kernel.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip, err := k.LoadProgram(prog, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	regs := map[int]word.Word{}
+	if segBytes > 0 {
+		seg, err := k.AllocSegment(segBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regs[1] = seg.Word()
+	}
+	th, err := k.Spawn(1, ip, regs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.Run(4096) // warm the demand pager, TLB and caches
+	if th.State == machine.Faulted {
+		b.Fatalf("workload faulted: %v", th.Fault)
+	}
+	before := k.M.Stats().Instructions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.M.Step()
+	}
+	b.StopTimer()
+	instr := k.M.Stats().Instructions - before
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(instr)/sec, "sim-instr/s")
+	}
+}
+
+func BenchmarkMachine_CycleLoop(b *testing.B) {
+	b.Run("fib", func(b *testing.B) { benchCycleLoop(b, hotpathFib, 0) })
+	b.Run("sweep", func(b *testing.B) { benchCycleLoop(b, hotpathSweep, 4096) })
+}
+
+// hotpathNode mixes local compute with a remote load every 16th
+// iteration (r2 holds a pointer into the next node's slice of the
+// address space) — the cross-node traffic pattern the parallel
+// scheduler must serialize deterministically.
+const hotpathNode = `
+	ldi  r3, 20000
+	ldi  r7, 15
+loop:
+	add  r5, r5, r3
+	and  r6, r3, r7
+	bnez r6, skip
+	ld   r8, r2, 0
+skip:
+	subi r3, r3, 1
+	bnez r3, loop
+	halt
+`
+
+func benchMulti8(b *testing.B, parallel bool) {
+	b.Helper()
+	prog := asm.MustAssemble(hotpathNode)
+	b.ReportAllocs()
+	var instr uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := multi.DefaultConfig()
+		cfg.Node.PhysBytes = 1 << 20
+		cfg.Serial = !parallel
+		s, err := multi.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var segs []word.Word
+		for _, n := range s.Nodes {
+			seg, err := n.K.AllocSegment(4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			segs = append(segs, seg.Word())
+		}
+		for nid, n := range s.Nodes {
+			ip, err := n.K.LoadProgram(prog, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.K.Spawn(1, ip, map[int]word.Word{2: segs[(nid+1)%len(s.Nodes)]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		s.Run(100_000_000)
+		b.StopTimer()
+		for _, n := range s.Nodes {
+			for _, th := range n.K.M.Threads() {
+				if th.State != machine.Halted {
+					b.Fatalf("node %d: %v %v", n.ID, th.State, th.Fault)
+				}
+			}
+			instr += n.K.M.Stats().Instructions
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(instr)/sec, "sim-instr/s")
+	}
+}
+
+func BenchmarkMulti_Run8Nodes(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchMulti8(b, false) })
+	b.Run("parallel", func(b *testing.B) { benchMulti8(b, true) })
+}

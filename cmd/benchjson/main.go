@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON artifact (see docs/PERFORMANCE.md). When the
+// output file already exists, its "description" and "baseline" fields
+// are preserved and only "current" is replaced, so the checked-in
+// pre-optimization numbers survive regeneration:
+//
+//	go test -bench 'CycleLoop|Run8Nodes' -benchmem . | benchjson -o BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line: its name, iteration count, and every
+// reported metric keyed by unit (ns/op, B/op, allocs/op, sim-instr/s…).
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// artifact is the file layout. Baseline is free-form: it records the
+// pre-optimization numbers by hand and is never overwritten.
+type artifact struct {
+	Description string          `json:"description,omitempty"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+	Current     []result        `json:"current"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout); existing description/baseline fields are preserved")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	var a artifact
+	if out != "" {
+		if prev, err := os.ReadFile(out); err == nil {
+			if err := json.Unmarshal(prev, &a); err != nil {
+				return fmt.Errorf("existing %s: %w", out, err)
+			}
+		}
+	}
+	cur, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	a.Current = cur
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parse extracts benchmark result lines, echoing everything to stderr
+// so the run stays visible when piped.
+func parse(sc *bufio.Scanner) ([]result, error) {
+	var results []result
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		f := strings.Fields(line)
+		// Benchmark lines: name, iterations, then value/unit pairs.
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[f[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runID := fs.String("run", "", "run a single experiment by id (e.g. E6)")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonOut := fs.String("json", "", `also write machine-readable records to this file ("-" = stdout)`)
+	workers := fs.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,9 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selected = experiments.All()
 	}
 
+	outs, errs := experiments.RunList(selected, *workers)
 	var records []record
-	for _, e := range selected {
-		out, err := e.Run()
+	for i, e := range selected {
+		out, err := outs[i], errs[i]
 		if err != nil {
 			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
 			return 1

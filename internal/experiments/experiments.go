@@ -13,8 +13,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 )
@@ -67,15 +70,73 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment and concatenates the reports.
-func RunAll() (string, error) {
-	var b strings.Builder
-	for _, e := range All() {
-		out, err := e.Run()
-		if err != nil {
-			return b.String(), fmt.Errorf("%s: %w", e.ID, err)
+// RunAll executes every experiment serially and concatenates the
+// reports in id order.
+func RunAll() (string, error) { return RunAllParallel(1) }
+
+// RunAllParallel executes every experiment on a pool of workers
+// (0 means GOMAXPROCS) and concatenates the reports in id order, so the
+// rendered output is byte-identical to a serial run: experiments are
+// independent — each builds its own machines — and only the scheduling
+// changes. On error the reports preceding the first failing experiment
+// (in id order) are returned, matching the serial contract.
+func RunAllParallel(workers int) (string, error) {
+	return Render(All(), workers)
+}
+
+// RunList executes the given experiments on a pool of workers (0 means
+// GOMAXPROCS, 1 means serial on the calling goroutine) and returns the
+// per-experiment outputs and errors in input order. A serial run stops
+// at the first error; a parallel run may populate later slots, but
+// Render ignores everything after the first error, preserving the
+// serial contract.
+func RunList(list []Experiment, workers int) ([]string, []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(list) {
+		workers = len(list)
+	}
+	outs := make([]string, len(list))
+	errs := make([]error, len(list))
+	if workers <= 1 {
+		for i, e := range list {
+			outs[i], errs[i] = e.Run()
+			if errs[i] != nil {
+				break
+			}
 		}
-		fmt.Fprintf(&b, "=== %s: %s ===\n%s\n", e.ID, e.Title, out)
+		return outs, errs
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(list) {
+					return
+				}
+				outs[i], errs[i] = list[i].Run()
+			}
+		}()
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// Render runs the experiments via RunList and concatenates the reports
+// in input order.
+func Render(list []Experiment, workers int) (string, error) {
+	outs, errs := RunList(list, workers)
+	var b strings.Builder
+	for i, e := range list {
+		if errs[i] != nil {
+			return b.String(), fmt.Errorf("%s: %w", e.ID, errs[i])
+		}
+		fmt.Fprintf(&b, "=== %s: %s ===\n%s\n", e.ID, e.Title, outs[i])
 	}
 	return b.String(), nil
 }

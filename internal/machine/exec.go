@@ -22,36 +22,205 @@ func (m *Machine) execute(t *Thread) {
 		m.fault(t, &core.Fault{Code: core.FaultBounds, Op: "FETCH", Msg: "unaligned instruction pointer"})
 		return
 	}
-	var w word.Word
-	var err error
-	var fetchDone uint64
 	if m.Remote != nil && m.Remote.IsRemote(t.IP.Addr()) {
-		// Execute pointers are valid machine-wide (Sec 3): running code
-		// homed on another node fetches each instruction over the mesh.
-		// Correct, and deliberately slow — real software migrates code.
-		w, fetchDone, err = m.Remote.ReadWord(t.IP.Addr(), m.cycle)
-	} else {
-		w, err = m.Space.ReadWord(t.IP.Addr())
+		m.executeRemoteFetch(t)
+		return
 	}
+	inst, err := m.fetchDecoded(t.IP.Addr())
 	if err != nil {
 		m.fault(t, err)
 		return
 	}
-	if fetchDone > 0 {
-		defer func() {
-			if t.State == Ready && fetchDone > m.cycle+1 {
-				t.State = Blocked
-				t.blockedUntil = fetchDone
-			} else if t.State == Blocked && fetchDone > t.blockedUntil {
-				t.blockedUntil = fetchDone
-			}
-		}()
+	m.dispatch(t, inst)
+}
+
+// fetchDecoded fetches and decodes the local instruction word at vaddr,
+// consulting the decoded-instruction cache first. The address is
+// translated on every fetch — hit or miss — so translation/TLB counters
+// and page-fault behavior are bit-identical to an uncached fetch; a hit
+// skips only the physical read and the decode. Decode failures surface
+// as FETCH permission faults and are never cached.
+func (m *Machine) fetchDecoded(vaddr uint64) (isa.Inst, error) {
+	e := &m.dec[(vaddr>>3)&decMask]
+	if e.key == vaddr+1 {
+		if _, _, err := m.Space.Translate(vaddr); err != nil {
+			return isa.Inst{}, err
+		}
+		return e.inst, nil
 	}
-	inst, err := isa.Decode(w)
+	paddr, _, err := m.Space.Translate(vaddr)
 	if err != nil {
-		m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: err.Error()})
+		return isa.Inst{}, err
+	}
+	w, err := m.Space.Phys.ReadWord(paddr)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	inst, derr := isa.Decode(w)
+	if derr != nil {
+		return isa.Inst{}, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()}
+	}
+	e.key = vaddr + 1
+	e.inst = inst
+	return inst, nil
+}
+
+// executeRemoteFetch handles an instruction fetch whose address is
+// homed on another node (execute pointers are valid machine-wide,
+// Sec 3: running code homed elsewhere fetches each instruction over the
+// mesh — correct, and deliberately slow; real software migrates code).
+// Under DeferRemote the fetch is parked for the cycle barrier;
+// otherwise it runs inline, exactly the pre-barrier semantics.
+func (m *Machine) executeRemoteFetch(t *Thread) {
+	if m.deferRemote(remFetch, t, t.IP.Addr(), word.Word{}, isa.Inst{}) {
 		return
 	}
+	w, fetchDone, err := m.Remote.ReadWord(t.IP.Addr(), m.now)
+	if err != nil {
+		m.fault(t, err)
+		return
+	}
+	inst, derr := isa.Decode(w)
+	if derr != nil {
+		m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
+		return
+	}
+	m.dispatch(t, inst)
+	m.finishRemoteFetch(t, fetchDone)
+}
+
+// finishRemoteFetch applies the fetch network latency after the
+// instruction has executed: a still-ready thread blocks until the fetch
+// would have arrived, and a thread already blocked on a slower memory
+// reference keeps the later wakeup. (This replaces a per-cycle defer
+// that used to do the same on every return path of execute.)
+func (m *Machine) finishRemoteFetch(t *Thread, fetchDone uint64) {
+	if t.State == Ready && fetchDone > m.now+1 {
+		t.State = Blocked
+		t.blockedUntil = fetchDone
+	} else if t.State == Blocked && fetchDone > t.blockedUntil {
+		t.blockedUntil = fetchDone
+	}
+}
+
+// deferRemote parks a remote access for barrier-time completion and
+// blocks the thread; it reports false when the access must instead run
+// inline (immediate mode, or already inside ServiceRemote).
+func (m *Machine) deferRemote(kind remoteKind, t *Thread, addr uint64, val word.Word, inst isa.Inst) bool {
+	if !m.DeferRemote || m.servicing {
+		return false
+	}
+	m.pending = append(m.pending, pendingRemote{
+		kind: kind, t: t, addr: addr, val: val, inst: inst, cycle: m.now,
+	})
+	t.State = Blocked
+	t.blockedUntil = pendingSentinel
+	return true
+}
+
+// ServiceRemote completes every remote access parked during Step. The
+// multicomputer calls it at the per-cycle barrier, visiting nodes in id
+// order, so cross-node traffic is serialized identically whether the
+// nodes stepped serially or in parallel. Each access replays with the
+// cycle stamp of its issue (m.now), so latencies, blocking, and traces
+// match an inline access exactly. Nested remote accesses made while
+// servicing (e.g. a remotely fetched LD to a third node) run inline.
+func (m *Machine) ServiceRemote() {
+	if len(m.pending) == 0 {
+		return
+	}
+	m.servicing = true
+	for i := range m.pending {
+		p := m.pending[i]
+		m.pending[i] = pendingRemote{} // drop the *Thread reference
+		m.now = p.cycle
+		m.servicePending(p)
+	}
+	m.pending = m.pending[:0]
+	m.servicing = false
+	m.now = m.cycle
+}
+
+func (m *Machine) servicePending(p pendingRemote) {
+	t := p.t
+	t.State = Ready
+	t.blockedUntil = 0
+	switch p.kind {
+	case remFetch:
+		w, fetchDone, err := m.Remote.ReadWord(p.addr, p.cycle)
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		inst, derr := isa.Decode(w)
+		if derr != nil {
+			m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
+			return
+		}
+		m.dispatch(t, inst)
+		m.finishRemoteFetch(t, fetchDone)
+
+	case remLoad:
+		v, done, err := m.Remote.ReadWord(p.addr, p.cycle)
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		t.Regs[p.inst.Rd] = v
+		m.block(t, done)
+		if m.advance(t) {
+			m.retire(t)
+		}
+
+	case remStore:
+		done, err := m.Remote.WriteWord(p.addr, p.val, p.cycle)
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		m.block(t, done)
+		if m.advance(t) {
+			m.retire(t)
+		}
+
+	case remLoadByte:
+		wv, done, err := m.Remote.ReadWord(p.addr&^7, p.cycle)
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		t.Regs[p.inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.addr & 7) * 8))))
+		m.block(t, done)
+		if m.advance(t) {
+			m.retire(t)
+		}
+
+	case remStoreByte:
+		// Remote read-modify-write of the containing word; the tag is
+		// cleared like any partial overwrite.
+		base := p.addr &^ 7
+		wv, done, err := m.Remote.ReadWord(base, p.cycle)
+		if err == nil {
+			shift := (p.addr & 7) * 8
+			wv.Bits = wv.Bits&^(uint64(0xff)<<shift) | uint64(byte(p.val.Bits))<<shift
+			wv.Tag = false
+			done, err = m.Remote.WriteWord(base, wv, done)
+		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		m.block(t, done)
+		if m.advance(t) {
+			m.retire(t)
+		}
+	}
+}
+
+// dispatch executes one decoded instruction for t. It is straight-line
+// code — no closures, no defers — because it runs once per simulated
+// instruction.
+func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 	if m.OnIssue != nil {
 		m.OnIssue(t, inst)
 	}
@@ -59,34 +228,12 @@ func (m *Machine) execute(t *Thread) {
 		m.Profiler.Sample(t.IP.Addr())
 	}
 	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvInstr) {
-		m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvInstr,
+		m.Tracer.Emit(telemetry.Event{Cycle: m.now, Kind: telemetry.EvInstr,
 			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
 			Addr: t.IP.Addr(), Detail: inst.String()})
 	}
 
 	r := &t.Regs
-	intA := func() int64 { return r[inst.Ra].Int() }
-	intB := func() int64 { return r[inst.Rb].Int() }
-	// setInt writes an untagged integer result: any pointer operand of
-	// a non-pointer operation has its tag cleared in the result
-	// (Sec 2.2).
-	setInt := func(v int64) { r[inst.Rd] = word.FromInt(v) }
-	setBool := func(b bool) {
-		if b {
-			setInt(1)
-		} else {
-			setInt(0)
-		}
-	}
-	// setPtr commits a pointer result from a checked operation.
-	setPtr := func(p core.Pointer, err error) bool {
-		if err != nil {
-			m.fault(t, err)
-			return false
-		}
-		r[inst.Rd] = p.Word()
-		return true
-	}
 
 	switch inst.Op {
 	case isa.NOP:
@@ -95,53 +242,55 @@ func (m *Machine) execute(t *Thread) {
 		m.retire(t)
 		return
 
+	// Integer results are written untagged: any pointer operand of a
+	// non-pointer operation has its tag cleared in the result (Sec 2.2).
 	case isa.ADD:
-		setInt(intA() + intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() + r[inst.Rb].Int())
 	case isa.ADDI:
-		setInt(intA() + inst.Imm)
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() + inst.Imm)
 	case isa.SUB:
-		setInt(intA() - intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() - r[inst.Rb].Int())
 	case isa.SUBI:
-		setInt(intA() - inst.Imm)
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() - inst.Imm)
 	case isa.MUL:
-		setInt(intA() * intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() * r[inst.Rb].Int())
 	case isa.AND:
-		setInt(intA() & intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() & r[inst.Rb].Int())
 	case isa.OR:
-		setInt(intA() | intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() | r[inst.Rb].Int())
 	case isa.XOR:
-		setInt(intA() ^ intB())
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() ^ r[inst.Rb].Int())
 	case isa.SHL:
-		setInt(intA() << (uint64(intB()) & 63))
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() << (uint64(r[inst.Rb].Int()) & 63))
 	case isa.SHLI:
-		setInt(intA() << (uint64(inst.Imm) & 63))
+		r[inst.Rd] = word.FromInt(r[inst.Ra].Int() << (uint64(inst.Imm) & 63))
 	case isa.SHR:
-		setInt(int64(uint64(intA()) >> (uint64(intB()) & 63)))
+		r[inst.Rd] = word.FromInt(int64(uint64(r[inst.Ra].Int()) >> (uint64(r[inst.Rb].Int()) & 63)))
 	case isa.SHRI:
-		setInt(int64(uint64(intA()) >> (uint64(inst.Imm) & 63)))
+		r[inst.Rd] = word.FromInt(int64(uint64(r[inst.Ra].Int()) >> (uint64(inst.Imm) & 63)))
 	case isa.SLT:
-		setBool(intA() < intB())
+		r[inst.Rd] = word.FromBool(r[inst.Ra].Int() < r[inst.Rb].Int())
 	case isa.SLTI:
-		setBool(intA() < inst.Imm)
+		r[inst.Rd] = word.FromBool(r[inst.Ra].Int() < inst.Imm)
 	case isa.SEQ:
-		setBool(r[inst.Ra] == r[inst.Rb])
+		r[inst.Rd] = word.FromBool(r[inst.Ra] == r[inst.Rb])
 	case isa.SEQI:
-		setBool(intA() == inst.Imm)
+		r[inst.Rd] = word.FromBool(r[inst.Ra].Int() == inst.Imm)
 	case isa.MOV:
 		r[inst.Rd] = r[inst.Ra] // verbatim copy: copying a capability is legal
 	case isa.LDI:
-		setInt(inst.Imm)
+		r[inst.Rd] = word.FromInt(inst.Imm)
 
 	case isa.BR:
 		m.branch(t, inst.Imm)
 		return
 	case isa.BEQZ:
-		if intA() == 0 {
+		if r[inst.Ra].Int() == 0 {
 			m.branch(t, inst.Imm)
 			return
 		}
 	case isa.BNEZ:
-		if intA() != 0 {
+		if r[inst.Ra].Int() != 0 {
 			m.branch(t, inst.Imm)
 			return
 		}
@@ -180,7 +329,7 @@ func (m *Machine) execute(t *Thread) {
 		}
 		m.stats.Traps++
 		if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvTrap) {
-			m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvTrap,
+			m.Tracer.Emit(telemetry.Event{Cycle: m.now, Kind: telemetry.EvTrap,
 				Thread: t.ID, Cluster: t.cluster, Domain: t.Domain, Code: inst.Imm})
 		}
 		m.retire(t)
@@ -190,7 +339,7 @@ func (m *Machine) execute(t *Thread) {
 		}
 		if m.cfg.TrapCost > 0 {
 			t.State = Blocked
-			t.blockedUntil = m.cycle + m.cfg.TrapCost
+			t.blockedUntil = m.now + m.cfg.TrapCost
 		}
 		if err := m.OnTrap(m, t, inst.Imm); err != nil {
 			m.fault(t, err)
@@ -202,93 +351,115 @@ func (m *Machine) execute(t *Thread) {
 		if !ok {
 			return
 		}
-		var v word.Word
-		var done uint64
-		var err error
 		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
-			v, done, err = m.Remote.ReadWord(p.Addr(), m.cycle)
+			if m.deferRemote(remLoad, t, p.Addr(), word.Word{}, inst) {
+				return
+			}
+			v, done, err := m.Remote.ReadWord(p.Addr(), m.now)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			r[inst.Rd] = v
+			m.block(t, done)
 		} else {
-			v, done, err = m.Cache.ReadWord(p.Addr(), m.cycle)
+			v, done, err := m.Cache.ReadWord(p.Addr(), m.now)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			r[inst.Rd] = v
+			m.block(t, done)
 		}
-		if err != nil {
-			m.fault(t, err)
-			return
-		}
-		r[inst.Rd] = v
-		m.block(t, done)
 	case isa.ST:
 		p, ok := m.effectiveAddress(t, inst, true)
 		if !ok {
 			return
 		}
-		var done uint64
-		var err error
 		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
-			done, err = m.Remote.WriteWord(p.Addr(), r[inst.Rb], m.cycle)
+			if m.deferRemote(remStore, t, p.Addr(), r[inst.Rb], inst) {
+				return
+			}
+			done, err := m.Remote.WriteWord(p.Addr(), r[inst.Rb], m.now)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			m.block(t, done)
 		} else {
-			done, err = m.Cache.WriteWord(p.Addr(), r[inst.Rb], m.cycle)
+			done, err := m.Cache.WriteWord(p.Addr(), r[inst.Rb], m.now)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			m.block(t, done)
 		}
-		if err != nil {
-			m.fault(t, err)
-			return
-		}
-		m.block(t, done)
 
 	case isa.LDB:
 		p, ok := m.effectiveAddressSized(t, inst, false, 1)
 		if !ok {
 			return
 		}
-		var bval byte
-		var done uint64
-		var err error
 		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
-			var wv word.Word
-			wv, done, err = m.Remote.ReadWord(p.Addr()&^7, m.cycle)
-			bval = byte(wv.Bits >> ((p.Addr() & 7) * 8))
+			if m.deferRemote(remLoadByte, t, p.Addr(), word.Word{}, inst) {
+				return
+			}
+			wv, done, err := m.Remote.ReadWord(p.Addr()&^7, m.now)
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			r[inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.Addr() & 7) * 8))))
+			m.block(t, done)
 		} else {
-			done, _, err = m.Cache.Access(p.Addr(), false, m.cycle)
+			done, _, err := m.Cache.Access(p.Addr(), false, m.now)
+			var bval byte
 			if err == nil {
 				bval, err = m.Space.ByteAt(p.Addr())
 			}
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			r[inst.Rd] = word.FromInt(int64(bval))
+			m.block(t, done)
 		}
-		if err != nil {
-			m.fault(t, err)
-			return
-		}
-		setInt(int64(bval))
-		m.block(t, done)
 	case isa.STB:
 		p, ok := m.effectiveAddressSized(t, inst, true, 1)
 		if !ok {
 			return
 		}
 		bval := byte(r[inst.Rb].Bits)
-		var done uint64
-		var err error
 		if m.Remote != nil && m.Remote.IsRemote(p.Addr()) {
+			if m.deferRemote(remStoreByte, t, p.Addr(), r[inst.Rb], inst) {
+				return
+			}
 			// Remote read-modify-write of the containing word; the tag
 			// is cleared like any partial overwrite.
 			base := p.Addr() &^ 7
-			var wv word.Word
-			wv, done, err = m.Remote.ReadWord(base, m.cycle)
+			wv, done, err := m.Remote.ReadWord(base, m.now)
 			if err == nil {
 				shift := (p.Addr() & 7) * 8
 				wv.Bits = wv.Bits&^(uint64(0xff)<<shift) | uint64(bval)<<shift
 				wv.Tag = false
 				done, err = m.Remote.WriteWord(base, wv, done)
 			}
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			m.block(t, done)
 		} else {
-			done, _, err = m.Cache.Access(p.Addr(), true, m.cycle)
+			done, _, err := m.Cache.Access(p.Addr(), true, m.now)
 			if err == nil {
 				err = m.Space.SetByteAt(p.Addr(), bval)
 			}
+			if err != nil {
+				m.fault(t, err)
+				return
+			}
+			m.block(t, done)
 		}
-		if err != nil {
-			m.fault(t, err)
-			return
-		}
-		m.block(t, done)
 
 	case isa.LEA, isa.LEAI, isa.LEAB, isa.LEABI:
 		p, err := core.Decode(r[inst.Ra])
@@ -298,55 +469,66 @@ func (m *Machine) execute(t *Thread) {
 		}
 		off := inst.Imm
 		if inst.Op == isa.LEA || inst.Op == isa.LEAB {
-			off = intB()
+			off = r[inst.Rb].Int()
 		}
+		var q core.Pointer
 		if inst.Op == isa.LEA || inst.Op == isa.LEAI {
-			if !setPtr(core.LEA(p, off)) {
-				return
-			}
+			q, err = core.LEA(p, off)
 		} else {
-			if !setPtr(core.LEAB(p, off)) {
-				return
-			}
+			q, err = core.LEAB(p, off)
 		}
+		if err != nil {
+			m.fault(t, err)
+			return
+		}
+		r[inst.Rd] = q.Word()
 	case isa.RESTRICT:
 		p, err := core.Decode(r[inst.Ra])
 		if err != nil {
 			m.fault(t, err)
 			return
 		}
-		if !setPtr(core.Restrict(p, core.Perm(r[inst.Rb].Uint()&0xf))) {
+		q, err := core.Restrict(p, core.Perm(r[inst.Rb].Uint()&0xf))
+		if err != nil {
+			m.fault(t, err)
 			return
 		}
+		r[inst.Rd] = q.Word()
 	case isa.SUBSEG:
 		p, err := core.Decode(r[inst.Ra])
 		if err != nil {
 			m.fault(t, err)
 			return
 		}
-		if !setPtr(core.SubSeg(p, uint(r[inst.Rb].Uint()&0x3f))) {
+		q, err := core.SubSeg(p, uint(r[inst.Rb].Uint()&0x3f))
+		if err != nil {
+			m.fault(t, err)
 			return
 		}
+		r[inst.Rd] = q.Word()
 	case isa.SETPTR:
-		if !setPtr(core.SetPtr(r[inst.Ra], t.Privileged())) {
+		q, err := core.SetPtr(r[inst.Ra], t.Privileged())
+		if err != nil {
+			m.fault(t, err)
 			return
 		}
+		r[inst.Rd] = q.Word()
 	case isa.ISPTR:
-		setBool(core.IsPointer(r[inst.Ra]))
+		r[inst.Rd] = word.FromBool(core.IsPointer(r[inst.Ra]))
 	case isa.GETPERM:
 		p, err := core.Decode(r[inst.Ra])
 		if err != nil {
 			m.fault(t, err)
 			return
 		}
-		setInt(int64(p.Perm()))
+		r[inst.Rd] = word.FromInt(int64(p.Perm()))
 	case isa.GETLEN:
 		p, err := core.Decode(r[inst.Ra])
 		if err != nil {
 			m.fault(t, err)
 			return
 		}
-		setInt(int64(p.LogLen()))
+		r[inst.Rd] = word.FromInt(int64(p.LogLen()))
 	case isa.MOVIP:
 		r[inst.Rd] = t.IP.Word()
 
@@ -366,12 +548,12 @@ func (m *Machine) execute(t *Thread) {
 		case isa.FDIV:
 			r[inst.Rd] = word.FromUint(math.Float64bits(a / bv))
 		case isa.FSLT:
-			setBool(a < bv)
+			r[inst.Rd] = word.FromBool(a < bv)
 		}
 	case isa.ITOF:
-		r[inst.Rd] = word.FromUint(math.Float64bits(float64(intA())))
+		r[inst.Rd] = word.FromUint(math.Float64bits(float64(r[inst.Ra].Int())))
 	case isa.FTOI:
-		setInt(int64(math.Float64frombits(r[inst.Ra].Uint())))
+		r[inst.Rd] = word.FromInt(int64(math.Float64frombits(r[inst.Ra].Uint())))
 	}
 
 	if m.advance(t) {
@@ -454,7 +636,7 @@ func (m *Machine) advance(t *Thread) bool {
 // next cycle, so single-cycle cache hits sustain one instruction per
 // cycle.
 func (m *Machine) block(t *Thread, done uint64) {
-	if done > m.cycle+1 {
+	if done > m.now+1 {
 		t.State = Blocked
 		t.blockedUntil = done
 	}
@@ -470,7 +652,7 @@ func (m *Machine) retire(t *Thread) {
 func (m *Machine) fault(t *Thread, err error) {
 	m.stats.Faults++
 	if m.Tracer != nil && m.Tracer.Enabled(telemetry.EvFault) {
-		m.Tracer.Emit(telemetry.Event{Cycle: m.cycle, Kind: telemetry.EvFault,
+		m.Tracer.Emit(telemetry.Event{Cycle: m.now, Kind: telemetry.EvFault,
 			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
 			Addr: t.IP.Addr(), Code: int64(core.CodeOf(err)), Detail: err.Error()})
 	}

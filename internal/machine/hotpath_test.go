@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// fakeRemote serves a flat word store for every address at or above
+// base, with a fixed round-trip latency — enough to exercise the remote
+// fetch/load/store paths without a mesh.
+type fakeRemote struct {
+	base    uint64
+	latency uint64
+	words   map[uint64]word.Word
+	reads   int
+	writes  int
+}
+
+func newFakeRemote(base, latency uint64) *fakeRemote {
+	return &fakeRemote{base: base, latency: latency, words: make(map[uint64]word.Word)}
+}
+
+func (f *fakeRemote) IsRemote(addr uint64) bool { return addr >= f.base }
+
+func (f *fakeRemote) ReadWord(addr uint64, now uint64) (word.Word, uint64, error) {
+	f.reads++
+	return f.words[addr], now + f.latency, nil
+}
+
+func (f *fakeRemote) WriteWord(addr uint64, w word.Word, now uint64) (uint64, error) {
+	f.writes++
+	f.words[addr] = w
+	return now + f.latency, nil
+}
+
+// install copies an assembled program into the fake's store and returns
+// an execute pointer for it.
+func (f *fakeRemote) install(src string, logLen uint) core.Pointer {
+	p := asm.MustAssemble(src)
+	for i, w := range p.Words {
+		f.words[f.base+uint64(i)*8] = w
+	}
+	return core.MustMake(core.PermExecuteUser, logLen, f.base)
+}
+
+// TestRemoteFetchBlocksUntilArrival is the regression test for the
+// remote-fetch completion logic (formerly a per-cycle defer in
+// execute): after each remotely fetched instruction executes, the
+// thread must stay blocked until the fetch's network round trip is
+// paid, so an L-cycle latency costs ~L cycles per instruction.
+func TestRemoteFetchBlocksUntilArrival(t *testing.T) {
+	const latency = 20
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeRemote(1<<30, latency)
+	m.Remote = f
+	ip := f.install(`
+		ldi  r1, 7
+		addi r1, r1, 1
+		halt
+	`, 12)
+	th, err := m.AddThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	cycles := m.Run(10000)
+	if th.State != Halted {
+		t.Fatalf("state = %v fault = %v", th.State, th.Fault)
+	}
+	if got := th.Reg(1).Int(); got != 8 {
+		t.Errorf("r1 = %d, want 8", got)
+	}
+	if th.Instret != 3 {
+		t.Errorf("instret = %d, want 3", th.Instret)
+	}
+	// Two inter-instruction waits of `latency` cycles each (the halt
+	// ends the thread, so its own latency is not waited out).
+	if cycles < 2*latency {
+		t.Errorf("ran in %d cycles; remote fetch latency %d not applied", cycles, latency)
+	}
+	if cycles > 2*latency+10 {
+		t.Errorf("ran in %d cycles; remote fetch over-blocked", cycles)
+	}
+	if f.reads != 3 {
+		t.Errorf("remote reads = %d, want 3 (one per fetch)", f.reads)
+	}
+}
+
+// TestRemoteFetchKeepsSlowerDataBlock: when a remotely fetched
+// instruction issues a memory reference that completes *after* the
+// fetch would, the later wakeup must win (the old defer's else-branch).
+func TestRemoteFetchKeepsSlowerDataBlock(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFakeRemote(1<<30, 5)
+	m.Remote = f
+	// Remote code loads from a remote data segment: the load issues at
+	// the same cycle as the fetch completed, so the thread's wakeup is
+	// the load's completion, not the (earlier) fetch's.
+	data := core.MustMake(core.PermReadWrite, 12, f.base+(1<<20))
+	f.words[data.Base()] = word.FromInt(4242)
+	ip := f.install(`
+		ld r2, r1, 0
+		halt
+	`, 12)
+	th, _ := m.AddThread(0)
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	th.SetReg(1, data.Word())
+	m.Run(10000)
+	if th.State != Halted {
+		t.Fatalf("state = %v fault = %v", th.State, th.Fault)
+	}
+	if got := th.Reg(2).Int(); got != 4242 {
+		t.Errorf("r2 = %d, want 4242", got)
+	}
+}
+
+// TestDeferredRemoteMatchesImmediate: stepping with DeferRemote +
+// ServiceRemote must leave machine statistics, registers, and the
+// remote store bit-identical to inline remote accesses — the property
+// the parallel multicomputer scheduler is built on.
+func TestDeferredRemoteMatchesImmediate(t *testing.T) {
+	run := func(deferred bool) (Stats, [16]word.Word, map[uint64]word.Word) {
+		m, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := newFakeRemote(1<<30, 9)
+		m.Remote = f
+		m.DeferRemote = deferred
+		ip := loadAt(t, m, `
+			ldi r2, 5
+			ldi r3, 0
+		loop:
+			st  r1, 0, r2      ; remote store
+			ld  r4, r1, 0      ; remote load back
+			add r3, r3, r4
+			subi r2, r2, 1
+			bnez r2, loop
+			stb r1, 11, r3     ; remote byte store
+			ldb r5, r1, 11     ; remote byte load
+			halt
+		`, 0x10000, false)
+		th, err := m.AddThread(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.SetIP(ip); err != nil {
+			t.Fatal(err)
+		}
+		th.SetReg(1, core.MustMake(core.PermReadWrite, 12, f.base).Word())
+		for i := 0; i < 100000 && !m.Done(); i++ {
+			m.Step()
+			m.ServiceRemote()
+		}
+		if th.State != Halted {
+			t.Fatalf("deferred=%v: %v %v", deferred, th.State, th.Fault)
+		}
+		return m.Stats(), th.Regs, f.words
+	}
+	imStats, imRegs, imWords := run(false)
+	defStats, defRegs, defWords := run(true)
+	if imStats != defStats {
+		t.Errorf("stats diverge:\nimmediate %+v\ndeferred  %+v", imStats, defStats)
+	}
+	if imRegs != defRegs {
+		t.Errorf("registers diverge:\nimmediate %v\ndeferred  %v", imRegs, defRegs)
+	}
+	if fmt.Sprint(imWords) != fmt.Sprint(defWords) {
+		t.Errorf("remote memory diverges:\nimmediate %v\ndeferred  %v", imWords, defWords)
+	}
+}
+
+// rerun re-arms a finished thread at ip and runs the machine again.
+func rerun(t *testing.T, m *Machine, th *Thread, ip core.Pointer) {
+	t.Helper()
+	th.State = Ready
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100000)
+}
+
+// TestDecodedCacheInvalidatedOnWrite: self-modifying (or reloaded) code
+// must not execute from a stale decoded-instruction entry.
+func TestDecodedCacheInvalidatedOnWrite(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := loadAt(t, m, "ldi r1, 111\nhalt", 0x10000, false)
+	th, _ := m.AddThread(0)
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	if th.State != Halted || th.Reg(1).Int() != 111 {
+		t.Fatalf("first run: %v r1=%d", th.State, th.Reg(1).Int())
+	}
+	// Patch the first instruction through the space, as the kernel's
+	// loader would when reusing the code segment.
+	patch := asm.MustAssemble("ldi r1, 222\nhalt")
+	if err := m.Space.WriteWord(0x10000, patch.Words[0]); err != nil {
+		t.Fatal(err)
+	}
+	rerun(t, m, th, ip)
+	if th.State != Halted {
+		t.Fatalf("second run: %v %v", th.State, th.Fault)
+	}
+	if got := th.Reg(1).Int(); got != 222 {
+		t.Errorf("r1 = %d after patch, want 222 (stale decoded instruction executed)", got)
+	}
+}
+
+// TestDecodedCacheInvalidatedOnByteStore: byte stores rewrite
+// instruction words too (and clear their tags); the decoded entry for
+// the containing word must go.
+func TestDecodedCacheInvalidatedOnByteStore(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := loadAt(t, m, "ldi r1, 111\nhalt", 0x10000, false)
+	th, _ := m.AddThread(0)
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(1000)
+	if th.State != Halted || th.Reg(1).Int() != 111 {
+		t.Fatalf("first run: %v r1=%d", th.State, th.Reg(1).Int())
+	}
+	// Rewrite the instruction word one byte at a time.
+	patch := asm.MustAssemble("ldi r1, 222\nhalt").Words[0]
+	for i := uint64(0); i < word.BytesPerWord; i++ {
+		if err := m.Space.SetByteAt(0x10000+i, byte(patch.Bits>>(i*8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rerun(t, m, th, ip)
+	if th.State != Halted {
+		t.Fatalf("second run: %v %v", th.State, th.Fault)
+	}
+	if got := th.Reg(1).Int(); got != 222 {
+		t.Errorf("r1 = %d after byte patch, want 222", got)
+	}
+}
+
+// TestDecodedCacheFlushedOnUnmap: unmapping a code range must shoot
+// down decoded entries even for words that are never rewritten — the
+// recycled page's (zero, = NOP) content must be what executes.
+func TestDecodedCacheFlushedOnUnmap(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := loadAt(t, m, "loop: br loop", 0x10000, false)
+	th, _ := m.AddThread(0)
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ { // spin long enough to cache the branch
+		m.Step()
+	}
+	if th.State != Ready || th.IP.Addr() != 0x10000 {
+		t.Fatalf("loop not spinning: %v ip=%#x", th.State, th.IP.Addr())
+	}
+	if _, err := m.Space.UnmapRange(0x10000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Space.EnsureMapped(0x10000, 8); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh page is all zeros = NOP: the thread must now advance
+	// past the old branch address instead of replaying the stale
+	// decoded br.
+	for i := 0; i < 8 && th.State == Ready; i++ {
+		m.Step()
+	}
+	if th.State == Ready && th.IP.Addr() == 0x10000 {
+		t.Error("stale decoded branch survived unmap: thread still looping at 0x10000")
+	}
+}

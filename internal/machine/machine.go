@@ -125,6 +125,50 @@ type clusterState struct {
 	stallUntil uint64
 }
 
+// Decoded-instruction cache geometry: a direct-mapped array indexed by
+// word address. 4096 entries cover 32KB of code, far more than any
+// workload in the repo; conflict misses just re-decode.
+const (
+	decEntries = 4096
+	decMask    = decEntries - 1
+)
+
+// decEntry caches the decode of one instruction word. key is the word's
+// virtual address plus one, so the zero value (key 0) can never match a
+// word-aligned fetch address.
+type decEntry struct {
+	key  uint64
+	inst isa.Inst
+}
+
+// remoteKind tags a pendingRemote with the operation to complete.
+type remoteKind uint8
+
+const (
+	remFetch remoteKind = iota
+	remLoad
+	remStore
+	remLoadByte
+	remStoreByte
+)
+
+// pendingSentinel parks a thread "forever": ServiceRemote is the only
+// thing that wakes it.
+const pendingSentinel = ^uint64(0)
+
+// pendingRemote records a remote access issued during Step for
+// completion at the multicomputer's cycle barrier. cycle is the issue
+// cycle, replayed as m.now during service so every latency computation
+// matches an access performed immediately.
+type pendingRemote struct {
+	kind  remoteKind
+	t     *Thread
+	addr  uint64
+	val   word.Word
+	inst  isa.Inst
+	cycle uint64
+}
+
 // RemoteAccess connects the machine to a multicomputer interconnect:
 // addresses whose home is another node are satisfied over the network
 // instead of the local cache. The protection checks have already
@@ -151,6 +195,28 @@ type Machine struct {
 	threads  []*Thread
 	cycle    uint64
 	stats    Stats
+
+	// now is the cycle stamp execution paths use. During Step it equals
+	// cycle; while ServiceRemote replays a deferred remote access it is
+	// rewound to that access's issue cycle, so blocking and tracing
+	// behave exactly as if the access had completed inline.
+	now uint64
+
+	// dec is the decoded-instruction cache: locally fetched instruction
+	// words skip isa.Decode after their first execution. Stores through
+	// the Space invalidate covering entries (see New); remote fetches
+	// are never cached.
+	dec []decEntry
+
+	// DeferRemote, when set (the multicomputer sets it), makes remote
+	// accesses enqueue onto pending instead of calling Remote inline;
+	// ServiceRemote completes them at the cycle barrier. This is what
+	// lets nodes of a multicomputer step concurrently and still produce
+	// bit-identical results: all cross-node traffic is serialized at one
+	// point, in one order.
+	DeferRemote bool
+	servicing   bool
+	pending     []pendingRemote
 
 	OnTrap  TrapHandler
 	OnFault FaultHandler
@@ -187,11 +253,36 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, Space: space, Cache: c}
+	m := &Machine{cfg: cfg, Space: space, Cache: c, dec: make([]decEntry, decEntries)}
 	for i := 0; i < cfg.Clusters; i++ {
 		m.clusters = append(m.clusters, &clusterState{slots: make([]*Thread, cfg.SlotsPerCluster)})
 	}
+	// The decoded-instruction cache's invalidation contract: every store
+	// through the space (word or byte, including the kernel's loader and
+	// GC moves) kills the covering entry, and unmapping any range kills
+	// them all. See docs/PERFORMANCE.md.
+	space.OnWrite = m.invalidateDecodedWord
+	space.OnUnmap = func(vaddr, size uint64) { m.FlushDecoded() }
 	return m, nil
+}
+
+// invalidateDecodedWord drops the decoded-instruction entry covering
+// vaddr, if present.
+func (m *Machine) invalidateDecodedWord(vaddr uint64) {
+	base := vaddr &^ (word.BytesPerWord - 1)
+	e := &m.dec[(base>>3)&decMask]
+	if e.key == base+1 {
+		e.key = 0
+	}
+}
+
+// FlushDecoded empties the decoded-instruction cache. Unmapping any
+// address range triggers it — the pages behind a decoded entry may be
+// recycled for unrelated code.
+func (m *Machine) FlushDecoded() {
+	for i := range m.dec {
+		m.dec[i].key = 0
+	}
 }
 
 // Config returns the machine configuration.
@@ -305,8 +396,11 @@ func (m *Machine) Done() bool {
 }
 
 // Step advances the machine one cycle: each cluster independently picks
-// a ready thread (round-robin) and executes one instruction.
+// a ready thread (round-robin) and executes one instruction. With
+// DeferRemote set, remote accesses issued this cycle are parked on the
+// pending queue; the owner must call ServiceRemote afterwards.
 func (m *Machine) Step() {
+	m.now = m.cycle
 	for _, cl := range m.clusters {
 		m.stepCluster(cl)
 	}

@@ -28,17 +28,19 @@ func (m *Machine) executeWide(t *Thread) {
 		if t.State != Ready {
 			return // blocked, halted or faulted mid-packet
 		}
-		// Peek at the next instruction; malformed fetches are handled
-		// (and faulted) by execute itself on the first slot.
-		w, err := m.Space.ReadWord(t.IP.Addr())
-		if err != nil {
+		// Peek at the next instruction through the decoded-instruction
+		// cache (the address is still translated per peek, so TLB
+		// counters match the unaccelerated model); malformed or remote
+		// fetches are handled (and faulted) by execute itself on the
+		// first slot.
+		if t.IP.Addr()%8 != 0 || (m.Remote != nil && m.Remote.IsRemote(t.IP.Addr())) {
 			if slot == 0 {
 				m.execute(t)
 			}
 			return
 		}
-		inst, derr := isa.Decode(w)
-		if derr != nil {
+		inst, err := m.fetchDecoded(t.IP.Addr())
+		if err != nil {
 			if slot == 0 {
 				m.execute(t)
 			}

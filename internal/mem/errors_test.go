@@ -1,0 +1,59 @@
+package mem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// The fast-path accessors return the bare sentinels internally and only
+// wrap them in *AddrError once an error escapes; callers match with
+// errors.Is / errors.As, never by string.
+
+func TestErrUnalignedSentinel(t *testing.T) {
+	m := New(1 << 12)
+	if _, err := m.ReadWord(3); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("ReadWord(3) = %v, want errors.Is ErrUnaligned", err)
+	}
+	if err := m.WriteWord(9, word.FromInt(1)); !errors.Is(err, ErrUnaligned) {
+		t.Errorf("WriteWord(9) = %v, want errors.Is ErrUnaligned", err)
+	}
+}
+
+func TestErrOutOfRangeSentinel(t *testing.T) {
+	m := New(1 << 12)
+	if _, err := m.ReadWord(1 << 12); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("ReadWord(end) = %v, want errors.Is ErrOutOfRange", err)
+	}
+	if err := m.WriteWord(1<<20, word.FromInt(1)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("WriteWord(beyond) = %v, want errors.Is ErrOutOfRange", err)
+	}
+}
+
+func TestAddrErrorDetail(t *testing.T) {
+	m := New(1 << 12)
+	_, err := m.ReadWord(3)
+	var ae *AddrError
+	if !errors.As(err, &ae) {
+		t.Fatalf("ReadWord(3) = %T, want *AddrError", err)
+	}
+	if ae.Op != "read" || ae.Addr != 3 {
+		t.Errorf("AddrError = %+v, want Op=read Addr=3", ae)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "mem: read at 0x3") {
+		t.Errorf("message %q lacks operation/address detail", msg)
+	}
+
+	err = m.WriteWord(1<<13, word.FromInt(1))
+	if !errors.As(err, &ae) {
+		t.Fatalf("WriteWord(beyond) = %T, want *AddrError", err)
+	}
+	if ae.Op != "write" || ae.Addr != 1<<13 || ae.Mem != 1<<12 {
+		t.Errorf("AddrError = %+v, want Op=write Addr=%#x Mem=%#x", ae, 1<<13, 1<<12)
+	}
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("wrapped error %v does not unwrap to ErrOutOfRange", err)
+	}
+}

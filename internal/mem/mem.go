@@ -10,10 +10,43 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/word"
 )
+
+// Sentinel errors for the two ways a physical access can be malformed.
+// The accessor functions return these unwrapped on their fast paths —
+// no fmt formatting, no allocation — and attach the address detail via
+// *AddrError only once an error actually escapes to a caller.
+var (
+	// ErrUnaligned reports a word access whose address is not
+	// word-aligned.
+	ErrUnaligned = errors.New("unaligned word access")
+	// ErrOutOfRange reports an access beyond the end of physical
+	// memory.
+	ErrOutOfRange = errors.New("beyond physical memory")
+)
+
+// AddrError decorates a sentinel cause with the faulting physical
+// address and operation. It is built only on the cold path (when an
+// access actually fails); errors.Is sees through it to the sentinel.
+type AddrError struct {
+	Op   string // "read" or "write"
+	Addr uint64 // faulting physical byte address
+	Mem  uint64 // physical memory size in bytes
+	Err  error  // ErrUnaligned or ErrOutOfRange
+}
+
+func (e *AddrError) Error() string {
+	if e.Err == ErrOutOfRange {
+		return fmt.Sprintf("mem: %s at %#x: %v (%d bytes)", e.Op, e.Addr, e.Err, e.Mem)
+	}
+	return fmt.Sprintf("mem: %s at %#x: %v", e.Op, e.Addr, e.Err)
+}
+
+func (e *AddrError) Unwrap() error { return e.Err }
 
 // Memory is a tagged physical memory. The tag plane is stored separately
 // from the data plane, one bit per word, exactly mirroring the hardware
@@ -39,32 +72,43 @@ func (m *Memory) Size() uint64 { return uint64(len(m.data)) * word.BytesPerWord 
 // Words returns the memory size in words.
 func (m *Memory) Words() uint64 { return uint64(len(m.data)) }
 
-func (m *Memory) index(paddr uint64, op string) (uint64, error) {
+// index maps a physical byte address to its word index, returning a
+// bare sentinel on failure so the hot path never formats anything.
+func (m *Memory) index(paddr uint64) (uint64, error) {
 	if paddr%word.BytesPerWord != 0 {
-		return 0, fmt.Errorf("mem: %s at %#x: unaligned word access", op, paddr)
+		return 0, ErrUnaligned
 	}
 	i := paddr / word.BytesPerWord
 	if i >= uint64(len(m.data)) {
-		return 0, fmt.Errorf("mem: %s at %#x: beyond physical memory (%d bytes)", op, paddr, m.Size())
+		return 0, ErrOutOfRange
 	}
 	return i, nil
+}
+
+// addrErr is the cold-path wrapper attaching address detail to a
+// sentinel. Kept out of line so the accessors' fast paths stay small
+// enough to inline.
+//
+//go:noinline
+func (m *Memory) addrErr(op string, paddr uint64, err error) error {
+	return &AddrError{Op: op, Addr: paddr, Mem: m.Size(), Err: err}
 }
 
 // ReadWord returns the tagged word at physical byte address paddr, which
 // must be word-aligned and in range.
 func (m *Memory) ReadWord(paddr uint64) (word.Word, error) {
-	i, err := m.index(paddr, "read")
+	i, err := m.index(paddr)
 	if err != nil {
-		return word.Word{}, err
+		return word.Word{}, m.addrErr("read", paddr, err)
 	}
 	return word.Word{Bits: m.data[i], Tag: m.tagAt(i)}, nil
 }
 
 // WriteWord stores the tagged word w at physical byte address paddr.
 func (m *Memory) WriteWord(paddr uint64, w word.Word) error {
-	i, err := m.index(paddr, "write")
+	i, err := m.index(paddr)
 	if err != nil {
-		return err
+		return m.addrErr("write", paddr, err)
 	}
 	m.data[i] = w.Bits
 	m.setTag(i, w.Tag)

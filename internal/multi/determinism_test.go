@@ -1,0 +1,141 @@
+package multi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/noc"
+	"repro/internal/word"
+)
+
+// fingerprint captures everything externally observable about a
+// finished multicomputer run: cycles, the aggregate and per-node
+// counters, every thread's architectural state, and the memory words
+// the workload touched.
+type fingerprint struct {
+	cycles    uint64
+	sys       Stats
+	net       noc.Stats
+	nodeStats []machine.Stats
+	threads   string
+	memory    string
+}
+
+// runCrossNodeWorkload boots a system where every node runs a thread
+// hammering its ring successor's segment with remote stores and loads —
+// each cycle's barrier has traffic from many nodes, so any
+// serial/parallel divergence in delivery order or link contention shows
+// up in the counters and final state.
+func runCrossNodeWorkload(t *testing.T, serial bool, workers int) fingerprint {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Node.PhysBytes = 1 << 20
+	cfg.Serial = serial
+	cfg.Workers = workers
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(s.Nodes)
+	segs := make([]core.Pointer, n)
+	for i, nd := range s.Nodes {
+		p, err := nd.K.AllocSegment(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[i] = p
+	}
+	prog := asm.MustAssemble(`
+		ldi r3, 0          ; accumulator
+	loop:
+		st  r1, 0, r2      ; remote store of the loop counter
+		ld  r4, r1, 0      ; remote load back
+		add r3, r3, r4
+		st  r1, 8, r3      ; second remote word: the running sum
+		subi r2, r2, 1
+		bnez r2, loop
+		halt
+	`)
+	var ths []*machine.Thread
+	for i, nd := range s.Nodes {
+		ip, err := nd.K.LoadProgram(prog, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := nd.K.Spawn(1, ip, map[int]word.Word{
+			1: segs[(i+1)%n].Word(),         // ring successor's segment
+			2: word.FromInt(int64(4 + i%3)), // staggered trip counts
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ths = append(ths, th)
+	}
+	fp := fingerprint{cycles: s.Run(200000), sys: s.Stats(), net: s.Net.Stats()}
+	for _, nd := range s.Nodes {
+		fp.nodeStats = append(fp.nodeStats, nd.K.M.Stats())
+	}
+	for i, th := range ths {
+		if th.State != machine.Halted {
+			t.Fatalf("serial=%v: node %d thread %v fault=%v", serial, i, th.State, th.Fault)
+		}
+		fp.threads += fmt.Sprintf("%d: %v instret=%d regs=%v\n", i, th.State, th.Instret, th.Regs)
+	}
+	for i, nd := range s.Nodes {
+		home := segs[i].Base()
+		for off := uint64(0); off < 16; off += 8 {
+			w, err := nd.K.M.Space.ReadWord(home + off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp.memory += fmt.Sprintf("%d+%d: %v\n", i, off, w)
+		}
+	}
+	return fp
+}
+
+// TestParallelRunMatchesSerial: the parallel scheduler must be
+// bit-identical to serial stepping — same cycle count, same machine and
+// network statistics, same registers, same memory. Workers is forced
+// above 1 so runParallel is exercised even on a single-core host; the
+// Makefile race gate runs this under -race.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	serial := runCrossNodeWorkload(t, true, 0)
+	parallel := runCrossNodeWorkload(t, false, 4)
+	if serial.cycles != parallel.cycles {
+		t.Errorf("cycles: serial %d parallel %d", serial.cycles, parallel.cycles)
+	}
+	if serial.sys != parallel.sys {
+		t.Errorf("system stats:\nserial   %+v\nparallel %+v", serial.sys, parallel.sys)
+	}
+	if serial.net != parallel.net {
+		t.Errorf("network stats:\nserial   %+v\nparallel %+v", serial.net, parallel.net)
+	}
+	for i := range serial.nodeStats {
+		if serial.nodeStats[i] != parallel.nodeStats[i] {
+			t.Errorf("node %d stats:\nserial   %+v\nparallel %+v", i, serial.nodeStats[i], parallel.nodeStats[i])
+		}
+	}
+	if serial.threads != parallel.threads {
+		t.Errorf("thread state:\nserial:\n%sparallel:\n%s", serial.threads, parallel.threads)
+	}
+	if serial.memory != parallel.memory {
+		t.Errorf("memory:\nserial:\n%sparallel:\n%s", serial.memory, parallel.memory)
+	}
+}
+
+// TestParallelRunMatchesSerialAcrossWorkerCounts: determinism must not
+// depend on how nodes are partitioned over workers.
+func TestParallelRunMatchesSerialAcrossWorkerCounts(t *testing.T) {
+	base := runCrossNodeWorkload(t, true, 0)
+	for _, w := range []int{2, 3, 8} {
+		got := runCrossNodeWorkload(t, false, w)
+		if base.cycles != got.cycles || base.sys != got.sys || base.net != got.net ||
+			base.threads != got.threads || base.memory != got.memory {
+			t.Errorf("workers=%d diverges from serial", w)
+		}
+	}
+}

@@ -14,6 +14,8 @@ package multi
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -32,6 +34,13 @@ type Config struct {
 	// RegionLog is the per-node kernel segment region order (within
 	// the node's 2^NodeShift slice).
 	RegionLog uint
+	// Serial forces Run to step nodes on the calling goroutine
+	// (debugging aid); the default parallel scheduler is bit-identical
+	// to it.
+	Serial bool
+	// Workers bounds the parallel scheduler's worker count; 0 means
+	// min(GOMAXPROCS, nodes).
+	Workers int
 }
 
 // DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
@@ -90,6 +99,10 @@ func New(cfg Config) (*System, error) {
 		}
 		n := &Node{ID: i, K: k, sys: s}
 		k.M.Remote = n
+		// Remote accesses park on the issuing node and complete at the
+		// cycle barrier (deliver), in node order — the serialization
+		// point that makes parallel and serial stepping bit-identical.
+		k.M.DeferRemote = true
 		s.Nodes = append(s.Nodes, n)
 	}
 	return s, nil
@@ -98,21 +111,135 @@ func New(cfg Config) (*System, error) {
 // Stats returns a copy of the cross-node counters.
 func (s *System) Stats() Stats { return s.stats }
 
-// Step advances every node one cycle, in lockstep.
+// Step advances every node one cycle in lockstep, then delivers the
+// cycle's remote traffic at the barrier.
 func (s *System) Step() {
 	for _, n := range s.Nodes {
 		n.K.M.Step()
 	}
+	s.deliver()
+}
+
+// deliver completes every remote access issued this cycle, visiting
+// nodes in id order. During the step phase nodes touch only their own
+// state (remote references are parked, not performed), so all
+// cross-node effects — mesh link reservations, home-cache contention,
+// traffic counters — happen here, in one deterministic order, no
+// matter how the step phase was scheduled.
+func (s *System) deliver() {
+	for _, n := range s.Nodes {
+		n.K.M.ServiceRemote()
+	}
 }
 
 // Run steps until every node's threads are done or maxCycles elapse,
-// returning cycles executed.
+// returning cycles executed. Nodes are stepped by a pool of persistent
+// workers meeting at a per-cycle barrier; Config.Serial selects the
+// single-goroutine scheduler instead. Both produce bit-identical
+// machines.
 func (s *System) Run(maxCycles uint64) uint64 {
+	if !s.cfg.Serial && s.workerCount() > 1 {
+		return s.runParallel(maxCycles)
+	}
+	return s.runSerial(maxCycles)
+}
+
+func (s *System) runSerial(maxCycles uint64) uint64 {
 	var c uint64
 	for c = 0; c < maxCycles && !s.Done(); c++ {
 		s.Step()
 	}
 	return c
+}
+
+// workerCount resolves Config.Workers: bounded by the node count, and
+// by GOMAXPROCS when unset.
+func (s *System) workerCount() int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(s.Nodes) {
+		w = len(s.Nodes)
+	}
+	return w
+}
+
+// runParallel is Run on nw persistent workers. Each cycle has two
+// phases separated by barriers: workers step a static partition of the
+// nodes (node state is disjoint; remote accesses only enqueue on the
+// issuing node), then the coordinator alone runs deliver() and the
+// termination check. The stop flag is written by the coordinator
+// between barriers and read by workers after one, so the barrier's lock
+// ordering publishes it.
+func (s *System) runParallel(maxCycles uint64) uint64 {
+	nw := s.workerCount()
+	b := newBarrier(nw + 1)
+	stop := false
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				b.await() // cycle start: coordinator has set stop
+				if stop {
+					return
+				}
+				for i := w; i < len(s.Nodes); i += nw {
+					s.Nodes[i].K.M.Step()
+				}
+				b.await() // cycle end: all nodes stepped
+			}
+		}(w)
+	}
+	var c uint64
+	for {
+		if c >= maxCycles || s.Done() {
+			stop = true
+			b.await() // release workers to observe stop
+			break
+		}
+		b.await() // start the cycle
+		b.await() // wait for every node's step
+		s.deliver()
+		c++
+	}
+	wg.Wait()
+	return c
+}
+
+// barrier is a reusable sense-reversing barrier for n participants.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have arrived, then releases
+// them together.
+func (b *barrier) await() {
+	b.mu.Lock()
+	p := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == p {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
 }
 
 // Done reports whether all threads on all nodes have finished.

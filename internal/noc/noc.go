@@ -154,9 +154,24 @@ func (n *Network) path(src, dst int) []link {
 	return links
 }
 
+// reserve claims the directed link l no earlier than the message's
+// arrival t at its source router, accounting link contention, and
+// returns the departure time from the router.
+func (n *Network) reserve(l link, t uint64) uint64 {
+	n.stats.TotalHops++
+	if b := n.busy[l]; b > t {
+		n.stats.ContentionCycles += b - t
+		t = b
+	}
+	n.busy[l] = t + 1 // the link is occupied for one cycle
+	return t + n.cfg.RouterLatency
+}
+
 // Send injects a message from src to dst at cycle now and returns its
 // arrival cycle at the destination's network interface. Sending to the
-// local node costs only the interface latency.
+// local node costs only the interface latency. The dimension-order
+// route is walked inline (rather than materialized via path) so the
+// remote-access fast path allocates nothing.
 func (n *Network) Send(src, dst int, now uint64) uint64 {
 	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
 		panic(fmt.Sprintf("noc: node out of range (%d→%d of %d)", src, dst, n.Nodes()))
@@ -167,14 +182,33 @@ func (n *Network) Send(src, dst int, now uint64) uint64 {
 		n.stats.TotalLatency += t - now
 		return t
 	}
-	for _, l := range n.path(src, dst) {
-		n.stats.TotalHops++
-		if b := n.busy[l]; b > t {
-			n.stats.ContentionCycles += b - t
-			t = b
+	cur, goal := n.CoordOf(src), n.CoordOf(dst)
+	for cur.X != goal.X {
+		pos := goal.X > cur.X
+		t = n.reserve(link{from: cur, dim: 0, pos: pos}, t)
+		if pos {
+			cur.X++
+		} else {
+			cur.X--
 		}
-		n.busy[l] = t + 1 // the link is occupied for one cycle
-		t += n.cfg.RouterLatency
+	}
+	for cur.Y != goal.Y {
+		pos := goal.Y > cur.Y
+		t = n.reserve(link{from: cur, dim: 1, pos: pos}, t)
+		if pos {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+	}
+	for cur.Z != goal.Z {
+		pos := goal.Z > cur.Z
+		t = n.reserve(link{from: cur, dim: 2, pos: pos}, t)
+		if pos {
+			cur.Z++
+		} else {
+			cur.Z--
+		}
 	}
 	t += n.cfg.InjectLatency
 	n.stats.TotalLatency += t - now

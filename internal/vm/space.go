@@ -25,9 +25,48 @@ type Space struct {
 	Tracer *telemetry.Tracer
 	Now    func() uint64
 
+	// OnWrite, when non-nil, observes the virtual address of every
+	// successful word or byte store through the space. The owning
+	// machine uses it to invalidate pre-decoded instructions covering
+	// the written word (self-modifying or reloaded code).
+	OnWrite func(vaddr uint64)
+	// OnUnmap, when non-nil, observes every UnmapRange call before the
+	// translations are destroyed (decoded-instruction shootdown for
+	// revoked code ranges).
+	OnUnmap func(vaddr, size uint64)
+
 	stats     SpaceStats
 	swap      map[uint64]swapPage
 	swapStats SwapStats
+
+	// tc is a small direct-mapped translation micro-cache (indexed by
+	// low VPN bits): repeated references to recently translated pages —
+	// instruction fetch and the data stream it interleaves with — skip
+	// the TLB's associative scan. It is a pure simulator optimization,
+	// not a model change: TLB.touch replays the hit statistics and LRU
+	// effects exactly, and gen invalidates every entry whenever the TLB
+	// changes under it (Insert, Invalidate on unmap/swap-out, Flush), so
+	// every counter the experiments report is bit-identical with the
+	// cache on or off.
+	tc [tcEntries]tcEntry
+}
+
+const (
+	tcEntries = 64
+	tcMask    = tcEntries - 1
+)
+
+type tcEntry struct {
+	vpn   uint64
+	frame uint64
+	idx   int    // index of the backing TLB entry, for TLB.touch
+	gen   uint64 // TLB generation the entry was filled under
+	ok    bool
+	// dirty records that PT.SetDirty already ran for this page under
+	// this gen; stores can then skip the radix walk. The PT never
+	// clears a dirty bit while the page stays mapped (only a re-Map
+	// after an unmap does, and unmapping bumps gen).
+	dirty bool
 }
 
 // SpaceStats counts translation-layer work.
@@ -60,7 +99,14 @@ func NewSpace(physBytes uint64, tlbEntries int) (*Space, error) {
 // produce a *PageFaultError.
 func (s *Space) Translate(vaddr uint64) (paddr uint64, tlbHit bool, err error) {
 	s.stats.Translations++
-	if pte, ok := s.TLB.Lookup(vaddr, GlobalASID); ok {
+	vpn := vpnOf(vaddr)
+	e := &s.tc[vpn&tcMask]
+	if e.ok && e.vpn == vpn && e.gen == s.TLB.gen {
+		s.TLB.touch(e.idx)
+		return e.frame | vaddr&PageMask, true, nil
+	}
+	if pte, idx, ok := s.TLB.lookupIdx(vaddr, GlobalASID); ok {
+		*e = tcEntry{vpn: vpn, frame: pte.Frame, idx: idx, gen: s.TLB.gen, ok: true}
 		return pte.Frame | vaddr&PageMask, true, nil
 	}
 	s.stats.PageWalks++
@@ -129,6 +175,9 @@ func (s *Space) UnmapRange(vaddr, size uint64) (int, error) {
 	if size == 0 {
 		return 0, nil
 	}
+	if s.OnUnmap != nil {
+		s.OnUnmap(vaddr, size)
+	}
 	n := 0
 	first := vaddr &^ uint64(PageMask)
 	last := (vaddr + size - 1) &^ uint64(PageMask)
@@ -147,6 +196,23 @@ func (s *Space) UnmapRange(vaddr, size uint64) (int, error) {
 	}
 }
 
+// setDirtyFast marks the page containing vaddr dirty, skipping the
+// page-table radix walk when the micro-cache proves it already ran for
+// this page: the PT never clears a dirty bit while a page stays mapped,
+// and any unmap/remap bumps the TLB generation the entry checks.
+func (s *Space) setDirtyFast(vaddr uint64) {
+	vpn := vpnOf(vaddr)
+	e := &s.tc[vpn&tcMask]
+	hit := e.ok && e.vpn == vpn && e.gen == s.TLB.gen
+	if hit && e.dirty {
+		return
+	}
+	s.PT.SetDirty(vaddr)
+	if hit {
+		e.dirty = true
+	}
+}
+
 // ReadWord translates and reads the naturally aligned word at vaddr.
 func (s *Space) ReadWord(vaddr uint64) (word.Word, error) {
 	paddr, _, err := s.Translate(vaddr)
@@ -162,8 +228,14 @@ func (s *Space) WriteWord(vaddr uint64, w word.Word) error {
 	if err != nil {
 		return err
 	}
-	s.PT.SetDirty(vaddr)
-	return s.Phys.WriteWord(paddr, w)
+	s.setDirtyFast(vaddr)
+	if err := s.Phys.WriteWord(paddr, w); err != nil {
+		return err
+	}
+	if s.OnWrite != nil {
+		s.OnWrite(vaddr)
+	}
+	return nil
 }
 
 // ByteAt translates and reads the byte at vaddr (any alignment).
@@ -183,8 +255,14 @@ func (s *Space) SetByteAt(vaddr uint64, b byte) error {
 	if err != nil {
 		return err
 	}
-	s.PT.SetDirty(vaddr)
-	return s.Phys.SetByteAt(paddr, b)
+	s.setDirtyFast(vaddr)
+	if err := s.Phys.SetByteAt(paddr, b); err != nil {
+		return err
+	}
+	if s.OnWrite != nil {
+		s.OnWrite(vaddr)
+	}
+	return nil
 }
 
 // Stats returns a copy of the translation counters.

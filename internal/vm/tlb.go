@@ -18,6 +18,12 @@ type TLB struct {
 	entries []tlbEntry
 	clock   uint64
 	stats   TLBStats
+	// gen increments whenever the entry array may have changed
+	// (Insert, Invalidate, Flush). Space's one-entry translation
+	// micro-cache validates against it so a cached (vpn → entry)
+	// mapping is reused only while the backing entry is provably
+	// untouched.
+	gen uint64
 }
 
 type tlbEntry struct {
@@ -53,6 +59,14 @@ func (t *TLB) Size() int { return len(t.entries) }
 // Lookup probes for the page containing vaddr under asid. It updates
 // hit/miss statistics and LRU state.
 func (t *TLB) Lookup(vaddr uint64, asid uint16) (PTE, bool) {
+	pte, _, ok := t.lookupIdx(vaddr, asid)
+	return pte, ok
+}
+
+// lookupIdx is Lookup returning the index of the hit entry, so the
+// translation micro-cache can later touch the same entry without the
+// associative scan.
+func (t *TLB) lookupIdx(vaddr uint64, asid uint16) (PTE, int, bool) {
 	vpn := vpnOf(vaddr)
 	t.clock++
 	for i := range t.entries {
@@ -60,17 +74,29 @@ func (t *TLB) Lookup(vaddr uint64, asid uint16) (PTE, bool) {
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			e.used = t.clock
 			t.stats.Hits++
-			return e.pte, true
+			return e.pte, i, true
 		}
 	}
 	t.stats.Misses++
-	return PTE{}, false
+	return PTE{}, 0, false
+}
+
+// touch replays the statistics and LRU effects of a Lookup hitting
+// entries[i], without the scan. The caller (the translation
+// micro-cache) guarantees — via gen — that entries[i] is exactly the
+// entry a full Lookup would have hit, so hit counts and replacement
+// decisions stay bit-identical to the unaccelerated path.
+func (t *TLB) touch(i int) {
+	t.clock++
+	t.entries[i].used = t.clock
+	t.stats.Hits++
 }
 
 // Insert installs a translation, evicting the LRU entry if full.
 func (t *TLB) Insert(vaddr uint64, asid uint16, pte PTE) {
 	vpn := vpnOf(vaddr)
 	t.clock++
+	t.gen++
 	victim := 0
 	var oldest uint64 = ^uint64(0)
 	for i := range t.entries {
@@ -95,6 +121,7 @@ func (t *TLB) Insert(vaddr uint64, asid uint16, pte PTE) {
 // Invalidate removes any entry for the page containing vaddr, under all
 // ASIDs (the shootdown a revocation-by-unmap performs).
 func (t *TLB) Invalidate(vaddr uint64) {
+	t.gen++
 	vpn := vpnOf(vaddr)
 	for i := range t.entries {
 		if t.entries[i].valid && t.entries[i].vpn == vpn {
@@ -106,6 +133,7 @@ func (t *TLB) Invalidate(vaddr uint64) {
 // Flush destroys every entry — the cost a no-ASID separate-address-space
 // scheme pays on each protection-domain switch.
 func (t *TLB) Flush() {
+	t.gen++
 	t.stats.Flushes++
 	for i := range t.entries {
 		if t.entries[i].valid {

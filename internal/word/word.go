@@ -27,6 +27,15 @@ func FromInt(v int64) Word { return Word{Bits: uint64(v)} }
 // FromUint returns an untagged word holding v.
 func FromUint(v uint64) Word { return Word{Bits: v} }
 
+// FromBool returns the untagged word 1 for true, 0 for false — the
+// machine's comparison results.
+func FromBool(b bool) Word {
+	if b {
+		return Word{Bits: 1}
+	}
+	return Word{}
+}
+
 // Tagged returns a word with bits v and the tag set. It is the package's
 // equivalent of the privileged SETPTR operation and must only be called
 // from code acting with supervisor authority (the kernel, or the machine
