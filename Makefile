@@ -1,12 +1,12 @@
 # Developer entry points. `make check` is the tier-1 gate: formatting,
 # vet, the full test suite, and a race-detector pass over every package
 # with concurrency: the telemetry layer's lock-free fast paths, the
-# parallel multicomputer scheduler's determinism tests, and the
-# experiment worker pool.
+# parallel multicomputer scheduler's determinism tests, the experiment
+# worker pool, and the fault-injection campaign pool.
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json
+.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short
 
 check: fmt vet test race
 
@@ -27,8 +27,25 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry/
-	$(GO) test -race -run 'TestParallelRun|TestDeferredRemote' ./internal/multi/ ./internal/machine/
+	$(GO) test -race -run 'TestParallelRun|TestDeferredRemote|TestWatchdog' ./internal/multi/ ./internal/machine/
 	$(GO) test -race -run 'TestParallelRender' ./internal/experiments/
+	$(GO) test -race -run 'TestCampaignDeterministic' ./internal/faultinject/
+
+# Full protection audit: the E23 fault-injection campaign (>=10k seeded
+# injections across every fault class plus the checkpoint-recovery
+# trial). Fails if any injection escapes or recovery diverges. See
+# docs/ROBUSTNESS.md.
+audit:
+	$(GO) run ./cmd/experiments -run E23
+
+# Short fuzzing pass over the hostile-input surfaces: instruction
+# decode, guarded-pointer derivation, and the assembler. Each target
+# also replays its committed seed corpus under `make test`.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/isa/
+	$(GO) test -run '^$$' -fuzz FuzzPointerOps -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzAsm -fuzztime $(FUZZTIME) ./internal/asm/
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
 # section of BENCH_hotpath.json; the checked-in "baseline" numbers are

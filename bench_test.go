@@ -13,7 +13,6 @@ package repro
 import (
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/buddy"
 	"repro/internal/core"
@@ -30,7 +29,7 @@ import (
 // --- core pointer operations (Fig. 1 / Fig. 2 hardware paths) ---------
 
 func BenchmarkE1_PointerDecode(b *testing.B) {
-	w := core.MustMake(core.PermReadWrite, 12, 0x5a5a5a0).Word()
+	w := mustMake(core.PermReadWrite, 12, 0x5a5a5a0).Word()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Decode(w); err != nil {
@@ -40,7 +39,7 @@ func BenchmarkE1_PointerDecode(b *testing.B) {
 }
 
 func BenchmarkE1_CheckLoad(b *testing.B) {
-	w := core.MustMake(core.PermReadWrite, 12, 0x5a5a000).Word()
+	w := mustMake(core.PermReadWrite, 12, 0x5a5a000).Word()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.CheckLoad(w, 8); err != nil {
@@ -50,7 +49,7 @@ func BenchmarkE1_CheckLoad(b *testing.B) {
 }
 
 func BenchmarkE2_LEA(b *testing.B) {
-	p := core.MustMake(core.PermReadWrite, 20, 1<<30)
+	p := mustMake(core.PermReadWrite, 20, 1<<30)
 	var sink core.Pointer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -64,7 +63,7 @@ func BenchmarkE2_LEA(b *testing.B) {
 }
 
 func BenchmarkE2_LEAFaultPath(b *testing.B) {
-	p := core.MustMake(core.PermReadWrite, 6, 0x1000)
+	p := mustMake(core.PermReadWrite, 6, 0x1000)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.LEA(p, 1<<20); err == nil {
 			b.Fatal("expected fault")
@@ -73,7 +72,7 @@ func BenchmarkE2_LEAFaultPath(b *testing.B) {
 }
 
 func BenchmarkE2_Restrict(b *testing.B) {
-	p := core.MustMake(core.PermReadWrite, 12, 0x4000)
+	p := mustMake(core.PermReadWrite, 12, 0x4000)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Restrict(p, core.PermReadOnly); err != nil {
 			b.Fatal(err)
@@ -87,7 +86,7 @@ func BenchmarkE2_Restrict(b *testing.B) {
 // iteration.
 func benchKernelProgram(b *testing.B, src string, segBytes uint64) {
 	b.Helper()
-	prog := asm.MustAssemble(src)
+	prog := mustAssemble(src)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := machine.MMachine()
@@ -122,8 +121,8 @@ func benchKernelProgram(b *testing.B, src string, segBytes uint64) {
 }
 
 func BenchmarkE3_ProtectedCall(b *testing.B) {
-	prog := asm.MustAssemble("entry: jmp r14")
-	caller := asm.MustAssemble(`
+	prog := mustAssemble("entry: jmp r14")
+	caller := mustAssemble(`
 		ldi r15, 100
 	loop:
 		jmpl r14, r1
@@ -346,7 +345,7 @@ func BenchmarkSimulatorIPS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 	loop:
 		addi r2, r2, 1
 		br loop
@@ -381,7 +380,7 @@ func benchSimulatorIPS(b *testing.B, attach func(k *kernel.Kernel)) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 	loop:
 		addi r2, r2, 1
 		br loop
@@ -449,7 +448,7 @@ func mustKernel(b *testing.B) *kernel.Kernel {
 func BenchmarkE14_RemoteAccess(b *testing.B) {
 	cfg := multi.DefaultConfig()
 	cfg.Node.PhysBytes = 1 << 20
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 100
 	loop:
 		ld r2, r1, 0
@@ -490,7 +489,11 @@ func BenchmarkE15_MeshSend(b *testing.B) {
 	b.ReportAllocs()
 	now := uint64(0)
 	for i := 0; i < b.N; i++ {
-		now = n.Send(i%8, (i+3)%8, now)
+		arr, err := n.Send(i%8, (i+3)%8, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = arr
 	}
 }
 
@@ -512,7 +515,7 @@ func leaRecompute(p core.Pointer, off int64) (core.Pointer, bool) {
 }
 
 func BenchmarkAblation_LEAMaskedComparator(b *testing.B) {
-	p := core.MustMake(core.PermReadWrite, 20, 1<<30)
+	p := mustMake(core.PermReadWrite, 20, 1<<30)
 	for i := 0; i < b.N; i++ {
 		if _, err := core.LEA(p, int64(i&0xffff)); err != nil {
 			b.Fatal(err)
@@ -521,7 +524,7 @@ func BenchmarkAblation_LEAMaskedComparator(b *testing.B) {
 }
 
 func BenchmarkAblation_LEARecomputeBounds(b *testing.B) {
-	p := core.MustMake(core.PermReadWrite, 20, 1<<30)
+	p := mustMake(core.PermReadWrite, 20, 1<<30)
 	for i := 0; i < b.N; i++ {
 		if _, ok := leaRecompute(p, int64(i&0xffff)); !ok {
 			b.Fatal("unexpected bounds failure")
@@ -596,7 +599,7 @@ sweep:
 
 func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
 	b.Helper()
-	prog := asm.MustAssemble(src)
+	prog := mustAssemble(src)
 	cfg := machine.MMachine()
 	cfg.Clusters = 1
 	cfg.SlotsPerCluster = 1
@@ -663,7 +666,7 @@ skip:
 
 func benchMulti8(b *testing.B, parallel bool) {
 	b.Helper()
-	prog := asm.MustAssemble(hotpathNode)
+	prog := mustAssemble(hotpathNode)
 	b.ReportAllocs()
 	var instr uint64
 	b.ResetTimer()

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -73,7 +72,7 @@ func TestClaim_Unforgeability(t *testing.T) {
 	}
 	_ = image
 	for _, a := range attacks {
-		ip, err := k.LoadProgram(asm.MustAssemble(a.src), false)
+		ip, err := k.LoadProgram(mustAssemble(a.src), false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,12 +112,12 @@ func TestClaim_DomainIsolation(t *testing.T) {
 		ldi r1, %d
 		ld  r2, r1, 0
 		halt`, int64(privateA.Base()))
-	ipB, _ := k.LoadProgram(asm.MustAssemble(spy), false)
+	ipB, _ := k.LoadProgram(mustAssemble(spy), false)
 	thB, _ := k.Spawn(k.NewDomain(), ipB, nil)
 
 	// Domain C: granted a read-only copy — one word of transfer.
 	ro, _ := core.Restrict(privateA, core.PermReadOnly)
-	ipC, _ := k.LoadProgram(asm.MustAssemble("ld r2, r1, 0\nhalt"), false)
+	ipC, _ := k.LoadProgram(mustAssemble("ld r2, r1, 0\nhalt"), false)
 	thC, _ := k.Spawn(k.NewDomain(), ipC, map[int]word.Word{1: ro.Word()})
 
 	k.Run(1_000_000)
@@ -144,7 +143,7 @@ func TestClaim_ZeroCostSwitchExactEquality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prog := asm.MustAssemble(`
+		prog := mustAssemble(`
 			ldi r3, 300
 		loop:
 			ld r2, r1, 0
@@ -209,7 +208,7 @@ func TestClaim_RevocationKillsAllCopiesEverywhere(t *testing.T) {
 	}
 	// Thread on node 6 holds a register copy and loops touching it
 	// after a startup delay.
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 50
 	delay:
 		subi r3, r3, 1
@@ -250,7 +249,7 @@ func TestClaim_PointersNeedNoSpecialStorage(t *testing.T) {
 	k.WriteWords(data, []word.Word{word.FromInt(31415)})
 	spill, _ := k.AllocSegment(512)
 
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		; spill the capability 8 deep, reload, use
 		st r2, 0, r1
 		ld r3, r2, 0
@@ -286,7 +285,7 @@ func TestClaim_FewPrivilegedOperations(t *testing.T) {
 	})
 	// The app: trap-alloc a segment, restrict it, subseg it, write
 	// through the strong pointer, read through the weak one.
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r1, 1024
 		trap 1              ; kernel: alloc (the ONE privileged service)
 		ldi r2, 2           ; PermReadOnly

@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	enter, err := k.InstallSubsystem(asm.MustAssemble(fsSource), "entry",
+	enter, err := k.InstallSubsystem(mustAssemble(fsSource), "entry",
 		map[string]core.Pointer{"table": table})
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +66,7 @@ func main() {
 	fmt.Println("clients hold ONLY this enter pointer — no data capability, no kernel service")
 
 	// --- An honest client: write then read three files. --------------
-	client := asm.MustAssemble(`
+	client := mustAssemble(`
 		; r1 = fs enter pointer
 		ldi  r2, 1        ; method: write
 		ldi  r3, 2        ; file 2
@@ -113,7 +113,7 @@ func main() {
 	}
 	fmt.Println("\nmalicious client:")
 	for _, a := range attacks {
-		ip, err := k.LoadProgram(asm.MustAssemble(a.src), false)
+		ip, err := k.LoadProgram(mustAssemble(a.src), false)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,4 +132,14 @@ func main() {
 	fmt.Println("\nevery attack faults before any access issues: the enter pointer admits exactly one entry,")
 	fmt.Println("and the table capability — even when the subsystem indexes it on the attacker's behalf —")
 	fmt.Println("bounds-checks in hardware (Sec 2.3)")
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

@@ -96,7 +96,7 @@ func run(scheme machine.Scheme) (machine.Stats, uint64, []int64) {
 		log.Fatal(err)
 	}
 
-	prog := asm.MustAssemble(workerSrc)
+	prog := mustAssemble(workerSrc)
 	var threads []*machine.Thread
 	for i := 0; i < 16; i++ {
 		ip, err := k.LoadProgram(prog, false)
@@ -134,6 +134,16 @@ func run(scheme machine.Scheme) (machine.Stats, uint64, []int64) {
 
 func mustPtr(w word.Word) core.Pointer {
 	p, err := core.Decode(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
 	if err != nil {
 		log.Fatal(err)
 	}

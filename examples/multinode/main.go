@@ -67,7 +67,7 @@ func main() {
 	// Each node gets: a read-only SUBSEG slice of the table + a
 	// one-word window into the result segment. Rights distribution is
 	// pure pointer algebra.
-	prog := asm.MustAssemble(workerSrc)
+	prog := mustAssemble(workerSrc)
 	var threads []*machine.Thread
 	for nid, n := range s.Nodes {
 		sliceStart, err := core.LEA(table, int64(nid*64*8))
@@ -138,4 +138,14 @@ func main() {
 	if _, err := core.LEA(s7, -8); err != nil {
 		fmt.Printf("\nconfinement check: stepping slice 7 backwards → %v\n", err)
 	}
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

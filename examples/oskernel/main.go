@@ -61,7 +61,7 @@ func main() {
 	k.EnableDemandPaging(4)
 	k.SetPagingCosts(50, 2000)
 
-	prog := asm.MustAssemble(worker)
+	prog := mustAssemble(worker)
 	const nProcs = 24
 	var procs []*kernel.Process
 	for i := 0; i < nProcs; i++ {
@@ -108,4 +108,14 @@ func main() {
 		k.Segments(), k.ResidentFrames())
 	fmt.Println("\nno page tables were swapped, no TLBs flushed, no protection state moved at any point:")
 	fmt.Println("scheduling, paging and teardown are pure bookkeeping in a guarded-pointer system")
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

@@ -56,7 +56,7 @@ func main() {
 	}
 
 	// --- 3. Real code using the pointers (Sec 2.2) -------------------
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		; r1 = r/w segment pointer (argument)
 		ldi  r2, 7
 		st   r1, 0, r2        ; a[0] = 7
@@ -80,7 +80,7 @@ func main() {
 		th.State, th.Reg(5).Int(), th.Instret)
 
 	// --- 4. Protection violations fault before issue (Sec 2.2) -------
-	spy, _ := k.LoadProgram(asm.MustAssemble(`
+	spy, _ := k.LoadProgram(mustAssemble(`
 		st r1, 0, r1   ; store through a read-only pointer
 		halt
 	`), false)
@@ -90,7 +90,7 @@ func main() {
 	fmt.Printf("store via read-only pointer: state=%v fault=%v\n", spyTh.State, spyTh.Fault)
 
 	// --- 5. The tag bit is unforgeable (Sec 2) -----------------------
-	forger, _ := k.LoadProgram(asm.MustAssemble(`
+	forger, _ := k.LoadProgram(mustAssemble(`
 		add r2, r1, r0  ; integer arithmetic clears the tag
 		ld  r3, r2, 0   ; using the integer as an address tag-faults
 		halt
@@ -102,4 +102,14 @@ func main() {
 	st := k.M.Stats()
 	fmt.Printf("\nmachine totals: %d cycles, %d instructions, %d faults (both intentional)\n",
 		st.Cycles, st.Instructions, st.Faults)
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

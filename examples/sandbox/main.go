@@ -69,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	overrun := asm.MustAssemble(`
+	overrun := mustAssemble(`
 		ldi  r3, 9           ; segment holds 8 words
 	loop:
 		ld   r5, r1, 0
@@ -118,7 +118,7 @@ func run(src string) (cycles, instr uint64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, err := k.LoadProgram(mustAssemble(src), false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,4 +139,14 @@ func run(src string) (cycles, instr uint64) {
 		log.Fatalf("%v: %v", th.State, th.Fault)
 	}
 	return k.M.Stats().Cycles, k.M.Stats().Instructions
+}
+
+// mustAssemble wraps asm.Assemble for the example's fixed, known-good
+// sources; a failure here is a bug in the example itself.
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
 }

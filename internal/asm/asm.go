@@ -152,16 +152,6 @@ func stmtSize(s stmt, addr int) (int, error) {
 	}
 }
 
-// MustAssemble panics on assembly errors; for statically known sources
-// in tests and examples.
-func MustAssemble(src string) *Program {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func encodeStmt(s stmt, labels map[string]int) ([]word.Word, error) {
 	switch s.op {
 	case ".word":

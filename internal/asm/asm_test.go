@@ -87,7 +87,7 @@ func TestWordDirectiveAndLabelByte(t *testing.T) {
 }
 
 func TestStoreSyntax(t *testing.T) {
-	p := MustAssemble(`st r3, 24, r5`)
+	p := mustAssemble(`st r3, 24, r5`)
 	st, _ := isa.Decode(p.Words[0])
 	if st.Op != isa.ST || st.Ra != 3 || st.Imm != 24 || st.Rb != 5 {
 		t.Errorf("st = %v", st)
@@ -177,25 +177,25 @@ func TestMustAssemblePanics(t *testing.T) {
 			t.Error("MustAssemble did not panic")
 		}
 	}()
-	MustAssemble("bogus")
+	mustAssemble("bogus")
 }
 
 func TestMultipleLabelsSameLine(t *testing.T) {
-	p := MustAssemble(`a: b: halt`)
+	p := mustAssemble(`a: b: halt`)
 	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
 		t.Errorf("labels = %v", p.Labels)
 	}
 }
 
 func TestDisassembleDataWord(t *testing.T) {
-	p := MustAssemble("d: .word 0xffffffffffffffff")
+	p := mustAssemble("d: .word 0xffffffffffffffff")
 	if !strings.Contains(Disassemble(p), ".word") {
 		t.Error("data word not shown as .word")
 	}
 }
 
 func TestSpaceDirective(t *testing.T) {
-	p := MustAssemble(`
+	p := mustAssemble(`
 		ldi r1, 1
 	buf:
 		.space 4
@@ -222,7 +222,7 @@ func TestSpaceDirective(t *testing.T) {
 }
 
 func TestAlignDirective(t *testing.T) {
-	p := MustAssemble(`
+	p := mustAssemble(`
 		ldi r1, 1
 		.align 4
 	data:
@@ -235,7 +235,7 @@ func TestAlignDirective(t *testing.T) {
 		t.Errorf("len = %d", len(p.Words))
 	}
 	// Already aligned: no padding.
-	q := MustAssemble(".align 2\na: .word 1")
+	q := mustAssemble(".align 2\na: .word 1")
 	if q.Labels["a"] != 0 {
 		t.Errorf("aligned-at-zero label = %d", q.Labels["a"])
 	}
@@ -248,7 +248,7 @@ func TestAlignDirective(t *testing.T) {
 }
 
 func TestBranchAcrossSpace(t *testing.T) {
-	p := MustAssemble(`
+	p := mustAssemble(`
 		br over
 		.space 6
 	over:

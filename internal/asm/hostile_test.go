@@ -1,0 +1,28 @@
+package asm
+
+import "testing"
+
+// Malformed source must come back as an error, never a panic — the
+// assembler sits on user-facing and fuzzed paths.
+
+func TestAssembleRejectsHostileSource(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate r1, r2"},
+		{"bad register", "add r99, r1, r2"},
+		{"missing operand", "add r1"},
+		{"undefined label", "br nowhere"},
+		{"duplicate label", "x:\nnop\nx:\nnop"},
+		{"immediate overflow", "ldi r1, 99999999999999999999"},
+		{"garbage bytes", "\x00\xff\xfe"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Fatalf("Assemble(%q): want error, got nil", c.src)
+			}
+		})
+	}
+}

@@ -1,0 +1,11 @@
+package asm
+
+// mustAssemble is the test-local stand-in for the removed library
+// MustAssemble: statically known test sources may panic.
+func mustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

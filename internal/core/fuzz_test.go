@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// requireFault asserts err is nil or a typed guarded-pointer fault with
+// a valid code — the only two legal outcomes of any pointer operation.
+func requireFault(t *testing.T, op string, err error) {
+	t.Helper()
+	if err != nil && CodeOf(err) == FaultNone {
+		t.Fatalf("%s: untyped error %v (want *core.Fault)", op, err)
+	}
+}
+
+// FuzzPointerOps: every derivation and check on an arbitrary word must
+// either succeed or return a typed fault — never panic, never an
+// untyped error. This is the anti-forgery surface: the fuzzer plays the
+// adversary minting words out of thin air.
+func FuzzPointerOps(f *testing.F) {
+	mk := func(p Perm, logLen uint, addr uint64) uint64 {
+		ptr, err := Make(p, logLen, addr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return ptr.Word().Bits
+	}
+	f.Add(uint64(0), false, int64(0), uint8(0), uint8(0))
+	f.Add(mk(PermReadWrite, 12, 0x4000), true, int64(8), uint8(PermReadOnly), uint8(10))
+	f.Add(mk(PermExecuteUser, 10, 0x1000), true, int64(-8), uint8(PermEnterUser), uint8(4))
+	f.Add(^uint64(0), true, int64(1<<40), uint8(0xff), uint8(0xff))
+	f.Add(uint64(0xf)<<60, true, int64(1), uint8(3), uint8(54))
+
+	f.Fuzz(func(t *testing.T, bits uint64, tag bool, off int64, permB, lenB uint8) {
+		w := word.Word{Bits: bits, Tag: tag}
+		p, err := Decode(w)
+		requireFault(t, "Decode", err)
+		if err == nil {
+			if _, err := LEA(p, off); err != nil {
+				requireFault(t, "LEA", err)
+			}
+			if _, err := LEAB(p, off); err != nil {
+				requireFault(t, "LEAB", err)
+			}
+			if _, err := Restrict(p, Perm(permB)); err != nil {
+				requireFault(t, "Restrict", err)
+			}
+			if _, err := SubSeg(p, uint(lenB)); err != nil {
+				requireFault(t, "SubSeg", err)
+			}
+			if _, err := JumpTarget(p); err != nil {
+				requireFault(t, "JumpTarget", err)
+			}
+		}
+		if _, err := CheckLoad(w, 8); err != nil {
+			requireFault(t, "CheckLoad", err)
+		}
+		if _, err := CheckStore(w, 8); err != nil {
+			requireFault(t, "CheckStore", err)
+		}
+		if _, err := SetPtr(w, true); err != nil {
+			requireFault(t, "SetPtr", err)
+		}
+	})
+}

@@ -42,7 +42,7 @@ func TestStrictSubsetTransitive(t *testing.T) {
 // Restrict transitivity at the operation level: any permission
 // reachable in two RESTRICT steps is reachable in one.
 func TestRestrictPathIndependence(t *testing.T) {
-	base := MustMake(PermExecutePriv, 12, 0x7000)
+	base := mustMake(PermExecutePriv, 12, 0x7000)
 	for mid := PermKey; mid < NumPerms; mid++ {
 		m, err := Restrict(base, mid)
 		if err != nil {
@@ -69,7 +69,7 @@ func TestRestrictPathIndependence(t *testing.T) {
 // three succeed.
 func TestLEAComposition(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	p := MustMake(PermReadWrite, 16, 0xab0000)
+	p := mustMake(PermReadWrite, 16, 0xab0000)
 	for i := 0; i < 3000; i++ {
 		a := rng.Int63n(1<<17) - 1<<16
 		b := rng.Int63n(1<<17) - 1<<16
@@ -91,7 +91,7 @@ func TestLEAComposition(t *testing.T) {
 // SubSeg composes: narrowing twice equals narrowing once to the final
 // length (the address is preserved throughout).
 func TestSubSegComposition(t *testing.T) {
-	p := MustMake(PermReadWrite, 20, 0x12345678&uint64(AddrMask))
+	p := mustMake(PermReadWrite, 20, 0x12345678&uint64(AddrMask))
 	for k2 := uint(1); k2 < 20; k2++ {
 		mid, err := SubSeg(p, k2)
 		if err != nil {
@@ -117,7 +117,7 @@ func TestSubSegComposition(t *testing.T) {
 func TestWordRoundTripIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 2000; i++ {
-		p := MustMake(Perm(rng.Intn(7)+1), uint(rng.Intn(55)), rng.Uint64()&AddrMask)
+		p := mustMake(Perm(rng.Intn(7)+1), uint(rng.Intn(55)), rng.Uint64()&AddrMask)
 		q, err := Decode(p.Word())
 		if err != nil {
 			t.Fatal(err)
@@ -134,7 +134,7 @@ func TestWordRoundTripIdempotent(t *testing.T) {
 func TestDerivationInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 2000; i++ {
-		p := MustMake(PermReadWrite, uint(rng.Intn(20)+3), rng.Uint64()&AddrMask)
+		p := mustMake(PermReadWrite, uint(rng.Intn(20)+3), rng.Uint64()&AddrMask)
 		if q, err := LEA(p, rng.Int63n(1<<20)-1<<19); err == nil {
 			if q.Base() != p.Base() || q.LogLen() != p.LogLen() || q.Perm() != p.Perm() {
 				t.Fatalf("LEA changed segment identity: %v → %v", p, q)

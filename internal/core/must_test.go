@@ -1,0 +1,12 @@
+package core
+
+// mustMake is the test-local stand-in for the removed library MustMake:
+// production code must handle Make's error; statically correct test
+// fixtures may panic.
+func mustMake(p Perm, logLen uint, addr uint64) Pointer {
+	ptr, err := Make(p, logLen, addr)
+	if err != nil {
+		panic(err)
+	}
+	return ptr
+}

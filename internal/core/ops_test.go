@@ -9,7 +9,7 @@ import (
 )
 
 func TestLEAInBounds(t *testing.T) {
-	p := MustMake(PermReadWrite, 12, 0x5000) // [0x5000,0x6000)
+	p := mustMake(PermReadWrite, 12, 0x5000) // [0x5000,0x6000)
 	q, err := LEA(p, 0x800)
 	if err != nil {
 		t.Fatalf("LEA: %v", err)
@@ -23,7 +23,7 @@ func TestLEAInBounds(t *testing.T) {
 }
 
 func TestLEANegativeOffset(t *testing.T) {
-	p := MustMake(PermReadOnly, 12, 0x5800)
+	p := mustMake(PermReadOnly, 12, 0x5800)
 	q, err := LEA(p, -0x400)
 	if err != nil {
 		t.Fatalf("LEA: %v", err)
@@ -34,7 +34,7 @@ func TestLEANegativeOffset(t *testing.T) {
 }
 
 func TestLEAOverflowFaults(t *testing.T) {
-	p := MustMake(PermReadWrite, 12, 0x5000)
+	p := mustMake(PermReadWrite, 12, 0x5000)
 	if _, err := LEA(p, 0x1000); CodeOf(err) != FaultBounds {
 		t.Errorf("overflow: err = %v, want bounds fault", err)
 	}
@@ -54,7 +54,7 @@ func TestLEAOverflowFaults(t *testing.T) {
 }
 
 func TestLEALastByte(t *testing.T) {
-	p := MustMake(PermReadWrite, 4, 0x100) // [0x100,0x110)
+	p := mustMake(PermReadWrite, 4, 0x100) // [0x100,0x110)
 	if q, err := LEA(p, 15); err != nil || q.Addr() != 0x10f {
 		t.Errorf("LEA to last byte: %v %v", q, err)
 	}
@@ -65,7 +65,7 @@ func TestLEALastByte(t *testing.T) {
 
 func TestLEAImmutablePerms(t *testing.T) {
 	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
-		p := MustMake(perm, 12, 0x5000)
+		p := mustMake(perm, 12, 0x5000)
 		if _, err := LEA(p, 0); CodeOf(err) != FaultImmutable {
 			t.Errorf("LEA on %v: err = %v, want immutable fault", perm, err)
 		}
@@ -76,7 +76,7 @@ func TestLEAImmutablePerms(t *testing.T) {
 }
 
 func TestLEAFullSpaceSegmentNeverFaults(t *testing.T) {
-	p := MustMake(PermReadWrite, 54, 0x42)
+	p := mustMake(PermReadWrite, 54, 0x42)
 	f := func(off int64) bool {
 		q, err := LEA(p, off)
 		return err == nil && q.Addr() == (0x42+uint64(off))&AddrMask
@@ -87,7 +87,7 @@ func TestLEAFullSpaceSegmentNeverFaults(t *testing.T) {
 }
 
 func TestLEAB(t *testing.T) {
-	p := MustMake(PermReadWrite, 12, 0x5abc) // base 0x5000
+	p := mustMake(PermReadWrite, 12, 0x5abc) // base 0x5000
 	q, err := LEAB(p, 0x10)
 	if err != nil {
 		t.Fatalf("LEAB: %v", err)
@@ -110,7 +110,7 @@ func TestLEAClosureProperty(t *testing.T) {
 	for trial := 0; trial < 300; trial++ {
 		logLen := uint(rng.Intn(20))
 		base := (rng.Uint64() & AddrMask) &^ (1<<logLen - 1)
-		p := MustMake(PermReadWrite, logLen, base+rng.Uint64()%(1<<logLen))
+		p := mustMake(PermReadWrite, logLen, base+rng.Uint64()%(1<<logLen))
 		orig := p
 		for step := 0; step < 50; step++ {
 			off := rng.Int63n(1<<(logLen+2)) - 1<<(logLen+1)
@@ -154,7 +154,7 @@ func TestRestrictLattice(t *testing.T) {
 		{PermReadWrite, PermEnterUser, false},
 	}
 	for _, c := range cases {
-		p := MustMake(c.from, 12, 0x3000)
+		p := mustMake(c.from, 12, 0x3000)
 		q, err := Restrict(p, c.to)
 		if c.ok {
 			if err != nil {
@@ -172,7 +172,7 @@ func TestRestrictLattice(t *testing.T) {
 
 func TestRestrictOnImmutable(t *testing.T) {
 	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
-		p := MustMake(perm, 12, 0x3000)
+		p := mustMake(perm, 12, 0x3000)
 		if _, err := Restrict(p, PermKey); CodeOf(err) != FaultImmutable {
 			t.Errorf("Restrict on %v: err = %v, want immutable fault", perm, err)
 		}
@@ -184,7 +184,7 @@ func TestRestrictOnImmutable(t *testing.T) {
 func TestRestrictMonotoneProperty(t *testing.T) {
 	for from := PermKey; from < NumPerms; from++ {
 		for to := PermKey; to < NumPerms; to++ {
-			p := MustMake(from, 10, 0x800)
+			p := mustMake(from, 10, 0x800)
 			q, err := Restrict(p, to)
 			if err != nil {
 				continue
@@ -203,7 +203,7 @@ func TestRestrictMonotoneProperty(t *testing.T) {
 }
 
 func TestSubSeg(t *testing.T) {
-	p := MustMake(PermReadWrite, 12, 0x5abc)
+	p := mustMake(PermReadWrite, 12, 0x5abc)
 	q, err := SubSeg(p, 8)
 	if err != nil {
 		t.Fatalf("SubSeg: %v", err)
@@ -224,7 +224,7 @@ func TestSubSeg(t *testing.T) {
 }
 
 func TestSubSegImmutable(t *testing.T) {
-	p := MustMake(PermEnterUser, 12, 0x5000)
+	p := mustMake(PermEnterUser, 12, 0x5000)
 	if _, err := SubSeg(p, 4); CodeOf(err) != FaultImmutable {
 		t.Errorf("err = %v, want immutable fault", err)
 	}
@@ -236,7 +236,7 @@ func TestSubSegNestingProperty(t *testing.T) {
 	f := func(logLen, sub uint8, addr uint64) bool {
 		ll := uint(logLen)%54 + 1 // 1..54
 		s := uint(sub) % ll       // 0..ll-1
-		p := MustMake(PermReadWrite, ll, addr&AddrMask)
+		p := mustMake(PermReadWrite, ll, addr&AddrMask)
 		q, err := SubSeg(p, s)
 		if err != nil {
 			return false
@@ -250,7 +250,7 @@ func TestSubSegNestingProperty(t *testing.T) {
 }
 
 func TestSetPtrPrivilege(t *testing.T) {
-	image := MustMake(PermReadWrite, 12, 0x9000).Word().Untag()
+	image := mustMake(PermReadWrite, 12, 0x9000).Word().Untag()
 	if _, err := SetPtr(image, false); CodeOf(err) != FaultPriv {
 		t.Errorf("user SETPTR: err = %v, want priv fault", err)
 	}
@@ -268,7 +268,7 @@ func TestSetPtrPrivilege(t *testing.T) {
 }
 
 func TestEnterToExecute(t *testing.T) {
-	eu := MustMake(PermEnterUser, 10, 0x400)
+	eu := mustMake(PermEnterUser, 10, 0x400)
 	x, err := EnterToExecute(eu)
 	if err != nil {
 		t.Fatalf("EnterToExecute: %v", err)
@@ -276,54 +276,54 @@ func TestEnterToExecute(t *testing.T) {
 	if x.Perm() != PermExecuteUser || x.Addr() != eu.Addr() || x.LogLen() != eu.LogLen() {
 		t.Errorf("converted to %v", x)
 	}
-	ep := MustMake(PermEnterPriv, 10, 0x400)
+	ep := mustMake(PermEnterPriv, 10, 0x400)
 	if x, _ := EnterToExecute(ep); x.Perm() != PermExecutePriv {
 		t.Errorf("enter-priv converted to %v", x.Perm())
 	}
-	if _, err := EnterToExecute(MustMake(PermReadOnly, 10, 0x400)); CodeOf(err) != FaultPerm {
+	if _, err := EnterToExecute(mustMake(PermReadOnly, 10, 0x400)); CodeOf(err) != FaultPerm {
 		t.Errorf("non-enter: err = %v, want perm fault", err)
 	}
 }
 
 func TestJumpTarget(t *testing.T) {
-	exec := MustMake(PermExecuteUser, 10, 0x400)
+	exec := mustMake(PermExecuteUser, 10, 0x400)
 	if ip, err := JumpTarget(exec); err != nil || ip != exec {
 		t.Errorf("jump to execute: %v %v", ip, err)
 	}
-	enter := MustMake(PermEnterPriv, 10, 0x400)
+	enter := mustMake(PermEnterPriv, 10, 0x400)
 	ip, err := JumpTarget(enter)
 	if err != nil || ip.Perm() != PermExecutePriv {
 		t.Errorf("jump to enter-priv: %v %v", ip, err)
 	}
-	if _, err := JumpTarget(MustMake(PermReadWrite, 10, 0x400)); CodeOf(err) != FaultPerm {
+	if _, err := JumpTarget(mustMake(PermReadWrite, 10, 0x400)); CodeOf(err) != FaultPerm {
 		t.Errorf("jump to data pointer: err = %v, want perm fault", err)
 	}
-	if _, err := JumpTarget(MustMake(PermKey, 10, 0x400)); CodeOf(err) != FaultPerm {
+	if _, err := JumpTarget(mustMake(PermKey, 10, 0x400)); CodeOf(err) != FaultPerm {
 		t.Errorf("jump to key: err = %v, want perm fault", err)
 	}
 }
 
 func TestCheckLoadStore(t *testing.T) {
-	rw := MustMake(PermReadWrite, 6, 0x40) // 64-byte segment
+	rw := mustMake(PermReadWrite, 6, 0x40) // 64-byte segment
 	if _, err := CheckLoad(rw.Word(), 8); err != nil {
 		t.Errorf("load via rw: %v", err)
 	}
 	if _, err := CheckStore(rw.Word(), 8); err != nil {
 		t.Errorf("store via rw: %v", err)
 	}
-	ro := MustMake(PermReadOnly, 6, 0x40)
+	ro := mustMake(PermReadOnly, 6, 0x40)
 	if _, err := CheckLoad(ro.Word(), 8); err != nil {
 		t.Errorf("load via ro: %v", err)
 	}
 	if _, err := CheckStore(ro.Word(), 8); CodeOf(err) != FaultPerm {
 		t.Errorf("store via ro: err = %v, want perm fault", err)
 	}
-	exec := MustMake(PermExecuteUser, 6, 0x40)
+	exec := mustMake(PermExecuteUser, 6, 0x40)
 	if _, err := CheckLoad(exec.Word(), 8); err != nil {
 		t.Errorf("load via execute (execute is read-only): %v", err)
 	}
 	for _, perm := range []Perm{PermKey, PermEnterUser, PermEnterPriv} {
-		p := MustMake(perm, 6, 0x40)
+		p := mustMake(perm, 6, 0x40)
 		if _, err := CheckLoad(p.Word(), 8); CodeOf(err) != FaultPerm {
 			t.Errorf("load via %v: err = %v, want perm fault", perm, err)
 		}
@@ -334,7 +334,7 @@ func TestCheckLoadStore(t *testing.T) {
 }
 
 func TestCheckSpanStraddle(t *testing.T) {
-	p := MustMake(PermReadWrite, 4, 0x10a) // [0x100,0x110), offset 0xa
+	p := mustMake(PermReadWrite, 4, 0x10a) // [0x100,0x110), offset 0xa
 	if _, err := CheckLoad(p.Word(), 6); err != nil {
 		t.Errorf("6 bytes at offset 10 of 16: %v", err)
 	}
@@ -347,7 +347,7 @@ func TestCheckSpanStraddle(t *testing.T) {
 }
 
 func TestPtrIntCasts(t *testing.T) {
-	seg := MustMake(PermReadWrite, 12, 0x5000)
+	seg := mustMake(PermReadWrite, 12, 0x5000)
 	p, _ := LEA(seg, 0x123)
 	off, err := PtrToInt(p)
 	if err != nil || off != 0x123 {
@@ -363,7 +363,7 @@ func TestPtrIntCasts(t *testing.T) {
 	if _, err := IntToPtr(seg, -1); CodeOf(err) != FaultBounds {
 		t.Errorf("IntToPtr negative: err = %v, want bounds fault", err)
 	}
-	if _, err := PtrToInt(MustMake(PermKey, 12, 0x5000)); CodeOf(err) != FaultImmutable {
+	if _, err := PtrToInt(mustMake(PermKey, 12, 0x5000)); CodeOf(err) != FaultImmutable {
 		t.Errorf("PtrToInt on key: err = %v, want immutable fault", err)
 	}
 }
@@ -372,7 +372,7 @@ func TestPtrIntCasts(t *testing.T) {
 // the identity for any in-range offset — the paper's C cast sequences
 // compose correctly.
 func TestCastRoundTripProperty(t *testing.T) {
-	seg := MustMake(PermReadWrite, 20, 0x100000)
+	seg := mustMake(PermReadWrite, 20, 0x100000)
 	f := func(off uint32) bool {
 		v := int64(off % (1 << 20))
 		p, err := IntToPtr(seg, v)
@@ -393,7 +393,7 @@ func TestCastRoundTripProperty(t *testing.T) {
 // are contained in the original segment.
 func TestNoForgeryProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	orig := MustMake(PermReadWrite, 16, 0xabcd0000&uint64(AddrMask))
+	orig := mustMake(PermReadWrite, 16, 0xabcd0000&uint64(AddrMask))
 	held := []Pointer{orig}
 	for step := 0; step < 5000; step++ {
 		p := held[rng.Intn(len(held))]

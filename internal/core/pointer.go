@@ -81,16 +81,6 @@ func Make(p Perm, logLen uint, addr uint64) (Pointer, error) {
 	return Pointer{bits: uint64(p)<<permShift | uint64(logLen)<<lenShift | addr}, nil
 }
 
-// MustMake is Make for statically correct arguments; it panics on error
-// and is intended for tests and kernel bring-up tables.
-func MustMake(p Perm, logLen uint, addr uint64) Pointer {
-	ptr, err := Make(p, logLen, addr)
-	if err != nil {
-		panic(err)
-	}
-	return ptr
-}
-
 // Decode validates that w is a guarded pointer (tag set, permission and
 // length fields well formed) and returns its decoded form. This is the
 // check every address operand undergoes before a memory operation

@@ -45,7 +45,7 @@ func TestMakeRejectsBadFields(t *testing.T) {
 }
 
 func TestDecodeRequiresTag(t *testing.T) {
-	p := MustMake(PermReadWrite, 10, 0x1000)
+	p := mustMake(PermReadWrite, 10, 0x1000)
 	if _, err := Decode(p.Word()); err != nil {
 		t.Fatalf("Decode of valid pointer word: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestWordRoundTrip(t *testing.T) {
 
 func TestBaseOffsetReconstructAddr(t *testing.T) {
 	f := func(logLen uint8, addr uint64) bool {
-		p := MustMake(PermReadWrite, uint(logLen)%55, addr&AddrMask)
+		p := mustMake(PermReadWrite, uint(logLen)%55, addr&AddrMask)
 		return p.Base()+p.Offset() == p.Addr() &&
 			p.Base()&(p.SegSize()-1) == 0 && // base aligned on length
 			p.Offset() < p.SegSize()
@@ -97,7 +97,7 @@ func TestBaseOffsetReconstructAddr(t *testing.T) {
 }
 
 func TestContains(t *testing.T) {
-	p := MustMake(PermReadOnly, 12, 0x5000) // segment [0x5000, 0x6000)
+	p := mustMake(PermReadOnly, 12, 0x5000) // segment [0x5000, 0x6000)
 	for _, a := range []uint64{0x5000, 0x5fff, 0x5800} {
 		if !p.Contains(a) {
 			t.Errorf("Contains(%#x) = false, want true", a)
@@ -111,7 +111,7 @@ func TestContains(t *testing.T) {
 }
 
 func TestContainsFullSpaceSegment(t *testing.T) {
-	p := MustMake(PermReadWrite, 54, 0)
+	p := mustMake(PermReadWrite, 54, 0)
 	for _, a := range []uint64{0, 1, AddrMask, 1 << 53} {
 		if !p.Contains(a) {
 			t.Errorf("full-space segment must contain %#x", a)
@@ -120,9 +120,9 @@ func TestContainsFullSpaceSegment(t *testing.T) {
 }
 
 func TestOverlaps(t *testing.T) {
-	outer := MustMake(PermReadWrite, 16, 0x10000) // [0x10000,0x20000)
-	inner := MustMake(PermReadOnly, 8, 0x10100)   // [0x10100,0x10200)
-	other := MustMake(PermReadOnly, 8, 0x20000)
+	outer := mustMake(PermReadWrite, 16, 0x10000) // [0x10000,0x20000)
+	inner := mustMake(PermReadOnly, 8, 0x10100)   // [0x10100,0x10200)
+	other := mustMake(PermReadOnly, 8, 0x20000)
 	if !outer.Overlaps(inner) || !inner.Overlaps(outer) {
 		t.Error("nested segments must overlap (symmetric)")
 	}
@@ -135,18 +135,18 @@ func TestOverlaps(t *testing.T) {
 }
 
 func TestLimitWrap(t *testing.T) {
-	p := MustMake(PermReadOnly, 54, 123)
+	p := mustMake(PermReadOnly, 54, 123)
 	if p.Limit() != 0 {
 		t.Errorf("full-space Limit = %#x, want 0 (wraps)", p.Limit())
 	}
-	q := MustMake(PermReadOnly, 3, 0x10)
+	q := mustMake(PermReadOnly, 3, 0x10)
 	if q.Limit() != 0x18 {
 		t.Errorf("Limit = %#x, want 0x18", q.Limit())
 	}
 }
 
 func TestIsPointer(t *testing.T) {
-	p := MustMake(PermKey, 0, 99)
+	p := mustMake(PermKey, 0, 99)
 	if !IsPointer(p.Word()) {
 		t.Error("ISPOINTER on pointer = false")
 	}
@@ -162,7 +162,7 @@ func TestSegmentAlignmentInvariant(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		logLen := uint(rng.Intn(55))
 		addr := rng.Uint64() & AddrMask
-		p := MustMake(PermReadWrite, logLen, addr)
+		p := mustMake(PermReadWrite, logLen, addr)
 		if p.Base()%p.SegSize() != 0 {
 			t.Fatalf("base %#x not aligned to 2^%d", p.Base(), logLen)
 		}
@@ -183,7 +183,7 @@ func TestAddressSpaceSize(t *testing.T) {
 }
 
 func TestStringFormats(t *testing.T) {
-	p := MustMake(PermEnterUser, 6, 0x1234)
+	p := mustMake(PermEnterUser, 6, 0x1234)
 	s := p.String()
 	if s == "" {
 		t.Error("empty String")

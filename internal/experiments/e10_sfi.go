@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -146,7 +145,7 @@ func runLoop(src string) (cycles, instr uint64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, err := loadSrc(k, src)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -177,7 +176,7 @@ func runCopyLoop(src string) (cycles, instr uint64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, err := loadSrc(k, src)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -31,7 +31,7 @@ func runE14() (string, error) {
 
 	tbl := stats.NewTable("Dependent-load latency vs home-node distance (4×1×1 mesh, 2-cycle hops)",
 		"hops", "zero-load round trip", "measured cycles/load", "network messages")
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 		ldi r3, 200
 	loop:
 		ld r2, r1, 0
@@ -39,6 +39,9 @@ func runE14() (string, error) {
 		bnez r3, loop
 		halt
 	`)
+	if err != nil {
+		return "", err
+	}
 	for dst := 0; dst < 4; dst++ {
 		s, err := multi.New(cfg)
 		if err != nil {
@@ -138,7 +141,7 @@ func runE15() (string, error) {
 		return "", err
 	}
 
-	consumer := asm.MustAssemble(`
+	consumer, err := asm.Assemble(`
 	wait:
 		ld    r3, r1, 0      ; poll mailbox for the capability
 		isptr r4, r3
@@ -155,6 +158,9 @@ func runE15() (string, error) {
 	done:
 		halt
 	`)
+	if err != nil {
+		return "", err
+	}
 
 	var mailboxes []word.Word
 	var threads []*machine.Thread

@@ -89,7 +89,10 @@ func utilizationRun(src string, threads int) (ipc, width float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	prog := asm.MustAssemble(src)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return 0, 0, err
+	}
 	for i := 0; i < threads; i++ {
 		ip, err := k.LoadProgram(prog, false)
 		if err != nil {

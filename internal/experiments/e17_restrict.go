@@ -44,7 +44,7 @@ func runE17() (string, error) {
 			bnez r15, loop
 			halt
 		`, iters, int64(core.PermReadOnly))
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +67,7 @@ func runE17() (string, error) {
 	// The routine: take pointer in r3, integer image in r4 = r3+0,
 	// clear the permission field, OR in read-only, SETPTR, return.
 	em, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
-		routine := asm.MustAssemble(fmt.Sprintf(`
+		routine, err := asm.Assemble(fmt.Sprintf(`
 		entry:
 			; validate: this gate only lowers read/write to read-only —
 			; without the check it would be an amplification oracle.
@@ -89,6 +89,9 @@ func runE17() (string, error) {
 			ldi r3, 0
 			jmp r14
 		`, int64(core.PermReadWrite), int64(core.PermReadOnly)))
+		if err != nil {
+			return nil, err
+		}
 		enter, err := k.InstallSubsystem(routine, "entry", nil)
 		if err != nil {
 			return nil, err
@@ -108,7 +111,7 @@ func runE17() (string, error) {
 			bnez r15, loop
 			halt
 		`, iters)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +127,7 @@ func runE17() (string, error) {
 
 	empty, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 		src := fmt.Sprintf("ldi r15, %d\nloop: subi r15, r15, 1\nbnez r15, loop\nhalt", iters)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}

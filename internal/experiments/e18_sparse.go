@@ -57,7 +57,11 @@ func runE18() (string, error) {
 	// materialize ANY tagged word, so even the exact bit image of a
 	// valid capability is useless. Exhaustively check that every
 	// pointer-typed operation rejects untagged words.
-	img := core.MustMake(core.PermReadWrite, 12, 0x42000).Word().Untag()
+	mk, err := core.Make(core.PermReadWrite, 12, 0x42000)
+	if err != nil {
+		return "", err
+	}
+	img := mk.Word().Untag()
 	rejections := 0
 	if _, err := core.Decode(img); err != nil {
 		rejections++

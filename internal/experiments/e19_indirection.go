@@ -90,8 +90,14 @@ func runE19() (string, error) {
 
 	// Process identities: unforgeable keys (distinct addresses make
 	// distinct keys; nothing can be done with them except comparison).
-	keyA := core.MustMake(core.PermKey, 3, 0x100)
-	keyB := core.MustMake(core.PermKey, 3, 0x108)
+	keyA, err := core.Make(core.PermKey, 3, 0x100)
+	if err != nil {
+		return "", err
+	}
+	keyB, err := core.Make(core.PermKey, 3, 0x108)
+	if err != nil {
+		return "", err
+	}
 
 	// The private ACL: (key, rights) pairs.
 	acl, err := k.AllocSegment(4096)
@@ -112,7 +118,10 @@ func runE19() (string, error) {
 		return "", err
 	}
 
-	prog := asm.MustAssemble(objectServer)
+	prog, err := asm.Assemble(objectServer)
+	if err != nil {
+		return "", err
+	}
 	enter, err := k.InstallSubsystem(prog, "entry", map[string]core.Pointer{
 		"aclp": acl, "objp": obj,
 	})
@@ -131,7 +140,7 @@ func runE19() (string, error) {
 	// call performs one mediated read as the given identity.
 	call := func(key core.Pointer, index int64) (value int64, denied bool, err error) {
 		src := fmt.Sprintf("ldi r4, %d\njmpl r14, r1\nhalt", index)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return 0, false, err
 		}
@@ -223,7 +232,7 @@ func runE19() (string, error) {
 	}
 	direct, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 		src := fmt.Sprintf("ldi r15, %d\nloop: ld r5, r1, 0\nsubi r15, r15, 1\nbnez r15, loop\nhalt", iters)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +257,10 @@ func buildMediatedLoop(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := core.MustMake(core.PermKey, 3, 0x200)
+	key, err := core.Make(core.PermKey, 3, 0x200)
+	if err != nil {
+		return nil, err
+	}
 	acl, err := k.AllocSegment(4096)
 	if err != nil {
 		return nil, err
@@ -259,7 +271,10 @@ func buildMediatedLoop(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 	if err := k.M.Space.WriteWord(acl.Base()+8, word.FromInt(1)); err != nil {
 		return nil, err
 	}
-	prog := asm.MustAssemble(objectServer)
+	prog, err := asm.Assemble(objectServer)
+	if err != nil {
+		return nil, err
+	}
 	enter, err := k.InstallSubsystem(prog, "entry", map[string]core.Pointer{
 		"aclp": acl, "objp": obj,
 	})
@@ -275,7 +290,7 @@ func buildMediatedLoop(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 		bnez r15, loop
 		halt
 	`, iters)
-	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, err := loadSrc(k, src)
 	if err != nil {
 		return nil, err
 	}

@@ -73,7 +73,10 @@ func runE1() (string, error) {
 // on every escape, plus the user-level cast sequences of Sec 2.2.
 func runE2() (string, error) {
 	var b strings.Builder
-	seg := core.MustMake(core.PermReadWrite, 12, 0x40005a0) // 4KB at 0x4000000
+	seg, err := core.Make(core.PermReadWrite, 12, 0x40005a0) // 4KB at 0x4000000
+	if err != nil {
+		return "", err
+	}
 
 	tbl := stats.NewTable("LEA derivation from [rw 2^12 @0x4000000 +0x5a0] (Fig. 2)",
 		"offset", "new address", "outcome")
@@ -89,7 +92,10 @@ func runE2() (string, error) {
 
 	// Exhaustive sweep over a small segment: the comparator must admit
 	// exactly the segment's bytes.
-	small := core.MustMake(core.PermReadOnly, 6, 0x1000) // 64B
+	small, err := core.Make(core.PermReadOnly, 6, 0x1000) // 64B
+	if err != nil {
+		return "", err
+	}
 	ok, faults := 0, 0
 	for off := int64(-256); off <= 256; off++ {
 		if q, err := core.LEA(small, off); err == nil {

@@ -56,7 +56,7 @@ func pagingRun(physPages int) (uint64, kernel.PagingStats, error) {
 	if err != nil {
 		return 0, kernel.PagingStats{}, err
 	}
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 		ldi r7, 4          ; passes
 	pass:
 		ldi r2, 24         ; pages
@@ -74,6 +74,9 @@ func pagingRun(physPages int) (uint64, kernel.PagingStats, error) {
 		bnez r7, pass
 		halt
 	`)
+	if err != nil {
+		return 0, kernel.PagingStats{}, err
+	}
 	ip, err := k.LoadProgram(prog, false)
 	if err != nil {
 		return 0, kernel.PagingStats{}, err

@@ -35,7 +35,7 @@ func runE21() (string, error) {
 	}
 	empty, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 		src := fmt.Sprintf("ldi r2, %d\nloop: subi r2, r2, 1\nbnez r2, loop\nhalt", iters)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,7 @@ func e22Instrumented() (telemetry.Snapshot, map[string]uint64, uint64, error) {
 	s.Nodes[0].K.RegisterMetrics(reg)
 	s.Net.RegisterMetrics(reg, "noc")
 
-	remote := asm.MustAssemble(`
+	remote, err := asm.Assemble(`
 		ldi r3, 200
 	loop:
 		ld r2, r1, 0
@@ -53,7 +53,10 @@ func e22Instrumented() (telemetry.Snapshot, map[string]uint64, uint64, error) {
 		bnez r3, loop
 		halt
 	`)
-	local := asm.MustAssemble(`
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	local, err := asm.Assemble(`
 		ldi r3, 256
 	loop:
 		ld   r5, r1, 0
@@ -62,6 +65,9 @@ func e22Instrumented() (telemetry.Snapshot, map[string]uint64, uint64, error) {
 		bnez r3, loop
 		halt
 	`)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 
 	far, err := s.Nodes[7].K.AllocSegment(4096)
 	if err != nil {
@@ -106,11 +112,14 @@ func e22Instrumented() (telemetry.Snapshot, map[string]uint64, uint64, error) {
 // BenchmarkSimulatorIPS workload) under one telemetry configuration and
 // returns wall nanoseconds per simulated cycle, best of four runs.
 func e22HotLoopNS(mode string, cycles uint64) (float64, error) {
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 	loop:
 		addi r2, r2, 1
 		br loop
 	`)
+	if err != nil {
+		return 0, err
+	}
 	best := 0.0
 	for rep := 0; rep < 4; rep++ {
 		cfg := machine.MMachine()

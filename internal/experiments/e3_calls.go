@@ -66,7 +66,7 @@ func enterCaller(k *kernel.Kernel, enter core.Pointer, iters int64) (*machine.Th
 		bnez r15, loop
 		halt
 	`, iters)
-	ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, err := loadSrc(k, src)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func runE3() (string, error) {
 	// Baseline: the bare loop.
 	empty, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
 		src := fmt.Sprintf("ldi r15, %d\nloop: subi r15, r15, 1\nbnez r15, loop\nhalt", iters)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +94,11 @@ func runE3() (string, error) {
 
 	// 1. Minimal enter-pointer call: jump in, jump back.
 	minimal, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
-		enter, err := k.InstallSubsystem(asm.MustAssemble("entry: jmp r14"), "entry", nil)
+		minimalSub, err := asm.Assemble("entry: jmp r14")
+		if err != nil {
+			return nil, err
+		}
+		enter, err := k.InstallSubsystem(minimalSub, "entry", nil)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +120,7 @@ func runE3() (string, error) {
 		if err != nil {
 			return nil, err
 		}
-		sub := asm.MustAssemble(`
+		sub, err := asm.Assemble(`
 		entry:
 			movip r10
 			leab  r10, r10, r0
@@ -131,6 +135,9 @@ func runE3() (string, error) {
 		gp2:
 			.word 0
 		`)
+		if err != nil {
+			return nil, err
+		}
 		enter, err := k.InstallSubsystem(sub, "entry", map[string]core.Pointer{"gp1": d1, "gp2": d2})
 		if err != nil {
 			return nil, err
@@ -144,7 +151,7 @@ func runE3() (string, error) {
 
 	// 3. Conventional baseline: kernel-mediated call gate via TRAP.
 	gateMin, err := measure(func(k *kernel.Kernel, iters int64) (*machine.Thread, error) {
-		target, err := k.LoadProgram(asm.MustAssemble("jmp r14"), false)
+		target, err := loadSrc(k, "jmp r14")
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +168,7 @@ func runE3() (string, error) {
 			bnez r15, loop
 			halt
 		`, iters, id)
-		ip, err := k.LoadProgram(asm.MustAssemble(src), false)
+		ip, err := loadSrc(k, src)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +224,11 @@ func buildTwoWay(k *kernel.Kernel, live int, iters int64) (*machine.Thread, erro
 	// Segment 2: the subsystem. Two-way protected: it returns by
 	// jumping through the return-segment enter pointer in r13 and
 	// never receives an execute pointer into the caller.
-	enter2, err := k.InstallSubsystem(asm.MustAssemble("entry: jmp r13"), "entry", nil)
+	ret2, err := asm.Assemble("entry: jmp r13")
+	if err != nil {
+		return nil, err
+	}
+	enter2, err := k.InstallSubsystem(ret2, "entry", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -95,7 +95,7 @@ func runInterleavedMachine(scheme machine.Scheme) (machine.Stats, uint64, error)
 	if err != nil {
 		return machine.Stats{}, 0, err
 	}
-	prog := asm.MustAssemble(`
+	prog, err := asm.Assemble(`
 		ldi r3, 400
 	loop:
 		ld r2, r1, 0
@@ -105,6 +105,9 @@ func runInterleavedMachine(scheme machine.Scheme) (machine.Stats, uint64, error)
 		bnez r3, loop
 		halt
 	`)
+	if err != nil {
+		return machine.Stats{}, 0, err
+	}
 	for d := 0; d < 4; d++ {
 		ip, err := k.LoadProgram(prog, false)
 		if err != nil {

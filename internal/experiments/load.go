@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// loadSrc assembles src and loads it into k as an unprivileged program,
+// returning the entry pointer. Assembly errors propagate like load
+// errors — experiments never panic on a malformed source.
+func loadSrc(k *kernel.Kernel, src string) (core.Pointer, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return core.Pointer{}, err
+	}
+	return k.LoadProgram(p, false)
+}

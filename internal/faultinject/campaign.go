@@ -1,0 +1,261 @@
+package faultinject
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// CampaignConfig sizes a campaign. Every trial's seed is derived from
+// Seed and the trial's (class, index) coordinates, so trials are
+// independent and the campaign is replayable and order-insensitive —
+// the worker pool changes wall-clock time, never the table.
+type CampaignConfig struct {
+	Seed uint64
+	// LocalTrials is the trial count for each single-node class
+	// (mem-bit, reg-bit, ptr-field, tlb-entry).
+	LocalTrials int
+	// MeshTrials is the trial count for each NoC class (drop,
+	// duplicate, corrupt, delay).
+	MeshTrials int
+	// NodeTrials is the trial count for each node class (kill, stall).
+	NodeTrials int
+	// Workers bounds trial concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Recovery additionally runs the checkpoint/kill/restore trial.
+	Recovery bool
+}
+
+// DefaultCampaign is the E23 configuration: ≥10k injections across all
+// ten classes plus the recovery exercise.
+func DefaultCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:        1,
+		LocalTrials: 2200,
+		MeshTrials:  300,
+		NodeTrials:  150,
+		Recovery:    true,
+	}
+}
+
+// ClassStats aggregates one class's outcomes.
+type ClassStats struct {
+	Class    Class
+	Trials   int
+	Detected int
+	Masked   int
+	Escaped  int
+	// Details counts fine-grained mechanism tags ("mem-parity",
+	// "watchdog", "scrub-mem", ...).
+	Details map[string]int
+}
+
+// Result is a finished campaign.
+type Result struct {
+	Seed     uint64
+	Classes  []ClassStats // indexed by Class
+	Trials   int
+	Detected int
+	Masked   int
+	Escaped  int
+	Recovery *RecoveryResult // nil unless CampaignConfig.Recovery
+}
+
+type trialSpec struct {
+	class Class
+	wl    *workload // nil for mesh/node classes
+	seed  uint64
+}
+
+var localClasses = []Class{MemBit, RegBit, PtrField, TLBEntry}
+var nocClasses = []Class{NoCDrop, NoCDuplicate, NoCCorrupt, NoCDelay}
+var nodeClasses = []Class{NodeKill, NodeStall}
+
+// RunCampaign executes the full audit: prepares the clean reference
+// runs, fans the trial list across a worker pool, and aggregates the
+// outcomes in deterministic (class, index) order.
+func RunCampaign(cfg CampaignConfig) (*Result, error) {
+	wls := localWorkloads()
+	for _, w := range wls {
+		if err := w.prepare(); err != nil {
+			return nil, err
+		}
+	}
+	needMesh := cfg.MeshTrials > 0 || cfg.NodeTrials > 0
+	var mesh *meshClean
+	if needMesh {
+		var err error
+		if mesh, err = prepareMesh(); err != nil {
+			return nil, err
+		}
+	}
+
+	var specs []trialSpec
+	for _, c := range localClasses {
+		for i := 0; i < cfg.LocalTrials; i++ {
+			specs = append(specs, trialSpec{
+				class: c,
+				wl:    wls[i%len(wls)],
+				seed:  mixSeed(cfg.Seed, uint64(c), uint64(i)),
+			})
+		}
+	}
+	for _, c := range nocClasses {
+		for i := 0; i < cfg.MeshTrials; i++ {
+			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
+		}
+	}
+	for _, c := range nodeClasses {
+		for i := 0; i < cfg.NodeTrials; i++ {
+			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
+		}
+	}
+
+	results := make([]trialResult, len(specs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(specs) {
+					return
+				}
+				sp := specs[i]
+				switch {
+				case sp.wl != nil:
+					results[i] = runLocalTrial(sp.wl, sp.class, sp.seed)
+				case sp.class == NodeKill || sp.class == NodeStall:
+					results[i] = runNodeTrial(sp.class, mesh, sp.seed)
+				default:
+					results[i] = runNoCTrial(sp.class, mesh, sp.seed)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Seed: cfg.Seed, Classes: make([]ClassStats, NumClasses)}
+	for c := range res.Classes {
+		res.Classes[c].Class = Class(c)
+		res.Classes[c].Details = make(map[string]int)
+	}
+	for i, sp := range specs {
+		cs := &res.Classes[sp.class]
+		cs.Trials++
+		res.Trials++
+		switch results[i].outcome {
+		case Detected:
+			cs.Detected++
+			res.Detected++
+		case Masked:
+			cs.Masked++
+			res.Masked++
+		case Escaped:
+			cs.Escaped++
+			res.Escaped++
+		}
+		cs.Details[results[i].detail]++
+	}
+	if cfg.Recovery {
+		rec, err := RecoveryTrial(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Recovery = rec
+	}
+	return res, nil
+}
+
+// Table renders the campaign as the audit table: one row per exercised
+// class, a totals row, and a detection-mechanism breakdown. Same seed →
+// byte-identical string.
+func (r *Result) Table() string {
+	var b strings.Builder
+	tbl := stats.NewTable(
+		fmt.Sprintf("Fault-injection audit (seed %d, %d injections)", r.Seed, r.Trials),
+		"class", "trials", "detected", "masked", "escaped")
+	for _, cs := range r.Classes {
+		if cs.Trials == 0 {
+			continue
+		}
+		tbl.AddRow(cs.Class.String(), cs.Trials, cs.Detected, cs.Masked, cs.Escaped)
+	}
+	tbl.AddRow("total", r.Trials, r.Detected, r.Masked, r.Escaped)
+	b.WriteString(tbl.String())
+
+	mech := make(map[string]int)
+	for _, cs := range r.Classes {
+		for d, n := range cs.Details {
+			mech[d] += n
+		}
+	}
+	var names []string
+	for d := range mech {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	mt := stats.NewTable("\nOutcome mechanisms (detection signal or masking path)", "mechanism", "trials")
+	for _, d := range names {
+		mt.AddRow(d, mech[d])
+	}
+	b.WriteString(mt.String())
+
+	if r.Recovery != nil {
+		fmt.Fprintf(&b, "\ncheckpoint recovery: %s\n", r.Recovery)
+	}
+	return b.String()
+}
+
+// RegisterMetrics exposes the campaign on a telemetry registry under
+// the faultinject.* namespace.
+func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
+	add := func(name string, v int) {
+		n := uint64(v)
+		reg.Counter("faultinject."+name, func() uint64 { return n })
+	}
+	add("trials", r.Trials)
+	add("detected", r.Detected)
+	add("masked", r.Masked)
+	add("escaped", r.Escaped)
+	for _, cs := range r.Classes {
+		if cs.Trials == 0 {
+			continue
+		}
+		slug := strings.ReplaceAll(cs.Class.String(), "-", "_")
+		add(slug+".trials", cs.Trials)
+		add(slug+".detected", cs.Detected)
+		add(slug+".masked", cs.Masked)
+		add(slug+".escaped", cs.Escaped)
+	}
+	if r.Recovery != nil {
+		match := 0
+		if r.Recovery.Match {
+			match = 1
+		}
+		add("recovery.match", match)
+		wd := 0
+		if r.Recovery.WatchdogTripped {
+			wd = 1
+		}
+		add("recovery.watchdog", wd)
+	}
+}

@@ -1,0 +1,34 @@
+package faultinject
+
+import "repro/internal/noc"
+
+// MessageFaulter is a deterministic noc.Interceptor: it counts every
+// message entering the fabric and applies one planned Fate to exactly
+// the target-th message, leaving all others untouched. Because delivery
+// order at the multicomputer's cycle barrier is deterministic, the same
+// (target, fate) pair always hits the same message.
+type MessageFaulter struct {
+	Target uint64   // 0-based index of the message to fault
+	Fate   noc.Fate // what happens to it
+
+	n     uint64
+	fired bool
+}
+
+// Intercept implements noc.Interceptor.
+func (f *MessageFaulter) Intercept(k noc.Kind, src, dst int, now uint64) noc.Fate {
+	i := f.n
+	f.n++
+	if i == f.Target {
+		f.fired = true
+		return f.Fate
+	}
+	return noc.Fate{}
+}
+
+// Fired reports whether the planned fault was actually applied (false
+// means the run ended before message Target was sent).
+func (f *MessageFaulter) Fired() bool { return f.fired }
+
+// Messages returns how many messages the interceptor has seen.
+func (f *MessageFaulter) Messages() uint64 { return f.n }

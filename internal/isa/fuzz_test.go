@@ -1,0 +1,41 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// FuzzDecode: Decode must never panic on an arbitrary machine word;
+// when it succeeds, re-encoding must round-trip bit-exactly.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), false)
+	f.Add(^uint64(0), false)
+	f.Add(uint64(0x1234), true) // tagged word: a pointer, not an instruction
+	w, err := Encode(Inst{Op: ADD, Rd: 1, Ra: 2, Rb: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(w.Bits, w.Tag)
+	w, err = Encode(Inst{Op: LDI, Rd: 4, Imm: MinImm})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(w.Bits, w.Tag)
+	f.Add(uint64(0xee)<<56, false) // undefined opcode
+
+	f.Fuzz(func(t *testing.T, bits uint64, tag bool) {
+		inst, err := Decode(word.Word{Bits: bits, Tag: tag})
+		if err != nil {
+			return // rejected: that is the defined fate of hostile words
+		}
+		enc, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("Decode accepted %#x (tag=%v) but Encode(%+v) failed: %v", bits, tag, inst, err)
+		}
+		back, err := Decode(enc)
+		if err != nil || back != inst {
+			t.Fatalf("round trip: %+v -> %v -> %+v (%v)", inst, enc, back, err)
+		}
+	})
+}

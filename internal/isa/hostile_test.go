@@ -1,0 +1,42 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// The library must report hostile or malformed inputs as errors, never
+// panic: these are the paths the fault injector and fuzzers lean on.
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name string
+		inst Inst
+	}{
+		{"invalid opcode", Inst{Op: Op(0xff)}},
+		{"rd out of range", Inst{Op: ADD, Rd: NumRegs}},
+		{"ra negative", Inst{Op: ADD, Ra: -1}},
+		{"rb out of range", Inst{Op: ADD, Rb: 99}},
+		{"imm too large", Inst{Op: LDI, Imm: MaxImm + 1}},
+		{"imm too small", Inst{Op: LDI, Imm: MinImm - 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Encode(c.inst); err == nil {
+				t.Fatalf("Encode(%+v): want error, got nil", c.inst)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsHostileWords(t *testing.T) {
+	// A tagged word is a pointer, not an instruction.
+	if _, err := Decode(word.Word{Bits: 0, Tag: true}); err == nil {
+		t.Fatal("Decode(tagged word): want error, got nil")
+	}
+	// Undefined opcode in the high byte.
+	if _, err := Decode(word.FromUint(uint64(0xee) << 56)); err == nil {
+		t.Fatal("Decode(undefined opcode): want error, got nil")
+	}
+}

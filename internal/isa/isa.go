@@ -261,15 +261,6 @@ func Encode(i Inst) (word.Word, error) {
 	return word.FromUint(bits), nil
 }
 
-// MustEncode is Encode for statically valid instructions.
-func MustEncode(i Inst) word.Word {
-	w, err := Encode(i)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 func regOK(r int) bool { return r >= 0 && r < NumRegs }
 
 // Decode unpacks a machine word into an instruction. Tagged words are

@@ -101,7 +101,7 @@ func TestMustEncodePanics(t *testing.T) {
 			t.Error("MustEncode did not panic on bad instruction")
 		}
 	}()
-	MustEncode(Inst{Op: numOps})
+	mustEncode(Inst{Op: numOps})
 }
 
 func TestStringCoversAllOps(t *testing.T) {

@@ -1,0 +1,13 @@
+package isa
+
+import "repro/internal/word"
+
+// mustEncode is the test-local stand-in for the removed library
+// MustEncode: statically valid test fixtures may panic.
+func mustEncode(i Inst) word.Word {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/word"
+)
+
+// TestCheckpointRecoveryUnderInjectedFault is the single-node recovery
+// loop: checkpoint a running system, corrupt its memory underneath the
+// parity plane, watch the corruption surface as an explicit machine
+// check (never a silent wrong answer), then restore from the checkpoint
+// and finish — the recovered run's architectural state must equal an
+// uninterrupted run's.
+func TestCheckpointRecoveryUnderInjectedFault(t *testing.T) {
+	prog := mustAssemble(`
+		ldi r2, 30
+		ldi r4, 0
+	loop:
+		ld   r5, r1, 0
+		add  r5, r5, r2
+		st   r1, 0, r5
+		add  r4, r4, r5
+		subi r2, r2, 1
+		bnez r2, loop
+		halt
+	`)
+	build := func() (*Kernel, *machine.Thread) {
+		k := testKernel(t)
+		ip, err := k.LoadProgram(prog, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := k.AllocSegment(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := k.Spawn(3, ip, map[int]word.Word{1: seg.Word()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.M.Space.Phys.EnableParity()
+		return k, th
+	}
+
+	// Reference: uninterrupted.
+	kRef, thRef := build()
+	kRef.Run(1_000_000)
+	if thRef.State != machine.Halted {
+		t.Fatalf("reference: %v %v", thRef.State, thRef.Fault)
+	}
+
+	// Faulted: checkpoint partway, then flip a bit under the thread's
+	// working word. The next load must machine-check.
+	k1, th1 := build()
+	for i := 0; i < 60; i++ {
+		k1.M.Step()
+	}
+	if th1.Done() {
+		t.Fatal("program finished before checkpoint — lengthen it")
+	}
+	cp, err := k1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := decodeWord(t, th1.Reg(1))
+	paddr, _, err := k1.M.Space.Translate(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.M.Space.Phys.FlipBit(paddr, 17); err != nil {
+		t.Fatal(err)
+	}
+	k1.Run(1_000_000)
+	if th1.State != machine.Faulted {
+		t.Fatalf("corrupted run: %v (want an explicit fault, not %v)", th1.State, th1.Fault)
+	}
+	var pe *mem.ParityError
+	if !errors.As(th1.Fault, &pe) {
+		t.Fatalf("fault %v, want *mem.ParityError", th1.Fault)
+	}
+
+	// Recover: restore the checkpoint into a fresh kernel and finish.
+	cfg := machine.MMachine()
+	cfg.Clusters = 2
+	cfg.SlotsPerCluster = 2
+	cfg.PhysBytes = 4 << 20
+	cfg.TrapCost = 10
+	k2, err := Restore(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := k2.M.Threads()[0]
+	k2.Run(1_000_000)
+	if th2.State != machine.Halted {
+		t.Fatalf("recovered run: %v %v", th2.State, th2.Fault)
+	}
+	if th2.Instret != thRef.Instret {
+		t.Fatalf("instret %d != reference %d", th2.Instret, thRef.Instret)
+	}
+	for r := 0; r < 16; r++ {
+		if th2.Reg(r) != thRef.Reg(r) {
+			t.Errorf("r%d: recovered %v vs reference %v", r, th2.Reg(r), thRef.Reg(r))
+		}
+	}
+}

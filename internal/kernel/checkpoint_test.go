@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/machine"
 	"repro/internal/word"
 )
@@ -14,7 +13,7 @@ import (
 // kernel, finish there — the architectural outcome must equal an
 // uninterrupted run.
 func TestCheckpointRestoreDifferential(t *testing.T) {
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r2, 40
 		ldi r4, 0
 	loop:
@@ -157,7 +156,7 @@ func TestCheckpointPreservesSwapAndLazyState(t *testing.T) {
 
 	// The swapped page restores into the backing store and pages in on
 	// demand — with its embedded capability intact.
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ld r2, r1, 0    ; swap-in; r2 = capability copy
 		ld r3, r2, 8    ; use it
 		st r4, 0, r5    ; touch the lazy segment (demand-zero post-restore)

@@ -115,7 +115,7 @@ func TestWriteWordsBounds(t *testing.T) {
 
 func TestLoadProgramAndRun(t *testing.T) {
 	k := testKernel(t)
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r1, 11
 		ldi r2, 31
 		mul r3, r1, r2
@@ -143,7 +143,7 @@ func TestLoadProgramAndRun(t *testing.T) {
 
 func TestSpawnWithArgsAndPrivProgram(t *testing.T) {
 	k := testKernel(t)
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		setptr r2, r1
 		halt
 	`)
@@ -154,7 +154,7 @@ func TestSpawnWithArgsAndPrivProgram(t *testing.T) {
 	if ip.Perm() != core.PermExecutePriv {
 		t.Fatalf("perm = %v", ip.Perm())
 	}
-	raw := core.MustMake(core.PermReadOnly, 3, 0x100).Word().Untag()
+	raw := mustMake(core.PermReadOnly, 3, 0x100).Word().Untag()
 	th, err := k.Spawn(0, ip, map[int]word.Word{1: raw})
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestSpawnWithArgsAndPrivProgram(t *testing.T) {
 
 func TestTrapAllocAndFree(t *testing.T) {
 	k := testKernel(t)
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r1, 256
 		trap 1          ; alloc → r1 = pointer
 		isptr r2, r1
@@ -201,7 +201,7 @@ func TestTrapAllocAndFree(t *testing.T) {
 
 func TestUnknownTrapFaults(t *testing.T) {
 	k := testKernel(t)
-	ip, _ := k.LoadProgram(asm.MustAssemble("trap 99\nhalt"), false)
+	ip, _ := k.LoadProgram(mustAssemble("trap 99\nhalt"), false)
 	th, _ := k.Spawn(0, ip, nil)
 	k.Run(1000)
 	if th.State != machine.Faulted {
@@ -218,7 +218,7 @@ func TestRegisterService(t *testing.T) {
 		return nil
 	})
 	src := "trap " + itoa(code) + "\nhalt"
-	ip, _ := k.LoadProgram(asm.MustAssemble(src), false)
+	ip, _ := k.LoadProgram(mustAssemble(src), false)
 	th, _ := k.Spawn(0, ip, nil)
 	k.Run(1000)
 	if !called || th.Reg(1).Int() != 123 {
@@ -246,7 +246,7 @@ func TestInstallSubsystemFig3(t *testing.T) {
 	private, _ := k.AllocSegment(64)
 	k.WriteWords(private, []word.Word{word.FromInt(777)})
 
-	sub := asm.MustAssemble(`
+	sub := mustAssemble(`
 	entry:
 		movip r2
 		leab  r3, r2, r0     ; code segment base
@@ -264,7 +264,7 @@ func TestInstallSubsystemFig3(t *testing.T) {
 		t.Fatalf("perm = %v", enter.Perm())
 	}
 
-	caller := asm.MustAssemble(`
+	caller := mustAssemble(`
 		jmpl r14, r1
 		mov  r6, r5
 		halt
@@ -281,7 +281,7 @@ func TestInstallSubsystemFig3(t *testing.T) {
 
 	// The caller cannot read the subsystem's code segment (and hence
 	// its embedded capability) through the enter pointer.
-	spy := asm.MustAssemble(`
+	spy := mustAssemble(`
 		ld r2, r1, 0
 		halt
 	`)
@@ -295,7 +295,7 @@ func TestInstallSubsystemFig3(t *testing.T) {
 
 func TestInstallSubsystemBadLabels(t *testing.T) {
 	k := testKernel(t)
-	prog := asm.MustAssemble("entry: halt")
+	prog := mustAssemble("entry: halt")
 	if _, err := k.InstallSubsystem(prog, "missing", nil); err == nil {
 		t.Error("missing entry label accepted")
 	}
@@ -306,7 +306,7 @@ func TestInstallSubsystemBadLabels(t *testing.T) {
 
 func TestCallGateBaseline(t *testing.T) {
 	k := testKernel(t)
-	service := asm.MustAssemble(`
+	service := mustAssemble(`
 		ldi r5, 555
 		jmp r14
 	`)
@@ -315,7 +315,7 @@ func TestCallGateBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	caller := asm.MustAssemble(`
+	caller := mustAssemble(`
 		ldi r2, ` + itoa(id) + `
 		trap 3
 		halt
@@ -338,7 +338,7 @@ func TestCallGateValidation(t *testing.T) {
 		t.Error("data pointer accepted as gate")
 	}
 	// Invalid gate id faults the caller.
-	ip, _ := k.LoadProgram(asm.MustAssemble("ldi r2, 77\ntrap 3\nhalt"), false)
+	ip, _ := k.LoadProgram(mustAssemble("ldi r2, 77\ntrap 3\nhalt"), false)
 	th, _ := k.Spawn(0, ip, nil)
 	k.Run(1000)
 	if th.State != machine.Faulted {
@@ -365,7 +365,7 @@ func TestRevokeInvalidatesAllCopies(t *testing.T) {
 	if _, err := k.ReadWord(seg); err == nil {
 		t.Error("access through revoked segment succeeded")
 	}
-	if err := k.Revoke(core.MustMake(core.PermReadOnly, 3, 0x100)); err == nil {
+	if err := k.Revoke(mustMake(core.PermReadOnly, 3, 0x100)); err == nil {
 		t.Error("revoking unknown segment succeeded")
 	}
 	// FreeSegment releases the reservation afterwards.
@@ -408,7 +408,7 @@ func TestSweepRevoke(t *testing.T) {
 func TestSweepRevokeScrubsRegisters(t *testing.T) {
 	k := testKernel(t)
 	target, _ := k.AllocSegment(64)
-	ip, _ := k.LoadProgram(asm.MustAssemble("halt"), false)
+	ip, _ := k.LoadProgram(mustAssemble("halt"), false)
 	th, _ := k.Spawn(0, ip, map[int]word.Word{7: target.Word()})
 	st, err := k.SweepRevoke(target)
 	if err != nil {
@@ -463,7 +463,7 @@ func TestCollectAddressSpace(t *testing.T) {
 func TestCollectKeepsThreadReachable(t *testing.T) {
 	k := testKernel(t)
 	seg, _ := k.AllocSegment(64)
-	ip, _ := k.LoadProgram(asm.MustAssemble("halt"), false)
+	ip, _ := k.LoadProgram(mustAssemble("halt"), false)
 	th, _ := k.Spawn(0, ip, map[int]word.Word{3: seg.Word()})
 	_ = th
 	st, err := k.CollectAddressSpace(nil)
@@ -495,7 +495,7 @@ func TestCollectSkipsRevokedSegments(t *testing.T) {
 
 func TestTrapAllocFailurePropagates(t *testing.T) {
 	k := testKernel(t)
-	ip, _ := k.LoadProgram(asm.MustAssemble(`
+	ip, _ := k.LoadProgram(mustAssemble(`
 		ldi r1, 1
 		shli r1, r1, 40   ; 2^40 bytes: exceeds the kernel region
 		trap 1

@@ -1,0 +1,26 @@
+package kernel
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// Test-local stand-ins for the removed library panic helpers:
+// production code must handle the errors; statically known test
+// fixtures may panic.
+
+func mustAssemble(src string) *asm.Program {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustMake(p core.Perm, logLen uint, addr uint64) core.Pointer {
+	ptr, err := core.Make(p, logLen, addr)
+	if err != nil {
+		panic(err)
+	}
+	return ptr
+}

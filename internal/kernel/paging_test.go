@@ -3,7 +3,6 @@ package kernel
 import (
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/vm"
@@ -37,7 +36,7 @@ func TestLazySegmentDemandZero(t *testing.T) {
 		t.Fatal("pages materialized before any touch")
 	}
 	// Touch two pages via a program; only those two materialize.
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r2, 77
 		st  r1, 0, r2
 		ld  r3, r1, 0
@@ -62,7 +61,7 @@ func TestPagerRefusesForeignAddresses(t *testing.T) {
 	k := pagingKernel(t, 64)
 	// A forged-by-kernel pointer outside any registered segment: the
 	// pager must not materialize it.
-	prog := asm.MustAssemble("ld r2, r1, 0\nhalt")
+	prog := mustAssemble("ld r2, r1, 0\nhalt")
 	ip, _ := k.LoadProgram(prog, false)
 	wild := mustPtr(t, k, 0x3000000) // outside the kernel region
 	th, _ := k.Spawn(1, ip, map[int]word.Word{1: wild})
@@ -93,7 +92,7 @@ func TestWorkingSetLargerThanMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		; pass 1: write page i's first word = i
 		ldi r2, 32
 		mov r3, r1
@@ -158,7 +157,7 @@ func TestCapabilitiesSurviveSwap(t *testing.T) {
 	}
 	k.M.Cache.InvalidateRange(a.Base(), vm.PageSize)
 
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ld r2, r1, 0   ; faults; pager swaps the page back in
 		ld r3, r2, 0   ; dereference the recovered capability
 		halt
@@ -208,7 +207,7 @@ func TestCodePagesSwapToo(t *testing.T) {
 	// Evicting the running thread's code page must be recoverable:
 	// the fetch faults and the pager brings it back.
 	k := pagingKernel(t, 16)
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 5
 	loop:
 		subi r3, r3, 1
@@ -247,7 +246,7 @@ func TestPagingCostsCharged(t *testing.T) {
 		if err := k.M.Space.SwapOut(seg.Base()); err != nil {
 			t.Fatal(err)
 		}
-		ip, _ := k.LoadProgram(asm.MustAssemble("ld r2, r1, 0\nhalt"), false)
+		ip, _ := k.LoadProgram(mustAssemble("ld r2, r1, 0\nhalt"), false)
 		th, _ := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()})
 		k.Run(1_000_000)
 		if th.State != machine.Halted {

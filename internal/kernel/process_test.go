@@ -3,7 +3,6 @@ package kernel
 import (
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/machine"
 	"repro/internal/vm"
 	"repro/internal/word"
@@ -31,7 +30,7 @@ func TestProcessBasics(t *testing.T) {
 func TestProcessRunAndExit(t *testing.T) {
 	k := testKernel(t)
 	p := k.NewProcess()
-	ip, err := p.LoadProgram(asm.MustAssemble(`
+	ip, err := p.LoadProgram(mustAssemble(`
 		ldi r2, 9
 		mul r2, r2, r2
 		halt
@@ -76,7 +75,7 @@ func TestProcessRunAndExit(t *testing.T) {
 func TestExitRefusesWithLiveThreads(t *testing.T) {
 	k := testKernel(t)
 	p := k.NewProcess()
-	ip, _ := p.LoadProgram(asm.MustAssemble("loop: br loop"))
+	ip, _ := p.LoadProgram(mustAssemble("loop: br loop"))
 	p.Start(ip, nil)
 	if err := p.Exit(); err == nil {
 		t.Error("exit with live thread accepted")
@@ -87,7 +86,7 @@ func TestSchedulerOversubscription(t *testing.T) {
 	// 12 processes on a 4-slot machine: the scheduler must run them
 	// all to completion by recycling slots.
 	k := testKernel(t) // 2 clusters × 2 slots
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 20
 	loop:
 		st r1, 0, r3
@@ -154,11 +153,11 @@ func TestSchedulerMixedWithRawThreads(t *testing.T) {
 	// Raw Spawn threads (no owning process) coexist with scheduled
 	// ones; reap must not touch them (they stay resident when Done).
 	k := testKernel(t)
-	ipRaw, _ := k.LoadProgram(asm.MustAssemble("halt"), false)
+	ipRaw, _ := k.LoadProgram(mustAssemble("halt"), false)
 	raw, _ := k.Spawn(0, ipRaw, nil)
 
 	p := k.NewProcess()
-	ip, _ := p.LoadProgram(asm.MustAssemble("ldi r1, 1\nhalt"))
+	ip, _ := p.LoadProgram(mustAssemble("ldi r1, 1\nhalt"))
 	p.Start(ip, nil)
 	k.RunScheduled(10000)
 	if raw.State != machine.Halted {
@@ -179,7 +178,7 @@ func TestSchedulerMixedWithRawThreads(t *testing.T) {
 func TestRunScheduledStopsAtBudget(t *testing.T) {
 	k := testKernel(t)
 	p := k.NewProcess()
-	ip, _ := p.LoadProgram(asm.MustAssemble("loop: br loop"))
+	ip, _ := p.LoadProgram(mustAssemble("loop: br loop"))
 	p.Start(ip, nil)
 	c := k.RunScheduled(500)
 	if c != 500 {

@@ -61,7 +61,7 @@ func TestSingleByteSegment(t *testing.T) {
 		halt
 	`, func(m *Machine, th *Thread) {
 		m.Space.EnsureMapped(0x40000, 4096)
-		oneByte := core.MustMake(core.PermReadWrite, 0, 0x40005)
+		oneByte := mustMake(core.PermReadWrite, 0, 0x40005)
 		th.SetReg(1, oneByte.Word())
 	})
 	if th.Reg(3).Int() != 0x5a {
@@ -78,7 +78,7 @@ func TestByteBoundsChecked(t *testing.T) {
 		halt
 	`, func(m *Machine, th *Thread) {
 		m.Space.EnsureMapped(0x40000, 4096)
-		th.SetReg(1, core.MustMake(core.PermReadWrite, 4, 0x40000).Word())
+		th.SetReg(1, mustMake(core.PermReadWrite, 4, 0x40000).Word())
 	})
 	if th.State != Faulted || core.CodeOf(th.Fault) != core.FaultBounds {
 		t.Errorf("fault = %v, want bounds", th.Fault)

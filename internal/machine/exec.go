@@ -80,6 +80,10 @@ func (m *Machine) executeRemoteFetch(t *Thread) {
 		m.fault(t, err)
 		return
 	}
+	if fetchDone == NeverDone {
+		m.lose(t)
+		return
+	}
 	inst, derr := isa.Decode(w)
 	if derr != nil {
 		m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
@@ -152,6 +156,10 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.fault(t, err)
 			return
 		}
+		if fetchDone == NeverDone {
+			m.lose(t)
+			return
+		}
 		inst, derr := isa.Decode(w)
 		if derr != nil {
 			m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
@@ -166,6 +174,10 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.fault(t, err)
 			return
 		}
+		if done == NeverDone {
+			m.lose(t)
+			return
+		}
 		t.Regs[p.inst.Rd] = v
 		m.block(t, done)
 		if m.advance(t) {
@@ -176,6 +188,10 @@ func (m *Machine) servicePending(p pendingRemote) {
 		done, err := m.Remote.WriteWord(p.addr, p.val, p.cycle)
 		if err != nil {
 			m.fault(t, err)
+			return
+		}
+		if done == NeverDone {
+			m.lose(t)
 			return
 		}
 		m.block(t, done)
@@ -189,6 +205,10 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.fault(t, err)
 			return
 		}
+		if done == NeverDone {
+			m.lose(t)
+			return
+		}
 		t.Regs[p.inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.addr & 7) * 8))))
 		m.block(t, done)
 		if m.advance(t) {
@@ -200,7 +220,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 		// cleared like any partial overwrite.
 		base := p.addr &^ 7
 		wv, done, err := m.Remote.ReadWord(base, p.cycle)
-		if err == nil {
+		if err == nil && done != NeverDone {
 			shift := (p.addr & 7) * 8
 			wv.Bits = wv.Bits&^(uint64(0xff)<<shift) | uint64(byte(p.val.Bits))<<shift
 			wv.Tag = false
@@ -208,6 +228,10 @@ func (m *Machine) servicePending(p pendingRemote) {
 		}
 		if err != nil {
 			m.fault(t, err)
+			return
+		}
+		if done == NeverDone {
+			m.lose(t)
 			return
 		}
 		m.block(t, done)
@@ -221,6 +245,12 @@ func (m *Machine) servicePending(p pendingRemote) {
 // code — no closures, no defers — because it runs once per simulated
 // instruction.
 func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
+	if m.Integrity != nil {
+		if err := m.Integrity(t, inst); err != nil {
+			m.fault(t, err)
+			return
+		}
+	}
 	if m.OnIssue != nil {
 		m.OnIssue(t, inst)
 	}
@@ -360,6 +390,10 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.fault(t, err)
 				return
 			}
+			if done == NeverDone {
+				m.lose(t)
+				return
+			}
 			r[inst.Rd] = v
 			m.block(t, done)
 		} else {
@@ -385,6 +419,10 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.fault(t, err)
 				return
 			}
+			if done == NeverDone {
+				m.lose(t)
+				return
+			}
 			m.block(t, done)
 		} else {
 			done, err := m.Cache.WriteWord(p.Addr(), r[inst.Rb], m.now)
@@ -407,6 +445,10 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 			wv, done, err := m.Remote.ReadWord(p.Addr()&^7, m.now)
 			if err != nil {
 				m.fault(t, err)
+				return
+			}
+			if done == NeverDone {
+				m.lose(t)
 				return
 			}
 			r[inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.Addr() & 7) * 8))))
@@ -438,7 +480,7 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 			// is cleared like any partial overwrite.
 			base := p.Addr() &^ 7
 			wv, done, err := m.Remote.ReadWord(base, m.now)
-			if err == nil {
+			if err == nil && done != NeverDone {
 				shift := (p.Addr() & 7) * 8
 				wv.Bits = wv.Bits&^(uint64(0xff)<<shift) | uint64(bval)<<shift
 				wv.Tag = false
@@ -446,6 +488,10 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 			}
 			if err != nil {
 				m.fault(t, err)
+				return
+			}
+			if done == NeverDone {
+				m.lose(t)
 				return
 			}
 			m.block(t, done)
@@ -629,6 +675,16 @@ func (m *Machine) advance(t *Thread) bool {
 	}
 	t.IP = ip
 	return true
+}
+
+// lose parks the thread forever: its remote access was consumed by the
+// fabric and will never complete. No architectural effect is committed
+// — the IP stays on the access, no register or memory changes — so the
+// thread hangs exactly where a real node would, waiting for a reply
+// that is not coming. The owner's watchdog is what notices.
+func (m *Machine) lose(t *Thread) {
+	t.State = Blocked
+	t.blockedUntil = NeverDone
 }
 
 // block parks the thread until its outstanding memory reference

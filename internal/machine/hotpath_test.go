@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/word"
 )
@@ -40,11 +39,11 @@ func (f *fakeRemote) WriteWord(addr uint64, w word.Word, now uint64) (uint64, er
 // install copies an assembled program into the fake's store and returns
 // an execute pointer for it.
 func (f *fakeRemote) install(src string, logLen uint) core.Pointer {
-	p := asm.MustAssemble(src)
+	p := mustAssemble(src)
 	for i, w := range p.Words {
 		f.words[f.base+uint64(i)*8] = w
 	}
-	return core.MustMake(core.PermExecuteUser, logLen, f.base)
+	return mustMake(core.PermExecuteUser, logLen, f.base)
 }
 
 // TestRemoteFetchBlocksUntilArrival is the regression test for the
@@ -108,7 +107,7 @@ func TestRemoteFetchKeepsSlowerDataBlock(t *testing.T) {
 	// Remote code loads from a remote data segment: the load issues at
 	// the same cycle as the fetch completed, so the thread's wakeup is
 	// the load's completion, not the (earlier) fetch's.
-	data := core.MustMake(core.PermReadWrite, 12, f.base+(1<<20))
+	data := mustMake(core.PermReadWrite, 12, f.base+(1<<20))
 	f.words[data.Base()] = word.FromInt(4242)
 	ip := f.install(`
 		ld r2, r1, 0
@@ -161,7 +160,7 @@ func TestDeferredRemoteMatchesImmediate(t *testing.T) {
 		if err := th.SetIP(ip); err != nil {
 			t.Fatal(err)
 		}
-		th.SetReg(1, core.MustMake(core.PermReadWrite, 12, f.base).Word())
+		th.SetReg(1, mustMake(core.PermReadWrite, 12, f.base).Word())
 		for i := 0; i < 100000 && !m.Done(); i++ {
 			m.Step()
 			m.ServiceRemote()
@@ -212,7 +211,7 @@ func TestDecodedCacheInvalidatedOnWrite(t *testing.T) {
 	}
 	// Patch the first instruction through the space, as the kernel's
 	// loader would when reusing the code segment.
-	patch := asm.MustAssemble("ldi r1, 222\nhalt")
+	patch := mustAssemble("ldi r1, 222\nhalt")
 	if err := m.Space.WriteWord(0x10000, patch.Words[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +242,7 @@ func TestDecodedCacheInvalidatedOnByteStore(t *testing.T) {
 		t.Fatalf("first run: %v r1=%d", th.State, th.Reg(1).Int())
 	}
 	// Rewrite the instruction word one byte at a time.
-	patch := asm.MustAssemble("ldi r1, 222\nhalt").Words[0]
+	patch := mustAssemble("ldi r1, 222\nhalt").Words[0]
 	for i := uint64(0); i < word.BytesPerWord; i++ {
 		if err := m.Space.SetByteAt(0x10000+i, byte(patch.Bits>>(i*8))); err != nil {
 			t.Fatal(err)

@@ -156,6 +156,14 @@ const (
 // thing that wakes it.
 const pendingSentinel = ^uint64(0)
 
+// NeverDone is the completion cycle a RemoteAccess returns for an
+// access that will never complete — the request or reply was consumed
+// by the fabric (dropped message, dead home node). The machine commits
+// no architectural effect and parks the thread forever; detecting the
+// hang is the owner's job (the multicomputer's cycle-deadline
+// watchdog).
+const NeverDone = ^uint64(0)
+
 // pendingRemote records a remote access issued during Step for
 // completion at the multicomputer's cycle barrier. cycle is the issue
 // cycle, replayed as m.now during service so every latency computation
@@ -224,6 +232,14 @@ type Machine struct {
 	// OnIssue, when non-nil, observes every instruction as it issues
 	// (tracing/debugging; no architectural effect).
 	OnIssue func(t *Thread, inst isa.Inst)
+
+	// Integrity, when non-nil, is consulted before every instruction
+	// executes and may veto it with an error (raised as a fault). It
+	// models datapath integrity checks — register-file parity in the
+	// fault-injection harness: reading a corrupted operand register is a
+	// machine check, overwriting it silently repairs it. No architectural
+	// effect when nil.
+	Integrity func(t *Thread, inst isa.Inst) error
 
 	// Remote, when non-nil, handles references to other nodes of a
 	// multicomputer.

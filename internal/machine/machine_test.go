@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/buddy"
 	"repro/internal/core"
 )
@@ -24,7 +23,7 @@ func testConfig() Config {
 // pointer (user or privileged) for it.
 func loadAt(t *testing.T, m *Machine, src string, base uint64, priv bool) core.Pointer {
 	t.Helper()
-	p := asm.MustAssemble(src)
+	p := mustAssemble(src)
 	if err := m.Space.EnsureMapped(base, p.ByteSize()); err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +40,7 @@ func loadAt(t *testing.T, m *Machine, src string, base uint64, priv bool) core.P
 	if priv {
 		perm = core.PermExecutePriv
 	}
-	return core.MustMake(perm, logLen, base)
+	return mustMake(perm, logLen, base)
 }
 
 // dataSeg maps a 2^logLen segment at base and returns a read/write
@@ -51,7 +50,7 @@ func dataSeg(t *testing.T, m *Machine, base uint64, logLen uint) core.Pointer {
 	if err := m.Space.EnsureMapped(base, 1<<logLen); err != nil {
 		t.Fatal(err)
 	}
-	return core.MustMake(core.PermReadWrite, logLen, base)
+	return mustMake(core.PermReadWrite, logLen, base)
 }
 
 // runOne loads src as a single user thread and runs it to completion.
@@ -209,7 +208,7 @@ func TestSetPtrPrivileged(t *testing.T) {
 		halt
 	`, 0x10000, true)
 	dataSeg(t, m, 0x40000, 12)
-	pt := core.MustMake(core.PermReadWrite, 12, 0x40000)
+	pt := mustMake(core.PermReadWrite, 12, 0x40000)
 	thp, _ := m.AddThread(0)
 	thp.SetIP(ip)
 	thp.SetReg(1, pt.Word().Untag())
@@ -409,7 +408,7 @@ func TestFaultHandlerCanRepairAndRetry(t *testing.T) {
 		halt
 	`, func(m *Machine, th *Thread) {
 		// Hand the thread a pointer to an unmapped segment.
-		th.SetReg(1, core.MustMake(core.PermReadWrite, 12, 0x80000).Word())
+		th.SetReg(1, mustMake(core.PermReadWrite, 12, 0x80000).Word())
 		m.OnFault = func(m *Machine, t *Thread, err error) bool {
 			if repairs++; repairs > 3 {
 				return false
@@ -648,7 +647,7 @@ func TestKeyPointerComparableNotUsable(t *testing.T) {
 		ld  r4, r1, 0   ; faults
 		halt
 	`, func(m *Machine, th *Thread) {
-		key := core.MustMake(core.PermKey, 0, 0x12345)
+		key := mustMake(core.PermKey, 0, 0x12345)
 		th.SetReg(1, key.Word())
 		th.SetReg(2, key.Word())
 	})

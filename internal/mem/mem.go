@@ -12,6 +12,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/word"
 )
@@ -48,12 +49,36 @@ func (e *AddrError) Error() string {
 
 func (e *AddrError) Unwrap() error { return e.Err }
 
+// ParityError reports that a word read observed stored bits inconsistent
+// with the word's parity bit — the memory-system analog of an ECC/parity
+// machine check. It is only ever produced after EnableParity, and only
+// when the word was altered outside the normal write path (a soft error,
+// modeled by FlipBit).
+type ParityError struct {
+	Addr uint64 // physical byte address of the corrupted word
+}
+
+func (e *ParityError) Error() string {
+	return fmt.Sprintf("mem: parity error at %#x: word corrupted outside the write path", e.Addr)
+}
+
+// CorruptionDetected marks this error as an explicit
+// corruption-detection signal for the fault-injection audit
+// (docs/ROBUSTNESS.md).
+func (e *ParityError) CorruptionDetected() bool { return true }
+
 // Memory is a tagged physical memory. The tag plane is stored separately
 // from the data plane, one bit per word, exactly mirroring the hardware
 // cost accounting of Sec 4.1.
 type Memory struct {
 	data []uint64
 	tags []uint64 // bitmap, 1 bit per word
+	// parity, when non-nil, is an even-parity bit per word covering the
+	// 64 data bits plus the tag bit. Writes maintain it; reads verify it.
+	// It models the paper's implicit reliability assumption — a tag bit
+	// is only unforgeable if the memory system can tell a stored word
+	// from a decayed one (see EnableParity).
+	parity []uint64
 }
 
 // New returns a physical memory of the given size in bytes, rounded up
@@ -95,13 +120,19 @@ func (m *Memory) addrErr(op string, paddr uint64, err error) error {
 }
 
 // ReadWord returns the tagged word at physical byte address paddr, which
-// must be word-aligned and in range.
+// must be word-aligned and in range. With parity enabled, a word whose
+// stored bits disagree with its parity bit returns a *ParityError
+// instead of the (corrupted) value.
 func (m *Memory) ReadWord(paddr uint64) (word.Word, error) {
 	i, err := m.index(paddr)
 	if err != nil {
 		return word.Word{}, m.addrErr("read", paddr, err)
 	}
-	return word.Word{Bits: m.data[i], Tag: m.tagAt(i)}, nil
+	w := word.Word{Bits: m.data[i], Tag: m.tagAt(i)}
+	if m.parity != nil && m.parityAt(i) != wordParity(w) {
+		return word.Word{}, &ParityError{Addr: paddr}
+	}
+	return w, nil
 }
 
 // WriteWord stores the tagged word w at physical byte address paddr.
@@ -112,6 +143,9 @@ func (m *Memory) WriteWord(paddr uint64, w word.Word) error {
 	}
 	m.data[i] = w.Bits
 	m.setTag(i, w.Tag)
+	if m.parity != nil {
+		m.setParity(i, wordParity(w))
+	}
 	return nil
 }
 
@@ -188,3 +222,89 @@ func (m *Memory) SetByteAt(paddr uint64, b byte) error {
 // (rounded up), the "small increase in the amount of memory required"
 // of Sec 4.1.
 func (m *Memory) OverheadBytes() uint64 { return uint64(len(m.tags)) * 8 }
+
+// wordParity computes the even-parity bit over the 64 data bits and the
+// tag bit of w.
+func wordParity(w word.Word) bool {
+	p := bits.OnesCount64(w.Bits) & 1
+	if w.Tag {
+		p ^= 1
+	}
+	return p != 0
+}
+
+func (m *Memory) parityAt(i uint64) bool { return m.parity[i/64]>>(i%64)&1 != 0 }
+
+func (m *Memory) setParity(i uint64, p bool) {
+	if p {
+		m.parity[i/64] |= 1 << (i % 64)
+	} else {
+		m.parity[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// EnableParity turns on the per-word parity plane: every stored word
+// gains an even-parity bit covering data and tag, writes keep it
+// coherent, and reads verify it. A word altered by any route other than
+// a write — FlipBit's soft-error model — is detected at its next read.
+// The plane is computed from the current contents, so enabling parity on
+// a live memory is always consistent.
+func (m *Memory) EnableParity() {
+	m.parity = make([]uint64, (uint64(len(m.data))+63)/64)
+	for i := uint64(0); i < uint64(len(m.data)); i++ {
+		m.setParity(i, wordParity(word.Word{Bits: m.data[i], Tag: m.tagAt(i)}))
+	}
+}
+
+// ParityEnabled reports whether the parity plane is active.
+func (m *Memory) ParityEnabled() bool { return m.parity != nil }
+
+// FlipBit models a soft error: it inverts one bit of the word at paddr
+// — bit 0..63 of the data, or the tag bit for bit 64 — WITHOUT updating
+// the parity plane, exactly as a cosmic-ray upset would decay a DRAM
+// cell underneath its check bits. With parity enabled the next ReadWord
+// of the word reports a *ParityError; a WriteWord first repairs it
+// (the fault was masked by overwrite).
+func (m *Memory) FlipBit(paddr uint64, bit uint) error {
+	i, err := m.index(paddr)
+	if err != nil {
+		return m.addrErr("flip", paddr, err)
+	}
+	switch {
+	case bit < 64:
+		m.data[i] ^= 1 << bit
+	case bit == 64:
+		m.tags[i/64] ^= 1 << (i % 64)
+	default:
+		return fmt.Errorf("mem: flip bit %d out of range (0..64)", bit)
+	}
+	return nil
+}
+
+// Scrub scans the whole parity plane against the stored words and
+// returns the number of words whose parity disagrees with their
+// contents — the background-scrubber sweep that finds latent soft
+// errors before a load does. It reports zero when parity is disabled.
+func (m *Memory) Scrub() int {
+	if m.parity == nil {
+		return 0
+	}
+	bad := 0
+	for i := range m.data {
+		w := word.Word{Bits: m.data[i], Tag: m.tagAt(uint64(i))}
+		if m.parityAt(uint64(i)) != wordParity(w) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// PeekWord reads the word at paddr bypassing the parity check — the
+// auditor's view of the raw (possibly corrupted) array contents.
+func (m *Memory) PeekWord(paddr uint64) (word.Word, error) {
+	i, err := m.index(paddr)
+	if err != nil {
+		return word.Word{}, m.addrErr("peek", paddr, err)
+	}
+	return word.Word{Bits: m.data[i], Tag: m.tagAt(i)}, nil
+}

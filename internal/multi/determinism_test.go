@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/noc"
@@ -48,7 +47,7 @@ func runCrossNodeWorkload(t *testing.T, serial bool, workers int) fingerprint {
 		}
 		segs[i] = p
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 0          ; accumulator
 	loop:
 		st  r1, 0, r2      ; remote store of the loop counter

@@ -41,6 +41,13 @@ type Config struct {
 	// Workers bounds the parallel scheduler's worker count; 0 means
 	// min(GOMAXPROCS, nodes).
 	Workers int
+	// WatchdogCycles, when non-zero, arms a cycle-deadline watchdog:
+	// if that many cycles elapse with no node retiring an instruction
+	// (or taking a fault), Run stops and Hung reports true. This is how
+	// a killed node or a dropped message — a thread parked forever on a
+	// reply that is not coming — becomes a detected failure instead of
+	// a silent maxCycles spin.
+	WatchdogCycles uint64
 }
 
 // DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
@@ -60,6 +67,21 @@ type System struct {
 	Nodes []*Node
 	cfg   Config
 	stats Stats
+
+	// OnCycle, when non-nil, runs after each cycle's barrier delivery
+	// with the completed-cycle count. It executes on the coordinating
+	// goroutine between barriers, so it may safely inspect or mutate
+	// any node (the fault-injection campaigns checkpoint and kill nodes
+	// from here).
+	OnCycle func(cycle uint64)
+
+	cycle      uint64   // completed cycles since boot
+	dead       []bool   // killed nodes: never step, never service
+	stallUntil []uint64 // frozen until this cycle count (transient stall)
+	hung       bool     // the watchdog tripped
+
+	lastProgress      uint64 // instret+faults sum at the last progress check
+	lastProgressCycle uint64
 }
 
 // Stats counts cross-node traffic.
@@ -91,6 +113,8 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("multi: region 2^%d exceeds node slice 2^%d", cfg.RegionLog, NodeShift)
 	}
 	s := &System{Net: net, cfg: cfg}
+	s.dead = make([]bool, net.Nodes())
+	s.stallUntil = make([]uint64, net.Nodes())
 	for i := 0; i < net.Nodes(); i++ {
 		base := uint64(i) << NodeShift // aligned on any region ≤ 2^NodeShift
 		k, err := kernel.NewWithRegion(cfg.Node, base, cfg.RegionLog)
@@ -111,13 +135,22 @@ func New(cfg Config) (*System, error) {
 // Stats returns a copy of the cross-node counters.
 func (s *System) Stats() Stats { return s.stats }
 
-// Step advances every node one cycle in lockstep, then delivers the
-// cycle's remote traffic at the barrier.
+// Step advances every live node one cycle in lockstep, then delivers
+// the cycle's remote traffic at the barrier.
 func (s *System) Step() {
-	for _, n := range s.Nodes {
+	for i, n := range s.Nodes {
+		if s.skip(i) {
+			continue
+		}
 		n.K.M.Step()
 	}
 	s.deliver()
+}
+
+// skip reports whether node i sits out this cycle: killed, or frozen by
+// a transient stall.
+func (s *System) skip(i int) bool {
+	return s.dead[i] || s.stallUntil[i] > s.cycle
 }
 
 // deliver completes every remote access issued this cycle, visiting
@@ -125,11 +158,77 @@ func (s *System) Step() {
 // state (remote references are parked, not performed), so all
 // cross-node effects — mesh link reservations, home-cache contention,
 // traffic counters — happen here, in one deterministic order, no
-// matter how the step phase was scheduled.
+// matter how the step phase was scheduled. It then retires the cycle:
+// the watchdog progress check and the OnCycle hook both run here, on
+// the coordinating goroutine.
 func (s *System) deliver() {
-	for _, n := range s.Nodes {
+	for i, n := range s.Nodes {
+		if s.dead[i] {
+			continue
+		}
 		n.K.M.ServiceRemote()
 	}
+	s.cycle++
+	if s.cfg.WatchdogCycles > 0 && s.cycle&63 == 0 {
+		s.checkProgress()
+	}
+	if s.OnCycle != nil {
+		s.OnCycle(s.cycle)
+	}
+}
+
+// checkProgress trips the watchdog if WatchdogCycles have elapsed since
+// any node last retired an instruction or took a fault. (Faults count
+// as progress: a demand-paging storm is slow, not hung.)
+func (s *System) checkProgress() {
+	var p uint64
+	for _, n := range s.Nodes {
+		st := n.K.M.Stats()
+		p += st.Instructions + st.Faults
+	}
+	if p != s.lastProgress {
+		s.lastProgress = p
+		s.lastProgressCycle = s.cycle
+		return
+	}
+	if s.cycle-s.lastProgressCycle >= s.cfg.WatchdogCycles {
+		s.hung = true
+	}
+}
+
+// Hung reports whether the cycle-deadline watchdog stopped the last
+// Run: some thread was waiting on a completion that can never arrive
+// (killed node, message lost in the fabric).
+func (s *System) Hung() bool { return s.hung }
+
+// Cycle returns the number of completed system cycles since boot.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Kill fails node id hard: it stops stepping, stops servicing remote
+// requests, and every message homed there vanishes. Threads elsewhere
+// that wait on it hang until the watchdog notices. Restore service with
+// Revive.
+func (s *System) Kill(id int) { s.dead[id] = true }
+
+// Stall freezes node id until the given system cycle count (a transient
+// fault: the node loses time but no state).
+func (s *System) Stall(id int, until uint64) { s.stallUntil[id] = until }
+
+// Revive brings a killed node back, optionally replacing its kernel
+// with one rebuilt from a checkpoint (kernel.Restore). The new kernel's
+// machine is rewired to the mesh exactly as New wired the original, and
+// the watchdog is disarmed so the run can resume. Pass nil to revive
+// the node with its old (pre-kill) state intact.
+func (s *System) Revive(id int, k *kernel.Kernel) {
+	n := s.Nodes[id]
+	if k != nil {
+		n.K = k
+		k.M.Remote = n
+		k.M.DeferRemote = true
+	}
+	s.dead[id] = false
+	s.hung = false
+	s.lastProgressCycle = s.cycle
 }
 
 // Run steps until every node's threads are done or maxCycles elapse,
@@ -146,7 +245,7 @@ func (s *System) Run(maxCycles uint64) uint64 {
 
 func (s *System) runSerial(maxCycles uint64) uint64 {
 	var c uint64
-	for c = 0; c < maxCycles && !s.Done(); c++ {
+	for c = 0; c < maxCycles && !s.Done() && !s.hung; c++ {
 		s.Step()
 	}
 	return c
@@ -187,6 +286,12 @@ func (s *System) runParallel(maxCycles uint64) uint64 {
 					return
 				}
 				for i := w; i < len(s.Nodes); i += nw {
+					// skip() reads dead/stallUntil/cycle, all written
+					// only between barriers (coordinator or pre-Run
+					// caller), so the barrier publishes them.
+					if s.skip(i) {
+						continue
+					}
 					s.Nodes[i].K.M.Step()
 				}
 				b.await() // cycle end: all nodes stepped
@@ -195,7 +300,7 @@ func (s *System) runParallel(maxCycles uint64) uint64 {
 	}
 	var c uint64
 	for {
-		if c >= maxCycles || s.Done() {
+		if c >= maxCycles || s.Done() || s.hung {
 			stop = true
 			b.await() // release workers to observe stop
 			break
@@ -261,32 +366,64 @@ func (n *Node) IsRemote(addr uint64) bool {
 
 // ReadWord implements machine.RemoteAccess: a read request travels to
 // the home node, is serviced by the home's banked cache (contending
-// with the home's own threads), and the reply travels back.
+// with the home's own threads), and the reply travels back. Both legs
+// go through the mesh's fault-interception point: a dropped leg — or a
+// dead home node — returns machine.NeverDone, parking the issuing
+// thread on a reply that will never arrive; a corrupted leg surfaces
+// the link-CRC error to fault the issuer.
 func (n *Node) ReadWord(addr uint64, now uint64) (word.Word, uint64, error) {
 	home := HomeOf(addr)
 	if home >= len(n.sys.Nodes) {
 		return word.Word{}, now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
 	}
 	n.sys.stats.RemoteReads++
-	reqArrive := n.sys.Net.Send(n.ID, home, now)
+	reqArrive, delivered, err := n.sys.Net.Deliver(noc.ReadReq, n.ID, home, now)
+	if err != nil {
+		return word.Word{}, now, err
+	}
+	if !delivered || n.sys.dead[home] {
+		return word.Word{}, machine.NeverDone, nil
+	}
 	w, served, err := n.sys.Nodes[home].K.M.Cache.ReadWord(addr, reqArrive)
 	if err != nil {
 		return word.Word{}, served, err
 	}
-	return w, n.sys.Net.Send(home, n.ID, served), nil
+	repArrive, delivered, err := n.sys.Net.Deliver(noc.ReadReply, home, n.ID, served)
+	if err != nil {
+		return word.Word{}, served, err
+	}
+	if !delivered {
+		return word.Word{}, machine.NeverDone, nil
+	}
+	return w, repArrive, nil
 }
 
-// WriteWord implements machine.RemoteAccess.
+// WriteWord implements machine.RemoteAccess; fault semantics as in
+// ReadWord, with one asymmetry: a write whose request leg arrives but
+// whose ACK is lost HAS happened at the home — only the issuer hangs.
 func (n *Node) WriteWord(addr uint64, w word.Word, now uint64) (uint64, error) {
 	home := HomeOf(addr)
 	if home >= len(n.sys.Nodes) {
 		return now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
 	}
 	n.sys.stats.RemoteWrites++
-	reqArrive := n.sys.Net.Send(n.ID, home, now)
+	reqArrive, delivered, err := n.sys.Net.Deliver(noc.WriteReq, n.ID, home, now)
+	if err != nil {
+		return now, err
+	}
+	if !delivered || n.sys.dead[home] {
+		return machine.NeverDone, nil
+	}
 	served, err := n.sys.Nodes[home].K.M.Cache.WriteWord(addr, w, reqArrive)
 	if err != nil {
 		return served, err
 	}
-	return n.sys.Net.Send(home, n.ID, served), nil
+	ackArrive, delivered, err := n.sys.Net.Deliver(noc.WriteAck, home, n.ID, served)
+	if err != nil {
+		return served, err
+	}
+	if !delivered {
+		return machine.NeverDone, nil
+	}
+	return ackArrive, nil
 }

@@ -3,7 +3,6 @@ package multi
 import (
 	"testing"
 
-	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/noc"
@@ -75,7 +74,7 @@ func TestRemoteLoadStoreFunctional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r2, 777
 		st  r1, 0, r2     ; remote store to node 5
 		ld  r3, r1, 0     ; remote load back
@@ -119,7 +118,7 @@ func TestProtectionChecksApplyToRemoteAccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		st r1, 0, r1
 		halt
 	`)
@@ -153,11 +152,11 @@ func TestCapabilityTransferBetweenNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	producer := asm.MustAssemble(`
+	producer := mustAssemble(`
 		st r1, 0, r2      ; publish capability into the mailbox
 		halt
 	`)
-	consumer := asm.MustAssemble(`
+	consumer := mustAssemble(`
 	wait:
 		ld  r3, r1, 0     ; poll the mailbox
 		isptr r4, r3
@@ -194,7 +193,7 @@ func TestRemoteLatencyGrowsWithDistance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 50
 	loop:
 		ld r2, r1, 0
@@ -229,8 +228,8 @@ func TestRemoteLatencyGrowsWithDistance(t *testing.T) {
 func TestDanglingHomeRejected(t *testing.T) {
 	s := testSystem(t)
 	// Forge (with kernel authority) a pointer homed past the mesh.
-	far := core.MustMake(core.PermReadWrite, 12, uint64(50)<<NodeShift)
-	prog := asm.MustAssemble("ld r2, r1, 0\nhalt")
+	far := mustMake(core.PermReadWrite, 12, uint64(50)<<NodeShift)
+	prog := mustAssemble("ld r2, r1, 0\nhalt")
 	ip, _ := s.Nodes[0].K.LoadProgram(prog, false)
 	th, _ := s.Nodes[0].K.Spawn(1, ip, map[int]word.Word{1: far.Word()})
 	s.Run(100000)
@@ -242,7 +241,7 @@ func TestDanglingHomeRejected(t *testing.T) {
 func TestLocalAccessesBypassNetwork(t *testing.T) {
 	s := testSystem(t)
 	seg, _ := s.Nodes[2].K.AllocSegment(4096)
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r2, 5
 		st r1, 0, r2
 		ld r3, r1, 0
@@ -272,7 +271,7 @@ func TestCrossNodeProtectedCall(t *testing.T) {
 	if err := s.Nodes[2].K.WriteWords(private, []word.Word{word.FromInt(2468)}); err != nil {
 		t.Fatal(err)
 	}
-	sub := asm.MustAssemble(`
+	sub := mustAssemble(`
 	entry:
 		movip r10
 		leab  r10, r10, r0
@@ -288,7 +287,7 @@ func TestCrossNodeProtectedCall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	caller := asm.MustAssemble(`
+	caller := mustAssemble(`
 		jmpl r14, r1
 		halt
 	`)
@@ -315,7 +314,7 @@ func TestCrossNodeProtectedCall(t *testing.T) {
 func TestRemoteExecutionSlowerThanLocal(t *testing.T) {
 	// Remote instruction fetch pays the mesh round trip per
 	// instruction: the same loop homed remotely must be much slower.
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		ldi r3, 50
 	loop:
 		subi r3, r3, 1
@@ -404,7 +403,7 @@ func TestMachineWideGCKeepsThreadReachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A thread on node 0 holds the only reference (in a register).
-	ip, err := s.Nodes[0].K.LoadProgram(asm.MustAssemble("loop: br loop"), false)
+	ip, err := s.Nodes[0].K.LoadProgram(mustAssemble("loop: br loop"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +428,7 @@ func TestRemoteByteAccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog := asm.MustAssemble(`
+	prog := mustAssemble(`
 		st  r1, 0, r1    ; park the capability remotely
 		ldi r2, 0x7e
 		stb r1, 3, r2    ; remote byte store into the same word

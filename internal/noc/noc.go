@@ -18,10 +18,17 @@
 package noc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/telemetry"
 )
+
+// ErrNodeRange reports a Send whose source or destination is not a node
+// of this mesh. Library code returns it instead of panicking so a
+// malformed caller (or a corrupted node id) degrades into an error the
+// simulator can account for.
+var ErrNodeRange = errors.New("noc: node out of range")
 
 // Coord is a node position in the mesh.
 type Coord struct{ X, Y, Z int }
@@ -72,7 +79,45 @@ type Stats struct {
 	TotalHops        uint64
 	TotalLatency     uint64 // sum of (arrival − injection)
 	ContentionCycles uint64 // cycles spent waiting for busy links
+	// Fault-injection outcomes (all zero without an Interceptor).
+	Dropped     uint64 // messages lost in the fabric
+	Duplicated  uint64 // messages delivered twice
+	Corrupted   uint64 // messages failing the link CRC on arrival
+	DelayCycles uint64 // extra injection delay imposed on messages
 }
+
+// Fate is an Interceptor's verdict on one message. The zero Fate is a
+// clean delivery.
+type Fate struct {
+	Drop      bool   // lose the message in the fabric
+	Duplicate bool   // deliver it twice (second copy consumes bandwidth)
+	Corrupt   bool   // flip payload bits; the link CRC catches it on arrival
+	Delay     uint64 // hold the message this many cycles before injection
+}
+
+// Interceptor decides the fate of every message entering the network —
+// the fault-injection point of docs/ROBUSTNESS.md. Implementations must
+// be deterministic functions of their own state and the message
+// parameters; the network consults the interceptor before any link
+// reservation happens.
+type Interceptor interface {
+	Intercept(k Kind, src, dst int, now uint64) Fate
+}
+
+// PayloadError reports a message whose payload failed the link-level
+// CRC on arrival — the delivery happened, the data cannot be trusted.
+type PayloadError struct {
+	Kind     Kind
+	Src, Dst int
+}
+
+func (e *PayloadError) Error() string {
+	return fmt.Sprintf("noc: %v %d→%d failed link CRC (payload corrupted)", e.Kind, e.Src, e.Dst)
+}
+
+// CorruptionDetected marks this error as an explicit
+// corruption-detection signal for the fault-injection audit.
+func (e *PayloadError) CorruptionDetected() bool { return true }
 
 // link identifies a directed mesh link by its source router and
 // direction.
@@ -92,6 +137,11 @@ type Network struct {
 	// injected message (Addr carries the source node, Code the
 	// destination).
 	Tracer *telemetry.Tracer
+
+	// Interceptor, when non-nil, decides the fate of every message sent
+	// through Deliver. Send itself stays fault-free so timing-model
+	// callers are unaffected.
+	Interceptor Interceptor
 }
 
 // New validates the configuration and builds the network.
@@ -171,16 +221,17 @@ func (n *Network) reserve(l link, t uint64) uint64 {
 // arrival cycle at the destination's network interface. Sending to the
 // local node costs only the interface latency. The dimension-order
 // route is walked inline (rather than materialized via path) so the
-// remote-access fast path allocates nothing.
-func (n *Network) Send(src, dst int, now uint64) uint64 {
+// remote-access fast path allocates nothing. Out-of-range nodes return
+// an error wrapping ErrNodeRange.
+func (n *Network) Send(src, dst int, now uint64) (uint64, error) {
 	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
-		panic(fmt.Sprintf("noc: node out of range (%d→%d of %d)", src, dst, n.Nodes()))
+		return 0, n.rangeErr(src, dst)
 	}
 	n.stats.Messages++
 	t := now + n.cfg.InjectLatency
 	if src == dst {
 		n.stats.TotalLatency += t - now
-		return t
+		return t, nil
 	}
 	cur, goal := n.CoordOf(src), n.CoordOf(dst)
 	for cur.X != goal.X {
@@ -217,7 +268,58 @@ func (n *Network) Send(src, dst int, now uint64) uint64 {
 			Thread: -1, Cluster: -1, Domain: -1, Addr: uint64(src), Code: int64(dst),
 			Detail: fmt.Sprintf("node %d -> %d (arrive %d)", src, dst, t)})
 	}
-	return t
+	return t, nil
+}
+
+// rangeErr is the cold-path constructor for ErrNodeRange wrapping.
+//
+//go:noinline
+func (n *Network) rangeErr(src, dst int) error {
+	return fmt.Errorf("%w (%d→%d of %d)", ErrNodeRange, src, dst, n.Nodes())
+}
+
+// Deliver is Send behind the fault-injection interception point: the
+// Interceptor (if any) decides the message's Fate before it enters the
+// fabric.
+//
+//   - Drop: the message is lost; delivered is false and no links are
+//     reserved (the fault consumed it at the interface).
+//   - Delay: injection is held for Fate.Delay cycles first.
+//   - Duplicate: a second copy traverses the fabric (consuming link
+//     bandwidth); arrival is the first copy's.
+//   - Corrupt: the message arrives on time but its payload fails the
+//     link CRC — err is a *PayloadError and the data must not be used.
+//
+// With no interceptor installed, Deliver is exactly Send.
+func (n *Network) Deliver(k Kind, src, dst int, now uint64) (arrive uint64, delivered bool, err error) {
+	if n.Interceptor == nil {
+		arrive, err = n.Send(src, dst, now)
+		return arrive, err == nil, err
+	}
+	fate := n.Interceptor.Intercept(k, src, dst, now)
+	if fate.Drop {
+		n.stats.Dropped++
+		return 0, false, nil
+	}
+	if fate.Delay > 0 {
+		n.stats.DelayCycles += fate.Delay
+		now += fate.Delay
+	}
+	arrive, err = n.Send(src, dst, now)
+	if err != nil {
+		return 0, false, err
+	}
+	if fate.Duplicate {
+		n.stats.Duplicated++
+		if _, err := n.Send(src, dst, now); err != nil {
+			return 0, false, err
+		}
+	}
+	if fate.Corrupt {
+		n.stats.Corrupted++
+		return arrive, true, &PayloadError{Kind: k, Src: src, Dst: dst}
+	}
+	return arrive, true, nil
 }
 
 // ZeroLoadLatency returns the uncontended latency between two nodes.
@@ -239,6 +341,10 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".hops", func() uint64 { return n.stats.TotalHops })
 	reg.Counter(prefix+".latency_cycles", func() uint64 { return n.stats.TotalLatency })
 	reg.Counter(prefix+".contention_cycles", func() uint64 { return n.stats.ContentionCycles })
+	reg.Counter(prefix+".dropped", func() uint64 { return n.stats.Dropped })
+	reg.Counter(prefix+".duplicated", func() uint64 { return n.stats.Duplicated })
+	reg.Counter(prefix+".corrupted", func() uint64 { return n.stats.Corrupted })
+	reg.Counter(prefix+".delay_cycles", func() uint64 { return n.stats.DelayCycles })
 	reg.Register(prefix+".mean_latency", func() float64 {
 		if n.stats.Messages == 0 {
 			return 0

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -12,6 +13,17 @@ func mesh(t *testing.T, x, y, z int) *Network {
 		t.Fatal(err)
 	}
 	return n
+}
+
+// send is Send with errors fatal — every in-range send in these tests
+// must succeed.
+func send(t *testing.T, n *Network, src, dst int, now uint64) uint64 {
+	t.Helper()
+	arr, err := n.Send(src, dst, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
 }
 
 func TestNewValidation(t *testing.T) {
@@ -88,7 +100,7 @@ func TestZeroLoadLatency(t *testing.T) {
 func TestSendMatchesZeroLoadWhenIdle(t *testing.T) {
 	for dst := 0; dst < 9; dst++ {
 		n := mesh(t, 3, 3, 1) // fresh: no link reservations
-		arr := n.Send(0, dst, 1000)
+		arr := send(t, n, 0, dst, 1000)
 		want := 1000 + n.ZeroLoadLatency(0, dst)
 		if arr != want {
 			t.Errorf("Send(0→%d) = %d, want %d", dst, arr, want)
@@ -100,8 +112,8 @@ func TestLinkContentionSerializes(t *testing.T) {
 	n := mesh(t, 2, 1, 1)
 	// Two same-cycle messages over the single 0→1 link: the second is
 	// delayed by the link reservation.
-	a1 := n.Send(0, 1, 0)
-	a2 := n.Send(0, 1, 0)
+	a1 := send(t, n, 0, 1, 0)
+	a2 := send(t, n, 0, 1, 0)
 	if a2 <= a1 {
 		t.Errorf("contending messages arrived %d, %d — no serialization", a1, a2)
 	}
@@ -114,8 +126,8 @@ func TestDisjointPathsNoContention(t *testing.T) {
 	n := mesh(t, 2, 2, 1)
 	// 0→1 uses the X link at (0,0); 2→3 uses the X link at (0,1):
 	// disjoint.
-	a1 := n.Send(0, 1, 0)
-	a2 := n.Send(2, 3, 0)
+	a1 := send(t, n, 0, 1, 0)
+	a2 := send(t, n, 2, 3, 0)
 	if a1 != a2 {
 		t.Errorf("disjoint sends %d vs %d", a1, a2)
 	}
@@ -138,7 +150,7 @@ func TestLatencyGrowsWithDistance(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	n := mesh(t, 2, 2, 2)
-	n.Send(0, 7, 0) // 3 hops
+	send(t, n, 0, 7, 0) // 3 hops
 	st := n.Stats()
 	if st.Messages != 1 || st.TotalHops != 3 {
 		t.Errorf("stats = %+v", st)
@@ -159,12 +171,14 @@ func TestKindNames(t *testing.T) {
 	}
 }
 
-func TestSendPanicsOutOfRange(t *testing.T) {
+func TestSendErrorsOutOfRange(t *testing.T) {
 	n := mesh(t, 2, 1, 1)
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for out-of-range node")
+	for _, c := range [][2]int{{0, 9}, {9, 0}, {-1, 1}, {0, -1}, {2, 0}} {
+		if _, err := n.Send(c[0], c[1], 0); !errors.Is(err, ErrNodeRange) {
+			t.Errorf("Send(%d→%d) err = %v, want ErrNodeRange", c[0], c[1], err)
 		}
-	}()
-	n.Send(0, 9, 0)
+	}
+	if st := n.Stats(); st.Messages != 0 {
+		t.Errorf("rejected sends counted as messages: %+v", st)
+	}
 }

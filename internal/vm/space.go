@@ -106,6 +106,11 @@ func (s *Space) Translate(vaddr uint64) (paddr uint64, tlbHit bool, err error) {
 		return e.frame | vaddr&PageMask, true, nil
 	}
 	if pte, idx, ok := s.TLB.lookupIdx(vaddr, GlobalASID); ok {
+		if s.TLB.poisonedAt(idx) {
+			// Entry parity check: a hit on a corrupted entry is a
+			// machine check, never a silent wrong translation.
+			return 0, true, &TLBParityError{VAddr: vaddr, Slot: idx}
+		}
 		*e = tcEntry{vpn: vpn, frame: pte.Frame, idx: idx, gen: s.TLB.gen, ok: true}
 		return pte.Frame | vaddr&PageMask, true, nil
 	}
@@ -126,6 +131,23 @@ func (s *Space) Translate(vaddr uint64) (paddr uint64, tlbHit bool, err error) {
 	s.TLB.Insert(vaddr, GlobalASID, pte)
 	return pte.Frame | vaddr&PageMask, false, nil
 }
+
+// TLBParityError reports a translation that hit a TLB entry marked
+// poisoned by TLB.CorruptEntry — the model's analog of a TLB parity
+// machine check.
+type TLBParityError struct {
+	VAddr uint64 // virtual address whose lookup hit the bad entry
+	Slot  int    // TLB slot holding the corrupted entry
+}
+
+func (e *TLBParityError) Error() string {
+	return fmt.Sprintf("vm: tlb parity error translating %#x (slot %d corrupted)", e.VAddr, e.Slot)
+}
+
+// CorruptionDetected marks this error as an explicit
+// corruption-detection signal for the fault-injection audit
+// (docs/ROBUSTNESS.md).
+func (e *TLBParityError) CorruptionDetected() bool { return true }
 
 // cycle returns the owner-supplied cycle stamp, or 0 when the space
 // runs standalone.

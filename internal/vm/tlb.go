@@ -32,6 +32,11 @@ type tlbEntry struct {
 	pte   PTE
 	valid bool
 	used  uint64
+	// poisoned marks an entry corrupted outside the insert path
+	// (CorruptEntry's soft-error model). Hardware TLBs carry parity per
+	// entry; a hit on a poisoned entry raises a machine check instead of
+	// silently translating with decayed bits.
+	poisoned bool
 }
 
 // TLBStats counts the events the experiments report.
@@ -104,6 +109,7 @@ func (t *TLB) Insert(vaddr uint64, asid uint16, pte PTE) {
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			e.pte = pte
 			e.used = t.clock
+			e.poisoned = false // a full rewrite restores the entry's parity
 			return
 		}
 		if !e.valid {
@@ -148,6 +154,43 @@ func (t *TLB) Live() int {
 	n := 0
 	for i := range t.entries {
 		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptEntry models a soft error in TLB slot i: it XORs the stored
+// VPN and frame with the given masks and marks the entry poisoned, as a
+// particle strike would decay CAM/RAM bits underneath the entry's
+// parity. It returns false (and does nothing) if the slot is empty or
+// out of range — there is nothing to corrupt. The TLB generation is
+// bumped so the owning Space's translation micro-cache cannot keep
+// serving a pre-corruption copy of the entry.
+//
+// A poisoned entry that is hit reports a detected corruption (see
+// Space.Translate); one that is evicted or rewritten first was masked.
+func (t *TLB) CorruptEntry(i int, xorVPN, xorFrame uint64) bool {
+	if i < 0 || i >= len(t.entries) || !t.entries[i].valid {
+		return false
+	}
+	e := &t.entries[i]
+	e.vpn ^= xorVPN
+	e.pte.Frame ^= xorFrame
+	e.poisoned = true
+	t.gen++
+	return true
+}
+
+// poisonedAt reports whether slot i is poisoned (hit-path parity check).
+func (t *TLB) poisonedAt(i int) bool { return t.entries[i].poisoned }
+
+// PoisonedEntries counts slots still carrying an undetected corruption
+// — the latent faults a retirement scrub of the TLB would surface.
+func (t *TLB) PoisonedEntries() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].poisoned {
 			n++
 		}
 	}
