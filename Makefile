@@ -29,23 +29,28 @@ race:
 	$(GO) test -race ./internal/telemetry/
 	$(GO) test -race -run 'TestParallelRun|TestDeferredRemote|TestWatchdog' ./internal/multi/ ./internal/machine/
 	$(GO) test -race -run 'TestParallelRender' ./internal/experiments/
-	$(GO) test -race -run 'TestCampaignDeterministic' ./internal/faultinject/
+	$(GO) test -race -run 'TestCampaignDeterministic|TestTolerantCampaignDeterministic' ./internal/faultinject/
 
 # Full protection audit: the E23 fault-injection campaign (>=10k seeded
 # injections across every fault class plus the checkpoint-recovery
-# trial). Fails if any injection escapes or recovery diverges. See
+# trial) followed by the E24 tolerance campaign (same fault mix with the
+# self-healing stack enabled). Fails if any injection escapes, any
+# detected fault goes unrecovered, or recovery diverges. See
 # docs/ROBUSTNESS.md.
 audit:
 	$(GO) run ./cmd/experiments -run E23
+	$(GO) run ./cmd/experiments -run E24
 
 # Short fuzzing pass over the hostile-input surfaces: instruction
-# decode, guarded-pointer derivation, and the assembler. Each target
-# also replays its committed seed corpus under `make test`.
+# decode, guarded-pointer derivation, the assembler, and the NoC
+# transport header/sequence machinery. Each target also replays its
+# committed seed corpus under `make test`.
 FUZZTIME ?= 10s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/isa/
 	$(GO) test -run '^$$' -fuzz FuzzPointerOps -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzAsm -fuzztime $(FUZZTIME) ./internal/asm/
+	$(GO) test -run '^$$' -fuzz FuzzTransport -fuzztime $(FUZZTIME) ./internal/noc/
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
 # section of BENCH_hotpath.json; the checked-in "baseline" numbers are

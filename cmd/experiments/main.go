@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments                      # run everything, E1..E23
+//	experiments                      # run everything, E1..E24
 //	experiments -run E6              # run one experiment
 //	experiments -list                # list experiment ids and titles
 //	experiments -json out.json       # also write machine-readable records

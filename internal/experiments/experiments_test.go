@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23 (E1..E23)", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registered %d experiments, want 24 (E1..E24)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -16,6 +16,14 @@ import (
 type trialResult struct {
 	outcome Outcome
 	detail  string // fine-grained mechanism tag for the breakdown table
+
+	// Tolerance-stack accounting, all zero in baseline campaigns:
+	// repair work the stack performed during the trial.
+	restores    uint64 // checkpoint rollbacks
+	checkpoints uint64 // verified checkpoints captured
+	eccFixed    uint64 // single-bit memory errors corrected
+	retransmits uint64 // transport frames re-sent
+	dupSupp     uint64 // duplicate frames suppressed
 }
 
 // classifyFault maps a faulted thread's error to an outcome. Explicit
@@ -31,20 +39,20 @@ func classifyFault(err error) trialResult {
 		)
 		switch {
 		case errors.As(err, &pe):
-			return trialResult{Detected, "mem-parity"}
+			return trialResult{outcome: Detected, detail: "mem-parity"}
 		case errors.As(err, &te):
-			return trialResult{Detected, "tlb-parity"}
+			return trialResult{outcome: Detected, detail: "tlb-parity"}
 		case errors.As(err, &ce):
-			return trialResult{Detected, "reg-parity"}
+			return trialResult{outcome: Detected, detail: "reg-parity"}
 		case errors.As(err, &ne):
-			return trialResult{Detected, "link-crc"}
+			return trialResult{outcome: Detected, detail: "link-crc"}
 		}
-		return trialResult{Detected, "machine-check"}
+		return trialResult{outcome: Detected, detail: "machine-check"}
 	}
 	if code := core.CodeOf(err); code != core.FaultNone {
-		return trialResult{Detected, "fault-" + code.String()}
+		return trialResult{outcome: Detected, detail: "fault-" + code.String()}
 	}
-	return trialResult{Escaped, "unexpected-fault"}
+	return trialResult{outcome: Escaped, detail: "unexpected-fault"}
 }
 
 // runLocalTrial executes one single-node injection: boot the workload,
@@ -54,13 +62,13 @@ func classifyFault(err error) trialResult {
 func runLocalTrial(w *workload, class Class, seed uint64) (res trialResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = trialResult{Escaped, "panic"}
+			res = trialResult{outcome: Escaped, detail: "panic"}
 		}
 	}()
 	rng := NewRNG(seed)
 	k, inj, segs, err := buildLocal(w)
 	if err != nil {
-		return trialResult{Escaped, "build-error"}
+		return trialResult{outcome: Escaped, detail: "build-error"}
 	}
 	injectAt := 1 + rng.Uint64n(w.clean.cycles)
 	k.Run(injectAt)
@@ -73,24 +81,24 @@ func runLocalTrial(w *workload, class Class, seed uint64) (res trialResult) {
 		}
 	}
 	if !k.M.Done() {
-		return trialResult{Escaped, "hang"}
+		return trialResult{outcome: Escaped, detail: "hang"}
 	}
 	// Retirement scrub: latent corruption the run never touched is
 	// still explicitly detectable — memory parity sweep, TLB parity
 	// sweep, register-file parity.
 	if k.M.Space.Phys.Scrub() > 0 {
-		return trialResult{Detected, "scrub-mem"}
+		return trialResult{outcome: Detected, detail: "scrub-mem"}
 	}
 	if k.M.Space.TLB.PoisonedEntries() > 0 {
-		return trialResult{Detected, "scrub-tlb"}
+		return trialResult{outcome: Detected, detail: "scrub-tlb"}
 	}
 	if inj.Armed() {
-		return trialResult{Detected, "scrub-reg"}
+		return trialResult{outcome: Detected, detail: "scrub-reg"}
 	}
 	if fingerprintThreads(k.M.Threads()) == w.clean.fp {
-		return trialResult{Masked, detail}
+		return trialResult{outcome: Masked, detail: detail}
 	}
-	return trialResult{Escaped, "silent-divergence"}
+	return trialResult{outcome: Escaped, detail: "silent-divergence"}
 }
 
 // injectLocal performs the class's state mutation and returns a detail

@@ -29,6 +29,11 @@ type CampaignConfig struct {
 	Workers int
 	// Recovery additionally runs the checkpoint/kill/restore trial.
 	Recovery bool
+	// Tolerate runs every trial with the self-healing stack enabled
+	// (ECC scrubbing, reliable NoC transport, checkpoint rollback) and
+	// adds the Tolerated outcome; Recovery then uses the watchdog-driven
+	// AutoRecoveryTrial instead of the manual RecoveryTrial.
+	Tolerate bool
 }
 
 // DefaultCampaign is the E23 configuration: ≥10k injections across all
@@ -43,13 +48,29 @@ func DefaultCampaign() CampaignConfig {
 	}
 }
 
+// DefaultTolerantCampaign is the E24 configuration: the same ten-class
+// fault mix rerun under the tolerance stack. Per-class counts are
+// smaller than E23's because every tolerant trial also pays for
+// checkpoint capture and (on faults) rollback re-execution.
+func DefaultTolerantCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:        1,
+		LocalTrials: 500,
+		MeshTrials:  120,
+		NodeTrials:  60,
+		Recovery:    true,
+		Tolerate:    true,
+	}
+}
+
 // ClassStats aggregates one class's outcomes.
 type ClassStats struct {
-	Class    Class
-	Trials   int
-	Detected int
-	Masked   int
-	Escaped  int
+	Class     Class
+	Trials    int
+	Detected  int
+	Masked    int
+	Escaped   int
+	Tolerated int // always 0 in baseline campaigns
 	// Details counts fine-grained mechanism tags ("mem-parity",
 	// "watchdog", "scrub-mem", ...).
 	Details map[string]int
@@ -57,13 +78,23 @@ type ClassStats struct {
 
 // Result is a finished campaign.
 type Result struct {
-	Seed     uint64
-	Classes  []ClassStats // indexed by Class
-	Trials   int
-	Detected int
-	Masked   int
-	Escaped  int
-	Recovery *RecoveryResult // nil unless CampaignConfig.Recovery
+	Seed      uint64
+	Classes   []ClassStats // indexed by Class
+	Trials    int
+	Detected  int
+	Masked    int
+	Escaped   int
+	Tolerated int
+	Recovery  *RecoveryResult // nil unless CampaignConfig.Recovery
+
+	// Tolerant marks a campaign run with the self-healing stack; the
+	// repair totals below sum the stack's work across all trials.
+	Tolerant    bool
+	Restores    uint64 // checkpoint rollbacks performed
+	Checkpoints uint64 // verified checkpoints captured
+	EccFixed    uint64 // single-bit memory errors corrected
+	Retransmits uint64 // transport frames re-sent
+	DupSupp     uint64 // duplicate frames suppressed
 }
 
 type trialSpec struct {
@@ -141,10 +172,18 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 				}
 				sp := specs[i]
 				switch {
+				case sp.wl != nil && cfg.Tolerate:
+					results[i] = runLocalTolerantTrial(sp.wl, sp.class, sp.seed)
 				case sp.wl != nil:
 					results[i] = runLocalTrial(sp.wl, sp.class, sp.seed)
 				case sp.class == NodeKill || sp.class == NodeStall:
-					results[i] = runNodeTrial(sp.class, mesh, sp.seed)
+					if cfg.Tolerate {
+						results[i] = runNodeTolerantTrial(sp.class, mesh, sp.seed)
+					} else {
+						results[i] = runNodeTrial(sp.class, mesh, sp.seed)
+					}
+				case cfg.Tolerate:
+					results[i] = runNoCTolerantTrial(sp.class, mesh, sp.seed)
 				default:
 					results[i] = runNoCTrial(sp.class, mesh, sp.seed)
 				}
@@ -153,7 +192,7 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 	}
 	wg.Wait()
 
-	res := &Result{Seed: cfg.Seed, Classes: make([]ClassStats, NumClasses)}
+	res := &Result{Seed: cfg.Seed, Tolerant: cfg.Tolerate, Classes: make([]ClassStats, NumClasses)}
 	for c := range res.Classes {
 		res.Classes[c].Class = Class(c)
 		res.Classes[c].Details = make(map[string]int)
@@ -172,11 +211,25 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 		case Escaped:
 			cs.Escaped++
 			res.Escaped++
+		case Tolerated:
+			cs.Tolerated++
+			res.Tolerated++
 		}
 		cs.Details[results[i].detail]++
+		res.Restores += results[i].restores
+		res.Checkpoints += results[i].checkpoints
+		res.EccFixed += results[i].eccFixed
+		res.Retransmits += results[i].retransmits
+		res.DupSupp += results[i].dupSupp
 	}
 	if cfg.Recovery {
-		rec, err := RecoveryTrial(cfg.Seed)
+		var rec *RecoveryResult
+		var err error
+		if cfg.Tolerate {
+			rec, err = AutoRecoveryTrial(cfg.Seed)
+		} else {
+			rec, err = RecoveryTrial(cfg.Seed)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -190,17 +243,41 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 // byte-identical string.
 func (r *Result) Table() string {
 	var b strings.Builder
-	tbl := stats.NewTable(
-		fmt.Sprintf("Fault-injection audit (seed %d, %d injections)", r.Seed, r.Trials),
-		"class", "trials", "detected", "masked", "escaped")
-	for _, cs := range r.Classes {
-		if cs.Trials == 0 {
-			continue
+	var tbl *stats.Table
+	if r.Tolerant {
+		tbl = stats.NewTable(
+			fmt.Sprintf("Fault-tolerance audit (seed %d, %d injections, self-healing stack on)", r.Seed, r.Trials),
+			"class", "trials", "tolerated", "masked", "unrecovered", "escaped")
+		for _, cs := range r.Classes {
+			if cs.Trials == 0 {
+				continue
+			}
+			tbl.AddRow(cs.Class.String(), cs.Trials, cs.Tolerated, cs.Masked, cs.Detected, cs.Escaped)
 		}
-		tbl.AddRow(cs.Class.String(), cs.Trials, cs.Detected, cs.Masked, cs.Escaped)
+		tbl.AddRow("total", r.Trials, r.Tolerated, r.Masked, r.Detected, r.Escaped)
+	} else {
+		tbl = stats.NewTable(
+			fmt.Sprintf("Fault-injection audit (seed %d, %d injections)", r.Seed, r.Trials),
+			"class", "trials", "detected", "masked", "escaped")
+		for _, cs := range r.Classes {
+			if cs.Trials == 0 {
+				continue
+			}
+			tbl.AddRow(cs.Class.String(), cs.Trials, cs.Detected, cs.Masked, cs.Escaped)
+		}
+		tbl.AddRow("total", r.Trials, r.Detected, r.Masked, r.Escaped)
 	}
-	tbl.AddRow("total", r.Trials, r.Detected, r.Masked, r.Escaped)
 	b.WriteString(tbl.String())
+
+	if r.Tolerant {
+		rt := stats.NewTable("\nTolerance-stack repair work (summed over all trials)", "mechanism", "repairs")
+		rt.AddRow("checkpoint rollbacks", int(r.Restores))
+		rt.AddRow("verified checkpoints", int(r.Checkpoints))
+		rt.AddRow("ecc single-bit corrections", int(r.EccFixed))
+		rt.AddRow("transport retransmits", int(r.Retransmits))
+		rt.AddRow("duplicates suppressed", int(r.DupSupp))
+		b.WriteString(rt.String())
+	}
 
 	mech := make(map[string]int)
 	for _, cs := range r.Classes {
@@ -220,7 +297,11 @@ func (r *Result) Table() string {
 	b.WriteString(mt.String())
 
 	if r.Recovery != nil {
-		fmt.Fprintf(&b, "\ncheckpoint recovery: %s\n", r.Recovery)
+		label := "checkpoint recovery"
+		if r.Tolerant {
+			label = "watchdog auto-recovery"
+		}
+		fmt.Fprintf(&b, "\n%s: %s\n", label, r.Recovery)
 	}
 	return b.String()
 }
@@ -236,6 +317,17 @@ func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
 	add("detected", r.Detected)
 	add("masked", r.Masked)
 	add("escaped", r.Escaped)
+	if r.Tolerant {
+		add("tolerated", r.Tolerated)
+		add64 := func(name string, v uint64) {
+			reg.Counter("faultinject."+name, func() uint64 { return v })
+		}
+		add64("recovery.checkpoints", r.Checkpoints)
+		add64("recovery.restores", r.Restores)
+		add64("mem.ecc.corrected", r.EccFixed)
+		add64("noc.transport.retransmits", r.Retransmits)
+		add64("noc.transport.dup_suppressed", r.DupSupp)
+	}
 	for _, cs := range r.Classes {
 		if cs.Trials == 0 {
 			continue

@@ -136,13 +136,19 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
-// Outcome is the audit's three-way classification of one trial.
+// Outcome is the audit's classification of one trial. The baseline
+// campaign uses the first three; tolerant campaigns (tolerance.go) add
+// Tolerated: the fault was detected AND repaired — ECC correction,
+// transport retransmission, checkpoint rollback — and the run finished
+// with the clean fingerprint. In a tolerant campaign a final Detected
+// means the stack saw the fault but could not recover it.
 type Outcome int
 
 const (
 	Detected Outcome = iota
 	Masked
 	Escaped
+	Tolerated
 )
 
 func (o Outcome) String() string {
@@ -153,6 +159,8 @@ func (o Outcome) String() string {
 		return "masked"
 	case Escaped:
 		return "escaped"
+	case Tolerated:
+		return "tolerated"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -202,6 +210,12 @@ func (in *Injector) Arm(t *machine.Thread, reg int) {
 // Armed reports whether a corrupted register is still live (never read,
 // never overwritten) — a latent fault a register-file scrub would find.
 func (in *Injector) Armed() bool { return in.armed }
+
+// Disarm clears the armed-register state without classifying it — the
+// tolerant driver calls it after rolling the machine back to a
+// checkpoint that predates the corruption, making the parity state
+// consistent with the restored register file.
+func (in *Injector) Disarm() { in.armed = false }
 
 // CheckInst is the machine.Integrity hook: it vets every instruction of
 // the armed thread before it executes.

@@ -68,38 +68,46 @@ func buildMesh(ic noc.Interceptor) (*multi.System, error) {
 		return nil, err
 	}
 	s.Net.Interceptor = ic
-
-	far, err := s.Nodes[3].K.AllocSegment(4096)
-	if err != nil {
-		return nil, err
-	}
-	remote, err := asm.Assemble(meshRemoteSrc)
-	if err != nil {
-		return nil, err
-	}
-	local, err := asm.Assemble(meshLocalSrc)
-	if err != nil {
-		return nil, err
-	}
-	ipR, err := s.Nodes[0].K.LoadProgram(remote, false)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := s.Nodes[0].K.Spawn(1, ipR, map[int]word.Word{1: far.Word()}); err != nil {
-		return nil, err
-	}
-	near, err := s.Nodes[0].K.AllocSegment(4096)
-	if err != nil {
-		return nil, err
-	}
-	ipL, err := s.Nodes[0].K.LoadProgram(local, false)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := s.Nodes[0].K.Spawn(2, ipL, map[int]word.Word{1: near.Word()}); err != nil {
+	if err := loadMeshWorkload(s, 3); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// loadMeshWorkload places the two-thread mesh workload on node 0 with
+// the remote thread's segment homed on node farNode.
+func loadMeshWorkload(s *multi.System, farNode int) error {
+	far, err := s.Nodes[farNode].K.AllocSegment(4096)
+	if err != nil {
+		return err
+	}
+	remote, err := asm.Assemble(meshRemoteSrc)
+	if err != nil {
+		return err
+	}
+	local, err := asm.Assemble(meshLocalSrc)
+	if err != nil {
+		return err
+	}
+	ipR, err := s.Nodes[0].K.LoadProgram(remote, false)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Nodes[0].K.Spawn(1, ipR, map[int]word.Word{1: far.Word()}); err != nil {
+		return err
+	}
+	near, err := s.Nodes[0].K.AllocSegment(4096)
+	if err != nil {
+		return err
+	}
+	ipL, err := s.Nodes[0].K.LoadProgram(local, false)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Nodes[0].K.Spawn(2, ipL, map[int]word.Word{1: near.Word()}); err != nil {
+		return err
+	}
+	return nil
 }
 
 // meshThreads collects every thread in the system for fingerprinting.
@@ -143,15 +151,15 @@ func classifyMesh(s *multi.System, clean *meshClean, maskDetail string) trialRes
 		}
 	}
 	if s.Hung() {
-		return trialResult{Detected, "watchdog"}
+		return trialResult{outcome: Detected, detail: "watchdog"}
 	}
 	if !s.Done() {
-		return trialResult{Escaped, "timeout"}
+		return trialResult{outcome: Escaped, detail: "timeout"}
 	}
 	if fingerprintThreads(meshThreads(s)) == clean.fp {
-		return trialResult{Masked, maskDetail}
+		return trialResult{outcome: Masked, detail: maskDetail}
 	}
-	return trialResult{Escaped, "silent-divergence"}
+	return trialResult{outcome: Escaped, detail: "silent-divergence"}
 }
 
 // runNoCTrial injects one message fault of the given class into the
@@ -159,7 +167,7 @@ func classifyMesh(s *multi.System, clean *meshClean, maskDetail string) trialRes
 func runNoCTrial(class Class, clean *meshClean, seed uint64) (res trialResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = trialResult{Escaped, "panic"}
+			res = trialResult{outcome: Escaped, detail: "panic"}
 		}
 	}()
 	rng := NewRNG(seed)
@@ -179,12 +187,12 @@ func runNoCTrial(class Class, clean *meshClean, seed uint64) (res trialResult) {
 		fate.Delay = 1 + rng.Uint64n(400)
 		maskDetail = "delay"
 	default:
-		return trialResult{Escaped, "bad-class"}
+		return trialResult{outcome: Escaped, detail: "bad-class"}
 	}
 	mf := &MessageFaulter{Target: rng.Uint64n(clean.messages), Fate: fate}
 	s, err := buildMesh(mf)
 	if err != nil {
-		return trialResult{Escaped, "build-error"}
+		return trialResult{outcome: Escaped, detail: "build-error"}
 	}
 	s.Run(clean.cycles*3 + 4*meshWatchdog)
 	return classifyMesh(s, clean, maskDetail)
@@ -197,13 +205,13 @@ func runNoCTrial(class Class, clean *meshClean, seed uint64) (res trialResult) {
 func runNodeTrial(class Class, clean *meshClean, seed uint64) (res trialResult) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = trialResult{Escaped, "panic"}
+			res = trialResult{outcome: Escaped, detail: "panic"}
 		}
 	}()
 	rng := NewRNG(seed)
 	s, err := buildMesh(nil)
 	if err != nil {
-		return trialResult{Escaped, "build-error"}
+		return trialResult{outcome: Escaped, detail: "build-error"}
 	}
 	injectAt := 1 + rng.Uint64n(clean.cycles*3/4)
 	s.Run(injectAt)
@@ -217,7 +225,7 @@ func runNodeTrial(class Class, clean *meshClean, seed uint64) (res trialResult) 
 		s.Stall(victim, s.Cycle()+1+rng.Uint64n(2000))
 		maskDetail = "stall"
 	default:
-		return trialResult{Escaped, "bad-class"}
+		return trialResult{outcome: Escaped, detail: "bad-class"}
 	}
 	s.Run(clean.cycles*3 + 4*meshWatchdog)
 	return classifyMesh(s, clean, maskDetail)

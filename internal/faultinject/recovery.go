@@ -3,12 +3,10 @@ package faultinject
 import (
 	"fmt"
 
-	"repro/internal/asm"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/multi"
 	"repro/internal/noc"
-	"repro/internal/word"
 )
 
 // RecoveryResult reports one checkpoint/kill/restore exercise.
@@ -44,34 +42,7 @@ func buildRecovery() (*multi.System, machine.Config, error) {
 	if err != nil {
 		return nil, machine.Config{}, err
 	}
-	far, err := s.Nodes[1].K.AllocSegment(4096)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	remote, err := asm.Assemble(meshRemoteSrc)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	local, err := asm.Assemble(meshLocalSrc)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	ipR, err := s.Nodes[0].K.LoadProgram(remote, false)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	if _, err := s.Nodes[0].K.Spawn(1, ipR, map[int]word.Word{1: far.Word()}); err != nil {
-		return nil, machine.Config{}, err
-	}
-	near, err := s.Nodes[0].K.AllocSegment(4096)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	ipL, err := s.Nodes[0].K.LoadProgram(local, false)
-	if err != nil {
-		return nil, machine.Config{}, err
-	}
-	if _, err := s.Nodes[0].K.Spawn(2, ipL, map[int]word.Word{1: near.Word()}); err != nil {
+	if err := loadMeshWorkload(s, 1); err != nil {
 		return nil, machine.Config{}, err
 	}
 	return s, cfg.Node, nil

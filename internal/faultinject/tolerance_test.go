@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallTolerant is a fast tolerant campaign exercising all ten classes.
+func smallTolerant() CampaignConfig {
+	return CampaignConfig{
+		Seed:        7,
+		LocalTrials: 12,
+		MeshTrials:  6,
+		NodeTrials:  4,
+		Recovery:    true,
+		Tolerate:    true,
+	}
+}
+
+// The tolerant campaign's contract: no fault escapes AND no detected
+// fault goes unrecovered — every trial ends Tolerated or Masked with
+// the clean fingerprint.
+func TestTolerantCampaignZeroUnrecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	res, err := RunCampaign(smallTolerant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Escaped != 0 {
+		t.Errorf("Escaped = %d, want 0\n%s", res.Escaped, res.Table())
+	}
+	if res.Detected != 0 {
+		t.Errorf("unrecovered (Detected) = %d, want 0\n%s", res.Detected, res.Table())
+	}
+	if res.Tolerated+res.Masked != res.Trials {
+		t.Errorf("tolerated %d + masked %d != trials %d", res.Tolerated, res.Masked, res.Trials)
+	}
+	if res.Tolerated == 0 {
+		t.Error("no trial was actively repaired — the stack never engaged")
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no verified checkpoints captured")
+	}
+	if res.Recovery == nil || !res.Recovery.Match {
+		t.Errorf("auto-recovery fingerprint mismatch: %v", res.Recovery)
+	}
+	if !res.Recovery.WatchdogTripped {
+		t.Error("auto-recovery never tripped the watchdog")
+	}
+}
+
+// Same seed, serial pool vs parallel pool: byte-identical table. The
+// worker count must change wall-clock only, never the result.
+func TestTolerantCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	cfg := smallTolerant()
+	cfg.Recovery = false
+
+	cfg.Workers = 1
+	serial, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	pool, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Table() != pool.Table() {
+		t.Fatalf("serial and pooled tolerant campaigns diverge:\n--- serial ---\n%s\n--- pool ---\n%s",
+			serial.Table(), pool.Table())
+	}
+}
+
+// The tolerant table gains the tolerated/unrecovered columns and the
+// repair-work summary; the baseline table is untouched by this PR.
+func TestCampaignTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign too slow for -short")
+	}
+	cfg := smallTolerant()
+	cfg.Recovery = false
+	tol, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fault-tolerance audit", "tolerated", "unrecovered", "Tolerance-stack repair work"} {
+		if !strings.Contains(tol.Table(), want) {
+			t.Errorf("tolerant table missing %q:\n%s", want, tol.Table())
+		}
+	}
+
+	cfg.Tolerate = false
+	base, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbid := range []string{"tolerated", "Tolerance-stack"} {
+		if strings.Contains(base.Table(), forbid) {
+			t.Errorf("baseline table leaked tolerant column %q:\n%s", forbid, base.Table())
+		}
+	}
+	if !strings.Contains(base.Table(), "Fault-injection audit") {
+		t.Errorf("baseline table lost its title:\n%s", base.Table())
+	}
+}

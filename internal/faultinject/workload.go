@@ -116,6 +116,18 @@ func buildLocal(w *workload) (*kernel.Kernel, *Injector, []core.Pointer, error) 
 	cfg.Clusters = 1
 	cfg.SlotsPerCluster = 2
 	cfg.PhysBytes = 1 << 20
+	k, inj, segs, err := buildLocalWith(w, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	k.M.Space.Phys.EnableParity()
+	return k, inj, segs, nil
+}
+
+// buildLocalWith boots the workload on an arbitrary machine config with
+// no memory-protection plane enabled — the caller picks parity
+// (baseline campaigns) or ECC (tolerant campaigns) afterwards.
+func buildLocalWith(w *workload, cfg machine.Config) (*kernel.Kernel, *Injector, []core.Pointer, error) {
 	k, err := kernel.New(cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -141,7 +153,6 @@ func buildLocal(w *workload) (*kernel.Kernel, *Injector, []core.Pointer, error) 
 		}
 		segs = append(segs, seg)
 	}
-	k.M.Space.Phys.EnableParity()
 	return k, inj, segs, nil
 }
 

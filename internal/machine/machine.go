@@ -77,6 +77,17 @@ type Config struct {
 	// dependence checks. Off by default so single-issue experiments are
 	// directly comparable with the baseline models.
 	WideIssue bool
+
+	// ScrubEvery, when non-zero, runs the background memory scrubber:
+	// every ScrubEvery cycles the machine sweeps ScrubWords physical
+	// words through the ECC engine (mem.ScrubStep), correcting latent
+	// single-bit errors before a demand read can widen them into
+	// uncorrectable doubles. Requires mem.EnableECC; a no-op otherwise.
+	// The scrubber ticks inside Run (not Step), so zero — the default —
+	// leaves the per-cycle hot loop completely untouched.
+	ScrubEvery uint64
+	// ScrubWords is the sweep chunk per scrub tick; 0 means 64.
+	ScrubWords int
 }
 
 // MMachine returns the configuration of the chip described in Sec 3:
@@ -226,6 +237,12 @@ type Machine struct {
 	servicing   bool
 	pending     []pendingRemote
 
+	// Background-scrubber schedule, copied from Config at New so the
+	// cycle loop reads fields, not config indirection. scrubEvery == 0
+	// (the default) keeps the whole feature to one branch per cycle.
+	scrubEvery uint64
+	scrubWords int
+
 	OnTrap  TrapHandler
 	OnFault FaultHandler
 
@@ -269,7 +286,11 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, Space: space, Cache: c, dec: make([]decEntry, decEntries)}
+	m := &Machine{cfg: cfg, Space: space, Cache: c, dec: make([]decEntry, decEntries),
+		scrubEvery: cfg.ScrubEvery, scrubWords: cfg.ScrubWords}
+	if m.scrubEvery != 0 && m.scrubWords <= 0 {
+		m.scrubWords = 64
+	}
 	for i := 0; i < cfg.Clusters; i++ {
 		m.clusters = append(m.clusters, &clusterState{slots: make([]*Thread, cfg.SlotsPerCluster)})
 	}
@@ -339,6 +360,9 @@ func (m *Machine) RegisterMetrics(reg *telemetry.Registry) {
 		return float64(m.stats.Instructions) / float64(m.stats.Cycles)
 	})
 	reg.Register("machine.threads", func() float64 { return float64(len(m.threads)) })
+	reg.Counter("mem.ecc.corrected", func() uint64 { return m.Space.Phys.ECCStats().Corrected })
+	reg.Counter("mem.ecc.double_bit", func() uint64 { return m.Space.Phys.ECCStats().DoubleBit })
+	reg.Counter("mem.ecc.scrub_words", func() uint64 { return m.Space.Phys.ECCStats().ScrubWords })
 	m.Cache.RegisterMetrics(reg, "cache.l1")
 	m.Space.RegisterMetrics(reg, "vm")
 }
@@ -425,11 +449,32 @@ func (m *Machine) Step() {
 }
 
 // Run steps until every thread is done or maxCycles elapse; it returns
-// the number of cycles executed.
+// the number of cycles executed. The background memory scrubber (if
+// configured) ticks here rather than in Step so the common
+// scrubber-off path adds nothing to the per-cycle hot loop; external
+// steppers that drive Step directly (the multicomputer barrier loop)
+// bring their own recovery machinery instead.
 func (m *Machine) Run(maxCycles uint64) uint64 {
+	if m.scrubEvery != 0 {
+		return m.runScrubbed(maxCycles)
+	}
 	start := m.cycle
 	for !m.Done() && m.cycle-start < maxCycles {
 		m.Step()
+	}
+	return m.cycle - start
+}
+
+// runScrubbed is Run with the background scrubber armed: every
+// scrubEvery cycles, sweep the next scrubWords words of physical
+// memory, correcting single-bit decay before anything consumes it.
+func (m *Machine) runScrubbed(maxCycles uint64) uint64 {
+	start := m.cycle
+	for !m.Done() && m.cycle-start < maxCycles {
+		m.Step()
+		if m.cycle%m.scrubEvery == 0 {
+			m.Space.Phys.ScrubStep(m.scrubWords)
+		}
 	}
 	return m.cycle - start
 }

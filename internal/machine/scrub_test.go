@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/word"
+)
+
+// scrubLoop keeps a thread busy long enough for several scrub ticks.
+const scrubLoop = `
+	ldi  r1, 32
+lp:	subi r1, r1, 1
+	bnez r1, lp
+	halt
+`
+
+// The background scrubber sweeps physical memory on the cycle loop and
+// repairs injected single-bit flips before anything consumes them.
+func TestBackgroundScrubberRepairsFlips(t *testing.T) {
+	cfg := testConfig()
+	cfg.ScrubEvery = 4
+	cfg.ScrubWords = 1 << 20 // whole memory per tick
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := loadAt(t, m, scrubLoop, 0x10000, false)
+	th, err := m.AddThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	orig := word.Word{Bits: 0xfeedface, Tag: true}
+	if err := m.Space.Phys.WriteWord(0x200, orig); err != nil {
+		t.Fatal(err)
+	}
+	m.Space.Phys.EnableECC()
+	if err := m.Space.Phys.FlipBit(0x200, 13); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100_000)
+	st := m.Space.Phys.ECCStats()
+	if st.Corrected != 1 {
+		t.Fatalf("Corrected = %d, want 1", st.Corrected)
+	}
+	if st.ScrubWords == 0 {
+		t.Fatal("scrubber never swept")
+	}
+	got, err := m.Space.Phys.ReadWord(0x200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("scrubbed word = %+v, want %+v", got, orig)
+	}
+
+	reg := telemetry.NewRegistry()
+	m.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	if snap["mem.ecc.corrected"] != 1 {
+		t.Fatalf("mem.ecc.corrected metric = %v, want 1", snap["mem.ecc.corrected"])
+	}
+}
+
+// With ScrubEvery zero (the default) the scrubber never runs: the
+// disabled path must not touch the memory system at all.
+func TestBackgroundScrubberDefaultOff(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := loadAt(t, m, scrubLoop, 0x10000, false)
+	th, err := m.AddThread(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.SetIP(ip); err != nil {
+		t.Fatal(err)
+	}
+	m.Space.Phys.EnableECC()
+	m.Run(100_000)
+	if st := m.Space.Phys.ECCStats(); st.ScrubWords != 0 {
+		t.Fatalf("scrubber ran %d words with ScrubEvery=0", st.ScrubWords)
+	}
+}

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func writeWords(t *testing.T, m *Memory, ws []word.Word) {
+	t.Helper()
+	for i, w := range ws {
+		if err := m.WriteWord(uint64(i)*word.BytesPerWord, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func eccMem(t *testing.T) *Memory {
+	t.Helper()
+	m := New(1024)
+	writeWords(t, m, []word.Word{
+		{Bits: 0xdeadbeefcafef00d},
+		{Bits: 0x0123456789abcdef, Tag: true},
+		{Bits: 0},
+		{Bits: ^uint64(0), Tag: true},
+	})
+	m.EnableECC()
+	return m
+}
+
+// Every single-bit flip — any data bit, the tag bit, any check bit, or
+// the overall parity bit — must be corrected transparently by the next
+// read, returning the original word.
+func TestECCCorrectsEverySingleBitFlip(t *testing.T) {
+	for addr := uint64(0); addr < 4*word.BytesPerWord; addr += word.BytesPerWord {
+		for bit := uint(0); bit <= 72; bit++ {
+			m := eccMem(t)
+			want, err := m.ReadWord(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.FlipBit(addr, bit); err != nil {
+				t.Fatalf("FlipBit(%#x, %d): %v", addr, bit, err)
+			}
+			got, err := m.ReadWord(addr)
+			if err != nil {
+				t.Fatalf("addr %#x bit %d: read after flip: %v", addr, bit, err)
+			}
+			if got != want {
+				t.Fatalf("addr %#x bit %d: corrected word %+v, want %+v", addr, bit, got, want)
+			}
+			if n := m.ECCStats().Corrected; n != 1 {
+				t.Fatalf("addr %#x bit %d: Corrected = %d, want 1", addr, bit, n)
+			}
+			// The correction is persistent: a second read sees a clean word.
+			if _, err := m.ReadWord(addr); err != nil {
+				t.Fatalf("addr %#x bit %d: reread: %v", addr, bit, err)
+			}
+			if n := m.ECCStats().Corrected; n != 1 {
+				t.Fatalf("addr %#x bit %d: reread corrected again (%d)", addr, bit, n)
+			}
+		}
+	}
+}
+
+// Two flipped bits in one word are uncorrectable: the read must raise a
+// typed *ECCError machine check, never return decayed data.
+func TestECCDetectsDoubleBitFlips(t *testing.T) {
+	cases := [][2]uint{{0, 1}, {3, 64}, {17, 42}, {64, 63}, {5, 68}}
+	for _, c := range cases {
+		m := eccMem(t)
+		const addr = 8
+		if err := m.FlipBit(addr, c[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FlipBit(addr, c[1]); err != nil {
+			t.Fatal(err)
+		}
+		_, err := m.ReadWord(addr)
+		var ee *ECCError
+		if !errors.As(err, &ee) {
+			t.Fatalf("bits %v: read returned %v, want *ECCError", c, err)
+		}
+		if ee.Addr != addr {
+			t.Fatalf("bits %v: ECCError.Addr = %#x, want %#x", c, ee.Addr, uint64(addr))
+		}
+		if !ee.CorruptionDetected() {
+			t.Fatal("ECCError must satisfy the corruption-detection convention")
+		}
+		if n := m.ECCStats().DoubleBit; n == 0 {
+			t.Fatal("DoubleBit counter not incremented")
+		}
+	}
+}
+
+// An overwrite recomputes the check byte, masking any latent fault.
+func TestECCWriteRepairs(t *testing.T) {
+	m := eccMem(t)
+	if err := m.FlipBit(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlipBit(0, 9); err != nil { // double: unreadable
+		t.Fatal(err)
+	}
+	w := word.Word{Bits: 42}
+	if err := m.WriteWord(0, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadWord(0)
+	if err != nil {
+		t.Fatalf("read after overwrite: %v", err)
+	}
+	if got != w {
+		t.Fatalf("got %+v, want %+v", got, w)
+	}
+}
+
+// Scrub in ECC mode corrects singles and returns only the words left
+// uncorrectable.
+func TestECCScrubCorrects(t *testing.T) {
+	m := eccMem(t)
+	if err := m.FlipBit(0, 3); err != nil { // single: repairable
+		t.Fatal(err)
+	}
+	if err := m.FlipBit(16, 64); err != nil { // single tag flip: repairable
+		t.Fatal(err)
+	}
+	if err := m.FlipBit(24, 1); err != nil { // double: uncorrectable
+		t.Fatal(err)
+	}
+	if err := m.FlipBit(24, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bad := m.Scrub(); bad != 1 {
+		t.Fatalf("Scrub = %d uncorrectable, want 1", bad)
+	}
+	if n := m.ECCStats().Corrected; n != 2 {
+		t.Fatalf("Corrected = %d, want 2", n)
+	}
+	// The two repaired words read back clean.
+	for _, addr := range []uint64{0, 16} {
+		if _, err := m.ReadWord(addr); err != nil {
+			t.Fatalf("read %#x after scrub: %v", addr, err)
+		}
+	}
+}
+
+// ScrubStep sweeps incrementally with a rotating cursor: enough steps
+// cover the whole memory and repair a fault wherever it lies.
+func TestECCScrubStepRotates(t *testing.T) {
+	m := eccMem(t)
+	const addr = 3 * word.BytesPerWord
+	if err := m.FlipBit(addr, 11); err != nil {
+		t.Fatal(err)
+	}
+	fixed := 0
+	steps := 0
+	for fixed == 0 && steps < 1000 {
+		fixed += m.ScrubStep(16)
+		steps++
+	}
+	if fixed != 1 {
+		t.Fatalf("ScrubStep never repaired the flip (steps=%d)", steps)
+	}
+	if _, err := m.ReadWord(addr); err != nil {
+		t.Fatalf("read after scrub step: %v", err)
+	}
+	if m.ECCStats().ScrubWords == 0 {
+		t.Fatal("ScrubWords not counted")
+	}
+}
+
+// ECC and parity are mutually exclusive; enabling one retires the other.
+func TestECCParityExclusive(t *testing.T) {
+	m := New(256)
+	m.EnableParity()
+	m.EnableECC()
+	if m.ParityEnabled() {
+		t.Fatal("parity still enabled after EnableECC")
+	}
+	if !m.ECCEnabled() {
+		t.Fatal("ECC not enabled")
+	}
+	m.EnableParity()
+	if m.ECCEnabled() {
+		t.Fatal("ECC still enabled after EnableParity")
+	}
+	// Check-plane flips are rejected without ECC.
+	if err := m.FlipBit(0, 65); err == nil {
+		t.Fatal("FlipBit(65) accepted without ECC plane")
+	}
+}
+
+// Byte stores run through the word write path and keep the check plane
+// coherent.
+func TestECCByteStoreCoherent(t *testing.T) {
+	m := eccMem(t)
+	if err := m.SetByteAt(9, 0x5a); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadWord(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byte(w.Bits>>8) != 0x5a || w.Tag {
+		t.Fatalf("byte store result %+v", w)
+	}
+	if bad := m.Scrub(); bad != 0 {
+		t.Fatalf("check plane incoherent after byte store: %d bad", bad)
+	}
+}

@@ -79,6 +79,12 @@ type Memory struct {
 	// is only unforgeable if the memory system can tell a stored word
 	// from a decayed one (see EnableParity).
 	parity []uint64
+	// ecc, when non-nil, is the SECDED check plane: one check byte per
+	// word (see ecc.go). Mutually exclusive with parity; writes maintain
+	// it, reads correct single-bit errors through it.
+	ecc         []uint8
+	eccStats    ECCStats
+	scrubCursor uint64 // ScrubStep's rotating position
 }
 
 // New returns a physical memory of the given size in bytes, rounded up
@@ -128,6 +134,9 @@ func (m *Memory) ReadWord(paddr uint64) (word.Word, error) {
 	if err != nil {
 		return word.Word{}, m.addrErr("read", paddr, err)
 	}
+	if m.ecc != nil && !m.verifyECC(i) {
+		return word.Word{}, &ECCError{Addr: paddr}
+	}
 	w := word.Word{Bits: m.data[i], Tag: m.tagAt(i)}
 	if m.parity != nil && m.parityAt(i) != wordParity(w) {
 		return word.Word{}, &ParityError{Addr: paddr}
@@ -145,6 +154,9 @@ func (m *Memory) WriteWord(paddr uint64, w word.Word) error {
 	m.setTag(i, w.Tag)
 	if m.parity != nil {
 		m.setParity(i, wordParity(w))
+	}
+	if m.ecc != nil {
+		m.ecc[i] = checkByte(w)
 	}
 	return nil
 }
@@ -248,8 +260,10 @@ func (m *Memory) setParity(i uint64, p bool) {
 // coherent, and reads verify it. A word altered by any route other than
 // a write — FlipBit's soft-error model — is detected at its next read.
 // The plane is computed from the current contents, so enabling parity on
-// a live memory is always consistent.
+// a live memory is always consistent. Supersedes an active ECC plane
+// (at most one check discipline runs at a time).
 func (m *Memory) EnableParity() {
+	m.ecc = nil
 	m.parity = make([]uint64, (uint64(len(m.data))+63)/64)
 	for i := uint64(0); i < uint64(len(m.data)); i++ {
 		m.setParity(i, wordParity(word.Word{Bits: m.data[i], Tag: m.tagAt(i)}))
@@ -275,17 +289,36 @@ func (m *Memory) FlipBit(paddr uint64, bit uint) error {
 		m.data[i] ^= 1 << bit
 	case bit == 64:
 		m.tags[i/64] ^= 1 << (i % 64)
+	case bit <= 72 && m.ecc != nil:
+		// Bits 65..72 decay the SECDED check byte itself (seven Hamming
+		// bits then the overall parity bit) — check storage is DRAM too.
+		m.ecc[i] ^= 1 << (bit - 65)
 	default:
 		return fmt.Errorf("mem: flip bit %d out of range (0..64)", bit)
 	}
 	return nil
 }
 
-// Scrub scans the whole parity plane against the stored words and
-// returns the number of words whose parity disagrees with their
-// contents — the background-scrubber sweep that finds latent soft
-// errors before a load does. It reports zero when parity is disabled.
+// Scrub sweeps the whole check plane against the stored words — the
+// background-scrubber pass that finds latent soft errors before a load
+// does — and returns the number of words still bad afterwards.
+//
+// With the parity plane active the sweep is detect-only: it counts the
+// words whose parity disagrees with their contents. With the SECDED
+// plane active (EnableECC) the sweep is corrective: every single-bit
+// error is repaired in place (counted in ECCStats.Corrected) and only
+// uncorrectable double-bit words are returned. Zero when neither plane
+// is enabled.
 func (m *Memory) Scrub() int {
+	if m.ecc != nil {
+		bad := 0
+		for i := range m.data {
+			if !m.verifyECC(uint64(i)) {
+				bad++
+			}
+		}
+		return bad
+	}
 	if m.parity == nil {
 		return 0
 	}

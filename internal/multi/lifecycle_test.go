@@ -1,0 +1,184 @@
+package multi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// Node-lifecycle misuse must surface as typed errors, not silent
+// success or an index panic.
+func TestLifecycleMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		op   func(s *System) error
+		want error
+	}{
+		{"kill-negative", func(s *System) error { return s.Kill(-1) }, ErrNodeID},
+		{"kill-past-end", func(s *System) error { return s.Kill(2) }, ErrNodeID},
+		{"kill-huge", func(s *System) error { return s.Kill(1 << 20) }, ErrNodeID},
+		{"double-kill", func(s *System) error {
+			if err := s.Kill(1); err != nil {
+				return err
+			}
+			return s.Kill(1)
+		}, ErrNodeDead},
+		{"stall-negative", func(s *System) error { return s.Stall(-1, 100) }, ErrNodeID},
+		{"stall-past-end", func(s *System) error { return s.Stall(7, 100) }, ErrNodeID},
+		{"stall-dead", func(s *System) error {
+			if err := s.Kill(0); err != nil {
+				return err
+			}
+			return s.Stall(0, 100)
+		}, ErrNodeDead},
+		{"revive-negative", func(s *System) error { return s.Revive(-1, nil) }, ErrNodeID},
+		{"revive-past-end", func(s *System) error { return s.Revive(2, nil) }, ErrNodeID},
+		{"revive-live", func(s *System) error { return s.Revive(0, nil) }, ErrNodeAlive},
+		{"revive-twice", func(s *System) error {
+			if err := s.Kill(1); err != nil {
+				return err
+			}
+			if err := s.Revive(1, nil); err != nil {
+				return err
+			}
+			return s.Revive(1, nil)
+		}, ErrNodeAlive},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, _, _ := watchdogSystem(t, true, 0)
+			if err := c.op(s); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+// The happy path still works and returns nil errors.
+func TestLifecycleHappyPath(t *testing.T) {
+	s, _, _ := watchdogSystem(t, true, 0)
+	if err := s.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Revive(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stall(0, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Auto-recovery closed loop: with periodic coordinated checkpoints and
+// AutoRecover armed, a killed node is detected by the watchdog,
+// every node is restored from the newest consistent generation, and the
+// run completes with final architectural state equal to an
+// uninterrupted reference — no caller intervention at all.
+func TestAutoRecoverFromKilledNode(t *testing.T) {
+	for _, victim := range []int{0, 1} {
+		for _, serial := range []bool{true, false} {
+			ref, thRef, _ := watchdogSystem(t, serial, 2000)
+			ref.Run(200_000)
+			if thRef.State != machine.Halted {
+				t.Fatalf("reference: %v %v", thRef.State, thRef.Fault)
+			}
+
+			s, _, _ := watchdogSystem(t, serial, 2000)
+			s.cfg.CheckpointEvery = 40
+			s.cfg.AutoRecover = true
+			s.OnCycle = func(c uint64) {
+				if c == 100 {
+					if err := s.Kill(victim); err != nil {
+						t.Errorf("kill: %v", err)
+					}
+					s.OnCycle = nil
+				}
+			}
+			s.Run(500_000)
+			if s.Hung() {
+				t.Fatalf("victim=%d serial=%v: auto-recovery left the system hung", victim, serial)
+			}
+			if !s.Done() {
+				t.Fatalf("victim=%d serial=%v: system did not finish", victim, serial)
+			}
+			if s.Restores() == 0 {
+				t.Fatalf("victim=%d serial=%v: no restore performed", victim, serial)
+			}
+			if s.Checkpoints() == 0 {
+				t.Fatalf("victim=%d serial=%v: no checkpoints captured", victim, serial)
+			}
+			th := s.Nodes[0].K.M.Threads()[0]
+			if th.State != machine.Halted {
+				t.Fatalf("victim=%d serial=%v: recovered thread %v %v", victim, serial, th.State, th.Fault)
+			}
+			if th.Instret != thRef.Instret {
+				t.Fatalf("victim=%d serial=%v: instret %d != reference %d", victim, serial, th.Instret, thRef.Instret)
+			}
+			for r := 0; r < 16; r++ {
+				if th.Reg(r) != thRef.Reg(r) {
+					t.Errorf("victim=%d serial=%v r%d: %v != %v", victim, serial, r, th.Reg(r), thRef.Reg(r))
+				}
+			}
+		}
+	}
+}
+
+// The restore budget bounds livelock: a node killed over and over
+// eventually surfaces as Hung instead of cycling through the same
+// checkpoint forever.
+func TestAutoRecoverBudgetBounds(t *testing.T) {
+	s, _, _ := watchdogSystem(t, true, 1000)
+	s.cfg.CheckpointEvery = 40
+	s.cfg.AutoRecover = true
+	s.cfg.MaxRestores = 2
+	s.OnCycle = func(c uint64) {
+		// Re-kill node 1 forever: no recovery can stick.
+		if !s.dead[1] && c > 100 {
+			if err := s.Kill(1); err != nil {
+				t.Errorf("kill: %v", err)
+			}
+		}
+	}
+	s.Run(500_000)
+	if !s.Hung() {
+		t.Fatal("persistent failure never surfaced as Hung")
+	}
+	if got := s.Restores(); got != 2 {
+		t.Fatalf("Restores = %d, want exactly the budget of 2", got)
+	}
+}
+
+// CheckpointNow seeds generation zero before any periodic boundary, so
+// a fault in the first interval is still recoverable.
+func TestCheckpointNowSeedsRing(t *testing.T) {
+	s, _, _ := watchdogSystem(t, true, 2000)
+	s.cfg.AutoRecover = true // no CheckpointEvery: only the manual seed
+	if err := s.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Checkpoints() != 1 {
+		t.Fatalf("Checkpoints = %d, want 1", s.Checkpoints())
+	}
+	s.OnCycle = func(c uint64) {
+		if c == 100 {
+			if err := s.Kill(1); err != nil {
+				t.Errorf("kill: %v", err)
+			}
+			s.OnCycle = nil
+		}
+	}
+	s.Run(500_000)
+	if s.Hung() || !s.Done() {
+		t.Fatalf("recovery from the seeded generation failed (hung=%v)", s.Hung())
+	}
+	if s.Restores() != 1 {
+		t.Fatalf("Restores = %d, want 1", s.Restores())
+	}
+	// A dead node blocks a consistent capture.
+	if err := s.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckpointNow(); !errors.Is(err, ErrNodeDead) {
+		t.Fatalf("CheckpointNow with dead node: %v, want ErrNodeDead", err)
+	}
+}

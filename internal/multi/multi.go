@@ -13,6 +13,7 @@
 package multi
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,7 +21,21 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/noc"
+	"repro/internal/telemetry"
 	"repro/internal/word"
+)
+
+// Typed misuse errors for the node lifecycle API. A corrupted node id
+// or a double fault-injection must degrade into an accountable error,
+// not silent success or an index panic.
+var (
+	// ErrNodeID reports a node id outside the mesh.
+	ErrNodeID = errors.New("multi: node id out of range")
+	// ErrNodeDead reports an operation needing a live node (double
+	// Kill, Stall of a dead node).
+	ErrNodeDead = errors.New("multi: node is dead")
+	// ErrNodeAlive reports a Revive of a node that was never killed.
+	ErrNodeAlive = errors.New("multi: node is alive")
 )
 
 // NodeShift is the number of address bits each node owns: 4GB per
@@ -48,6 +63,26 @@ type Config struct {
 	// reply that is not coming — becomes a detected failure instead of
 	// a silent maxCycles spin.
 	WatchdogCycles uint64
+
+	// CheckpointEvery, when non-zero, takes a coordinated checkpoint of
+	// every node's kernel at each multiple of this many cycles — at the
+	// cycle barrier, after remote delivery, so the set is globally
+	// consistent. Generations are kept in a ring of the last
+	// CheckpointKeep. Checkpoints are skipped while any node is dead
+	// (the set would not be consistent).
+	CheckpointEvery uint64
+	// CheckpointKeep is the checkpoint ring size; 0 means 2.
+	CheckpointKeep int
+	// AutoRecover escalates the watchdog from detection to repair: when
+	// the cycle-deadline trips and a checkpoint generation exists, the
+	// system restores every node from the newest generation and resumes
+	// instead of stopping with Hung. Requires CheckpointEvery (or a
+	// manual CheckpointNow) to have captured at least one generation.
+	AutoRecover bool
+	// MaxRestores bounds automatic recoveries per Run — a persistently
+	// failing machine must eventually surface as Hung, not livelock
+	// through the same checkpoint forever. 0 means 4.
+	MaxRestores int
 }
 
 // DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
@@ -75,6 +110,12 @@ type System struct {
 	// from here).
 	OnCycle func(cycle uint64)
 
+	// OnRestore, when non-nil, runs after auto-recovery rewires each
+	// restored node, before execution resumes — the hook for per-node
+	// environment the checkpoint image does not capture (ECC planes,
+	// integrity hooks, tracers).
+	OnRestore func(id int, k *kernel.Kernel)
+
 	cycle      uint64   // completed cycles since boot
 	dead       []bool   // killed nodes: never step, never service
 	stallUntil []uint64 // frozen until this cycle count (transient stall)
@@ -82,6 +123,19 @@ type System struct {
 
 	lastProgress      uint64 // instret+faults sum at the last progress check
 	lastProgressCycle uint64
+
+	// Auto-recovery state: the ring of coordinated checkpoint
+	// generations and the repair counters.
+	ckpts       []ckptGen
+	checkpoints uint64 // generations captured (recovery.checkpoints)
+	restores    uint64 // automatic recoveries performed (recovery.restores)
+}
+
+// ckptGen is one coordinated checkpoint generation: every node's kernel
+// image, captured at the same barrier cycle.
+type ckptGen struct {
+	cycle uint64
+	cps   []*kernel.Checkpoint
 }
 
 // Stats counts cross-node traffic.
@@ -169,6 +223,9 @@ func (s *System) deliver() {
 		n.K.M.ServiceRemote()
 	}
 	s.cycle++
+	if s.cfg.CheckpointEvery != 0 && s.cycle%s.cfg.CheckpointEvery == 0 {
+		s.checkpointAll()
+	}
 	if s.cfg.WatchdogCycles > 0 && s.cycle&63 == 0 {
 		s.checkProgress()
 	}
@@ -192,8 +249,141 @@ func (s *System) checkProgress() {
 		return
 	}
 	if s.cycle-s.lastProgressCycle >= s.cfg.WatchdogCycles {
+		// Escalation: with AutoRecover armed and a consistent
+		// generation banked, the watchdog repairs instead of reporting.
+		if s.cfg.AutoRecover && s.recoverAll() {
+			return
+		}
 		s.hung = true
 	}
+}
+
+// maxRestores resolves Config.MaxRestores.
+func (s *System) maxRestores() uint64 {
+	if s.cfg.MaxRestores > 0 {
+		return uint64(s.cfg.MaxRestores)
+	}
+	return 4
+}
+
+// checkpointKeep resolves Config.CheckpointKeep.
+func (s *System) checkpointKeep() int {
+	if s.cfg.CheckpointKeep > 0 {
+		return s.cfg.CheckpointKeep
+	}
+	return 2
+}
+
+// checkpointAll captures one coordinated generation — every node's
+// kernel at this barrier cycle — into the ring. Skipped while any node
+// is dead: the set would not be globally consistent. Capture reads
+// memory through the ECC plane (kernel.Checkpoint goes through
+// mem.ReadWord), so latent single-bit errors are healed on the way into
+// the image and a generation is never poisoned by correctable decay.
+func (s *System) checkpointAll() {
+	for _, d := range s.dead {
+		if d {
+			return
+		}
+	}
+	g := ckptGen{cycle: s.cycle, cps: make([]*kernel.Checkpoint, len(s.Nodes))}
+	for i, n := range s.Nodes {
+		cp, err := n.K.Checkpoint()
+		if err != nil {
+			return // e.g. uncorrectable memory: keep the older generations
+		}
+		g.cps[i] = cp
+	}
+	s.ckpts = append(s.ckpts, g)
+	if keep := s.checkpointKeep(); len(s.ckpts) > keep {
+		copy(s.ckpts, s.ckpts[len(s.ckpts)-keep:])
+		s.ckpts = s.ckpts[:keep]
+	}
+	s.checkpoints++
+}
+
+// CheckpointNow captures a coordinated generation immediately — the
+// caller's chance to seed the ring after workload setup, before any
+// periodic boundary. Fails if a node is dead or a capture errors.
+func (s *System) CheckpointNow() error {
+	for i, d := range s.dead {
+		if d {
+			return fmt.Errorf("%w: node %d", ErrNodeDead, i)
+		}
+	}
+	before := s.checkpoints
+	s.checkpointAll()
+	if s.checkpoints == before {
+		return fmt.Errorf("multi: checkpoint capture failed")
+	}
+	return nil
+}
+
+// recoverAll restores every node from the newest coordinated generation
+// and resumes: kernels are rebuilt from their images, rewired to the
+// mesh, dead and stalled nodes brought back, and the watchdog rearmed.
+// The generation is consistent by construction — all images were taken
+// at one barrier with every in-flight remote access already committed —
+// so threads that were parked on a lost reply simply re-issue from
+// their checkpointed IP. Returns false (leaving the watchdog to report
+// Hung) when no generation exists, the restore budget is spent, or a
+// rebuild fails.
+func (s *System) recoverAll() bool {
+	if len(s.ckpts) == 0 || s.restores >= s.maxRestores() {
+		return false
+	}
+	g := s.ckpts[len(s.ckpts)-1]
+	for i := range s.Nodes {
+		k, err := kernel.Restore(s.cfg.Node, g.cps[i])
+		if err != nil {
+			return false
+		}
+		s.installKernel(i, k)
+		if s.OnRestore != nil {
+			s.OnRestore(i, k)
+		}
+	}
+	s.restores++
+	s.hung = false
+	// Reset the progress baseline to the restored machines' counters so
+	// the next watchdog window measures fresh execution.
+	var p uint64
+	for _, n := range s.Nodes {
+		st := n.K.M.Stats()
+		p += st.Instructions + st.Faults
+	}
+	s.lastProgress = p
+	s.lastProgressCycle = s.cycle
+	return true
+}
+
+// installKernel rewires node id around kernel k exactly as New wired
+// the original, clearing kill/stall status. Internal: the public Revive
+// enforces the liveness contract on top.
+func (s *System) installKernel(id int, k *kernel.Kernel) {
+	n := s.Nodes[id]
+	n.K = k
+	k.M.Remote = n
+	k.M.DeferRemote = true
+	s.dead[id] = false
+	s.stallUntil[id] = 0
+}
+
+// Checkpoints returns the number of coordinated generations captured.
+func (s *System) Checkpoints() uint64 { return s.checkpoints }
+
+// Restores returns the number of automatic recoveries performed.
+func (s *System) Restores() uint64 { return s.restores }
+
+// RegisterMetrics publishes the multicomputer's cross-node and
+// recovery counters plus the mesh's under the canonical namespaces
+// (multi.*, recovery.*, noc.*).
+func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("multi.remote_reads", func() uint64 { return s.stats.RemoteReads })
+	reg.Counter("multi.remote_writes", func() uint64 { return s.stats.RemoteWrites })
+	reg.Counter("recovery.checkpoints", func() uint64 { return s.checkpoints })
+	reg.Counter("recovery.restores", func() uint64 { return s.restores })
+	s.Net.RegisterMetrics(reg, "noc")
 }
 
 // Hung reports whether the cycle-deadline watchdog stopped the last
@@ -204,31 +394,66 @@ func (s *System) Hung() bool { return s.hung }
 // Cycle returns the number of completed system cycles since boot.
 func (s *System) Cycle() uint64 { return s.cycle }
 
+// checkID validates a node id against the mesh.
+func (s *System) checkID(id int) error {
+	if id < 0 || id >= len(s.Nodes) {
+		return fmt.Errorf("%w: %d of %d", ErrNodeID, id, len(s.Nodes))
+	}
+	return nil
+}
+
 // Kill fails node id hard: it stops stepping, stops servicing remote
 // requests, and every message homed there vanishes. Threads elsewhere
 // that wait on it hang until the watchdog notices. Restore service with
-// Revive.
-func (s *System) Kill(id int) { s.dead[id] = true }
+// Revive. Killing a node that is already dead is a caller bug and
+// returns ErrNodeDead.
+func (s *System) Kill(id int) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	if s.dead[id] {
+		return fmt.Errorf("%w: double kill of node %d", ErrNodeDead, id)
+	}
+	s.dead[id] = true
+	return nil
+}
 
 // Stall freezes node id until the given system cycle count (a transient
-// fault: the node loses time but no state).
-func (s *System) Stall(id int, until uint64) { s.stallUntil[id] = until }
+// fault: the node loses time but no state). A dead node cannot stall —
+// it is not running at all.
+func (s *System) Stall(id int, until uint64) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	if s.dead[id] {
+		return fmt.Errorf("%w: stall of dead node %d", ErrNodeDead, id)
+	}
+	s.stallUntil[id] = until
+	return nil
+}
 
 // Revive brings a killed node back, optionally replacing its kernel
 // with one rebuilt from a checkpoint (kernel.Restore). The new kernel's
 // machine is rewired to the mesh exactly as New wired the original, and
 // the watchdog is disarmed so the run can resume. Pass nil to revive
-// the node with its old (pre-kill) state intact.
-func (s *System) Revive(id int, k *kernel.Kernel) {
-	n := s.Nodes[id]
-	if k != nil {
-		n.K = k
-		k.M.Remote = n
-		k.M.DeferRemote = true
+// the node with its old (pre-kill) state intact. Reviving a live node
+// returns ErrNodeAlive — silently swapping a running kernel would
+// destroy state the caller did not mean to lose.
+func (s *System) Revive(id int, k *kernel.Kernel) error {
+	if err := s.checkID(id); err != nil {
+		return err
 	}
-	s.dead[id] = false
+	if !s.dead[id] {
+		return fmt.Errorf("%w: revive of live node %d", ErrNodeAlive, id)
+	}
+	if k != nil {
+		s.installKernel(id, k)
+	} else {
+		s.dead[id] = false
+	}
 	s.hung = false
 	s.lastProgressCycle = s.cycle
+	return nil
 }
 
 // Run steps until every node's threads are done or maxCycles elapse,

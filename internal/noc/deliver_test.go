@@ -1,0 +1,118 @@
+package noc
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests pin the raw (transport-disabled) Deliver semantics for
+// interception combinations, so the reliable transport builds on a
+// documented contract: Drop preempts every other fate, Delay applies
+// before injection, Duplicate returns the first copy's arrival while
+// the second consumes bandwidth, and Corrupt delivers on time with a
+// typed *PayloadError.
+func TestDeliverInterceptCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		fate Fate
+		// expectations
+		delivered  bool
+		corrupted  bool
+		extraDelay uint64 // arrival offset past zero-load
+		msgs       uint64 // Send count through the fabric
+		dropped    uint64
+		duplicated uint64
+		delayAcct  uint64 // DelayCycles accounted
+	}{
+		{name: "clean", fate: Fate{},
+			delivered: true, msgs: 1},
+		{name: "drop", fate: Fate{Drop: true},
+			delivered: false, dropped: 1},
+		{name: "delay", fate: Fate{Delay: 9},
+			delivered: true, extraDelay: 9, msgs: 1, delayAcct: 9},
+		{name: "corrupt", fate: Fate{Corrupt: true},
+			delivered: true, corrupted: true, msgs: 1},
+		{name: "corrupt+delay", fate: Fate{Corrupt: true, Delay: 5},
+			delivered: true, corrupted: true, extraDelay: 5, msgs: 1, delayAcct: 5},
+		{name: "duplicate", fate: Fate{Duplicate: true},
+			delivered: true, msgs: 2, duplicated: 1},
+		{name: "duplicate+corrupt", fate: Fate{Duplicate: true, Corrupt: true},
+			delivered: true, corrupted: true, msgs: 2, duplicated: 1},
+		{name: "duplicate+delay", fate: Fate{Duplicate: true, Delay: 3},
+			delivered: true, extraDelay: 3, msgs: 2, duplicated: 1, delayAcct: 3},
+		// Drop preempts everything: no delay accounting, no duplicate,
+		// no fabric traffic at all.
+		{name: "drop+delay+duplicate+corrupt", fate: Fate{Drop: true, Delay: 4, Duplicate: true, Corrupt: true},
+			delivered: false, dropped: 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := mesh(t, 2, 2, 1)
+			n.Interceptor = &scriptFaulter{fates: []Fate{c.fate}}
+			const now = 50
+			arrive, delivered, err := n.Deliver(ReadReq, 0, 3, now)
+			if delivered != c.delivered {
+				t.Fatalf("delivered = %v, want %v", delivered, c.delivered)
+			}
+			var pe *PayloadError
+			if gotCorrupt := errors.As(err, &pe); gotCorrupt != c.corrupted {
+				t.Fatalf("err = %v, corrupted want %v", err, c.corrupted)
+			}
+			if !c.corrupted && err != nil {
+				t.Fatalf("unexpected error %v", err)
+			}
+			if c.delivered {
+				if want := now + c.extraDelay + n.ZeroLoadLatency(0, 3); arrive != want {
+					t.Fatalf("arrive = %d, want %d", arrive, want)
+				}
+			} else if arrive != 0 {
+				t.Fatalf("undelivered message returned arrival %d", arrive)
+			}
+			st := n.Stats()
+			if st.Messages != c.msgs || st.Dropped != c.dropped ||
+				st.Duplicated != c.duplicated || st.DelayCycles != c.delayAcct {
+				t.Fatalf("stats %+v, want msgs=%d dropped=%d duplicated=%d delay=%d",
+					st, c.msgs, c.dropped, c.duplicated, c.delayAcct)
+			}
+		})
+	}
+}
+
+// The duplicate's second copy reserves links after the first: on a
+// shared route the copies serialize, and the returned arrival is the
+// first copy's (the earlier one).
+func TestDeliverDuplicateArrivalOrdering(t *testing.T) {
+	n := mesh(t, 2, 1, 1)
+	n.Interceptor = &scriptFaulter{fates: []Fate{{Duplicate: true}}}
+	arrive, delivered, err := n.Deliver(WriteReq, 0, 1, 0)
+	if err != nil || !delivered {
+		t.Fatalf("Deliver = (%d, %v, %v)", arrive, delivered, err)
+	}
+	if want := n.ZeroLoadLatency(0, 1); arrive != want {
+		t.Fatalf("arrive = %d, want first copy's %d", arrive, want)
+	}
+	// The second copy hit the busy link: one contention cycle.
+	if st := n.Stats(); st.ContentionCycles == 0 {
+		t.Fatalf("duplicate copy reserved no links: %+v", st)
+	}
+}
+
+// A message sent after a dropped one sees no residual link state: the
+// drop consumed the message at the interface, before any reservation.
+func TestDeliverDropReservesNoLinks(t *testing.T) {
+	n := mesh(t, 2, 1, 1)
+	n.Interceptor = &scriptFaulter{fates: []Fate{{Drop: true}}}
+	if _, delivered, _ := n.Deliver(ReadReq, 0, 1, 0); delivered {
+		t.Fatal("dropped message delivered")
+	}
+	arrive, delivered, err := n.Deliver(ReadReq, 0, 1, 0)
+	if err != nil || !delivered {
+		t.Fatalf("follow-up Deliver = (%d, %v, %v)", arrive, delivered, err)
+	}
+	if want := n.ZeroLoadLatency(0, 1); arrive != want {
+		t.Fatalf("follow-up arrival %d, want uncontended %d", arrive, want)
+	}
+	if st := n.Stats(); st.TotalHops != 1 {
+		t.Fatalf("TotalHops = %d, want 1 (only the follow-up routed)", st.TotalHops)
+	}
+}

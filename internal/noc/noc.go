@@ -42,6 +42,11 @@ type Config struct {
 	// InjectLatency is the fixed cost to enter/exit the network
 	// (network interface serialization).
 	InjectLatency uint64
+	// Transport configures the reliable end-to-end transport layered
+	// over Deliver (see transport.go). Disabled by default: the raw
+	// lossy semantics the fault-injection baselines measure are the
+	// zero value.
+	Transport TransportConfig
 }
 
 // DefaultConfig is a 2×2×2 mesh with 2-cycle hops, matching the scale
@@ -84,6 +89,11 @@ type Stats struct {
 	Duplicated  uint64 // messages delivered twice
 	Corrupted   uint64 // messages failing the link CRC on arrival
 	DelayCycles uint64 // extra injection delay imposed on messages
+	// Reliable-transport outcomes (all zero unless Transport.Enabled).
+	Retransmits     uint64 // frames re-sent after a timeout
+	DupSuppressed   uint64 // duplicate frames rejected by sequence check
+	TimeoutCycles   uint64 // cycles spent waiting out retransmit timeouts
+	TransportGaveUp uint64 // messages abandoned after MaxRetries
 }
 
 // Fate is an Interceptor's verdict on one message. The zero Fate is a
@@ -142,6 +152,11 @@ type Network struct {
 	// through Deliver. Send itself stays fault-free so timing-model
 	// callers are unaffected.
 	Interceptor Interceptor
+
+	// Reliable-transport state (transport.go): resolved configuration
+	// and per-directed-channel sequence/ack state, allocated lazily.
+	transport TransportConfig
+	chans     map[chanKey]*chanState
 }
 
 // New validates the configuration and builds the network.
@@ -149,7 +164,11 @@ func New(cfg Config) (*Network, error) {
 	if cfg.DimX < 1 || cfg.DimY < 1 || cfg.DimZ < 1 {
 		return nil, fmt.Errorf("noc: non-positive mesh %dx%dx%d", cfg.DimX, cfg.DimY, cfg.DimZ)
 	}
-	return &Network{cfg: cfg, busy: make(map[link]uint64)}, nil
+	if cfg.DimX*cfg.DimY*cfg.DimZ > MaxTransportNode+1 {
+		return nil, fmt.Errorf("noc: mesh %dx%dx%d exceeds %d addressable nodes",
+			cfg.DimX, cfg.DimY, cfg.DimZ, MaxTransportNode+1)
+	}
+	return &Network{cfg: cfg, busy: make(map[link]uint64), transport: cfg.Transport.withDefaults()}, nil
 }
 
 // Nodes returns the node count.
@@ -291,7 +310,15 @@ func (n *Network) rangeErr(src, dst int) error {
 //     link CRC — err is a *PayloadError and the data must not be used.
 //
 // With no interceptor installed, Deliver is exactly Send.
+//
+// With Config.Transport.Enabled, the reliable transport takes over: the
+// same fault fates are applied per transmission attempt but retried
+// through, so drop/duplicate/corrupt never reach the caller (see
+// deliverReliable in transport.go).
 func (n *Network) Deliver(k Kind, src, dst int, now uint64) (arrive uint64, delivered bool, err error) {
+	if n.transport.Enabled {
+		return n.deliverReliable(k, src, dst, now)
+	}
 	if n.Interceptor == nil {
 		arrive, err = n.Send(src, dst, now)
 		return arrive, err == nil, err
@@ -345,6 +372,10 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".duplicated", func() uint64 { return n.stats.Duplicated })
 	reg.Counter(prefix+".corrupted", func() uint64 { return n.stats.Corrupted })
 	reg.Counter(prefix+".delay_cycles", func() uint64 { return n.stats.DelayCycles })
+	reg.Counter(prefix+".transport.retransmits", func() uint64 { return n.stats.Retransmits })
+	reg.Counter(prefix+".transport.dup_suppressed", func() uint64 { return n.stats.DupSuppressed })
+	reg.Counter(prefix+".transport.timeout_cycles", func() uint64 { return n.stats.TimeoutCycles })
+	reg.Counter(prefix+".transport.gave_up", func() uint64 { return n.stats.TransportGaveUp })
 	reg.Register(prefix+".mean_latency", func() float64 {
 		if n.stats.Messages == 0 {
 			return 0
