@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short
+.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify
 
-check: fmt vet test race
+check: fmt vet lint test race
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,24 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Repository hygiene gate (cmd/repolint, pure go/ast): no panics or
+# fmt.Print* in internal/* non-test code; no math/rand or global time
+# sources in the deterministic simulation packages. See docs/VERIFIER.md.
+lint:
+	$(GO) run ./cmd/repolint .
+
+# Static capability-safety verification of every shipped program and
+# campaign workload (cmd/mmlint over internal/capverify). Fails on any
+# provable guarded-pointer fault. See docs/VERIFIER.md.
+verify:
+	@set -e; for f in programs/*.s; do \
+		case "$$f" in \
+		programs/memlib.s) ;; \
+		programs/usemem.s) $(GO) run ./cmd/mmlint $$f programs/memlib.s ;; \
+		*) $(GO) run ./cmd/mmlint $$f ;; \
+		esac; \
+	done
 
 test:
 	$(GO) test ./...
@@ -51,6 +69,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPointerOps -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzAsm -fuzztime $(FUZZTIME) ./internal/asm/
 	$(GO) test -run '^$$' -fuzz FuzzTransport -fuzztime $(FUZZTIME) ./internal/noc/
+	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime $(FUZZTIME) ./internal/capverify/
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
 # section of BENCH_hotpath.json; the checked-in "baseline" numbers are

@@ -5,6 +5,7 @@
 //
 //	mmasm prog.s            # assemble, print listing
 //	mmasm -hex prog.s       # assemble, print one hex word per line
+//	mmasm -verify prog.s    # refuse programs with provable capability faults
 //	mmasm -                 # read source from stdin
 package main
 
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/capverify"
 )
 
 func main() {
@@ -25,11 +27,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mmasm", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	hex := fs.Bool("hex", false, "emit hex words instead of a listing")
+	verify := fs.Bool("verify", false, "statically verify capability safety; refuse programs that provably fault")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: mmasm [-hex] <file.s | ->")
+		fmt.Fprintln(stderr, "usage: mmasm [-hex] [-verify] <file.s | ->")
 		return 2
 	}
 
@@ -45,10 +48,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	prog, err := asm.Assemble(string(src))
+	display := fs.Arg(0)
+	if display == "-" {
+		display = "<stdin>"
+	}
+	prog, err := asm.AssembleNamed(display, string(src))
 	if err != nil {
 		fmt.Fprintln(stderr, "mmasm:", err)
 		return 1
+	}
+	if *verify {
+		rep := capverify.Verify(prog, capverify.Config{})
+		if rep.HasFault() {
+			for _, d := range rep.Faults() {
+				fmt.Fprintln(stderr, "mmasm:", d)
+			}
+			fmt.Fprintln(stderr, "mmasm: program provably faults; refusing to emit (run mmlint for details)")
+			return 1
+		}
 	}
 	if *hex {
 		for _, w := range prog.Words {

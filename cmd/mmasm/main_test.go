@@ -60,3 +60,18 @@ func TestErrors(t *testing.T) {
 		t.Errorf("bad flag: exit %d", code)
 	}
 }
+
+func TestVerifyFlag(t *testing.T) {
+	// A clean program assembles as usual.
+	if code, _, stderr := runCLI(t, []string{"-verify", "-"}, "ldi r2, 1\nhalt\n"); code != 0 {
+		t.Errorf("clean program refused: exit %d stderr %q", code, stderr)
+	}
+	// A provable capability fault is refused with a located diagnostic.
+	code, _, stderr := runCLI(t, []string{"-verify", "-"}, "nop\njmp r1\n")
+	if code != 1 {
+		t.Errorf("faulting program accepted: exit %d", code)
+	}
+	if !strings.Contains(stderr, "<stdin>:2") || !strings.Contains(stderr, "refusing to emit") {
+		t.Errorf("refusal diagnostic missing position: %q", stderr)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runLint(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanProgramExitsZero(t *testing.T) {
+	code, out, _ := runLint(t, "", filepath.Join("..", "..", "programs", "fib.s"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "discharged") {
+		t.Errorf("summary missing from output:\n%s", out)
+	}
+}
+
+func TestProvableFaultExitsOne(t *testing.T) {
+	code, out, _ := runLint(t, "\tjmp r1\n", "-")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "<stdin>:1") || !strings.Contains(out, "permission fault") {
+		t.Errorf("fault diagnostic missing position or code:\n%s", out)
+	}
+}
+
+func TestAssembleErrorExitsTwo(t *testing.T) {
+	code, _, errb := runLint(t, "bogus r1\n", "-")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "<stdin>:1") && !strings.Contains(errb, "line 1") {
+		t.Errorf("assemble error lacks position: %q", errb)
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	if code, _, _ := runLint(t, ""); code != 2 {
+		t.Errorf("no-args exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutputAndLinking(t *testing.T) {
+	code, out, _ := runLint(t, "", "-json",
+		filepath.Join("..", "..", "programs", "usemem.s"),
+		filepath.Join("..", "..", "programs", "memlib.s"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	var rep struct {
+		Abyss  bool `json:"abyss"`
+		Totals struct {
+			Safe  int `json:"safe"`
+			Fault int `json:"fault"`
+		} `json:"totals"`
+		Faults []string `json:"faults"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if rep.Abyss || rep.Totals.Fault != 0 || len(rep.Faults) != 0 || rep.Totals.Safe == 0 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+}
+
+func TestVerboseShowsUnknowns(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "u.s")
+	// r2 is data-dependent: the lea bounds check stays unknown.
+	src := "\tld r2, r1, 0\n\tlea r3, r1, r2\n\thalt\n"
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, quiet, _ := runLint(t, "", f)
+	_, loud, _ := runLint(t, "", "-v", f)
+	if strings.Contains(quiet, "unknown bounds") {
+		t.Errorf("quiet mode printed unknowns:\n%s", quiet)
+	}
+	if !strings.Contains(loud, "unknown") {
+		t.Errorf("-v did not print unknown sites:\n%s", loud)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/asm"
+	"repro/internal/capverify"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
@@ -47,6 +48,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	profile := fs.Bool("profile", false, "sample executed instruction addresses and print a flat hot-spot profile")
 	wide := fs.Bool("wide", false, "enable 3-wide LIW issue per cluster")
 	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
+	verify := fs.Bool("verify", false, "statically verify the program first; refuse to boot it if it provably faults")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,10 +69,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	prog, err := asm.Assemble(string(src))
+	display := fs.Arg(0)
+	if display == "-" {
+		display = "<stdin>"
+	}
+	prog, err := asm.AssembleNamed(display, string(src))
 	if err != nil {
 		fmt.Fprintln(stderr, "mmsim:", err)
 		return 1
+	}
+	if *verify {
+		rep := capverify.Verify(prog, capverify.Config{DataBytes: *dataBytes})
+		if rep.HasFault() {
+			for _, d := range rep.Faults() {
+				fmt.Fprintln(stderr, "mmsim:", d)
+			}
+			fmt.Fprintln(stderr, "mmsim: program provably faults; refusing to boot (run mmlint for details)")
+			return 1
+		}
 	}
 
 	cfg := machine.MMachine()

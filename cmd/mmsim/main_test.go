@@ -244,3 +244,18 @@ func TestDebugNeedsFile(t *testing.T) {
 		t.Errorf("exit %d", code)
 	}
 }
+
+func TestVerifyFlagRefusesFaultingProgram(t *testing.T) {
+	code, _, stderr := runCLI([]string{"-verify", "-"}, "ld r2, r9, 0\nhalt\n")
+	if code != 1 {
+		t.Errorf("provably faulting program booted: exit %d", code)
+	}
+	if !strings.Contains(stderr, "refusing to boot") || !strings.Contains(stderr, "<stdin>:1") {
+		t.Errorf("refusal diagnostic: %q", stderr)
+	}
+	// The same gate passes clean programs through to a normal run.
+	code, out, _ := runCLI([]string{"-verify", "-"}, countdown)
+	if code != 0 || !strings.Contains(out, "halted") {
+		t.Errorf("clean program: exit %d out %q", code, out)
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	File string
+	Line int
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// deterministicPkgs are the simulation packages whose results must be a
+// pure function of their seeds: no ambient randomness or wall-clock.
+var deterministicPkgs = map[string]bool{
+	"machine":     true,
+	"multi":       true,
+	"faultinject": true,
+	"noc":         true,
+}
+
+// bannedTimeFuncs are the global time sources rule 2 rejects. Duration
+// arithmetic and constants (time.Millisecond) remain fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Tick":      true,
+	"After":     true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Lint walks the repository tree rooted at root and returns every rule
+// violation, sorted by position.
+func Lint(root string) ([]Finding, error) {
+	var findings []Finding
+	internalRoot := filepath.Join(root, "internal")
+	err := filepath.WalkDir(internalRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		fs, err := lintFile(path, rel)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	return findings, nil
+}
+
+// lintFile applies all rules to one non-test file under internal/.
+// rel is the root-relative path used in findings; its first path
+// element below internal/ names the package directory.
+func lintFile(path, rel string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", rel, err)
+	}
+
+	parts := strings.Split(filepath.ToSlash(rel), "/")
+	pkgDir := ""
+	for i, p := range parts {
+		if p == "internal" && i+1 < len(parts) {
+			pkgDir = parts[i+1]
+			break
+		}
+	}
+	deterministic := deterministicPkgs[pkgDir]
+
+	var findings []Finding
+	report := func(pos token.Pos, rule, format string, args ...interface{}) {
+		findings = append(findings, Finding{
+			File: rel, Line: fset.Position(pos).Line,
+			Rule: rule, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Rule 2a: banned imports in deterministic packages.
+	if deterministic {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "math/rand" || p == "math/rand/v2" {
+				report(imp.Pos(), "determinism",
+					"import of %s in deterministic package internal/%s; seed an explicit generator instead", p, pkgDir)
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			// Rule 1: no panic in library code.
+			if fn.Name == "panic" {
+				report(call.Pos(), "no-panic",
+					"panic in internal/%s; return an error instead", pkgDir)
+			}
+		case *ast.SelectorExpr:
+			pkg, ok := fn.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // Obj != nil: a local variable, not a package
+				return true
+			}
+			// Rule 3: no direct stdout printing from libraries.
+			if pkg.Name == "fmt" && (fn.Sel.Name == "Print" || fn.Sel.Name == "Printf" || fn.Sel.Name == "Println") {
+				report(call.Pos(), "no-print",
+					"fmt.%s in internal/%s writes to process stdout; print through an io.Writer", fn.Sel.Name, pkgDir)
+			}
+			// Rule 2b: no global time sources in deterministic packages.
+			if deterministic && pkg.Name == "time" && bannedTimeFuncs[fn.Sel.Name] {
+				report(call.Pos(), "determinism",
+					"time.%s in deterministic package internal/%s; simulated time must come from cycle counts", fn.Sel.Name, pkgDir)
+			}
+		}
+		return true
+	})
+	return findings, nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree lays out a fake repo under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func ruleCounts(fs []Finding) map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/machine/bad.go": `package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func oops(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+	fmt.Println(rand.Int(), time.Now())
+}
+`,
+		"internal/asm/ok.go": `package asm
+
+import "time"
+
+// Non-deterministic package: time.Since is allowed here, printing is not.
+func dur() time.Duration { var t0 time.Time; return time.Since(t0) }
+`,
+	})
+	fs, err := Lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ruleCounts(fs)
+	// bad.go: panic, fmt.Println, math/rand import, rand.Int call is not
+	// checked (only the import), time.Now call.
+	if got["no-panic"] != 1 || got["no-print"] != 1 || got["determinism"] != 2 {
+		t.Errorf("rule counts %v, want no-panic=1 no-print=1 determinism=2\n%v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Line <= 0 || f.File == "" {
+			t.Errorf("finding lacks position: %+v", f)
+		}
+	}
+}
+
+func TestLintSkipsTestsAndCmd(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/machine/x_test.go": `package machine
+
+import "math/rand"
+
+func helper() int { panic(rand.Int()) }
+`,
+		"cmd/tool/main.go": `package main
+
+import "fmt"
+
+func main() { fmt.Println("fine"); panic("also fine here") }
+`,
+		"internal/noc/ok.go": `package noc
+
+func fine() {}
+`,
+	})
+	fs, err := Lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("findings in exempt files: %v", fs)
+	}
+}
+
+func TestLintLocalVariableShadowingPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/machine/shadow.go": `package machine
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func use() int {
+	var time clock
+	return time.Now() // a local, not the time package
+}
+`,
+	})
+	fs, err := Lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("false positive on shadowed identifier: %v", fs)
+	}
+}
+
+// TestRepoIsClean is the gate itself: the real tree must have zero
+// findings.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := Lint(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

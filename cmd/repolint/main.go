@@ -1,0 +1,52 @@
+// Command repolint enforces this repository's source hygiene rules on
+// the Go tree itself, using go/ast only (no third-party tooling):
+//
+//  1. no panic calls in internal/* non-test code — library packages
+//     return errors; the simulator must never take down its host
+//  2. no math/rand (or math/rand/v2) imports and no global time
+//     sources (time.Now, time.Since, time.Tick, time.After,
+//     time.NewTicker, time.NewTimer) in the deterministic simulation
+//     packages (internal/machine, internal/multi, internal/faultinject,
+//     internal/noc) outside tests — simulation results must be
+//     reproducible from seeds and cycle counts alone
+//  3. no fmt.Print/Printf/Println in internal/* non-test code —
+//     library packages report through returned values and io.Writers,
+//     not the process's stdout
+//
+// Exit status: 0 clean, 1 findings, 2 usage error. Wired into `make
+// lint` and CI.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	root := "."
+	switch len(args) {
+	case 0:
+	case 1:
+		root = args[0]
+	default:
+		fmt.Fprintln(stderr, "usage: repolint [repo-root]")
+		return 2
+	}
+	findings, err := Lint(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stdout, "repolint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -33,10 +33,43 @@ import (
 )
 
 // Program is an assembled image: a flat sequence of words plus the
-// label table (word indices).
+// label table (word indices) and, when assembled through this package,
+// a per-word origin table mapping each word back to its source line.
 type Program struct {
 	Words  []word.Word
 	Labels map[string]int
+
+	// Origins has one entry per word in Words recording the source
+	// file (empty for anonymous assembly) and 1-based line the word
+	// was emitted from. Hand-built Programs may leave it nil; use
+	// Origin to read it safely.
+	Origins []Origin
+}
+
+// Origin locates one emitted word in its source text.
+type Origin struct {
+	File string
+	Line int
+}
+
+// String renders the origin as file:line (or line N when anonymous).
+func (o Origin) String() string {
+	if o.File == "" {
+		if o.Line == 0 {
+			return "?"
+		}
+		return fmt.Sprintf("line %d", o.Line)
+	}
+	return fmt.Sprintf("%s:%d", o.File, o.Line)
+}
+
+// Origin returns the source origin of word index i, or a zero Origin
+// when the program carries no origin table (hand-built images).
+func (p *Program) Origin(i int) Origin {
+	if i < 0 || i >= len(p.Origins) {
+		return Origin{}
+	}
+	return p.Origins[i]
 }
 
 // ByteSize returns the program size in bytes.
@@ -54,6 +87,7 @@ func (p *Program) LabelByte(name string) (uint64, error) {
 }
 
 type stmt struct {
+	file   string // source name for diagnostics ("" = anonymous)
 	lineNo int
 	op     string   // mnemonic or a directive (".word", ".space", ".align")
 	args   []string // raw operand tokens
@@ -61,8 +95,15 @@ type stmt struct {
 	size   int      // words occupied
 }
 
-// Assemble translates source text into a Program.
-func Assemble(src string) (*Program, error) {
+// Assemble translates source text into a Program. Errors and origins
+// carry line numbers only; AssembleNamed additionally stamps a source
+// name onto both.
+func Assemble(src string) (*Program, error) { return AssembleNamed("", src) }
+
+// AssembleNamed translates source text into a Program, recording name
+// as the source file in the origin table and in every diagnostic
+// ("name:line: ...").
+func AssembleNamed(name, src string) (*Program, error) {
 	// Pass 1: strip comments, collect statements, assign word
 	// addresses (directives may occupy zero or many words) and bind
 	// labels to word indices.
@@ -81,14 +122,14 @@ func Assemble(src string) (*Program, error) {
 			if colon < 0 {
 				break
 			}
-			name := strings.TrimSpace(line[:colon])
-			if !isIdent(name) {
-				return nil, fmt.Errorf("asm: line %d: bad label %q", lineNo+1, name)
+			lbl := strings.TrimSpace(line[:colon])
+			if !isIdent(lbl) {
+				return nil, lineErr(stmt{file: name, lineNo: lineNo + 1}, "bad label %q", lbl)
 			}
-			if _, dup := labels[name]; dup {
-				return nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo+1, name)
+			if _, dup := labels[lbl]; dup {
+				return nil, lineErr(stmt{file: name, lineNo: lineNo + 1}, "duplicate label %q", lbl)
 			}
-			labels[name] = addr
+			labels[lbl] = addr
 			line = strings.TrimSpace(line[colon+1:])
 		}
 		if line == "" {
@@ -103,7 +144,7 @@ func Assemble(src string) (*Program, error) {
 				args = append(args, strings.TrimSpace(a))
 			}
 		}
-		st := stmt{lineNo: lineNo + 1, op: op, args: args, addr: addr}
+		st := stmt{file: name, lineNo: lineNo + 1, op: op, args: args, addr: addr}
 		size, err := stmtSize(st, addr)
 		if err != nil {
 			return nil, err
@@ -121,6 +162,9 @@ func Assemble(src string) (*Program, error) {
 			return nil, err
 		}
 		p.Words = append(p.Words, ws...)
+		for range ws {
+			p.Origins = append(p.Origins, Origin{File: name, Line: s.lineNo})
+		}
 	}
 	return p, nil
 }
@@ -375,6 +419,9 @@ func isIdent(s string) bool {
 }
 
 func lineErr(s stmt, format string, args ...interface{}) error {
+	if s.file != "" {
+		return fmt.Errorf("asm: %s:%d: %s", s.file, s.lineNo, fmt.Sprintf(format, args...))
+	}
 	return fmt.Errorf("asm: line %d: %s", s.lineNo, fmt.Sprintf(format, args...))
 }
 

@@ -44,9 +44,14 @@ type fixup struct {
 func AssembleModule(name, src string) (*Module, error) {
 	m := &Module{Name: name, Exports: make(map[string]int), imports: make(map[string]bool)}
 
-	// Pre-pass: strip .export/.import lines, remember them.
+	// Pre-pass: strip .export/.import lines, remember them (with the
+	// directive's line, so undefined-export errors can point at it).
 	var kept []string
-	var exports []string
+	type exportDecl struct {
+		label  string
+		lineNo int
+	}
+	var exports []exportDecl
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := raw
 		if i := strings.IndexAny(line, ";#"); i >= 0 {
@@ -54,13 +59,13 @@ func AssembleModule(name, src string) (*Module, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) == 2 && f[0] == ".export" {
-			exports = append(exports, f[1])
+			exports = append(exports, exportDecl{label: f[1], lineNo: lineNo + 1})
 			kept = append(kept, "")
 			continue
 		}
 		if len(f) == 2 && f[0] == ".import" {
 			if !isIdent(f[1]) {
-				return nil, fmt.Errorf("asm: %s line %d: bad import %q", name, lineNo+1, f[1])
+				return nil, fmt.Errorf("asm: %s:%d: bad import %q", name, lineNo+1, f[1])
 			}
 			m.imports[f[1]] = true
 			kept = append(kept, "")
@@ -82,11 +87,11 @@ func AssembleModule(name, src string) (*Module, error) {
 	m.fixups = fixups
 
 	for _, e := range exports {
-		idx, ok := prog.Labels[e]
+		idx, ok := prog.Labels[e.label]
 		if !ok {
-			return nil, fmt.Errorf("asm: %s: exported label %q not defined", name, e)
+			return nil, fmt.Errorf("asm: %s:%d: exported label %q not defined", name, e.lineNo, e.label)
 		}
-		m.Exports[e] = idx
+		m.Exports[e.label] = idx
 	}
 	return m, nil
 }
@@ -125,9 +130,9 @@ func assembleWithImports(name, body string, imports map[string]bool) (*Program, 
 			lines[i] = code + comment
 		}
 	}
-	prog, err := Assemble(strings.Join(lines, "\n"))
+	prog, err := AssembleNamed(name, strings.Join(lines, "\n"))
 	if err != nil {
-		return nil, nil, fmt.Errorf("asm: module %s: %w", name, err)
+		return nil, nil, err
 	}
 	// Recover word indices: re-run the statement scan to map source
 	// lines to word addresses.
@@ -193,39 +198,38 @@ func Link(modules ...*Module) (*Program, error) {
 	}
 	// Layout and global symbol table.
 	base := make(map[*Module]int)
-	globals := make(map[string]int) // exported label → image word index
-	dup := make(map[string]bool)
+	globals := make(map[string]int)     // exported label → image word index
+	exporter := make(map[string]string) // exported label → module name
 	total := 0
 	for _, m := range modules {
 		base[m] = total
 		total += len(m.Prog.Words)
 		for name, idx := range m.Exports {
-			if _, exists := globals[name]; exists {
-				dup[name] = true
+			if prev, exists := exporter[name]; exists {
+				return nil, fmt.Errorf("asm: duplicate export %q (modules %s and %s)", name, prev, m.Name)
 			}
+			exporter[name] = m.Name
 			globals[name] = base[m] + idx
 		}
-	}
-	for name := range dup {
-		return nil, fmt.Errorf("asm: duplicate export %q", name)
 	}
 
 	out := &Program{Labels: make(map[string]int)}
 	for _, m := range modules {
 		off := base[m]
 		out.Words = append(out.Words, m.Prog.Words...)
+		out.Origins = append(out.Origins, m.Prog.Origins...)
 		for name, idx := range m.Prog.Labels {
 			out.Labels[m.Name+"."+name] = off + idx
 		}
 		for _, fx := range m.fixups {
 			target, ok := globals[fx.symbol]
 			if !ok {
-				return nil, fmt.Errorf("asm: %s line %d: undefined import %q", m.Name, fx.lineNo, fx.symbol)
+				return nil, fmt.Errorf("asm: %s:%d: undefined import %q", m.Name, fx.lineNo, fx.symbol)
 			}
 			w := out.Words[off+fx.wordIdx]
 			inst, err := isa.Decode(w)
 			if err != nil {
-				return nil, fmt.Errorf("asm: %s line %d: fixup on non-instruction", m.Name, fx.lineNo)
+				return nil, fmt.Errorf("asm: %s:%d: fixup on non-instruction", m.Name, fx.lineNo)
 			}
 			inst.Imm = int64(target) * word.BytesPerWord
 			patched, err := isa.Encode(inst)

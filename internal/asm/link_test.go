@@ -115,3 +115,72 @@ func TestLocalLabelsStillWork(t *testing.T) {
 		t.Errorf("=ext patched to %d, want 48", ldi.Imm)
 	}
 }
+
+// --- diagnostics plumbing ---------------------------------------------
+
+func TestAssembleNamedErrorPosition(t *testing.T) {
+	_, err := AssembleNamed("prog.s", "nop\nbogus r1\nhalt")
+	if err == nil {
+		t.Fatal("bad mnemonic accepted")
+	}
+	if !strings.Contains(err.Error(), "prog.s:2:") {
+		t.Errorf("error %q does not carry file:line prog.s:2", err)
+	}
+}
+
+func TestLinkErrorPositions(t *testing.T) {
+	// Undefined export: the error names the module and the .export line.
+	if _, err := AssembleModule("mod", "nop\n.export missing\nhalt"); err == nil ||
+		!strings.Contains(err.Error(), "mod:2:") {
+		t.Errorf("undefined export error %v, want mod:2 position", err)
+	}
+
+	// Duplicate export: both module names appear.
+	a, _ := AssembleModule("first", ".export x\nx: nop")
+	b, _ := AssembleModule("second", ".export x\nx: nop")
+	_, err := Link(a, b)
+	if err == nil || !strings.Contains(err.Error(), "first") || !strings.Contains(err.Error(), "second") {
+		t.Errorf("duplicate export error %v, want both module names", err)
+	}
+
+	// Undefined import: the error points at the use site.
+	c, _ := AssembleModule("user", ".import missing\nnop\nldi r2, =missing\nhalt")
+	_, err = Link(c)
+	if err == nil || !strings.Contains(err.Error(), "user:3") {
+		t.Errorf("undefined import error %v, want user:3 position", err)
+	}
+}
+
+func TestOriginsThroughAssembleAndLink(t *testing.T) {
+	prog, err := AssembleNamed("one.s", "\nnop\n\nldi r2, 7\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Origins) != len(prog.Words) {
+		t.Fatalf("origins %d != words %d", len(prog.Origins), len(prog.Words))
+	}
+	wantLines := []int{2, 4, 5}
+	for i, want := range wantLines {
+		if o := prog.Origin(i); o.File != "one.s" || o.Line != want {
+			t.Errorf("word %d origin %s, want one.s:%d", i, o, want)
+		}
+	}
+	// Out-of-range lookups are harmless zero origins.
+	if o := prog.Origin(99); o.File != "" || o.Line != 0 {
+		t.Errorf("out-of-range origin %v, want zero", o)
+	}
+
+	m1, _ := AssembleModule("main", ".import fn\nldi r14, =fn\nhalt")
+	m2, _ := AssembleModule("lib", ".export fn\nfn: nop\nhalt")
+	linked, err := Link(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(linked.Origins) != len(linked.Words) {
+		t.Fatalf("linked origins %d != words %d", len(linked.Origins), len(linked.Words))
+	}
+	// Word 2 is lib's first word: origin must cross the module boundary.
+	if o := linked.Origin(2); o.File != "lib" || o.Line != 2 {
+		t.Errorf("linked word 2 origin %s, want lib:2", o)
+	}
+}

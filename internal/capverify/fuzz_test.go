@@ -1,0 +1,43 @@
+package capverify
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/faultinject"
+)
+
+// FuzzVerify feeds arbitrary assembler-accepted programs to the
+// verifier: whatever the assembler emits, the analysis must terminate
+// without panicking. Seeds are the shipped programs, the campaign
+// workloads, and the crafted violations.
+func FuzzVerify(f *testing.F) {
+	files, _ := filepath.Glob(filepath.Join("..", "..", "programs", "*.s"))
+	for _, file := range files {
+		if src, err := os.ReadFile(file); err == nil {
+			f.Add(string(src))
+		}
+	}
+	for _, src := range faultinject.WorkloadSources() {
+		f.Add(src)
+	}
+	for _, bp := range badPrograms {
+		f.Add(bp.src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.AssembleNamed("fuzz.s", src)
+		if err != nil {
+			return // not assemblable: out of scope
+		}
+		for _, cfg := range []Config{{}, {Privileged: true}, {DataBytes: 64}} {
+			rep := Verify(prog, cfg)
+			if rep == nil {
+				t.Fatal("nil report")
+			}
+			rep.sortDiags()
+			_ = rep.Summary()
+		}
+	})
+}

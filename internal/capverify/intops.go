@@ -1,0 +1,304 @@
+package capverify
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// This file holds the abstract integer transfer functions: interval
+// plus power-of-two congruence arithmetic over the bits-as-int64 view
+// of a word, mirroring word.Word.Int() semantics (the tag is ignored;
+// feeding a pointer to the ALU reads its raw bit image).
+
+// asInt converts any lattice value to the KInt view of its 64-bit
+// pattern. An uninitialized register reads as 0; a guarded pointer's
+// image is dominated by its permission field (perm ≥ 1 puts the bits
+// in [2^60, 2^63)), and its low bits follow the offset congruence as
+// far as the segment alignment guarantees them.
+func asInt(v Value) Value {
+	switch v.Kind {
+	case KBottom:
+		return v
+	case KUninit:
+		return IntExact(0)
+	case KInt:
+		return v
+	case KPtr:
+		minPerm, maxPerm := 15, 0
+		for p := 0; p < 16; p++ {
+			if v.Perms&(1<<p) != 0 {
+				if p < minPerm {
+					minPerm = p
+				}
+				if p > maxPerm {
+					maxPerm = p
+				}
+			}
+		}
+		out := Value{
+			Kind: KInt,
+			Lo:   int64(minPerm) << 60,
+			Hi:   int64(maxPerm+1)<<60 - 1,
+		}
+		// base ≡ 0 (mod 2^LenLo), so the address — and the whole bit
+		// image, below bit 54 — keeps the offset congruence up to the
+		// segment alignment.
+		out.Mod = minU64(v.Mod, uint64(1)<<v.LenLo)
+		if out.Mod > uint64(1)<<core.AddrBits {
+			out.Mod = uint64(1) << core.AddrBits
+		}
+		if out.Mod == 0 {
+			out.Mod = 1
+		}
+		out.Rem = v.Rem & (out.Mod - 1)
+		return out.canon()
+	case KTop:
+		return IntAny()
+	}
+	return IntAny()
+}
+
+func addInt(a, b Value) Value {
+	if a.Kind == KBottom || b.Kind == KBottom {
+		return Bottom()
+	}
+	out := Value{Kind: KInt, Lo: satAdd(a.Lo, b.Lo), Hi: satAdd(a.Hi, b.Hi)}
+	m := minU64(a.Mod, b.Mod)
+	out.Mod, out.Rem = m, (a.Rem+b.Rem)&(m-1)
+	return out.canon()
+}
+
+func subInt(a, b Value) Value {
+	if a.Kind == KBottom || b.Kind == KBottom {
+		return Bottom()
+	}
+	out := Value{Kind: KInt, Lo: satAdd(a.Lo, negSat(b.Hi)), Hi: satAdd(a.Hi, negSat(b.Lo))}
+	m := minU64(a.Mod, b.Mod)
+	out.Mod, out.Rem = m, (a.Rem-b.Rem)&(m-1)
+	return out.canon()
+}
+
+// negSat negates with saturation (-MinInt64 would overflow).
+func negSat(x int64) int64 {
+	if x == math.MinInt64 {
+		return math.MaxInt64
+	}
+	return -x
+}
+
+func mulInt(a, b Value) Value {
+	if a.Kind == KBottom || b.Kind == KBottom {
+		return Bottom()
+	}
+	if x, ok := a.IsExactInt(); ok {
+		if y, ok := b.IsExactInt(); ok {
+			return IntExact(x * y) // wraps exactly as the machine does
+		}
+	}
+	out := IntAny()
+	const small = int64(1) << 31
+	if a.Lo > -small && a.Hi < small && b.Lo > -small && b.Hi < small {
+		c := [4]int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+		lo, hi := c[0], c[0]
+		for _, x := range c[1:] {
+			lo, hi = minI(lo, x), maxI(hi, x)
+		}
+		out.Lo, out.Hi = lo, hi
+	}
+	// Low bits of a product are determined by low bits of the factors.
+	m := minU64(a.Mod, b.Mod)
+	out.Mod, out.Rem = m, (a.Rem*b.Rem)&(m-1)
+	return out.canon()
+}
+
+func bitwiseInt(op byte, a, b Value) Value {
+	if a.Kind == KBottom || b.Kind == KBottom {
+		return Bottom()
+	}
+	if x, ok := a.IsExactInt(); ok {
+		if y, ok := b.IsExactInt(); ok {
+			switch op {
+			case '&':
+				return IntExact(x & y)
+			case '|':
+				return IntExact(x | y)
+			}
+			return IntExact(x ^ y)
+		}
+	}
+	out := IntAny()
+	if a.Lo >= 0 && b.Lo >= 0 {
+		switch op {
+		case '&':
+			out.Lo, out.Hi = 0, minI(a.Hi, b.Hi)
+		case '|':
+			out.Lo, out.Hi = maxI(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)
+		case '^':
+			out.Lo, out.Hi = 0, satAdd(a.Hi, b.Hi)
+		}
+	} else if op == '&' {
+		// AND with a known non-negative mask bounds the result even if
+		// the other side may be negative.
+		if x, ok := a.IsExactInt(); ok && x >= 0 {
+			out.Lo, out.Hi = 0, x
+		} else if y, ok := b.IsExactInt(); ok && y >= 0 {
+			out.Lo, out.Hi = 0, y
+		}
+	}
+	m := minU64(a.Mod, b.Mod)
+	var r uint64
+	switch op {
+	case '&':
+		r = a.Rem & b.Rem
+	case '|':
+		r = a.Rem | b.Rem
+	default:
+		r = a.Rem ^ b.Rem
+	}
+	out.Mod, out.Rem = m, r&(m-1)
+	return out.canon()
+}
+
+// shlInt models rd = a << (s & 63). Low result bits are determined by
+// low input bits, so the congruence survives even when the interval
+// overflows.
+func shlInt(a, s Value) Value {
+	if a.Kind == KBottom || s.Kind == KBottom {
+		return Bottom()
+	}
+	sh, exact := s.IsExactInt()
+	if !exact {
+		return IntAny()
+	}
+	n := uint(sh) & 63
+	if x, ok := a.IsExactInt(); ok {
+		return IntExact(x << n)
+	}
+	out := IntAny()
+	if n <= 62 && a.Lo >= 0 && a.Hi <= math.MaxInt64>>n {
+		out.Lo, out.Hi = a.Lo<<n, a.Hi<<n
+	}
+	// a ≡ r (mod m) ⟹ a<<n ≡ r<<n (mod min(m<<n, 2^62)).
+	m := a.Mod
+	if n >= 62 || m > exactMod>>n {
+		m = exactMod
+	} else {
+		m <<= n
+	}
+	out.Mod = m
+	out.Rem = (a.Rem << n) & (m - 1)
+	return out.canon()
+}
+
+// shrInt models rd = logical-shift-right(a, s & 63).
+func shrInt(a, s Value) Value {
+	if a.Kind == KBottom || s.Kind == KBottom {
+		return Bottom()
+	}
+	sh, exact := s.IsExactInt()
+	if !exact {
+		return IntAny()
+	}
+	n := uint(sh) & 63
+	if x, ok := a.IsExactInt(); ok {
+		return IntExact(int64(uint64(x) >> n))
+	}
+	if n == 0 {
+		return a
+	}
+	out := IntAny()
+	if a.Lo >= 0 {
+		out.Lo, out.Hi = a.Lo>>n, a.Hi>>n
+	} else {
+		// Negative inputs shift to large positives; only the width
+		// bound survives.
+		out.Lo, out.Hi = 0, int64((^uint64(0))>>n)
+	}
+	return out.canon()
+}
+
+// intLt reports whether a < b always / never holds over the abstract
+// operands.
+func intLt(a, b Value) (always, never bool) {
+	return a.Hi < b.Lo, a.Lo >= b.Hi
+}
+
+// boolVal builds the 0/1 result of a comparison from its tri-state.
+func boolVal(always, never bool) Value {
+	switch {
+	case always:
+		return IntExact(1)
+	case never:
+		return IntExact(0)
+	}
+	return IntRange(0, 1)
+}
+
+// canBeZero reports whether the abstract value admits the concrete
+// bits-zero word (the branch condition of BEQZ). A guarded pointer's
+// permission field is nonzero, so pointers are never zero; top admits
+// zero.
+func canBeZero(v Value) bool {
+	switch v.Kind {
+	case KUninit:
+		return true
+	case KInt:
+		return v.Lo <= 0 && 0 <= v.Hi && (v.Mod <= 1 || v.Rem == 0)
+	case KPtr:
+		return false
+	}
+	return true // KTop
+}
+
+// canBeNonzero reports whether the value admits any nonzero bits.
+func canBeNonzero(v Value) bool {
+	switch v.Kind {
+	case KUninit:
+		return false
+	case KInt:
+		return v.Lo != 0 || v.Hi != 0
+	}
+	return true
+}
+
+// refineZero narrows v to the zero word, reporting false if that is
+// impossible.
+func refineZero(v Value) (Value, bool) {
+	switch v.Kind {
+	case KUninit:
+		return v, true
+	case KInt:
+		if !canBeZero(v) {
+			return v, false
+		}
+		return IntExact(0), true
+	case KPtr:
+		return v, false
+	}
+	return IntExact(0), true // KTop: a valid pointer is never zero
+}
+
+// refineNonzero narrows v to exclude the zero word.
+func refineNonzero(v Value) (Value, bool) {
+	switch v.Kind {
+	case KUninit:
+		return v, false
+	case KInt:
+		if v.Lo == 0 && v.Hi == 0 {
+			return v, false
+		}
+		if v.Lo == 0 {
+			v.Lo = 1
+		}
+		if v.Hi == 0 {
+			v.Hi = -1
+		}
+		return v.canon(), true
+	}
+	return v, true
+}
+
+// popcount16 counts set bits (tiny helper aliasing math/bits).
+func popcount16(m uint16) int { return bits.OnesCount16(m) }

@@ -1,0 +1,532 @@
+// Package capverify is a static capability-safety verifier for MAP
+// assembly programs: a worklist abstract interpretation over the
+// guarded-pointer register file.
+//
+// The paper's thesis is that protection travels inside the pointer
+// (Carter, Keckler & Dally, ASPLOS 1994), which makes capability
+// misuse decidable for a large class of programs before a single cycle
+// runs: a store through a read-only pointer, a jump through a
+// non-execute word, a SETPTR outside privileged code, or an LEA that
+// provably leaves its segment can all be reported — with source line
+// and register provenance — by a dataflow pass over the instruction
+// stream. Conversely, checks the analysis discharges statically are
+// checks a compiler could have elided, the static analogue of the
+// Sec 5 software-fault-isolation overhead comparison.
+//
+// The abstract domain is a per-register lattice:
+//
+//	⊥  —  unreachable / no value
+//	uninit  —  never written; concretely the untagged integer 0
+//	int[lo,hi] (mod m, rem r)  —  untagged word, signed interval plus a
+//	        power-of-two congruence for alignment reasoning
+//	ptr{perm set, log-len interval, offset interval (mod m, rem r)}  —
+//	        guarded pointer whose permission is one of a set and whose
+//	        byte offset within its (power-of-two) segment is bounded
+//	⊤  —  any word, tagged or not
+//
+// Offsets rather than absolute addresses are tracked because segments
+// are aligned on their own size (Fig. 1): base bits never change under
+// LEA, so the offset interval is exactly what the masked comparator of
+// Fig. 2 checks.
+package capverify
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// Kind discriminates the lattice elements.
+type Kind uint8
+
+const (
+	KBottom Kind = iota // unreachable
+	KUninit             // never written (concretely untagged 0)
+	KInt                // untagged integer
+	KPtr                // guarded pointer
+	KTop                // any word
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KBottom:
+		return "⊥"
+	case KUninit:
+		return "uninit"
+	case KInt:
+		return "int"
+	case KPtr:
+		return "ptr"
+	case KTop:
+		return "⊤"
+	}
+	return "kind?"
+}
+
+// Region records which segment a pointer is derived from, for
+// diagnostics and for resolving jump targets into the analyzed code
+// image. It is provenance, not a lattice of values: joining distinct
+// regions yields RegAny.
+type Region uint8
+
+const (
+	RegNone Region = iota
+	RegData        // the r1 scratch data segment
+	RegCode        // the program's code segment (MOVIP / jump return values)
+	RegAny         // unknown or mixed
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegData:
+		return "data"
+	case RegCode:
+		return "code"
+	case RegAny:
+		return "any"
+	}
+	return "-"
+}
+
+// exactMod is the congruence modulus attached to singleton values: a
+// value known exactly satisfies x ≡ x (mod 2^62), the strongest
+// congruence the domain represents.
+const exactMod = uint64(1) << 62
+
+// Value is one element of the abstract word lattice.
+type Value struct {
+	Kind Kind
+
+	// KInt: signed interval [Lo,Hi] plus congruence Bits ≡ Rem (mod Mod)
+	// over the unsigned bit pattern; Mod is a power of two (1 = no
+	// congruence information).
+	Lo, Hi int64
+
+	// KPtr fields.
+	Perms        uint16 // bitmask over core.Perm 0..15 of possible permissions
+	LenLo, LenHi uint8  // segment log2-length interval
+	OffLo, OffHi uint64 // byte offset within the segment
+	Region       Region
+
+	// Congruence of the offset (KPtr) or bit pattern (KInt):
+	// value ≡ Rem (mod Mod), Mod a power of two ≥ 1.
+	Mod, Rem uint64
+}
+
+// Canonical constructors.
+
+// Bottom is the unreachable value.
+func Bottom() Value { return Value{Kind: KBottom} }
+
+// Uninit is the never-written register value.
+func Uninit() Value { return Value{Kind: KUninit} }
+
+// Top is the unconstrained value.
+func Top() Value { return Value{Kind: KTop} }
+
+// IntExact is the singleton integer v.
+func IntExact(v int64) Value {
+	return Value{Kind: KInt, Lo: v, Hi: v, Mod: exactMod, Rem: uint64(v) % exactMod}.canon()
+}
+
+// IntRange is the integer interval [lo,hi] with no congruence.
+func IntRange(lo, hi int64) Value {
+	return Value{Kind: KInt, Lo: lo, Hi: hi, Mod: 1}.canon()
+}
+
+// IntAny is the full integer range.
+func IntAny() Value { return IntRange(math.MinInt64, math.MaxInt64) }
+
+// PtrExact is a pointer with a single permission, exact segment length
+// and exact offset.
+func PtrExact(p core.Perm, logLen uint, off uint64, region Region) Value {
+	return Value{
+		Kind:  KPtr,
+		Perms: 1 << p,
+		LenLo: uint8(logLen), LenHi: uint8(logLen),
+		OffLo: off, OffHi: off,
+		Mod: exactMod, Rem: off % exactMod,
+		Region: region,
+	}.canon()
+}
+
+// PtrAny is a pointer about which nothing but structural validity is
+// known: any valid permission, any segment length, any offset.
+func PtrAny(region Region) Value {
+	return Value{
+		Kind:  KPtr,
+		Perms: validPermMask,
+		LenLo: 0, LenHi: uint8(core.MaxLogLen),
+		OffLo: 0, OffHi: (uint64(1) << core.MaxLogLen) - 1,
+		Mod: 1, Region: region,
+	}.canon()
+}
+
+// validPermMask is the bitmask of architecturally valid permissions
+// (PermNone excluded: Decode rejects it, so a live pointer never
+// carries it).
+const validPermMask uint16 = (1<<core.PermKey | 1<<core.PermReadOnly |
+	1<<core.PermReadWrite | 1<<core.PermExecuteUser | 1<<core.PermExecutePriv |
+	1<<core.PermEnterUser | 1<<core.PermEnterPriv)
+
+// IsExactInt reports whether v is the single integer value it returns.
+func (v Value) IsExactInt() (int64, bool) {
+	if v.Kind == KInt && v.Lo == v.Hi {
+		return v.Lo, true
+	}
+	if v.Kind == KUninit {
+		return 0, true
+	}
+	return 0, false
+}
+
+// ExactOff reports whether a pointer's offset is a single value.
+func (v Value) ExactOff() (uint64, bool) {
+	if v.Kind == KPtr && v.OffLo == v.OffHi {
+		return v.OffLo, true
+	}
+	return 0, false
+}
+
+// SinglePerm reports whether exactly one permission is possible.
+func (v Value) SinglePerm() (core.Perm, bool) {
+	if v.Kind == KPtr && bits.OnesCount16(v.Perms) == 1 {
+		return core.Perm(bits.TrailingZeros16(v.Perms)), true
+	}
+	return core.PermNone, false
+}
+
+// canon normalizes a value: empty intervals collapse to ⊥, pointer
+// offsets are clamped into the largest possible segment and tightened
+// to their congruence class, and singletons carry the strongest
+// congruence.
+func (v Value) canon() Value {
+	switch v.Kind {
+	case KInt:
+		if v.Lo > v.Hi {
+			return Bottom()
+		}
+		if v.Mod == 0 {
+			v.Mod = 1
+		}
+		v.Rem &= v.Mod - 1
+		if v.Lo == v.Hi {
+			v.Mod = exactMod
+			v.Rem = uint64(v.Lo) & (exactMod - 1)
+		}
+		return v
+	case KPtr:
+		if v.Perms&validPermMask == 0 {
+			return Bottom()
+		}
+		v.Perms &= validPermMask
+		if v.LenHi > uint8(core.MaxLogLen) {
+			v.LenHi = uint8(core.MaxLogLen)
+		}
+		if v.LenLo > v.LenHi {
+			return Bottom()
+		}
+		if v.Mod == 0 {
+			v.Mod = 1
+		}
+		v.Rem &= v.Mod - 1
+		// Offsets live in [0, 2^LenHi).
+		maxOff := (uint64(1) << v.LenHi) - 1
+		if v.OffHi > maxOff {
+			v.OffHi = maxOff
+		}
+		// Tighten the interval to the congruence class.
+		if v.Mod > 1 {
+			if r := v.OffLo & (v.Mod - 1); r != v.Rem {
+				// Smallest value ≥ OffLo with the right remainder.
+				delta := (v.Rem - r) & (v.Mod - 1)
+				if v.OffLo > maxOff-delta { // would overflow the segment
+					return Bottom()
+				}
+				v.OffLo += delta
+			}
+			if r := v.OffHi & (v.Mod - 1); r != v.Rem {
+				delta := (r - v.Rem) & (v.Mod - 1)
+				if v.OffHi < delta {
+					return Bottom()
+				}
+				v.OffHi -= delta
+			}
+		}
+		if v.OffLo > v.OffHi {
+			return Bottom()
+		}
+		if v.OffLo == v.OffHi {
+			v.Mod = exactMod
+			v.Rem = v.OffLo & (exactMod - 1)
+		}
+		return v
+	default:
+		// ⊥, uninit, ⊤ carry no fields.
+		return Value{Kind: v.Kind}
+	}
+}
+
+// congJoin joins two power-of-two congruences (m1,r1) and (m2,r2): the
+// strongest congruence implied by both. Trailing zeros of the
+// remainder difference bound how much agreement survives.
+func congJoin(m1, r1, m2, r2 uint64) (uint64, uint64) {
+	m := m1
+	if m2 < m {
+		m = m2
+	}
+	if d := r1 ^ r2; d != 0 {
+		if agree := uint64(1) << bits.TrailingZeros64(d); agree < m {
+			m = agree
+		}
+	}
+	if m == 0 {
+		m = 1
+	}
+	return m, r1 & (m - 1)
+}
+
+// congLeq reports whether congruence (m1,r1) implies (m2,r2).
+func congLeq(m1, r1, m2, r2 uint64) bool {
+	if m2 <= 1 {
+		return true
+	}
+	return m1 >= m2 && m1%m2 == 0 && r1&(m2-1) == r2
+}
+
+// Join returns the least upper bound of a and b.
+func Join(a, b Value) Value {
+	if a.Kind == KBottom {
+		return b
+	}
+	if b.Kind == KBottom {
+		return a
+	}
+	if a.Kind == KTop || b.Kind == KTop {
+		return Top()
+	}
+	// Uninit is the singleton untagged 0: absorb it into integer
+	// intervals, but an uninit/pointer mix needs ⊤.
+	if a.Kind == KUninit && b.Kind == KUninit {
+		return Uninit()
+	}
+	if a.Kind == KUninit {
+		a = IntExact(0)
+	}
+	if b.Kind == KUninit {
+		b = IntExact(0)
+	}
+	if a.Kind != b.Kind {
+		return Top() // int ⊔ ptr: tagged-ness itself is unknown
+	}
+	switch a.Kind {
+	case KInt:
+		out := Value{Kind: KInt, Lo: minI(a.Lo, b.Lo), Hi: maxI(a.Hi, b.Hi)}
+		out.Mod, out.Rem = congJoin(a.Mod, a.Rem, b.Mod, b.Rem)
+		return out.canon()
+	case KPtr:
+		out := Value{
+			Kind:  KPtr,
+			Perms: a.Perms | b.Perms,
+			LenLo: minU8(a.LenLo, b.LenLo), LenHi: maxU8(a.LenHi, b.LenHi),
+			OffLo: minU64(a.OffLo, b.OffLo), OffHi: maxU64(a.OffHi, b.OffHi),
+		}
+		out.Mod, out.Rem = congJoin(a.Mod, a.Rem, b.Mod, b.Rem)
+		if a.Region == b.Region {
+			out.Region = a.Region
+		} else {
+			out.Region = RegAny
+		}
+		return out.canon()
+	}
+	return Top()
+}
+
+// Widen accelerates convergence at join points: any bound still moving
+// after repeated visits jumps to its extreme. Offsets are bounded by
+// the segment, so pointer widening stays finite and precise-ish;
+// integer bounds go to the full 64-bit range. Congruences, permission
+// sets and length intervals are finite-height and never widened.
+func Widen(old, new Value) Value {
+	j := Join(old, new)
+	if j == old {
+		return old
+	}
+	switch j.Kind {
+	case KInt:
+		if old.Kind == KInt {
+			if j.Lo < old.Lo {
+				j.Lo = math.MinInt64
+			}
+			if j.Hi > old.Hi {
+				j.Hi = math.MaxInt64
+			}
+		} else {
+			j.Lo, j.Hi = math.MinInt64, math.MaxInt64
+		}
+		return j.canon()
+	case KPtr:
+		if old.Kind == KPtr {
+			if j.OffLo < old.OffLo {
+				j.OffLo = 0
+			}
+			if j.OffHi > old.OffHi {
+				j.OffHi = (uint64(1) << j.LenHi) - 1
+			}
+		} else {
+			j.OffLo, j.OffHi = 0, (uint64(1)<<j.LenHi)-1
+		}
+		return j.canon()
+	}
+	return j
+}
+
+// Leq reports a ⊑ b: every concrete word described by a is described
+// by b.
+func Leq(a, b Value) bool {
+	if a.Kind == KBottom || b.Kind == KTop {
+		return true
+	}
+	if b.Kind == KBottom || a.Kind == KTop {
+		return false
+	}
+	if a.Kind == KUninit {
+		switch b.Kind {
+		case KUninit:
+			return true
+		case KInt:
+			return b.Lo <= 0 && 0 <= b.Hi && congLeq(exactMod, 0, b.Mod, b.Rem)
+		}
+		return false
+	}
+	if b.Kind == KUninit {
+		return a.Kind == KInt && a.Lo == 0 && a.Hi == 0
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KInt:
+		return b.Lo <= a.Lo && a.Hi <= b.Hi && congLeq(a.Mod, a.Rem, b.Mod, b.Rem)
+	case KPtr:
+		if a.Perms&^b.Perms != 0 {
+			return false
+		}
+		if a.LenLo < b.LenLo || a.LenHi > b.LenHi {
+			return false
+		}
+		if a.OffLo < b.OffLo || a.OffHi > b.OffHi {
+			return false
+		}
+		if !congLeq(a.Mod, a.Rem, b.Mod, b.Rem) {
+			return false
+		}
+		return b.Region == RegAny || a.Region == b.Region
+	}
+	return true
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KBottom, KUninit, KTop:
+		return v.Kind.String()
+	case KInt:
+		if v.Lo == v.Hi {
+			return fmt.Sprintf("int %d", v.Lo)
+		}
+		s := fmt.Sprintf("int [%s,%s]", boundStr(v.Lo), boundStr(v.Hi))
+		if v.Mod > 1 && v.Mod != exactMod {
+			s += fmt.Sprintf(" ≡%d (mod %d)", v.Rem, v.Mod)
+		}
+		return s
+	case KPtr:
+		perms := ""
+		for p := core.Perm(0); p < core.NumPerms; p++ {
+			if v.Perms&(1<<p) != 0 {
+				if perms != "" {
+					perms += "|"
+				}
+				perms += p.String()
+			}
+		}
+		ln := fmt.Sprintf("2^%d", v.LenLo)
+		if v.LenLo != v.LenHi {
+			ln = fmt.Sprintf("2^[%d,%d]", v.LenLo, v.LenHi)
+		}
+		off := fmt.Sprintf("+%#x", v.OffLo)
+		if v.OffLo != v.OffHi {
+			off = fmt.Sprintf("+[%#x,%#x]", v.OffLo, v.OffHi)
+			if v.Mod > 1 && v.Mod != exactMod {
+				off += fmt.Sprintf(" ≡%d (mod %d)", v.Rem, v.Mod)
+			}
+		}
+		return fmt.Sprintf("ptr{%s %s %s %s}", perms, ln, off, v.Region)
+	}
+	return "value?"
+}
+
+func boundStr(v int64) string {
+	switch v {
+	case math.MinInt64:
+		return "-inf"
+	case math.MaxInt64:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func minU8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxU8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// satAdd adds with saturation at the int64 extremes; offset and bounds
+// arithmetic never needs exact wraparound (the segment check fires
+// long before ±2^62).
+func satAdd(a, b int64) int64 {
+	s, carry := bits.Add64(uint64(a), uint64(b), 0)
+	_ = carry
+	r := int64(s)
+	if a >= 0 && b >= 0 && r < 0 {
+		return math.MaxInt64
+	}
+	if a < 0 && b < 0 && r >= 0 {
+		return math.MinInt64
+	}
+	return r
+}

@@ -1,0 +1,180 @@
+package capverify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// sampleValues builds a deterministic, corner-heavy population of
+// lattice values for the property tests.
+func sampleValues() []Value {
+	vals := []Value{
+		Bottom(), Uninit(), Top(), IntAny(), PtrAny(RegAny),
+		IntExact(0), IntExact(1), IntExact(-1),
+		IntExact(math.MaxInt64), IntExact(math.MinInt64),
+		IntRange(0, 7), IntRange(-8, 8), IntRange(100, 4096),
+		PtrExact(core.PermReadWrite, 12, 0, RegData),
+		PtrExact(core.PermReadOnly, 12, 8, RegData),
+		PtrExact(core.PermExecuteUser, 6, 16, RegCode),
+		PtrExact(core.PermKey, 3, 0, RegAny),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		lo := rng.Int63n(1<<20) - 1<<19
+		hi := lo + rng.Int63n(1<<16)
+		v := IntRange(lo, hi)
+		if rng.Intn(2) == 0 {
+			// Give it a congruence by anchoring to a power-of-two grid.
+			m := uint64(1) << uint(rng.Intn(6))
+			v.Mod, v.Rem = m, uint64(rng.Int63())&(m-1)
+			v = v.canon()
+		}
+		vals = append(vals, v)
+	}
+	for i := 0; i < 40; i++ {
+		var p Value
+		p.Kind = KPtr
+		p.Perms = uint16(rng.Intn(254)+1) & validPermMask
+		if p.Perms == 0 {
+			p.Perms = 1 << core.PermReadWrite
+		}
+		p.LenLo = uint8(rng.Intn(13) + 3)
+		p.LenHi = p.LenLo + uint8(rng.Intn(3))
+		p.OffLo = uint64(rng.Int63n(1 << p.LenLo))
+		p.OffHi = p.OffLo + uint64(rng.Int63n(64))
+		m := uint64(1) << uint(rng.Intn(4))
+		p.Mod, p.Rem = m, p.OffLo&(m-1)
+		p.Region = Region(rng.Intn(3))
+		vals = append(vals, p.canon())
+	}
+	return vals
+}
+
+// eqAsSets compares values up to mutual ordering.
+func eqAsSets(a, b Value) bool { return Leq(a, b) && Leq(b, a) }
+
+func TestJoinLaws(t *testing.T) {
+	vals := sampleValues()
+	for _, a := range vals {
+		if !eqAsSets(Join(a, a), a) {
+			t.Fatalf("join not idempotent: %s ⊔ %s = %s", a, a, Join(a, a))
+		}
+		if !Leq(a, a) {
+			t.Fatalf("Leq not reflexive on %s", a)
+		}
+		if !Leq(Bottom(), a) || !Leq(a, Top()) {
+			t.Fatalf("%s not between ⊥ and ⊤", a)
+		}
+		for _, b := range vals {
+			ab, ba := Join(a, b), Join(b, a)
+			if ab != ba {
+				t.Fatalf("join not commutative: %s ⊔ %s: %s vs %s", a, b, ab, ba)
+			}
+			if !Leq(a, ab) || !Leq(b, ab) {
+				t.Fatalf("join not an upper bound: %s ⊔ %s = %s", a, b, ab)
+			}
+			if Leq(a, b) && !eqAsSets(ab, b) {
+				t.Fatalf("a ⊑ b but a ⊔ b ≠ b: a=%s b=%s join=%s", a, b, ab)
+			}
+			w := Widen(a, b)
+			if !Leq(ab, w) {
+				t.Fatalf("widening below join: %s ∇ %s = %s < join %s", a, b, w, ab)
+			}
+		}
+	}
+}
+
+func TestJoinAssociativeUpToOrder(t *testing.T) {
+	vals := sampleValues()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		c := vals[rng.Intn(len(vals))]
+		l := Join(Join(a, b), c)
+		r := Join(a, Join(b, c))
+		if !eqAsSets(l, r) {
+			t.Fatalf("join not associative: (%s ⊔ %s) ⊔ %s = %s, %s ⊔ (%s ⊔ %s) = %s",
+				a, b, c, l, a, b, c, r)
+		}
+	}
+}
+
+// TestTransferMonotone samples ordered pairs a ⊑ a' and checks the
+// abstract integer operators preserve the order (the property the
+// worklist fixpoint's soundness rests on).
+func TestTransferMonotone(t *testing.T) {
+	vals := sampleValues()
+	unary := map[string]func(Value) Value{
+		"asInt": asInt,
+		"refineNZ": func(v Value) Value {
+			out, ok := refineNonzero(v)
+			if !ok {
+				return Bottom()
+			}
+			return out
+		},
+	}
+	binary := map[string]func(a, b Value) Value{
+		"add": addInt, "sub": subInt, "mul": mulInt,
+		"and": func(a, b Value) Value { return bitwiseInt('&', a, b) },
+		"or":  func(a, b Value) Value { return bitwiseInt('|', a, b) },
+		"xor": func(a, b Value) Value { return bitwiseInt('^', a, b) },
+		"shl": shlInt, "shr": shrInt,
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if !Leq(a, b) {
+				continue
+			}
+			for name, f := range unary {
+				if !Leq(f(asInt(a)), f(asInt(b))) {
+					t.Fatalf("%s not monotone: %s ⊑ %s but %s ⋢ %s",
+						name, a, b, f(asInt(a)), f(asInt(b)))
+				}
+			}
+			c := IntExact(8)
+			for name, f := range binary {
+				if !Leq(f(asInt(a), c), f(asInt(b), c)) {
+					t.Fatalf("%s not monotone in lhs: %s ⊑ %s", name, a, b)
+				}
+				if !Leq(f(c, asInt(a)), f(c, asInt(b))) {
+					t.Fatalf("%s not monotone in rhs: %s ⊑ %s", name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestWideningTerminates drives a worst-case ascending chain through
+// the widening operator and requires it to stabilize quickly.
+func TestWideningTerminates(t *testing.T) {
+	vals := sampleValues()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		acc := vals[rng.Intn(len(vals))]
+		changes := 0
+		for i := 0; i < 200; i++ {
+			next := Widen(acc, vals[rng.Intn(len(vals))])
+			if next != acc {
+				changes++
+				acc = next
+			}
+		}
+		if changes > 24 {
+			t.Fatalf("widening chain changed %d times; expected fast stabilization", changes)
+		}
+	}
+}
+
+// TestCanonIdempotent: canon is a normal form.
+func TestCanonIdempotent(t *testing.T) {
+	for _, v := range sampleValues() {
+		if c := v.canon(); c != c.canon() {
+			t.Fatalf("canon not idempotent on %s: %s vs %s", v, c, c.canon())
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package capverify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestEveryOpcodeClassified is the exhaustiveness gate: every
+// architecturally defined opcode must have a mnemonic, an execution
+// unit, and a transfer function in the verifier. Adding an instruction
+// to the ISA without teaching the static verifier about it fails here.
+func TestEveryOpcodeClassified(t *testing.T) {
+	if isa.NumOps == 0 {
+		t.Fatal("no opcodes defined")
+	}
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d below NumOps but not Valid()", op)
+		}
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "op(") {
+			t.Errorf("op %d has no mnemonic (String() = %q)", op, name)
+		}
+		if u := op.Unit(); u != isa.UnitInt && u != isa.UnitMem && u != isa.UnitFP {
+			t.Errorf("op %s has no execution unit (Unit() = %v)", name, u)
+		}
+		if !Handles(op) {
+			t.Errorf("op %s is not classified in the verifier's transfer-function table", name)
+		}
+	}
+	// And the converse: nothing beyond NumOps pretends to be handled.
+	if Handles(isa.Op(isa.NumOps)) {
+		t.Errorf("op %d is past NumOps but Handles() accepts it", isa.NumOps)
+	}
+}

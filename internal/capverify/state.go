@@ -1,0 +1,130 @@
+package capverify
+
+import "repro/internal/isa"
+
+// Privilege mask bits: which IP permissions can reach a program point.
+// Privileged mode is a property of the instruction pointer (Sec 2.1),
+// so it is per-pc state, not a global.
+const (
+	privUser uint8 = 1 << iota // may execute under PermExecuteUser
+	privPriv                   // may execute under PermExecutePriv
+)
+
+// predKind classifies the relational fact a comparison result carries.
+type predKind uint8
+
+const (
+	pNone  predKind = iota
+	pLtK            // reg holds (src < k): 1 or 0
+	pEqK            // reg holds (src == k)
+	pIsPtr          // reg holds isptr(src)
+)
+
+// pred records what a 0/1 comparison result says about its source
+// register, so BEQZ/BNEZ on the result can refine the source on each
+// edge ("slti r3, r2, 256; beqz r3, out" bounds r2 on the loop edge).
+// The fact is only valid while the source register still holds the
+// value produced at srcDef; defs tracking invalidates it otherwise.
+type pred struct {
+	kind   predKind
+	src    int8
+	srcDef int32 // defs[src] when the predicate was computed
+	k      int64
+}
+
+// Def-site sentinels for the defs provenance array.
+const (
+	defEntry  int32 = -1 // register holds its thread-start value
+	defMerged int32 = -2 // joined from multiple definitions
+)
+
+// state is the abstract machine state at one program point: one lattice
+// value per register, plus definition provenance, predicate facts, and
+// the privilege mask. The zero value is "unreachable".
+type state struct {
+	live  bool
+	priv  uint8
+	regs  [isa.NumRegs]Value
+	defs  [isa.NumRegs]int32
+	preds [isa.NumRegs]pred
+}
+
+// entryState is the thread-start state cmd/mmsim establishes: every
+// register the untagged 0 it was never written with, except r1 holding
+// a read/write pointer to the base of the scratch data segment.
+func (v *verifier) entryState() state {
+	var st state
+	st.live = true
+	if v.cfg.Privileged {
+		st.priv = privPriv
+	} else {
+		st.priv = privUser
+	}
+	for i := range st.regs {
+		st.regs[i] = Uninit()
+		st.defs[i] = defEntry
+	}
+	st.regs[1] = PtrExact(dataPerm, v.img.DataLog, 0, RegData)
+	return st
+}
+
+// havocState is the all-⊤ state used when an indirect jump cannot be
+// bounded: any register content, any privilege.
+func havocState() state {
+	var st state
+	st.live = true
+	st.priv = privUser | privPriv
+	for i := range st.regs {
+		st.regs[i] = Top()
+		st.defs[i] = defMerged
+	}
+	return st
+}
+
+// havocRegs clobbers every register of st in place (the effect of a
+// TRAP: the kernel may rewrite the whole register file).
+func havocRegs(st *state) {
+	for i := range st.regs {
+		st.regs[i] = Top()
+		st.defs[i] = defMerged
+		st.preds[i] = pred{}
+	}
+}
+
+// joinState merges b into a (the least upper bound); widen switches the
+// register join to the widening operator.
+func joinState(a, b state, widen bool) state {
+	if !a.live {
+		return b
+	}
+	if !b.live {
+		return a
+	}
+	var out state
+	out.live = true
+	out.priv = a.priv | b.priv
+	for i := range out.regs {
+		if widen {
+			out.regs[i] = Widen(a.regs[i], b.regs[i])
+		} else {
+			out.regs[i] = Join(a.regs[i], b.regs[i])
+		}
+		if a.defs[i] == b.defs[i] {
+			out.defs[i] = a.defs[i]
+		} else {
+			out.defs[i] = defMerged
+		}
+		if a.preds[i] == b.preds[i] {
+			out.preds[i] = a.preds[i]
+		}
+	}
+	return out
+}
+
+// def records a register write: value, definition site, and optionally
+// the predicate fact the value carries.
+func (st *state) def(rd, pc int, v Value, p pred) {
+	st.regs[rd] = v
+	st.defs[rd] = int32(pc)
+	st.preds[rd] = p
+}

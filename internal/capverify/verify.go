@@ -1,0 +1,171 @@
+package capverify
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// verifier holds one analysis run.
+type verifier struct {
+	img        *Image
+	cfg        Config
+	maxTargets int
+}
+
+const (
+	// widenAfter is how many times a program point is re-joined before
+	// the join switches to the widening operator.
+	widenAfter = 8
+
+	// maxSteps caps fixpoint iterations. Widening guarantees
+	// termination; the cap is a second line of defense for the fuzzer.
+	maxSteps = 1 << 20
+)
+
+// Verify analyzes an assembled (or linked) program under cfg and
+// returns the report. It never executes the program.
+func Verify(prog *asm.Program, cfg Config) *Report {
+	return newVerifier(prog, cfg).run()
+}
+
+// VerifySource assembles a single module and verifies it.
+func VerifySource(name, src string, cfg Config) (*Report, error) {
+	prog, err := asm.AssembleNamed(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(prog, cfg), nil
+}
+
+func newVerifier(prog *asm.Program, cfg Config) *verifier {
+	mt := cfg.MaxTargets
+	if mt <= 0 {
+		mt = 64
+	}
+	return &verifier{img: NewImage(prog, cfg), cfg: cfg, maxTargets: mt}
+}
+
+// run drives the worklist to fixpoint, then replays every reachable
+// instruction once over its final in-state to collect verdicts.
+func (v *verifier) run() *Report {
+	n := v.img.SegWords()
+	states := make([]state, n)     // in-state at each word
+	visits := make([]int, n)       // join count, for widening
+	staticReach := make([]bool, n) // certainly reached (no speculative hop)
+	inWork := make([]bool, n)
+
+	work := make([]int, 0, n)
+	push := func(pc int) {
+		if !inWork[pc] {
+			inWork[pc] = true
+			work = append(work, pc)
+		}
+	}
+
+	// prop merges an edge's post-state into its target.
+	prop := func(t int, st state, static bool) {
+		changed := false
+		if static && !staticReach[t] {
+			staticReach[t] = true
+			changed = true
+		}
+		old := states[t]
+		merged := joinState(old, st, old.live && visits[t] >= widenAfter)
+		if merged != old {
+			states[t] = merged
+			visits[t]++
+			changed = true
+		}
+		if changed {
+			push(t)
+		}
+	}
+
+	prop(0, v.entryState(), true)
+
+	abyss := false
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[pc] = false
+		in := states[pc]
+		if !in.live || !v.img.Decodes[pc] {
+			continue // unreachable, or fetch faults: no successors
+		}
+		out := v.step(pc, in)
+		if out.abyss && !abyss {
+			// An indirect jump could not be bounded: from here, any
+			// instruction may execute with any state. Inject the havoc
+			// state everywhere, once (it is the lattice top, so a second
+			// injection could not change anything).
+			abyss = true
+			h := havocState()
+			for t := 0; t < n; t++ {
+				prop(t, h, false)
+			}
+		}
+		for _, e := range out.edges {
+			prop(e.pc, e.st, staticReach[pc] && !e.spec)
+		}
+	}
+
+	// Report pass: replay each reachable word over its fixpoint
+	// in-state and record the check verdicts.
+	rep := &Report{Abyss: abyss}
+	for pc := 0; pc < n; pc++ {
+		in := states[pc]
+		if !in.live {
+			continue
+		}
+		rep.ReachableWords++
+		if !v.img.Decodes[pc] {
+			// Fetching this word faults. Provable only when the word is
+			// certainly reached; a speculative or havoc path makes it an
+			// unknown on the fetch check.
+			verdict := VerdictUnknown
+			msg := "execution may reach a word that does not decode as an instruction"
+			if staticReach[pc] {
+				verdict = VerdictFault
+				msg = "execution reaches a word that does not decode as an instruction"
+			}
+			rep.add(v.diag(pc, in, check{
+				class: ClassCtrl, verdict: verdict, code: core.FaultPerm,
+				msg: msg, reg: -1,
+			}))
+			continue
+		}
+		out := v.step(pc, in)
+		for _, c := range out.checks {
+			rep.add(v.diag(pc, in, c))
+		}
+	}
+	rep.sortDiags()
+	return rep
+}
+
+// diag attaches source provenance to a check verdict: the instruction's
+// own origin, plus — when the check blames a register defined at a
+// known instruction — the origin of that definition.
+func (v *verifier) diag(pc int, in state, c check) Diag {
+	o := v.img.Origin(pc)
+	d := Diag{
+		PC: pc, File: o.File, Line: o.Line,
+		Class: c.class.String(), Verdict: c.verdict.String(),
+		Code: c.code, Msg: c.msg, Reg: c.reg,
+		verdict: c.verdict, class: c.class,
+	}
+	if v.img.Decodes[pc] {
+		d.Inst = v.img.Insts[pc].String()
+	}
+	if c.verdict == VerdictFault && c.code != core.FaultNone {
+		d.Fault = c.code.String()
+	}
+	if c.reg >= 0 && c.reg < isa.NumRegs {
+		if def := in.defs[c.reg]; def >= 0 {
+			ro := v.img.Origin(int(def))
+			d.RegFile, d.RegLine = ro.File, ro.Line
+		}
+	}
+	return d
+}

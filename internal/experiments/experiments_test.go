@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("registered %d experiments, want 24 (E1..E24)", len(all))
+	if len(all) != 25 {
+		t.Fatalf("registered %d experiments, want 25 (E1..E25)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -408,6 +408,19 @@ func TestRunAllSucceeds(t *testing.T) {
 	for i := 1; i <= 13; i++ {
 		if !strings.Contains(out, "=== E") {
 			t.Fatal("no experiment headers")
+		}
+	}
+}
+
+func TestE25StaticDischarge(t *testing.T) {
+	out := runOne(t, "E25", "fib.s", "discharged", "wl:sweep-sum")
+	// runE25 itself errors if any program provably faults or hits the
+	// abyss, and gates fib.s at >= 50% discharge; here we additionally
+	// pin the corpus size: 4 shipped programs + 5 campaign workloads.
+	for _, name := range []string{"sieve.s", "usemem.s", "crosscheck.s",
+		"wl:ptr-chase", "wl:alu-mix", "wl:derive", "wl:byte-ops"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E25 report missing program %q", name)
 		}
 	}
 }

@@ -108,6 +108,17 @@ func localWorkloads() []*workload {
 	}
 }
 
+// WorkloadSources exposes the campaign workloads' assembly sources by
+// name, so the static verifier's experiments and soundness tests can
+// analyze the exact programs the injection campaign executes.
+func WorkloadSources() map[string]string {
+	out := make(map[string]string)
+	for _, w := range localWorkloads() {
+		out[w.name] = w.src
+	}
+	return out
+}
+
 // buildLocal boots a single-node kernel running w: one cluster, two
 // slots, one thread per domain with its own data segment, parity plane
 // armed, register-file integrity hook installed.

@@ -104,6 +104,11 @@ const (
 	numOps
 )
 
+// NumOps is the count of defined opcodes. Tools that must cover the
+// whole instruction set exhaustively — the static verifier's
+// transfer-function table, metadata tests — iterate Op(0)..Op(NumOps-1).
+const NumOps = int(numOps)
+
 var opNames = [...]string{
 	NOP: "nop", HALT: "halt",
 	ADD: "add", ADDI: "addi", SUB: "sub", SUBI: "subi", MUL: "mul",
