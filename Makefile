@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify
+.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify obsv
 
 check: fmt vet lint test race
 
@@ -84,3 +84,14 @@ bench-all:
 # Regenerate the telemetry benchmark artifact (see docs/OBSERVABILITY.md).
 bench-json:
 	$(GO) run ./cmd/experiments -run E22 -json BENCH_telemetry.json > /dev/null
+
+# Live-introspection gate (docs/OBSERVABILITY.md): the E26 report
+# (histograms, causal spans, flight recorder, overhead budget) plus the
+# mmsim -serve / mmtop endpoint smoke tests, and the introspection unit
+# tests across the wired layers.
+obsv:
+	$(GO) run ./cmd/experiments -run E26
+	$(GO) test -run 'TestServeFlag|TestFlightOutOnFault' ./cmd/mmsim/
+	$(GO) test ./cmd/mmtop/
+	$(GO) test -run 'TestSpansDeterministic|TestFlightDump|TestNodeMetrics' ./internal/multi/
+	$(GO) test -run 'TestServe|TestPrometheus|TestFlight|TestHistogram' ./internal/telemetry/

@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/capverify"
@@ -45,6 +47,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print every issued instruction (cycle, cluster, thread, pc)")
 	traceOut := fs.String("trace-out", "", "write the full event trace to a file: .jsonl suffix = JSON Lines, otherwise Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
 	metrics := fs.Bool("metrics", false, "print a JSON snapshot of the metrics registry after the run")
+	serveAddr := fs.String("serve", "", "serve live metrics over HTTP while running (host:port; port 0 picks a free port): /metrics, /metrics.json, /healthz, /trace")
+	serveFor := fs.Duration("serve-for", 0, "with -serve: keep the endpoint up this long after the run finishes (lets mmtop watch a short program)")
+	flightOut := fs.String("flight-out", "", "arm the flight recorder and dump its ring (JSONL) to this file if the machine takes an unrecovered fault")
 	profile := fs.Bool("profile", false, "sample executed instruction addresses and print a flat hot-spot profile")
 	wide := fs.Bool("wide", false, "enable 3-wide LIW issue per cluster")
 	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
@@ -159,9 +164,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		k.M.Profiler = prof
 	}
 	var reg *telemetry.Registry
-	if *metrics {
+	if *metrics || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
+		if *serveAddr != "" {
+			// A live endpoint wants the latency distributions too.
+			k.M.EnableHistograms()
+		}
 		k.RegisterMetrics(reg)
+	}
+	var srv *http.Server
+	if *serveAddr != "" {
+		s, addr, err := telemetry.Serve(*serveAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		srv = s
+		fmt.Fprintf(stdout, "mmsim: serving metrics on http://%s/metrics\n", addr)
+	}
+	if *flightOut != "" {
+		k.M.Flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightSize)
+		dumped := false
+		k.M.OnFlightDump = func(reason string) {
+			if dumped {
+				return
+			}
+			dumped = true
+			f, err := os.Create(*flightOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "mmsim: flight-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := k.M.Flight.Dump(f, reason, 0); err != nil {
+				fmt.Fprintln(stderr, "mmsim: flight-out:", err)
+				return
+			}
+			fmt.Fprintf(stderr, "mmsim: flight recorder dumped to %s (%s)\n", *flightOut, reason)
+		}
 	}
 
 	var ths []*machine.Thread
@@ -241,6 +281,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mmsim: trace-out:", err)
 			exit = 1
 		}
+	}
+	if srv != nil {
+		if *serveFor > 0 {
+			time.Sleep(*serveFor)
+		}
+		srv.Close()
 	}
 	return exit
 }

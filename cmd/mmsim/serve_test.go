@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the test poll run()'s stdout while run() is still
+// writing to it from another goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var serveAddrRE = regexp.MustCompile(`serving metrics on http://([^/\s]+)/metrics`)
+
+// TestServeFlag: -serve must bring up a live endpoint whose /metrics,
+// /metrics.json and /healthz answer while the process is up.
+func TestServeFlag(t *testing.T) {
+	var out lockedBuffer
+	var errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-serve", "127.0.0.1:0", "-serve-for", "5s", "-"},
+			strings.NewReader(countdown), &out, &errb)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(3 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no serve address announced; stdout:\n%s\nstderr:\n%s", out.String(), errb.String())
+		}
+		if m := serveAddrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "machine_instructions") {
+		t.Errorf("/metrics = %d:\n%.400s", code, body)
+	}
+	if !strings.Contains(body, "machine_hist_remote_rt_bucket") {
+		t.Errorf("/metrics lacks histogram series:\n%.400s", body)
+	}
+	code, body = get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a flat JSON object: %v\n%.400s", err, body)
+	}
+	if _, ok := snap["machine.cycles"]; !ok {
+		t.Errorf("/metrics.json missing machine.cycles: %v", snap)
+	}
+
+	// Don't wait out -serve-for: the endpoint checked out, the test is
+	// done. The goroutine holds only test-scoped state.
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d", code)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestFlightOutOnFault: -flight-out must produce a JSONL dump when the
+// program takes an unrecovered fault, and nothing on a clean run.
+func TestFlightOutOnFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.jsonl")
+	code, _, errb := runCLI([]string{"-flight-out", path, "-"},
+		"ldi r1, 0x40\nld r2, r1, 0\nhalt\n")
+	if code != 1 {
+		t.Fatalf("faulting run exit = %d", code)
+	}
+	if !strings.Contains(errb, "flight recorder dumped") {
+		t.Errorf("no dump notice on stderr:\n%s", errb)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"flight":true`) {
+		t.Errorf("dump has no flight header:\n%.400s", data)
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(string(data), "\n", 2)[0]), &hdr); err != nil {
+		t.Fatalf("dump header not JSON: %v", err)
+	}
+	if r, _ := hdr["reason"].(string); !strings.Contains(r, "fault") {
+		t.Errorf("dump reason = %q, want a fault", r)
+	}
+
+	clean := filepath.Join(dir, "clean.jsonl")
+	if code, _, _ := runCLI([]string{"-flight-out", clean, "-"}, countdown); code != 0 {
+		t.Fatal("clean run failed")
+	}
+	if _, err := os.Stat(clean); !os.IsNotExist(err) {
+		t.Errorf("clean run wrote a flight dump (err=%v)", err)
+	}
+}

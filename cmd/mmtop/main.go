@@ -1,0 +1,261 @@
+// Command mmtop is a live terminal dashboard for a running simulation:
+// it polls a telemetry endpoint's /metrics.json (mmsim -serve, or any
+// telemetry.Serve mount) and renders a per-node table — IPC, cache and
+// TLB hit rates, NoC service-queue depth — with delta sparklines of
+// instruction throughput, plus mesh-wide transport counters.
+//
+// Usage:
+//
+//	mmsim -serve 127.0.0.1:9757 -serve-for 30s prog.s &
+//	mmtop -addr 127.0.0.1:9757
+//	mmtop -addr 127.0.0.1:9757 -interval 250ms -n 40 -plain
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9757", "telemetry endpoint (host:port or full URL)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	frames := fs.Int("n", 0, "render this many frames then exit (0 = until the endpoint goes away)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing in place (no ANSI escapes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	var d dashboard
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		snap, err := fetchSnapshot(client, base+"/metrics.json")
+		if err != nil {
+			if i == 0 || *frames != 0 {
+				fmt.Fprintln(stderr, "mmtop:", err)
+				return 1
+			}
+			// Endpoint gone mid-watch: the run finished. Normal exit.
+			return 0
+		}
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+		}
+		fmt.Fprint(stdout, d.frame(snap))
+	}
+	return 0
+}
+
+// fetchSnapshot GETs a flat {"metric": value} JSON object.
+func fetchSnapshot(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// sparkWidth is how many poll intervals of throughput history each
+// node's sparkline shows.
+const sparkWidth = 24
+
+// dashboard accumulates poll-to-poll state: the previous snapshot (for
+// deltas) and each node's recent instruction-throughput history.
+type dashboard struct {
+	prev  map[string]float64
+	spark map[string][]float64
+}
+
+// nodePrefixes finds the per-node metric namespaces in a snapshot:
+// node.<id>. for a multicomputer, or the bare namespace for a
+// single-machine endpoint.
+func nodePrefixes(snap map[string]float64) []string {
+	seen := map[string]bool{}
+	for name := range snap {
+		if !strings.HasPrefix(name, "node.") {
+			continue
+		}
+		rest := name[len("node."):]
+		dot := strings.IndexByte(rest, '.')
+		if dot <= 0 {
+			continue
+		}
+		seen["node."+rest[:dot+1]] = true
+	}
+	if len(seen) == 0 {
+		return []string{""}
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	// node.2. before node.10.: numeric-aware ordering.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline scales vals into ▁..█ glyphs (empty history → blanks).
+func sparkline(vals []float64) string {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		if max <= 0 {
+			b.WriteRune(sparkRunes[0])
+			continue
+		}
+		idx := int(v / max * float64(len(sparkRunes)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// pct renders hits/(hits+misses) as a percentage, "-" when idle.
+func pct(hits, misses float64) string {
+	if hits+misses == 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%5.1f", 100*hits/(hits+misses))
+}
+
+// frame renders one dashboard frame from a snapshot and advances the
+// delta state. Pure except for the dashboard's own history — the same
+// snapshot sequence always renders the same frames.
+func (d *dashboard) frame(snap map[string]float64) string {
+	if d.spark == nil {
+		d.spark = map[string][]float64{}
+	}
+	var b strings.Builder
+	prefixes := nodePrefixes(snap)
+
+	fmt.Fprintf(&b, "mmtop — %d node(s)", len(prefixes))
+	if c, ok := snap["multi.cycle"]; ok {
+		fmt.Fprintf(&b, "  cycle=%.0f", c)
+	} else if c, ok := snap["machine.cycles"]; ok {
+		fmt.Fprintf(&b, "  cycle=%.0f", c)
+	}
+	if m, ok := snap["noc.msgs"]; ok {
+		fmt.Fprintf(&b, "  noc.msgs=%.0f", m)
+	}
+	if r, ok := snap["noc.transport.retransmits"]; ok {
+		fmt.Fprintf(&b, "  retransmits=%.0f", r)
+	}
+	if g, ok := snap["noc.transport.gave_up"]; ok && g > 0 {
+		fmt.Fprintf(&b, "  GAVE-UP=%.0f", g)
+	}
+	if r, ok := snap["recovery.restores"]; ok && r > 0 {
+		fmt.Fprintf(&b, "  restores=%.0f", r)
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "%-8s %6s %7s %7s %7s %6s  %s\n",
+		"node", "ipc", "cache%", "tlb%", "pending", "Δinstr", "throughput")
+	for _, p := range prefixes {
+		label := "-"
+		if p != "" {
+			label = strings.TrimSuffix(strings.TrimPrefix(p, "node."), ".")
+		}
+		instr := snap[p+"machine.instructions"]
+		delta := instr
+		if d.prev != nil {
+			delta = instr - d.prev[p+"machine.instructions"]
+		}
+		hist := append(d.spark[p], delta)
+		if len(hist) > sparkWidth {
+			hist = hist[len(hist)-sparkWidth:]
+		}
+		d.spark[p] = hist
+		fmt.Fprintf(&b, "%-8s %6.2f %7s %7s %7.0f %6.0f  %s\n",
+			label,
+			snap[p+"machine.ipc"],
+			pct(snap[p+"cache.l1.hits"], snap[p+"cache.l1.misses"]),
+			pct(snap[p+"vm.tlb.hits"], snap[p+"vm.tlb.misses"]),
+			snap[p+"machine.remote_pending"],
+			delta,
+			sparkline(hist))
+	}
+
+	// Latency distributions, when the endpoint exports histograms.
+	hists := []struct{ name, label string }{
+		{"machine.hist.remote_rt", "remote round-trip"},
+		{"machine.hist.domain_switch", "domain switch"},
+		{"cache.l1.hist.tlb_refill", "tlb refill"},
+		{"noc.hist.retransmit_delay", "retransmit delay"},
+	}
+	wrote := false
+	for _, h := range hists {
+		// Aggregate across nodes (single-machine: the bare prefix).
+		var count, p50, p99, max float64
+		for _, p := range prefixes {
+			if c, ok := snap[p+h.name+".count"]; ok && c > 0 {
+				count += c
+				if v := snap[p+h.name+".p50"]; v > p50 {
+					p50 = v
+				}
+				if v := snap[p+h.name+".p99"]; v > p99 {
+					p99 = v
+				}
+				if v := snap[p+h.name+".max"]; v > max {
+					max = v
+				}
+			}
+		}
+		// Mesh-level histograms live outside the node namespaces.
+		if c, ok := snap[h.name+".count"]; ok && c > 0 {
+			count += c
+			p50, p99, max = snap[h.name+".p50"], snap[h.name+".p99"], snap[h.name+".max"]
+		}
+		if count == 0 {
+			continue
+		}
+		if !wrote {
+			b.WriteString("\nlatency (cycles)        count     p50     p99     max\n")
+			wrote = true
+		}
+		fmt.Fprintf(&b, "%-20s %9.0f %7.0f %7.0f %7.0f\n", h.label, count, p50, p99, max)
+	}
+
+	d.prev = snap
+	return b.String()
+}

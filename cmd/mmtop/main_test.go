@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// snapMulti fakes a two-node multicomputer snapshot.
+func snapMulti(instr0, instr1 float64) map[string]float64 {
+	return map[string]float64{
+		"multi.cycle":                         1000,
+		"noc.msgs":                            42,
+		"noc.transport.retransmits":           3,
+		"node.0.machine.instructions":         instr0,
+		"node.0.machine.ipc":                  0.5,
+		"node.0.cache.l1.hits":                90,
+		"node.0.cache.l1.misses":              10,
+		"node.0.vm.tlb.hits":                  7,
+		"node.0.vm.tlb.misses":                3,
+		"node.0.machine.remote_pending":       2,
+		"node.0.machine.hist.remote_rt.count": 5,
+		"node.0.machine.hist.remote_rt.p50":   31,
+		"node.0.machine.hist.remote_rt.p99":   63,
+		"node.0.machine.hist.remote_rt.max":   40,
+		"node.1.machine.instructions":         instr1,
+		"node.1.machine.ipc":                  0.25,
+		"node.1.cache.l1.hits":                0,
+		"node.1.cache.l1.misses":              0,
+	}
+}
+
+func TestFrameMultiNode(t *testing.T) {
+	var d dashboard
+	first := d.frame(snapMulti(100, 50))
+	for _, want := range []string{
+		"2 node(s)", "cycle=1000", "noc.msgs=42", "retransmits=3",
+		"node", "ipc", "cache%", "tlb%",
+		"remote round-trip",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("frame missing %q:\n%s", want, first)
+		}
+	}
+	// Node 0: 90/100 cache hits, 7/10 tlb hits; node 1 idle caches → "-".
+	if !strings.Contains(first, "90.0") || !strings.Contains(first, "70.0") {
+		t.Errorf("hit rates wrong:\n%s", first)
+	}
+	lines := strings.Split(first, "\n")
+	var n1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") {
+			n1 = l
+		}
+	}
+	if n1 == "" || !strings.Contains(n1, "-") {
+		t.Errorf("idle node 1 should render '-' hit rates: %q", n1)
+	}
+
+	// Second frame: deltas are against the previous snapshot.
+	second := d.frame(snapMulti(160, 50))
+	var row0 string
+	for _, l := range strings.Split(second, "\n") {
+		if strings.HasPrefix(l, "0 ") {
+			row0 = l
+		}
+	}
+	if !strings.Contains(row0, " 60  ") {
+		t.Errorf("node 0 Δinstr should be 60: %q", row0)
+	}
+	for _, r := range sparkRunes {
+		if strings.ContainsRune(second, r) {
+			return
+		}
+	}
+	t.Errorf("no sparkline glyphs in frame:\n%s", second)
+}
+
+func TestFrameSingleMachine(t *testing.T) {
+	var d dashboard
+	out := d.frame(map[string]float64{
+		"machine.cycles":       500,
+		"machine.instructions": 300,
+		"machine.ipc":          0.6,
+		"cache.l1.hits":        10,
+		"cache.l1.misses":      0,
+	})
+	if !strings.Contains(out, "1 node(s)") || !strings.Contains(out, "cycle=500") {
+		t.Errorf("single-machine header:\n%s", out)
+	}
+	if !strings.Contains(out, "\n-    ") && !strings.Contains(out, "\n- ") {
+		// Row label for the bare namespace is "-".
+		t.Errorf("single-machine row:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 1, 2, 4}); !strings.HasSuffix(got, "█") {
+		t.Errorf("max value should render full block: %q", got)
+	}
+	if got := sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Errorf("all-zero history = %q", got)
+	}
+}
+
+func TestNodePrefixOrdering(t *testing.T) {
+	snap := map[string]float64{
+		"node.10.machine.instructions": 1,
+		"node.2.machine.instructions":  1,
+		"node.0.machine.instructions":  1,
+	}
+	got := nodePrefixes(snap)
+	want := []string{"node.0.", "node.2.", "node.10."}
+	if len(got) != len(want) {
+		t.Fatalf("prefixes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefixes = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunAgainstLiveEndpoint drives the full CLI loop against a real
+// telemetry mux — the smoke test `make obsv` leans on.
+func TestRunAgainstLiveEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	n := uint64(0)
+	reg.Counter("machine.instructions", func() uint64 { n += 50; return n })
+	reg.Counter("machine.cycles", func() uint64 { return 1000 })
+	reg.Register("machine.ipc", func() float64 { return 0.5 })
+	srv := httptest.NewServer(telemetry.NewServeMux(reg, nil))
+	defer srv.Close()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", srv.URL, "-interval", "10ms", "-n", "3", "-plain"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "mmtop —"); got != 3 {
+		t.Errorf("rendered %d frames, want 3:\n%s", got, out.String())
+	}
+	if strings.Contains(out.String(), "\x1b[") {
+		t.Errorf("-plain output contains ANSI escapes")
+	}
+}
+
+func TestRunBadEndpoint(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-addr", "127.0.0.1:1", "-n", "1"}, &out, &errb); code != 1 {
+		t.Errorf("unreachable endpoint exit = %d", code)
+	}
+}

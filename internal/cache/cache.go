@@ -82,6 +82,13 @@ type Cache struct {
 	// that goes to the external interface (set by the owning machine).
 	Tracer *telemetry.Tracer
 
+	// HistTLBRefill, when non-nil, records the experienced latency
+	// (completion − issue cycles) of every access whose translation had
+	// to page-walk — the refill cost a TLB miss imposes on the reference
+	// that took it, the distribution behind the paper's miss-handling
+	// arguments. Nil (the default) costs one pointer check per miss.
+	HistTLBRefill *telemetry.Histogram
+
 	lineShift uint
 	clock     uint64 // LRU clock, monotone per access
 	memBusy   uint64 // external interface busy-until cycle
@@ -182,7 +189,8 @@ func (c *Cache) Access(vaddr uint64, write bool, now uint64) (done uint64, hit b
 		c.Tracer.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvCacheMiss,
 			Thread: -1, Cluster: -1, Domain: -1, Addr: vaddr})
 	}
-	if _, _, err := c.space.Translate(vaddr); err != nil {
+	_, tlbHit, err := c.space.Translate(vaddr)
+	if err != nil {
 		b.busyUntil = start + 1
 		return start + c.cfg.HitLatency, false, err
 	}
@@ -216,6 +224,9 @@ func (c *Cache) Access(vaddr uint64, write bool, now uint64) (done uint64, hit b
 	done = memStart + penalty
 	c.memBusy = done
 	b.busyUntil = done // the bank is occupied by the fill
+	if !tlbHit && c.HistTLBRefill != nil {
+		c.HistTLBRefill.Observe(done - now)
+	}
 	return done, false, nil
 }
 
@@ -329,5 +340,8 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 		reg.Counter(fmt.Sprintf("%s.bank.%d.accesses", prefix, bank), func() uint64 {
 			return c.stats.BankAccesses[bank]
 		})
+	}
+	if c.HistTLBRefill != nil {
+		reg.RegisterHistogram(prefix+".hist.tlb_refill", c.HistTLBRefill)
 	}
 }

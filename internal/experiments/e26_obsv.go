@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/multi"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/word"
+)
+
+func init() {
+	registerWithMetrics("E26",
+		"Observability — live introspection: latency histograms, causal NoC spans, flight recorder, and their cost",
+		runE26, metricsE26)
+}
+
+// The two overhead workloads: a register-only fibonacci loop (pure
+// issue bandwidth, no memory system) and a cache-line sweep (the memory
+// path the TLB-refill histogram instruments). Both loop forever — the
+// harness bounds them by cycle budget.
+var e26FibSrc = `
+fib:
+	ldi r2, 1
+	ldi r3, 0
+	ldi r4, 32
+inner:
+	add  r5, r2, r3
+	mov  r3, r2
+	mov  r2, r5
+	subi r4, r4, 1
+	bnez r4, inner
+	br fib
+`
+
+var e26SweepSrc = `
+sweep:
+	mov r4, r1
+	ldi r3, 64
+rd:
+	ld   r5, r4, 0
+	leai r4, r4, 8
+	subi r3, r3, 1
+	bnez r3, rd
+	br sweep
+`
+
+// e26Modes are the introspection configurations whose cost E26 bounds:
+// the seed machine, histograms only, flight ring only, and both — the
+// "always-on" configuration the 2% budget applies to.
+var e26Modes = []string{"baseline", "histograms", "flight", "hist+flight"}
+
+// e26HotLoopNS times one workload under one introspection mode and
+// returns wall nanoseconds per simulated cycle, best of four runs.
+func e26HotLoopNS(src, mode string, cycles uint64) (float64, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for rep := 0; rep < 4; rep++ {
+		cfg := machine.MMachine()
+		cfg.Clusters = 1
+		cfg.SlotsPerCluster = 1
+		cfg.PhysBytes = 4 << 20
+		k, err := kernel.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		ip, err := k.LoadProgram(prog, false)
+		if err != nil {
+			return 0, err
+		}
+		seg, err := k.AllocSegment(4096)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := k.Spawn(1, ip, map[int]word.Word{1: seg.Word()}); err != nil {
+			return 0, err
+		}
+		switch mode {
+		case "baseline":
+		case "histograms":
+			k.M.EnableHistograms()
+		case "flight":
+			k.M.Flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightSize)
+		case "hist+flight":
+			k.M.EnableHistograms()
+			k.M.Flight = telemetry.NewFlightRecorder(telemetry.DefaultFlightSize)
+		default:
+			return 0, fmt.Errorf("unknown mode %q", mode)
+		}
+		start := time.Now()
+		k.Run(cycles)
+		ns := float64(time.Since(start).Nanoseconds()) / float64(cycles)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// e26Overhead measures every (workload, mode) cell.
+func e26Overhead() (map[string]map[string]float64, error) {
+	const cycles = 500_000
+	out := map[string]map[string]float64{}
+	for wl, src := range map[string]string{"fib": e26FibSrc, "sweep": e26SweepSrc} {
+		out[wl] = make(map[string]float64, len(e26Modes))
+		for _, mode := range e26Modes {
+			ns, err := e26HotLoopNS(src, mode, cycles)
+			if err != nil {
+				return nil, err
+			}
+			out[wl][mode] = ns
+		}
+	}
+	return out, nil
+}
+
+// e26Instrumented runs the 2×2×2 multicomputer with the whole
+// introspection stack live — histograms, causal spans, flight rings —
+// under a remote-heavy workload, and returns the resulting latency
+// distributions, span counts, and flight totals. Everything here is
+// cycle-derived, so the tables are byte-identical run to run.
+func e26Instrumented() (snap telemetry.Snapshot, hists map[string]*telemetry.Histogram,
+	spans map[string]uint64, flightTotal uint64, cycles uint64, err error) {
+	cfg := multi.DefaultConfig()
+	cfg.Node.PhysBytes = 1 << 20
+	cfg.Node.Clusters = 1
+	cfg.Node.SlotsPerCluster = 4
+	s, err := multi.New(cfg)
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	s.EnableHistograms()
+	s.EnableFlight(telemetry.DefaultFlightSize)
+	tr := telemetry.NewTracer(1 << 16)
+	tr.Enable(telemetry.EvSpanBegin, telemetry.EvSpanEnd)
+	s.EnableSpans(tr)
+	reg := telemetry.NewRegistry()
+	s.RegisterMetrics(reg)
+
+	remote, err := asm.Assemble(`
+		ldi r3, 200
+	loop:
+		ld r2, r1, 0
+		st r1, 8, r3
+		subi r3, r3, 1
+		bnez r3, loop
+		halt
+	`)
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	far, err := s.Nodes[7].K.AllocSegment(4096)
+	if err != nil {
+		return nil, nil, nil, 0, 0, err
+	}
+	for domain := 1; domain <= 2; domain++ {
+		ip, err := s.Nodes[0].K.LoadProgram(remote, false)
+		if err != nil {
+			return nil, nil, nil, 0, 0, err
+		}
+		if _, err := s.Nodes[0].K.Spawn(domain, ip, map[int]word.Word{1: far.Word()}); err != nil {
+			return nil, nil, nil, 0, 0, err
+		}
+	}
+
+	cycles = s.Run(10_000_000)
+	for _, th := range s.Nodes[0].K.M.Threads() {
+		if th.State != machine.Halted {
+			return nil, nil, nil, 0, 0, fmt.Errorf("thread %d: %v %v", th.ID, th.State, th.Fault)
+		}
+	}
+
+	h := s.Nodes[0].K.M.Hists()
+	hists = map[string]*telemetry.Histogram{
+		"remote round-trip (node 0)": h.RemoteRT,
+		"domain switch (node 0)":     h.DomainSwitch,
+		// The refill cost lands on the home node's cache, where the
+		// remote segment's pages are walked.
+		"tlb refill (node 7)": s.Nodes[7].K.M.Cache.HistTLBRefill,
+	}
+	spans = make(map[string]uint64)
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case telemetry.EvSpanBegin:
+			if ev.Parent == 0 {
+				spans["root ("+ev.Detail+")"]++
+			} else {
+				spans["leg ("+ev.Detail+")"]++
+			}
+		case telemetry.EvSpanEnd:
+			spans["completed"]++
+		}
+	}
+	for _, n := range s.Nodes {
+		flightTotal += n.K.M.Flight.Total()
+	}
+	return reg.Snapshot(), hists, spans, flightTotal, cycles, nil
+}
+
+// runE26 renders the introspection report: the latency distributions a
+// live run produces, the causal-span census, and the wall-clock cost of
+// leaving histograms and the flight recorder always on — the ≤2%
+// budget that justifies "always on".
+func runE26() (string, error) {
+	snap, hists, spans, flightTotal, cycles, err := e26Instrumented()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+
+	ht := stats.NewTable(
+		fmt.Sprintf("Latency distributions after an instrumented 8-node run (%d cycles)", cycles),
+		"histogram", "count", "mean", "p50", "p95", "p99", "max")
+	for _, name := range []string{
+		"remote round-trip (node 0)", "domain switch (node 0)", "tlb refill (node 7)",
+	} {
+		h := hists[name]
+		ht.AddRow(name, h.Count(), fmt.Sprintf("%.1f", h.Mean()),
+			h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	}
+	b.WriteString(ht.String())
+
+	st := stats.NewTable("\nCausal spans (one root per remote op, one leg per mesh crossing)", "span", "events")
+	for _, k := range []string{
+		"root (remote-read)", "root (remote-write)",
+		"leg (read-req)", "leg (read-reply)", "leg (write-req)", "leg (write-ack)",
+		"completed",
+	} {
+		if n, ok := spans[k]; ok {
+			st.AddRow(k, n)
+		}
+	}
+	b.WriteString(st.String())
+
+	fmt.Fprintf(&b, "\nflight recorder: %d events captured across 8 node rings (bounded, always on)\n", flightTotal)
+	fmt.Fprintf(&b, "metrics endpoint: %d series exported, node.<id>.* namespaced per node\n", len(snap))
+
+	over, err := e26Overhead()
+	if err != nil {
+		return "", err
+	}
+	ot := stats.NewTable("\nSimulator wall-clock cost of always-on introspection (best of 4)",
+		"workload", "configuration", "ns/cycle", "vs baseline")
+	for _, wl := range []string{"fib", "sweep"} {
+		for _, mode := range e26Modes {
+			ot.AddRow(wl, mode, over[wl][mode], stats.Ratio(over[wl][mode], over[wl]["baseline"]))
+		}
+	}
+	b.WriteString(ot.String())
+	fmt.Fprintf(&b, "\nObserve is three atomic adds plus a CAS max and the flight ring is a fixed-size\n"+
+		"copy under one uncontended mutex, so the hist+flight configuration is budgeted at\n"+
+		"<=2%% over baseline (wall-clock rows vary with the host; the budget is the claim)\n")
+	return b.String(), nil
+}
+
+// metricsE26 is the machine-readable face: the instrumented-run
+// snapshot plus the overhead cells — what BENCH_obsv.json records.
+func metricsE26() (telemetry.Snapshot, error) {
+	snap, hists, spans, flightTotal, _, err := e26Instrumented()
+	if err != nil {
+		return nil, err
+	}
+	for name, h := range hists {
+		slug := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(name)
+		snap["obsv.hist."+slug+".count"] = float64(h.Count())
+		snap["obsv.hist."+slug+".p50"] = float64(h.Quantile(0.5))
+		snap["obsv.hist."+slug+".p99"] = float64(h.Quantile(0.99))
+	}
+	for k, n := range spans {
+		slug := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(k)
+		snap["obsv.spans."+slug] = float64(n)
+	}
+	snap["obsv.flight.events"] = float64(flightTotal)
+	over, err := e26Overhead()
+	if err != nil {
+		return nil, err
+	}
+	for wl, modes := range over {
+		for mode, ns := range modes {
+			snap["obsv.hotloop.ns_per_cycle."+wl+"."+mode] = ns
+		}
+		if base := modes["baseline"]; base > 0 {
+			for _, mode := range []string{"histograms", "flight", "hist+flight"} {
+				snap["obsv.hotloop.slowdown."+wl+"."+mode] = modes[mode] / base
+			}
+		}
+	}
+	return snap, nil
+}

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 25 {
-		t.Fatalf("registered %d experiments, want 25 (E1..E25)", len(all))
+	if len(all) != 26 {
+		t.Fatalf("registered %d experiments, want 26 (E1..E26)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1

@@ -12,10 +12,19 @@ import (
 	"repro/internal/vm"
 )
 
+// flightRingSize is the per-recorder flight-ring capacity for trials:
+// big enough to hold the events leading to an escape, small enough to
+// be free across tens of thousands of injections.
+const flightRingSize = 128
+
 // trialResult is one classified injection.
 type trialResult struct {
 	outcome Outcome
 	detail  string // fine-grained mechanism tag for the breakdown table
+	// flight is the trial's flight-recorder dump (JSONL), attached only
+	// when the outcome is Escaped or an unrecovered detection — the
+	// evidence trail for exactly the trials the audit cannot explain.
+	flight string
 
 	// Tolerance-stack accounting, all zero in baseline campaigns:
 	// repair work the stack performed during the trial.
@@ -70,6 +79,11 @@ func runLocalTrial(w *workload, class Class, seed uint64) (res trialResult) {
 	if err != nil {
 		return trialResult{outcome: Escaped, detail: "build-error"}
 	}
+	defer func() {
+		if res.outcome == Escaped && res.flight == "" {
+			res.flight = k.M.Flight.DumpString("escaped: "+res.detail, 0)
+		}
+	}()
 	injectAt := 1 + rng.Uint64n(w.clean.cycles)
 	k.Run(injectAt)
 	detail := injectLocal(class, k, inj, segs, rng)

@@ -95,6 +95,25 @@ type Result struct {
 	EccFixed    uint64 // single-bit memory errors corrected
 	Retransmits uint64 // transport frames re-sent
 	DupSupp     uint64 // duplicate frames suppressed
+
+	// Flights holds the flight-recorder dumps of the first
+	// MaxFlightCaptures trials whose outcome the audit could not explain
+	// (escaped, or an unrecovered detection under the tolerance stack) —
+	// the post-mortem evidence for exactly the rows that demand one.
+	Flights []FlightCapture
+}
+
+// MaxFlightCaptures bounds how many escaped-trial dumps a campaign
+// retains; escapes are supposed to be rare, and a pathological run must
+// not hold ten thousand dumps in memory.
+const MaxFlightCaptures = 8
+
+// FlightCapture is one unexplained trial's flight-recorder dump.
+type FlightCapture struct {
+	Class  Class
+	Seed   uint64
+	Detail string
+	Dump   string // JSONL: one {"flight":true,...}-headed section per recorder
 }
 
 type trialSpec struct {
@@ -216,6 +235,12 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 			res.Tolerated++
 		}
 		cs.Details[results[i].detail]++
+		if results[i].flight != "" && len(res.Flights) < MaxFlightCaptures {
+			res.Flights = append(res.Flights, FlightCapture{
+				Class: sp.class, Seed: sp.seed,
+				Detail: results[i].detail, Dump: results[i].flight,
+			})
+		}
 		res.Restores += results[i].restores
 		res.Checkpoints += results[i].checkpoints
 		res.EccFixed += results[i].eccFixed

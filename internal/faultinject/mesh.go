@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/machine"
@@ -68,6 +69,7 @@ func buildMesh(ic noc.Interceptor) (*multi.System, error) {
 		return nil, err
 	}
 	s.Net.Interceptor = ic
+	s.EnableFlight(flightRingSize)
 	if err := loadMeshWorkload(s, 3); err != nil {
 		return nil, err
 	}
@@ -143,8 +145,13 @@ func prepareMesh() (*meshClean, error) {
 	}, nil
 }
 
-// classifyMesh classifies a completed (or stopped) mesh trial.
+// classifyMesh classifies a completed (or stopped) mesh trial,
+// attaching the system's flight-recorder dump to escaped outcomes.
 func classifyMesh(s *multi.System, clean *meshClean, maskDetail string) trialResult {
+	return attachMeshFlight(s, classifyMeshBare(s, clean, maskDetail))
+}
+
+func classifyMeshBare(s *multi.System, clean *meshClean, maskDetail string) trialResult {
 	for _, t := range meshThreads(s) {
 		if t.State == machine.Faulted {
 			return classifyFault(t.Fault)
@@ -160,6 +167,19 @@ func classifyMesh(s *multi.System, clean *meshClean, maskDetail string) trialRes
 		return trialResult{outcome: Masked, detail: maskDetail}
 	}
 	return trialResult{outcome: Escaped, detail: "silent-divergence"}
+}
+
+// attachMeshFlight captures every flight recorder in the system into r
+// when r is an outcome the audit cannot explain away: an escape, or a
+// detection the tolerance stack should have repaired but did not.
+func attachMeshFlight(s *multi.System, r trialResult) trialResult {
+	if r.outcome == Escaped || strings.HasPrefix(r.detail, "unrecovered-") {
+		var b strings.Builder
+		if err := s.FlightDump(&b, r.detail); err == nil {
+			r.flight = b.String()
+		}
+	}
+	return r
 }
 
 // runNoCTrial injects one message fault of the given class into the

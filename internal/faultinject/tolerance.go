@@ -245,6 +245,7 @@ func buildMeshTolerant(ic noc.Interceptor) (*multi.System, error) {
 		return nil, err
 	}
 	s.Net.Interceptor = ic
+	s.EnableFlight(flightRingSize)
 	if err := loadMeshWorkload(s, 3); err != nil {
 		return nil, err
 	}
@@ -254,10 +255,12 @@ func buildMeshTolerant(ic noc.Interceptor) (*multi.System, error) {
 	return s, nil
 }
 
-// classifyMeshTolerant classifies a tolerant mesh trial and attaches
-// the stack's repair counters.
+// classifyMeshTolerant classifies a tolerant mesh trial, attaching the
+// stack's repair counters, and — for escapes and unrecovered
+// detections — the flight-recorder dump.
 func classifyMeshTolerant(s *multi.System, clean *meshClean, maskDetail string) trialResult {
 	counters := func(r trialResult) trialResult {
+		r = attachMeshFlight(s, r)
 		st := s.Net.Stats()
 		r.restores = s.Restores()
 		r.checkpoints = s.Checkpoints()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/word"
 )
 
@@ -149,6 +150,9 @@ func buildLocalWith(w *workload, cfg machine.Config) (*kernel.Kernel, *Injector,
 	}
 	inj := &Injector{}
 	k.M.Integrity = inj.CheckInst
+	// Always-on flight ring: dumped into the trial result only when the
+	// outcome escapes classification.
+	k.M.Flight = telemetry.NewFlightRecorder(flightRingSize)
 	var segs []core.Pointer
 	for d := 1; d <= w.threads; d++ {
 		ip, err := k.LoadProgram(prog, false)

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
@@ -84,6 +85,7 @@ func (m *Machine) executeRemoteFetch(t *Thread) {
 		m.lose(t)
 		return
 	}
+	m.observeRemoteRT(m.now, fetchDone)
 	inst, derr := isa.Decode(w)
 	if derr != nil {
 		m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
@@ -91,6 +93,14 @@ func (m *Machine) executeRemoteFetch(t *Thread) {
 	}
 	m.dispatch(t, inst)
 	m.finishRemoteFetch(t, fetchDone)
+}
+
+// observeRemoteRT records a completed remote access's round trip into
+// the remote-latency histogram. Call only with done != NeverDone.
+func (m *Machine) observeRemoteRT(issue, done uint64) {
+	if m.hists != nil {
+		m.hists.RemoteRT.Observe(done - issue)
+	}
 }
 
 // finishRemoteFetch applies the fetch network latency after the
@@ -160,6 +170,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.lose(t)
 			return
 		}
+		m.observeRemoteRT(p.cycle, fetchDone)
 		inst, derr := isa.Decode(w)
 		if derr != nil {
 			m.fault(t, &core.Fault{Code: core.FaultPerm, Op: "FETCH", Msg: derr.Error()})
@@ -178,6 +189,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.lose(t)
 			return
 		}
+		m.observeRemoteRT(p.cycle, done)
 		t.Regs[p.inst.Rd] = v
 		m.block(t, done)
 		if m.advance(t) {
@@ -194,6 +206,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.lose(t)
 			return
 		}
+		m.observeRemoteRT(p.cycle, done)
 		m.block(t, done)
 		if m.advance(t) {
 			m.retire(t)
@@ -209,6 +222,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.lose(t)
 			return
 		}
+		m.observeRemoteRT(p.cycle, done)
 		t.Regs[p.inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.addr & 7) * 8))))
 		m.block(t, done)
 		if m.advance(t) {
@@ -234,6 +248,7 @@ func (m *Machine) servicePending(p pendingRemote) {
 			m.lose(t)
 			return
 		}
+		m.observeRemoteRT(p.cycle, done)
 		m.block(t, done)
 		if m.advance(t) {
 			m.retire(t)
@@ -362,6 +377,10 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 			m.Tracer.Emit(telemetry.Event{Cycle: m.now, Kind: telemetry.EvTrap,
 				Thread: t.ID, Cluster: t.cluster, Domain: t.Domain, Code: inst.Imm})
 		}
+		if m.Flight != nil {
+			m.Flight.Record(telemetry.Event{Cycle: m.now, Kind: telemetry.EvTrap,
+				Thread: t.ID, Cluster: t.cluster, Domain: t.Domain, Code: inst.Imm})
+		}
 		m.retire(t)
 		if m.OnTrap == nil {
 			m.fault(t, &core.Fault{Code: core.FaultPriv, Op: "TRAP", Msg: "no trap handler installed"})
@@ -394,6 +413,7 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.lose(t)
 				return
 			}
+			m.observeRemoteRT(m.now, done)
 			r[inst.Rd] = v
 			m.block(t, done)
 		} else {
@@ -423,6 +443,7 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.lose(t)
 				return
 			}
+			m.observeRemoteRT(m.now, done)
 			m.block(t, done)
 		} else {
 			done, err := m.Cache.WriteWord(p.Addr(), r[inst.Rb], m.now)
@@ -451,6 +472,7 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.lose(t)
 				return
 			}
+			m.observeRemoteRT(m.now, done)
 			r[inst.Rd] = word.FromInt(int64(byte(wv.Bits >> ((p.Addr() & 7) * 8))))
 			m.block(t, done)
 		} else {
@@ -494,6 +516,7 @@ func (m *Machine) dispatch(t *Thread, inst isa.Inst) {
 				m.lose(t)
 				return
 			}
+			m.observeRemoteRT(m.now, done)
 			m.block(t, done)
 		} else {
 			done, _, err := m.Cache.Access(p.Addr(), true, m.now)
@@ -683,6 +706,10 @@ func (m *Machine) advance(t *Thread) bool {
 // thread hangs exactly where a real node would, waiting for a reply
 // that is not coming. The owner's watchdog is what notices.
 func (m *Machine) lose(t *Thread) {
+	if m.Flight != nil {
+		m.Flight.Note(m.now, telemetry.EvNoCMsg,
+			fmt.Sprintf("thread %d lost: remote access consumed by fabric", t.ID))
+	}
 	t.State = Blocked
 	t.blockedUntil = NeverDone
 }
@@ -712,9 +739,17 @@ func (m *Machine) fault(t *Thread, err error) {
 			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
 			Addr: t.IP.Addr(), Code: int64(core.CodeOf(err)), Detail: err.Error()})
 	}
+	if m.Flight != nil {
+		m.Flight.Record(telemetry.Event{Cycle: m.now, Kind: telemetry.EvFault,
+			Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
+			Addr: t.IP.Addr(), Code: int64(core.CodeOf(err)), Detail: err.Error()})
+	}
 	if m.OnFault != nil && m.OnFault(m, t, err) {
 		return
 	}
 	t.State = Faulted
 	t.Fault = err
+	if m.OnFlightDump != nil {
+		m.OnFlightDump("machine fault: " + err.Error())
+	}
 }

@@ -268,6 +268,22 @@ type Machine struct {
 	// pointer check per emit site.
 	Tracer *telemetry.Tracer
 
+	// hists holds the machine's latency histograms once
+	// EnableHistograms has run; nil (the default) costs one pointer
+	// check at each rare-event site.
+	hists *Hists
+
+	// Flight, when non-nil, is the machine's always-on flight recorder:
+	// faults, traps, and lost threads land in its bounded ring so the
+	// run-up to a failure can be dumped. All FlightRecorder methods are
+	// nil-safe, so emit sites call it unconditionally.
+	Flight *telemetry.FlightRecorder
+
+	// OnFlightDump, when non-nil, fires when a thread enters the
+	// Faulted state with no handler recovery — the machine-fault
+	// auto-dump trigger. The owner decides where the dump goes.
+	OnFlightDump func(reason string)
+
 	// Profiler, when non-nil, samples the address of every issued
 	// instruction for hot-spot attribution.
 	Profiler *telemetry.Profiler
@@ -340,6 +356,36 @@ func (m *Machine) SetTracer(tr *telemetry.Tracer) {
 	m.Space.Now = func() uint64 { return m.cycle }
 }
 
+// Hists bundles the machine-level latency histograms (EnableHistograms).
+type Hists struct {
+	// DomainSwitch records the stall cycles each protection-domain
+	// switch cost — identically zero under SchemeGuarded, which is the
+	// paper's claim rendered as a distribution rather than asserted.
+	DomainSwitch *telemetry.Histogram
+	// RemoteRT records the round-trip cycles (completion − issue) of
+	// every completed remote access: loads, stores, byte variants, and
+	// remote instruction fetches.
+	RemoteRT *telemetry.Histogram
+}
+
+// EnableHistograms allocates the machine's latency histograms — domain
+// switch, remote round trip, and the cache's TLB-refill cost — and
+// returns them. Subsequent RegisterMetrics calls publish them under
+// machine.hist.* / cache.l1.hist.*. Idempotent.
+func (m *Machine) EnableHistograms() *Hists {
+	if m.hists == nil {
+		m.hists = &Hists{
+			DomainSwitch: telemetry.NewHistogram(),
+			RemoteRT:     telemetry.NewHistogram(),
+		}
+		m.Cache.HistTLBRefill = telemetry.NewHistogram()
+	}
+	return m.hists
+}
+
+// Hists returns the histograms, or nil before EnableHistograms.
+func (m *Machine) Hists() *Hists { return m.hists }
+
 // RegisterMetrics publishes every machine-level counter plus the cache
 // and vm counters into reg under the canonical namespace
 // (machine.cycles, cache.l1.misses, vm.tlb.misses, …).
@@ -360,6 +406,13 @@ func (m *Machine) RegisterMetrics(reg *telemetry.Registry) {
 		return float64(m.stats.Instructions) / float64(m.stats.Cycles)
 	})
 	reg.Register("machine.threads", func() float64 { return float64(len(m.threads)) })
+	// Outstanding deferred remote accesses — the node's NoC service
+	// queue depth as seen between barriers.
+	reg.Register("machine.remote_pending", func() float64 { return float64(len(m.pending)) })
+	if m.hists != nil {
+		reg.RegisterHistogram("machine.hist.domain_switch", m.hists.DomainSwitch)
+		reg.RegisterHistogram("machine.hist.remote_rt", m.hists.RemoteRT)
+	}
 	reg.Counter("mem.ecc.corrected", func() uint64 { return m.Space.Phys.ECCStats().Corrected })
 	reg.Counter("mem.ecc.double_bit", func() uint64 { return m.Space.Phys.ECCStats().DoubleBit })
 	reg.Counter("mem.ecc.scrub_words", func() uint64 { return m.Space.Phys.ECCStats().ScrubWords })
@@ -499,7 +552,11 @@ func (m *Machine) stepCluster(cl *clusterState) {
 						Thread: t.ID, Cluster: t.cluster, Domain: t.Domain,
 						Detail: fmt.Sprintf("domain %d -> %d", cl.lastThread.Domain, t.Domain)})
 				}
-				if penalty := m.switchPenalty(); penalty > 0 {
+				penalty := m.switchPenalty()
+				if m.hists != nil {
+					m.hists.DomainSwitch.Observe(penalty)
+				}
+				if penalty > 0 {
 					// A page-based scheme must install the new domain
 					// before the thread may issue: stall the cluster
 					// and destroy the stale state.

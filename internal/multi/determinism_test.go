@@ -30,6 +30,14 @@ type fingerprint struct {
 // up in the counters and final state.
 func runCrossNodeWorkload(t *testing.T, serial bool, workers int) fingerprint {
 	t.Helper()
+	return runCrossNodeWorkloadWith(t, serial, workers, nil)
+}
+
+// runCrossNodeWorkloadWith is runCrossNodeWorkload with a hook that
+// configures the freshly booted system before any workload is loaded
+// (the introspection tests enable spans/flight from here).
+func runCrossNodeWorkloadWith(t *testing.T, serial bool, workers int, setup func(*System)) fingerprint {
+	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Node.PhysBytes = 1 << 20
 	cfg.Serial = serial
@@ -37,6 +45,9 @@ func runCrossNodeWorkload(t *testing.T, serial bool, workers int) fingerprint {
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(s)
 	}
 	n := len(s.Nodes)
 	segs := make([]core.Pointer, n)

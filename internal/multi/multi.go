@@ -15,6 +15,7 @@ package multi
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -116,6 +117,14 @@ type System struct {
 	// integrity hooks, tracers).
 	OnRestore func(id int, k *kernel.Kernel)
 
+	// OnFlightDump, when non-nil, fires when the system crosses an
+	// unrecoverable boundary — the watchdog trips with no repair left, a
+	// node machine faults with no handler, or the reliable transport
+	// gives a message up — with a human-readable reason. The canonical
+	// handler calls FlightDump to persist the recorders' last events.
+	// Fires at most once per Run escalation site; requires EnableFlight.
+	OnFlightDump func(reason string)
+
 	cycle      uint64   // completed cycles since boot
 	dead       []bool   // killed nodes: never step, never service
 	stallUntil []uint64 // frozen until this cycle count (transient stall)
@@ -129,6 +138,23 @@ type System struct {
 	ckpts       []ckptGen
 	checkpoints uint64 // generations captured (recovery.checkpoints)
 	restores    uint64 // automatic recoveries performed (recovery.restores)
+
+	// Introspection state (all optional, all off by default).
+	spans      *spanState                  // EnableSpans: causal-span allocator
+	flights    []*telemetry.FlightRecorder // EnableFlight: per-node rings
+	meshFlight *telemetry.FlightRecorder   // EnableFlight: transport ring
+	histsOn    bool                        // EnableHistograms was called
+	reg        *telemetry.Registry         // RegisterMetrics target, kept for re-registration after restore
+}
+
+// spanState is the deterministic span-id allocator. IDs are handed out
+// only on the coordinating goroutine — Node.ReadWord/WriteWord run
+// inside ServiceRemote at the cycle barrier, in node-id order — so the
+// id sequence, and with it the whole trace, is identical under the
+// serial and parallel schedulers.
+type spanState struct {
+	tr   *telemetry.Tracer
+	next uint64
 }
 
 // ckptGen is one coordinated checkpoint generation: every node's kernel
@@ -255,6 +281,8 @@ func (s *System) checkProgress() {
 			return
 		}
 		s.hung = true
+		s.fireFlightDump(fmt.Sprintf(
+			"watchdog: no progress for %d cycles at cycle %d", s.cycle-s.lastProgressCycle, s.cycle))
 	}
 }
 
@@ -367,6 +395,16 @@ func (s *System) installKernel(id int, k *kernel.Kernel) {
 	k.M.DeferRemote = true
 	s.dead[id] = false
 	s.stallUntil[id] = 0
+	// Re-apply the introspection wiring the checkpoint image does not
+	// capture: histograms (fresh, the old samples described a machine
+	// that no longer exists), the flight ring (the same one — its tail
+	// is the story of why this restore happened), and the metric
+	// samplers under node.<id>.*.
+	if s.histsOn {
+		k.M.EnableHistograms()
+	}
+	s.attachFlight(id, k.M)
+	s.registerNode(id)
 }
 
 // Checkpoints returns the number of coordinated generations captured.
@@ -375,15 +413,164 @@ func (s *System) Checkpoints() uint64 { return s.checkpoints }
 // Restores returns the number of automatic recoveries performed.
 func (s *System) Restores() uint64 { return s.restores }
 
+// --- Introspection: spans, histograms, flight recorders ----------------
+
+// EnableSpans turns on causal spans for remote operations: every
+// remote read/write emits a root span on the issuing node and one
+// child span per mesh leg (request and reply), all tied together by
+// trace/span/parent ids in tr's event stream. Span-carrying transport
+// frames are flagged FlagTraced. Span ids are allocated at the cycle
+// barrier in node-id order, so traces are bit-identical under the
+// serial and parallel schedulers. Spans change no timing: the traced
+// delivery path is cycle-for-cycle the untraced one.
+func (s *System) EnableSpans(tr *telemetry.Tracer) {
+	s.spans = &spanState{tr: tr}
+	s.Net.Tracer = tr
+}
+
+// EnableHistograms allocates the latency histograms on every node
+// (domain-switch penalty, remote-access round trip, TLB-refill cost)
+// plus the mesh's retransmit-delay histogram. Idempotent; survives
+// auto-recovery (installKernel re-enables on restored machines).
+func (s *System) EnableHistograms() {
+	s.histsOn = true
+	for _, n := range s.Nodes {
+		n.K.M.EnableHistograms()
+	}
+	if s.Net.HistRetransmit == nil {
+		s.Net.HistRetransmit = telemetry.NewHistogram()
+	}
+}
+
+// EnableFlight arms an always-on bounded flight recorder on every node
+// (faults, traps, lost threads) and one on the mesh transport
+// (retransmits, give-ups). size ≤ 0 selects DefaultFlightSize. The
+// rings themselves survive auto-recovery — a restored machine keeps
+// appending to the same ring, so a post-recovery dump still shows the
+// events that led to the restore.
+func (s *System) EnableFlight(size int) {
+	if size <= 0 {
+		size = telemetry.DefaultFlightSize
+	}
+	if s.flights == nil {
+		s.flights = make([]*telemetry.FlightRecorder, len(s.Nodes))
+		for i := range s.flights {
+			s.flights[i] = telemetry.NewFlightRecorder(size)
+		}
+		s.meshFlight = telemetry.NewFlightRecorder(size)
+	}
+	s.Net.Flight = s.meshFlight
+	s.Net.OnGiveUp = func(k noc.Kind, src, dst int, now uint64) {
+		s.fireFlightDump(fmt.Sprintf("transport give-up: %v %d->%d at cycle %d", k, src, dst, now))
+	}
+	for i, n := range s.Nodes {
+		s.attachFlight(i, n.K.M)
+	}
+}
+
+// attachFlight wires node id's machine to its flight ring and dump
+// escalation (shared by EnableFlight and installKernel).
+func (s *System) attachFlight(id int, m *machine.Machine) {
+	if s.flights == nil {
+		return
+	}
+	m.Flight = s.flights[id]
+	node := id
+	m.OnFlightDump = func(reason string) {
+		s.fireFlightDump(fmt.Sprintf("node %d %s", node, reason))
+	}
+}
+
+// fireFlightDump forwards an escalation reason to OnFlightDump.
+func (s *System) fireFlightDump(reason string) {
+	if s.OnFlightDump != nil {
+		s.OnFlightDump(reason)
+	}
+}
+
+// FlightDump writes every flight recorder — one JSONL section per
+// node, then the mesh transport's as node -1 — to w, each section
+// headed by a {"flight":true,...} line carrying the reason. A no-op
+// (and nil error) when EnableFlight was never called.
+func (s *System) FlightDump(w io.Writer, reason string) error {
+	for i, fr := range s.flights {
+		if err := fr.Dump(w, reason, i); err != nil {
+			return err
+		}
+	}
+	if s.meshFlight != nil {
+		return s.meshFlight.Dump(w, reason, -1)
+	}
+	return nil
+}
+
+// beginRemoteSpan opens the root span of one remote operation (the
+// issuing node's view: begin at issue, end at completion). Returns the
+// zero SpanContext — and emits nothing — when spans are off.
+func (s *System) beginRemoteSpan(detail string, src, home int, now uint64) noc.SpanContext {
+	sp := s.spans
+	if sp == nil || sp.tr == nil || !sp.tr.Enabled(telemetry.EvSpanBegin) {
+		return noc.SpanContext{}
+	}
+	sp.next++
+	sc := noc.SpanContext{Trace: sp.next, Span: sp.next}
+	sp.tr.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvSpanBegin,
+		Thread: -1, Cluster: src, Domain: -1, Code: int64(home), Detail: detail,
+		Trace: sc.Trace, Span: sc.Span})
+	return sc
+}
+
+// legSpan allocates a child span of sc for one mesh leg.
+func (s *System) legSpan(sc noc.SpanContext) noc.SpanContext {
+	if sc.Span == 0 {
+		return noc.SpanContext{}
+	}
+	s.spans.next++
+	return noc.SpanContext{Trace: sc.Trace, Span: s.spans.next, Parent: sc.Span}
+}
+
+// endRemoteSpan closes a root span at cycle on node id. An operation
+// that never completes (lost reply, dead home) leaves its span open —
+// exactly what a hung trace should look like.
+func (s *System) endRemoteSpan(sc noc.SpanContext, detail string, id int, cycle uint64) {
+	if sc.Span == 0 {
+		return
+	}
+	s.spans.tr.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.EvSpanEnd,
+		Thread: -1, Cluster: id, Domain: -1, Detail: detail,
+		Trace: sc.Trace, Span: sc.Span})
+}
+
 // RegisterMetrics publishes the multicomputer's cross-node and
 // recovery counters plus the mesh's under the canonical namespaces
-// (multi.*, recovery.*, noc.*).
+// (multi.*, recovery.*, noc.*), and every node's full machine metric
+// set namespaced under node.<id>.* (node.3.machine.instructions,
+// node.3.cache.l1.hits, ...). The registry is remembered: after an
+// auto-recovery the restored kernels' samplers replace the dead ones
+// under the same names, so a long-lived scrape endpoint never serves
+// counters from a discarded machine.
 func (s *System) RegisterMetrics(reg *telemetry.Registry) {
+	s.reg = reg
 	reg.Counter("multi.remote_reads", func() uint64 { return s.stats.RemoteReads })
 	reg.Counter("multi.remote_writes", func() uint64 { return s.stats.RemoteWrites })
+	reg.Counter("multi.cycle", func() uint64 { return s.cycle })
 	reg.Counter("recovery.checkpoints", func() uint64 { return s.checkpoints })
 	reg.Counter("recovery.restores", func() uint64 { return s.restores })
 	s.Net.RegisterMetrics(reg, "noc")
+	for _, n := range s.Nodes {
+		s.registerNode(n.ID)
+	}
+}
+
+// registerNode (re-)publishes node id's machine metrics under
+// node.<id>.*. Safe to call again after installKernel swaps the
+// kernel: Register replaces samplers name-for-name.
+func (s *System) registerNode(id int) {
+	if s.reg == nil {
+		return
+	}
+	sub := s.reg.Sub(fmt.Sprintf("node.%d.", id))
+	s.Nodes[id].K.M.RegisterMetrics(sub)
 }
 
 // Hung reports whether the cycle-deadline watchdog stopped the last
@@ -602,7 +789,8 @@ func (n *Node) ReadWord(addr uint64, now uint64) (word.Word, uint64, error) {
 		return word.Word{}, now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
 	}
 	n.sys.stats.RemoteReads++
-	reqArrive, delivered, err := n.sys.Net.Deliver(noc.ReadReq, n.ID, home, now)
+	sc := n.sys.beginRemoteSpan("remote-read", n.ID, home, now)
+	reqArrive, delivered, err := n.sys.Net.DeliverSpan(noc.ReadReq, n.ID, home, now, n.sys.legSpan(sc))
 	if err != nil {
 		return word.Word{}, now, err
 	}
@@ -613,13 +801,14 @@ func (n *Node) ReadWord(addr uint64, now uint64) (word.Word, uint64, error) {
 	if err != nil {
 		return word.Word{}, served, err
 	}
-	repArrive, delivered, err := n.sys.Net.Deliver(noc.ReadReply, home, n.ID, served)
+	repArrive, delivered, err := n.sys.Net.DeliverSpan(noc.ReadReply, home, n.ID, served, n.sys.legSpan(sc))
 	if err != nil {
 		return word.Word{}, served, err
 	}
 	if !delivered {
 		return word.Word{}, machine.NeverDone, nil
 	}
+	n.sys.endRemoteSpan(sc, "remote-read", n.ID, repArrive)
 	return w, repArrive, nil
 }
 
@@ -632,7 +821,8 @@ func (n *Node) WriteWord(addr uint64, w word.Word, now uint64) (uint64, error) {
 		return now, fmt.Errorf("multi: address %#x homed on nonexistent node %d", addr, home)
 	}
 	n.sys.stats.RemoteWrites++
-	reqArrive, delivered, err := n.sys.Net.Deliver(noc.WriteReq, n.ID, home, now)
+	sc := n.sys.beginRemoteSpan("remote-write", n.ID, home, now)
+	reqArrive, delivered, err := n.sys.Net.DeliverSpan(noc.WriteReq, n.ID, home, now, n.sys.legSpan(sc))
 	if err != nil {
 		return now, err
 	}
@@ -643,12 +833,13 @@ func (n *Node) WriteWord(addr uint64, w word.Word, now uint64) (uint64, error) {
 	if err != nil {
 		return served, err
 	}
-	ackArrive, delivered, err := n.sys.Net.Deliver(noc.WriteAck, home, n.ID, served)
+	ackArrive, delivered, err := n.sys.Net.DeliverSpan(noc.WriteAck, home, n.ID, served, n.sys.legSpan(sc))
 	if err != nil {
 		return served, err
 	}
 	if !delivered {
 		return machine.NeverDone, nil
 	}
+	n.sys.endRemoteSpan(sc, "remote-write", n.ID, ackArrive)
 	return ackArrive, nil
 }

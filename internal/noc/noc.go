@@ -153,6 +153,21 @@ type Network struct {
 	// callers are unaffected.
 	Interceptor Interceptor
 
+	// HistRetransmit, when non-nil, records each retransmission's
+	// backoff delay (the cycles the sender waited out before re-sending)
+	// — the transport-recovery latency distribution.
+	HistRetransmit *telemetry.Histogram
+
+	// Flight, when non-nil, receives a note per transport retransmission
+	// and give-up — the mesh's contribution to a failure's run-up. All
+	// FlightRecorder methods are nil-safe.
+	Flight *telemetry.FlightRecorder
+
+	// OnGiveUp, when non-nil, fires when the reliable transport abandons
+	// a message after MaxRetries — the transport-give-up auto-dump
+	// trigger.
+	OnGiveUp func(k Kind, src, dst int, now uint64)
+
 	// Reliable-transport state (transport.go): resolved configuration
 	// and per-directed-channel sequence/ack state, allocated lazily.
 	transport TransportConfig
@@ -317,7 +332,7 @@ func (n *Network) rangeErr(src, dst int) error {
 // deliverReliable in transport.go).
 func (n *Network) Deliver(k Kind, src, dst int, now uint64) (arrive uint64, delivered bool, err error) {
 	if n.transport.Enabled {
-		return n.deliverReliable(k, src, dst, now)
+		return n.deliverReliable(k, src, dst, now, 0)
 	}
 	if n.Interceptor == nil {
 		arrive, err = n.Send(src, dst, now)
@@ -347,6 +362,44 @@ func (n *Network) Deliver(k Kind, src, dst int, now uint64) (arrive uint64, deli
 		return arrive, true, &PayloadError{Kind: k, Src: src, Dst: dst}
 	}
 	return arrive, true, nil
+}
+
+// SpanContext carries causal-trace identity alongside a message:
+// Trace names the whole flow (canonically the root span's id), Span
+// this network leg, Parent the span that caused it. The 64-bit
+// transport header is fully allocated, so the ids travel as this
+// documented side-band word while the header's FlagTraced bit marks
+// the frame as carrying one (see transport.go).
+type SpanContext struct {
+	Trace, Span, Parent uint64
+}
+
+// DeliverSpan is Deliver with causal-span emission: when sc.Span is
+// nonzero and the network's tracer has span kinds enabled, the leg is
+// bracketed with EvSpanBegin (at injection, Cluster = src) and
+// EvSpanEnd (at arrival, Cluster = dst) events carrying sc's ids, and
+// transport frames carry FlagTraced. An undelivered message leaves its
+// span open — visibly unfinished in the trace, which is the point.
+// Timing, statistics, and fault semantics are identical to Deliver.
+func (n *Network) DeliverSpan(k Kind, src, dst int, now uint64, sc SpanContext) (arrive uint64, delivered bool, err error) {
+	traced := sc.Span != 0 && n.Tracer != nil && n.Tracer.Enabled(telemetry.EvSpanBegin)
+	if !traced {
+		return n.Deliver(k, src, dst, now)
+	}
+	n.Tracer.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvSpanBegin,
+		Thread: -1, Cluster: src, Domain: -1, Code: int64(dst), Detail: k.String(),
+		Trace: sc.Trace, Span: sc.Span, Parent: sc.Parent})
+	if n.transport.Enabled {
+		arrive, delivered, err = n.deliverReliable(k, src, dst, now, FlagTraced)
+	} else {
+		arrive, delivered, err = n.Deliver(k, src, dst, now)
+	}
+	if delivered {
+		n.Tracer.Emit(telemetry.Event{Cycle: arrive, Kind: telemetry.EvSpanEnd,
+			Thread: -1, Cluster: dst, Domain: -1, Code: int64(dst), Detail: k.String(),
+			Trace: sc.Trace, Span: sc.Span, Parent: sc.Parent})
+	}
+	return arrive, delivered, err
 }
 
 // ZeroLoadLatency returns the uncontended latency between two nodes.
@@ -382,4 +435,7 @@ func (n *Network) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 		}
 		return float64(n.stats.TotalLatency) / float64(n.stats.Messages)
 	})
+	if n.HistRetransmit != nil {
+		reg.RegisterHistogram(prefix+".hist.retransmit_delay", n.HistRetransmit)
+	}
 }

@@ -15,7 +15,11 @@
 // bit-for-bit.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // Transport frame-header layout (64 bits):
 //
@@ -50,8 +54,15 @@ const (
 	// FlagAckOnly marks a frame carrying no payload, sent purely to
 	// advance the peer's cumulative ack.
 	FlagAckOnly uint8 = 1 << 1
+	// FlagTraced marks a frame carrying a causal-span context in its
+	// side-band word (see SpanContext in noc.go): the trace/span/parent
+	// ids of the operation this frame is a leg of. The flag has no
+	// effect on transport behavior — dedup and retransmission ignore it
+	// — it exists so receivers and the audit can tell which frames were
+	// part of a traced flow.
+	FlagTraced uint8 = 1 << 2
 
-	flagsMask = FlagRetransmit | FlagAckOnly
+	flagsMask = FlagRetransmit | FlagAckOnly | FlagTraced
 )
 
 // TransportConfig tunes the reliable-transport layer. The zero value
@@ -222,7 +233,10 @@ func (n *Network) chanFor(src, dst int) *chanState {
 // sequence check; delay simply pushes injection later. After
 // MaxRetries timeouts the transport gives up and reports the message
 // undelivered — the escalation path (node watchdog) takes over.
-func (n *Network) deliverReliable(k Kind, src, dst int, now uint64) (arrive uint64, delivered bool, err error) {
+//
+// extraFlags is OR-ed into every attempt's header (DeliverSpan passes
+// FlagTraced); it never affects timing or dedup.
+func (n *Network) deliverReliable(k Kind, src, dst int, now uint64, extraFlags uint8) (arrive uint64, delivered bool, err error) {
 	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
 		return 0, false, n.rangeErr(src, dst)
 	}
@@ -232,9 +246,9 @@ func (n *Network) deliverReliable(k Kind, src, dst int, now uint64) (arrive uint
 	seq := cs.nextSeq
 	cs.nextSeq++
 	for attempt := 0; ; attempt++ {
-		var flags uint8
+		flags := extraFlags
 		if attempt > 0 {
-			flags = FlagRetransmit
+			flags |= FlagRetransmit
 		}
 		// The frame header is encoded and decoded for every physical
 		// transmission — the codec the fuzzer exercises is the one on
@@ -296,11 +310,25 @@ func (n *Network) deliverReliable(k Kind, src, dst int, now uint64) (arrive uint
 		}
 		if attempt >= tc.MaxRetries {
 			n.stats.TransportGaveUp++
+			if n.Flight != nil {
+				n.Flight.Note(now, telemetry.EvNoCMsg,
+					fmt.Sprintf("transport give-up: %v %d->%d seq=%d after %d attempts", k, src, dst, seq, attempt+1))
+			}
+			if n.OnGiveUp != nil {
+				n.OnGiveUp(k, src, dst, now)
+			}
 			return 0, false, nil
 		}
 		backoff := tc.RetransmitTimeout << uint(attempt)
 		n.stats.TimeoutCycles += backoff
 		n.stats.Retransmits++
+		if n.HistRetransmit != nil {
+			n.HistRetransmit.Observe(backoff)
+		}
+		if n.Flight != nil {
+			n.Flight.Note(now, telemetry.EvNoCMsg,
+				fmt.Sprintf("transport retransmit: %v %d->%d seq=%d backoff=%d", k, src, dst, seq, backoff))
+		}
 		now += backoff
 	}
 }

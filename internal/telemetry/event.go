@@ -56,6 +56,12 @@ const (
 	EvNoCMsg
 	// EvCacheMiss is a cache miss that went to the external interface.
 	EvCacheMiss
+	// EvSpanBegin / EvSpanEnd bracket one leg of a causal span — a
+	// remote access or protection crossing whose Trace/Span/Parent IDs
+	// tie the requesting side to the work it caused elsewhere (Detail
+	// names the operation, Code carries the remote node).
+	EvSpanBegin
+	EvSpanEnd
 
 	numKinds
 )
@@ -73,6 +79,8 @@ var kindNames = [...]string{
 	EvGCPhase:    "gc-phase",
 	EvNoCMsg:     "noc-msg",
 	EvCacheMiss:  "cache-miss",
+	EvSpanBegin:  "span-begin",
+	EvSpanEnd:    "span-end",
 }
 
 func (k Kind) String() string {
@@ -102,6 +110,14 @@ type Event struct {
 	Addr    uint64 `json:"addr,omitempty"`
 	Code    int64  `json:"code,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+
+	// Trace/Span/Parent carry causal-span identity on EvSpanBegin /
+	// EvSpanEnd events (zero — and omitted from JSON — on every other
+	// kind): Trace names the whole causal flow, Span this leg of it, and
+	// Parent the span that caused this one (0 for a root).
+	Trace  uint64 `json:"trace,omitempty"`
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // eventNoMethods drops Event's methods so the embedded marshal below

@@ -92,12 +92,17 @@ type chromeEvent struct {
 	PID   int                    `json:"pid"`
 	TID   int                    `json:"tid"`
 	Scope string                 `json:"s,omitempty"`
+	ID    string                 `json:"id,omitempty"`
 	Args  map[string]interface{} `json:"args,omitempty"`
 }
 
 // chromeRecord maps an Event onto the trace_event schema: instructions
 // become 1-cycle complete ("X") slices, GC phases become begin/end
-// ("B"/"E") slices, everything else a thread-scoped instant ("i").
+// ("B"/"E") slices, causal spans become async begin/end ("b"/"e")
+// records keyed by the span ID — the viewer draws the requesting side
+// and the remote work it caused as one nestable flow even though they
+// land on different pid/tid lanes — and everything else a thread-scoped
+// instant ("i").
 func chromeRecord(ev Event) chromeEvent {
 	rec := chromeEvent{
 		Cat:   ev.Kind.String(),
@@ -128,6 +133,15 @@ func chromeRecord(ev Event) chromeEvent {
 		} else {
 			rec.Phase = "E"
 		}
+	case EvSpanBegin, EvSpanEnd:
+		rec.Scope = ""
+		rec.Cat = "span"
+		rec.ID = fmt.Sprintf("%#x", ev.Span)
+		if ev.Kind == EvSpanBegin {
+			rec.Phase = "b"
+		} else {
+			rec.Phase = "e"
+		}
 	}
 	args := map[string]interface{}{}
 	if ev.Addr != 0 {
@@ -135,6 +149,12 @@ func chromeRecord(ev Event) chromeEvent {
 	}
 	if ev.Code != 0 && ev.Kind != EvGCPhase {
 		args["code"] = ev.Code
+	}
+	if ev.Trace != 0 {
+		args["trace"] = fmt.Sprintf("%#x", ev.Trace)
+	}
+	if ev.Parent != 0 {
+		args["parent"] = fmt.Sprintf("%#x", ev.Parent)
 	}
 	if ev.Domain >= 0 {
 		args["domain"] = ev.Domain

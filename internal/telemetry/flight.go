@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder keeps the last few hundred events of one node in a
+// bounded ring so that when something dies — a machine fault, a hung
+// watchdog, a transport give-up — the moments leading up to it can be
+// dumped and attached to the failure report. Unlike a Tracer it has no
+// kind mask, no sinks and no export pipeline: it is meant to run
+// always-on, recording a deliberately sparse event stream (faults,
+// traps, domain swaps, retransmits, notes) whose per-event cost is one
+// mutex acquisition and one slot store.
+//
+// A nil *FlightRecorder is legal at every method; the disabled path is
+// a nil check, mirroring the Tracer convention.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// DefaultFlightSize bounds the retained history when the caller does
+// not choose one — enough to cover the interesting run-up to a crash
+// without holding a whole trace.
+const DefaultFlightSize = 256
+
+// NewFlightRecorder returns a recorder retaining the last size events
+// (DefaultFlightSize if size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{ring: make([]Event, size)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Note records a free-form annotation — the recorder's printf — stamped
+// with the given cycle and kind.
+func (f *FlightRecorder) Note(cycle uint64, kind Kind, detail string) {
+	f.Record(Event{Cycle: cycle, Kind: kind, Thread: -1, Cluster: -1, Domain: -1, Detail: detail})
+}
+
+// Total returns the number of events recorded since creation (including
+// those the ring has overwritten). Zero on a nil recorder.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events returns the retained events in recording order (nil on a nil
+// recorder).
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return append([]Event(nil), f.ring[:f.next]...)
+	}
+	out := make([]Event, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// flightHeader is the first line of a dump: why it was taken and how
+// much history follows.
+type flightHeader struct {
+	Flight bool   `json:"flight"`
+	Reason string `json:"reason"`
+	Node   int    `json:"node"`
+	Events int    `json:"events"`
+	Total  uint64 `json:"total"`
+}
+
+// Dump writes the retained history as JSON Lines: one header object
+// ({"flight":true,"reason":…,"node":…,"events":…,"total":…}) followed
+// by one event per line, oldest first. node identifies the recorder's
+// owner in a multi-node dump (-1 when standalone). A nil recorder dumps
+// a header with zero events, so failure paths never special-case it.
+func (f *FlightRecorder) Dump(w io.Writer, reason string, node int) error {
+	events := f.Events()
+	enc := json.NewEncoder(w)
+	hdr := flightHeader{Flight: true, Reason: reason, Node: node, Events: len(events), Total: f.Total()}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpString is Dump into a string, for attaching to error reports.
+func (f *FlightRecorder) DumpString(reason string, node int) string {
+	var sb strings.Builder
+	_ = f.Dump(&sb, reason, node) // strings.Builder writes cannot fail
+	return sb.String()
+}

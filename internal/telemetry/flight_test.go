@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingAndDump(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Record(Event{Cycle: uint64(i), Kind: EvFault, Thread: -1, Cluster: -1, Domain: -1})
+	}
+	evs := f.Events()
+	if len(evs) != 4 || evs[0].Cycle != 2 || evs[3].Cycle != 5 {
+		t.Fatalf("ring = %+v", evs)
+	}
+	if f.Total() != 6 {
+		t.Errorf("total = %d", f.Total())
+	}
+
+	dump := f.DumpString("machine fault", 3)
+	sc := bufio.NewScanner(strings.NewReader(dump))
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var hdr struct {
+		Flight bool   `json:"flight"`
+		Reason string `json:"reason"`
+		Node   int    `json:"node"`
+		Events int    `json:"events"`
+		Total  uint64 `json:"total"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header %q: %v", sc.Text(), err)
+	}
+	if !hdr.Flight || hdr.Reason != "machine fault" || hdr.Node != 3 || hdr.Events != 4 || hdr.Total != 6 {
+		t.Errorf("header = %+v", hdr)
+	}
+	n := 0
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("dump carried %d events, want 4", n)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Event{Kind: EvFault})
+	f.Note(1, EvFault, "nothing")
+	if f.Events() != nil || f.Total() != 0 {
+		t.Error("nil recorder retained events")
+	}
+	dump := f.DumpString("give-up", -1)
+	if !strings.Contains(dump, `"events":0`) {
+		t.Errorf("nil dump = %q", dump)
+	}
+}
+
+func TestFlightRecorderNote(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Note(42, EvNoCMsg, "transport give-up dst=3")
+	evs := f.Events()
+	if len(evs) != 1 || evs[0].Cycle != 42 || evs[0].Detail != "transport give-up dst=3" {
+		t.Errorf("note = %+v", evs)
+	}
+}

@@ -14,26 +14,47 @@ import (
 // live counters of each subsystem. Sampling is pull-based: registering
 // costs one closure, and the counters themselves stay plain struct
 // fields on the hot path — a Snapshot reads them all at once.
+//
+// A Registry value is a view onto shared state: Sub returns a view that
+// prepends a prefix to every name it registers, so one subsystem's
+// RegisterMetrics can be mounted several times under distinct subtrees
+// (the multicomputer mounts each node's machine under "node.<id>.").
 type Registry struct {
+	prefix string
+	s      *regState
+}
+
+// regState is the storage every view of a registry shares.
+type regState struct {
 	mu       sync.Mutex
 	names    []string
 	samplers map[string]func() float64
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{samplers: make(map[string]func() float64)}
+	return &Registry{s: &regState{samplers: make(map[string]func() float64)}}
+}
+
+// Sub returns a view of the registry that registers every name under
+// prefix (the caller includes any separator: "node.3."). Snapshots,
+// Names and exposition are shared with the parent — a Sub is an
+// addressing convenience, not a second registry.
+func (r *Registry) Sub(prefix string) *Registry {
+	return &Registry{prefix: r.prefix + prefix, s: r.s}
 }
 
 // Register binds name to a gauge sampler. Re-registering a name
 // replaces its sampler (a machine rebuilt between runs re-registers).
 func (r *Registry) Register(name string, fn func() float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.samplers[name]; !ok {
-		r.names = append(r.names, name)
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if _, ok := r.s.samplers[name]; !ok {
+		r.s.names = append(r.s.names, name)
 	}
-	r.samplers[name] = fn
+	r.s.samplers[name] = fn
 }
 
 // Counter binds name to a monotone uint64 counter sampler.
@@ -41,22 +62,70 @@ func (r *Registry) Counter(name string, fn func() uint64) {
 	r.Register(name, func() float64 { return float64(fn()) })
 }
 
+// RegisterHistogram publishes h under name: derived summary gauges
+// (name.count, name.sum, name.mean, name.p50, name.p95, name.p99,
+// name.max) appear in every Snapshot, and the Prometheus exposition
+// additionally renders the full cumulative bucket series
+// (WritePrometheus). Re-registering a name replaces the histogram.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	name = r.prefix + name
+	r.s.mu.Lock()
+	if r.s.hists == nil {
+		r.s.hists = make(map[string]*Histogram)
+	}
+	r.s.hists[name] = h
+	r.s.mu.Unlock()
+	// The derived gauges go through the plain sampler path so JSON
+	// snapshots, deltas, and mmtop see them without special cases.
+	sub := &Registry{s: r.s}
+	sub.Counter(name+".count", h.Count)
+	sub.Counter(name+".sum", h.Sum)
+	sub.Register(name+".mean", h.Mean)
+	sub.Counter(name+".p50", func() uint64 { return h.Quantile(0.50) })
+	sub.Counter(name+".p95", func() uint64 { return h.Quantile(0.95) })
+	sub.Counter(name+".p99", func() uint64 { return h.Quantile(0.99) })
+	sub.Counter(name+".max", h.Max)
+}
+
+// Histograms returns the registered histograms by name (a copy of the
+// table; the histograms themselves are live).
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.s.hists))
+	for name, h := range r.s.hists {
+		out[name] = h
+	}
+	return out
+}
+
 // Names returns the registered metric names in sorted order.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := append([]string(nil), r.names...)
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	out := append([]string(nil), r.s.names...)
 	sort.Strings(out)
 	return out
 }
 
-// Snapshot samples every registered metric.
+// Snapshot samples every registered metric. The sampler table is copied
+// under the registry lock but the samplers run unlocked, so a sampler
+// may itself use the registry (register, snapshot, sub-view) without
+// deadlocking, and a slow sampler never blocks concurrent registration.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := make(Snapshot, len(r.samplers))
-	for name, fn := range r.samplers {
-		s[name] = fn()
+	r.s.mu.Lock()
+	type namedSampler struct {
+		name string
+		fn   func() float64
+	}
+	table := make([]namedSampler, 0, len(r.s.samplers))
+	for name, fn := range r.s.samplers {
+		table = append(table, namedSampler{name, fn})
+	}
+	r.s.mu.Unlock()
+	s := make(Snapshot, len(table))
+	for _, ns := range table {
+		s[ns.name] = ns.fn()
 	}
 	return s
 }

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SanitizeMetricName maps a registry name onto the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots (the registry's
+// hierarchy separator) and every other invalid rune become
+// underscores, and a leading digit gains an underscore prefix.
+// "node.3.machine.cycles" → "node_3_machine_cycles".
+func SanitizeMetricName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// formatPromValue renders a sample value the way the Prometheus text
+// format expects: shortest exact decimal, exponent notation where Go
+// chooses it (the format accepts Go float syntax), so large counters
+// round-trip without trailing-zero noise.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): every plain sampler as a gauge,
+// every registered histogram as a native histogram series with
+// cumulative le-labelled buckets at the log2 edges plus _sum and
+// _count. The derived .count/.sum summary gauges a histogram also
+// registers are suppressed here — the histogram series carries them —
+// while .mean/.p50/.p95/.p99/.max stay as gauges. Output is sorted by
+// name, so consecutive scrapes diff cleanly.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	hists := r.Histograms()
+
+	// Names whose value the histogram exposition already carries.
+	shadow := make(map[string]bool, 2*len(hists))
+	for name := range hists {
+		shadow[name+".count"] = true
+		shadow[name+".sum"] = true
+	}
+
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if !shadow[name] {
+			names = append(names, name)
+		}
+	}
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		pname := SanitizeMetricName(name)
+		if h, ok := hists[name]; ok {
+			if err := writePromHistogram(w, pname, h); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			pname, pname, formatPromValue(snap[name])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram as cumulative buckets. The
+// log2 bucket edges are emitted up to the last populated bucket; the
+// top bucket (values ≥ 2^63) folds into +Inf, which every histogram
+// carries regardless.
+func writePromHistogram(w io.Writer, pname string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pname); err != nil {
+		return err
+	}
+	count := h.Count()
+	var cum uint64
+	for b := 0; b < HistBuckets-1; b++ {
+		cum += h.Bucket(b)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pname, BucketUpper(b), cum); err != nil {
+			return err
+		}
+		if cum == count {
+			break
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pname, count, pname, h.Sum(), pname, count)
+	return err
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parsePromText is a strict parser for the subset of the Prometheus
+// text exposition format WritePrometheus emits: "# TYPE name kind"
+// headers and "name[{labels}] value" samples. It fails the test on any
+// line that a real Prometheus scraper would reject — bad metric-name
+// charset, unparsable value, sample without a preceding TYPE.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("line %d: bad comment %q", ln+1, line)
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		name := key
+		if br := strings.IndexByte(key, '{'); br >= 0 {
+			name = key[:br]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, line)
+			}
+		}
+		for i, r := range name {
+			ok := r == '_' || r == ':' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(r >= '0' && r <= '9' && i > 0)
+			if !ok {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suffix); b != name && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if typed[base] == "" {
+			t.Fatalf("line %d: sample %q without TYPE header", ln+1, name)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"machine.cycles":       "machine_cycles",
+		"node.3.cache.misses":  "node_3_cache_misses",
+		"3starts.with.digit":   "_3starts_with_digit",
+		"weird-name/with vals": "weird_name_with_vals",
+		"already_fine:colon":   "already_fine:colon",
+		"":                     "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrometheusLargeCounterFormatting(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("big.counter", func() uint64 { return 1 << 62 })
+	reg.Counter("max.counter", func() uint64 { return ^uint64(0) })
+	reg.Register("small.frac", func() float64 { return 0.25 })
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	s := parsePromText(t, buf.String())
+	if s["big_counter"] != float64(uint64(1)<<62) {
+		t.Errorf("big_counter = %v", s["big_counter"])
+	}
+	if s["max_counter"] != float64(^uint64(0)) {
+		t.Errorf("max_counter = %v", s["max_counter"])
+	}
+	if s["small_frac"] != 0.25 {
+		t.Errorf("small_frac = %v", s["small_frac"])
+	}
+}
+
+func TestPrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if s := parsePromText(t, buf.String()); len(s) != 0 {
+		t.Errorf("empty registry produced samples: %v", s)
+	}
+}
+
+func TestPrometheusHistogramSeries(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram()
+	reg.RegisterHistogram("machine.hist.tlb_refill", h)
+	h.Observe(3)  // bucket [2,3]
+	h.Observe(3)  // bucket [2,3]
+	h.Observe(10) // bucket [8,15]
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	s := parsePromText(t, out)
+	if s[`machine_hist_tlb_refill_bucket{le="3"}`] != 2 {
+		t.Errorf("le=3 bucket = %v\n%s", s[`machine_hist_tlb_refill_bucket{le="3"}`], out)
+	}
+	if s[`machine_hist_tlb_refill_bucket{le="15"}`] != 3 {
+		t.Errorf("le=15 bucket = %v", s[`machine_hist_tlb_refill_bucket{le="15"}`])
+	}
+	if s[`machine_hist_tlb_refill_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket = %v", s[`machine_hist_tlb_refill_bucket{le="+Inf"}`])
+	}
+	if s["machine_hist_tlb_refill_sum"] != 16 || s["machine_hist_tlb_refill_count"] != 3 {
+		t.Errorf("sum/count = %v/%v", s["machine_hist_tlb_refill_sum"], s["machine_hist_tlb_refill_count"])
+	}
+	// The derived .count/.sum gauges are suppressed in favor of the
+	// histogram series (they would collide after sanitization), while
+	// the quantile gauges come through.
+	if strings.Contains(out, "# TYPE machine_hist_tlb_refill_count gauge") {
+		t.Error("derived count gauge not suppressed")
+	}
+	if _, ok := s["machine_hist_tlb_refill_p95"]; !ok {
+		t.Error("p95 gauge missing")
+	}
+	// Cumulative buckets must be monotone.
+	if s[`machine_hist_tlb_refill_bucket{le="3"}`] > s[`machine_hist_tlb_refill_bucket{le="15"}`] {
+		t.Error("bucket series not cumulative")
+	}
+}
+
+// TestPrometheusConcurrentScrape scrapes the exposition while samplers'
+// backing counters and a histogram are being hammered, under -race:
+// the scrape path must be safe against a live simulation.
+func TestPrometheusConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	var cycles atomic.Uint64
+	h := NewHistogram()
+	reg.Counter("machine.cycles", cycles.Load)
+	reg.RegisterHistogram("machine.hist.remote_rt", h)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				cycles.Add(1)
+				h.Observe(i % 4096)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // registration races the scrape too
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			i := i
+			reg.Counter(fmt.Sprintf("late.%d", i), func() uint64 { return uint64(i) })
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, reg); err != nil {
+			t.Fatal(err)
+		}
+		parsePromText(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// NewServeMux builds the introspection HTTP mux over a registry and an
+// optional tracer:
+//
+//	/metrics       Prometheus text exposition (gauges + histograms)
+//	/metrics.json  one indented JSON snapshot object
+//	/healthz       "ok" — liveness for scrapers and the mmtop smoke test
+//	/trace?n=K     last K retained tracer events as JSON Lines (all
+//	               retained events when n is absent; empty without a tracer)
+//
+// Handlers only read: they snapshot the registry and copy the tracer
+// ring, both safe against a concurrently running simulation, so the
+// server can be mounted on a live mmsim without a stop-the-world.
+func NewServeMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		var events []Event
+		if tr != nil {
+			events = tr.Events()
+		}
+		if s := req.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteJSONLines(w, events)
+	})
+	return mux
+}
+
+// Serve binds addr (":0" picks a free port) and serves the
+// introspection mux on it in a background goroutine. It returns the
+// server — shut it down with (*http.Server).Close — and the bound
+// address, so callers that asked for :0 can report where they landed.
+func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewServeMux(reg, tr)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

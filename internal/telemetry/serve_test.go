@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestIntrospection(t *testing.T) (*httptest.Server, *Tracer) {
+	t.Helper()
+	reg := NewRegistry()
+	var cycles uint64 = 1234
+	reg.Counter("machine.cycles", func() uint64 { return cycles })
+	h := NewHistogram()
+	h.Observe(5)
+	reg.RegisterHistogram("machine.hist.domain_switch", h)
+	tr := NewTracer(16)
+	tr.EnableAll()
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Cycle: uint64(i), Kind: EvFault, Thread: -1, Cluster: -1, Domain: -1})
+	}
+	ts := httptest.NewServer(NewServeMux(reg, tr))
+	t.Cleanup(ts.Close)
+	return ts, tr
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ts, _ := newTestIntrospection(t)
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	s := parsePromText(t, body)
+	if s["machine_cycles"] != 1234 {
+		t.Errorf("machine_cycles = %v\n%s", s["machine_cycles"], body)
+	}
+	if s["machine_hist_domain_switch_count"] != 1 {
+		t.Errorf("histogram count = %v", s["machine_hist_domain_switch_count"])
+	}
+
+	code, body = get(t, ts.URL+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if snap["machine.cycles"] != 1234 {
+		t.Errorf("json machine.cycles = %v", snap["machine.cycles"])
+	}
+
+	code, body = get(t, ts.URL+"/trace?n=3")
+	if code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("trace lines = %d, want 3", len(lines))
+	}
+	var ev struct {
+		Cycle uint64 `json:"cycle"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cycle != 2 || ev.Kind != "fault" {
+		t.Errorf("first trace line = %+v (want the 3rd-from-last event)", ev)
+	}
+
+	if code, _ := get(t, ts.URL+"/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n = %d, want 400", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", func() uint64 { return 1 })
+	srv, addr, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+addr.String()+"/metrics")
+	if code != 200 || !strings.Contains(body, "x 1") {
+		t.Errorf("served metrics = %d %q", code, body)
+	}
+	code, body = get(t, "http://"+addr.String()+"/trace")
+	if code != 200 || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-tracer trace = %d %q", code, body)
+	}
+}
