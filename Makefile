@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify obsv
+.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify obsv jit
 
 check: fmt vet lint test race
 
@@ -48,6 +48,19 @@ race:
 	$(GO) test -race -run 'TestParallelRun|TestDeferredRemote|TestWatchdog' ./internal/multi/ ./internal/machine/
 	$(GO) test -race -run 'TestParallelRender' ./internal/experiments/
 	$(GO) test -race -run 'TestCampaignDeterministic|TestTolerantCampaignDeterministic' ./internal/faultinject/
+	$(GO) test -race -run 'TestJITDifferentialCorpus' .
+	$(GO) test -race -run 'TestJITMatchesInterpreterAcrossSchedulers' ./internal/multi/
+
+# Compiled-tier differential gate (docs/PERFORMANCE.md): the E27
+# interp-vs-translator census, the root determinism corpus, the SMC and
+# stats invariants in internal/machine, scheduler invariance on the
+# mesh, the verifier's per-site table contract, and the mmsim CLI
+# byte-identity / -verify refusal tests.
+jit:
+	$(GO) run ./cmd/experiments -run E27
+	$(GO) test -run 'TestJITDifferentialCorpus' .
+	$(GO) test -run 'TestJIT' ./internal/machine/ ./internal/multi/ ./cmd/mmsim/
+	$(GO) test -run 'TestSite' ./internal/capverify/
 
 # Full protection audit: the E23 fault-injection campaign (>=10k seeded
 # injections across every fault class plus the checkpoint-recovery
@@ -72,11 +85,14 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime $(FUZZTIME) ./internal/capverify/
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
-# section of BENCH_hotpath.json; the checked-in "baseline" numbers are
-# preserved.
+# sections of BENCH_hotpath.json (interpreter; the CycleLoop anchor
+# keeps the JIT rows out) and BENCH_jit.json (compiled tier); the
+# checked-in "baseline" numbers are preserved.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkMachine_CycleLoop|BenchmarkMulti_Run8Nodes' -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkMachine_CycleLoop$$|BenchmarkMulti_Run8Nodes' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMachine_CycleLoopJIT' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_jit.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem .

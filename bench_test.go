@@ -15,8 +15,10 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/buddy"
+	"repro/internal/capverify"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/multi"
@@ -597,7 +599,7 @@ sweep:
 	br   sweep
 `
 
-func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
+func benchCycleLoop(b *testing.B, src string, segBytes uint64, useJIT bool) {
 	b.Helper()
 	prog := mustAssemble(src)
 	cfg := machine.MMachine()
@@ -607,6 +609,9 @@ func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
 	k, err := kernel.New(cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if useJIT {
+		k.M.EnableJIT(jit.DefaultConfig())
 	}
 	ip, err := k.LoadProgram(prog, false)
 	if err != nil {
@@ -624,7 +629,10 @@ func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	k.Run(4096) // warm the demand pager, TLB and caches
+	if useJIT {
+		k.M.JITRegister(prog, ip.Addr(), capverify.Config{DataBytes: segBytes})
+	}
+	k.Run(4096) // warm the demand pager, TLB, caches and block heat
 	if th.State == machine.Faulted {
 		b.Fatalf("workload faulted: %v", th.Fault)
 	}
@@ -639,11 +647,26 @@ func benchCycleLoop(b *testing.B, src string, segBytes uint64) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(instr)/sec, "sim-instr/s")
 	}
+	if useJIT {
+		eng := k.M.JIT()
+		if eng.Counters.Compiled == 0 || eng.Counters.Entries == 0 {
+			b.Fatalf("translator never engaged: %+v", eng.Counters)
+		}
+	}
 }
 
 func BenchmarkMachine_CycleLoop(b *testing.B) {
-	b.Run("fib", func(b *testing.B) { benchCycleLoop(b, hotpathFib, 0) })
-	b.Run("sweep", func(b *testing.B) { benchCycleLoop(b, hotpathSweep, 4096) })
+	b.Run("fib", func(b *testing.B) { benchCycleLoop(b, hotpathFib, 0, false) })
+	b.Run("sweep", func(b *testing.B) { benchCycleLoop(b, hotpathSweep, 4096, false) })
+}
+
+// BenchmarkMachine_CycleLoopJIT is the same workload pair with the
+// check-eliding superblock translator enabled (BENCH_jit.json): one
+// k.M.Step() call executes a whole compiled block, so sim-instr/s is
+// the honest cross-tier metric, not ns/op.
+func BenchmarkMachine_CycleLoopJIT(b *testing.B) {
+	b.Run("fib", func(b *testing.B) { benchCycleLoop(b, hotpathFib, 0, true) })
+	b.Run("sweep", func(b *testing.B) { benchCycleLoop(b, hotpathSweep, 4096, true) })
 }
 
 // hotpathNode mixes local compute with a remote load every 16th

@@ -5,6 +5,11 @@
 // pre-optimization numbers survive regeneration:
 //
 //	go test -bench 'CycleLoop|Run8Nodes' -benchmem . | benchjson -o BENCH_hotpath.json
+//
+// An artifact is single-host: the goos/goarch/cpu header of the run is
+// recorded as "host", and regenerating an existing file from a
+// different host is refused — numbers from two machines merged into one
+// file would present an apples-to-oranges before/after.
 package main
 
 import (
@@ -12,16 +17,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// result is one benchmark line: its name, iteration count, and every
-// reported metric keyed by unit (ns/op, B/op, allocs/op, sim-instr/s…).
+// result is one benchmark line: its name, iteration count, the
+// GOMAXPROCS it ran under (the -N name suffix; 1 when absent), and
+// every reported metric keyed by unit (ns/op, B/op, allocs/op,
+// sim-instr/s…).
 type result struct {
 	Name    string             `json:"name"`
 	Iters   int64              `json:"iterations"`
+	Procs   int                `json:"gomaxprocs"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -29,20 +38,21 @@ type result struct {
 // pre-optimization numbers by hand and is never overwritten.
 type artifact struct {
 	Description string          `json:"description,omitempty"`
+	Host        string          `json:"host,omitempty"`
 	Baseline    json.RawMessage `json:"baseline,omitempty"`
 	Current     []result        `json:"current"`
 }
 
 func main() {
-	out := flag.String("o", "", "output file (default stdout); existing description/baseline fields are preserved")
+	out := flag.String("o", "", "output file (default stdout); existing description/baseline fields are preserved, and a host mismatch with the existing file is an error")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, os.Stdin, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out string, in io.Reader, echo io.Writer) error {
 	var a artifact
 	if out != "" {
 		if prev, err := os.ReadFile(out); err == nil {
@@ -51,12 +61,18 @@ func run(out string) error {
 			}
 		}
 	}
-	cur, err := parse(bufio.NewScanner(os.Stdin))
+	cur, host, err := parse(bufio.NewScanner(in), echo)
 	if err != nil {
 		return err
 	}
 	if len(cur) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if a.Host != "" && host != "" && a.Host != host {
+		return fmt.Errorf("host mismatch: %s was measured on %q, this run is %q; merging numbers across hosts is meaningless — delete the file or use a separate -o", out, a.Host, host)
+	}
+	if host != "" {
+		a.Host = host
 	}
 	a.Current = cur
 
@@ -72,13 +88,20 @@ func run(out string) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-// parse extracts benchmark result lines, echoing everything to stderr
-// so the run stays visible when piped.
-func parse(sc *bufio.Scanner) ([]result, error) {
+// parse extracts benchmark result lines and the host identity from the
+// goos/goarch/cpu header, echoing everything to echo so the run stays
+// visible when piped.
+func parse(sc *bufio.Scanner, echo io.Writer) ([]result, string, error) {
 	var results []result
+	hdr := map[string]string{}
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Fprintln(os.Stderr, line)
+		fmt.Fprintln(echo, line)
+		for _, k := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+": "); ok {
+				hdr[k] = strings.TrimSpace(v)
+			}
+		}
 		f := strings.Fields(line)
 		// Benchmark lines: name, iterations, then value/unit pairs.
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
@@ -88,7 +111,7 @@ func parse(sc *bufio.Scanner) ([]result, error) {
 		if err != nil {
 			continue
 		}
-		r := result{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+		r := result{Name: f[0], Iters: iters, Procs: procsOf(f[0]), Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
@@ -98,5 +121,35 @@ func parse(sc *bufio.Scanner) ([]result, error) {
 		}
 		results = append(results, r)
 	}
-	return results, sc.Err()
+	return results, hostOf(hdr), sc.Err()
+}
+
+// procsOf reads the GOMAXPROCS suffix the testing package appends to
+// benchmark names ("BenchmarkFoo/sub-8"); no suffix means 1.
+func procsOf(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return 1
+	}
+	return n
+}
+
+// hostOf collapses the run's goos/goarch/cpu header into one identity
+// string, empty when no header was seen.
+func hostOf(hdr map[string]string) string {
+	if len(hdr) == 0 {
+		return ""
+	}
+	parts := []string{}
+	if hdr["goos"] != "" || hdr["goarch"] != "" {
+		parts = append(parts, hdr["goos"]+"/"+hdr["goarch"])
+	}
+	if hdr["cpu"] != "" {
+		parts = append(parts, hdr["cpu"])
+	}
+	return strings.Join(parts, " ")
 }

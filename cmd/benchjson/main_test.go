@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMachine_CycleLoop/fib         	41609316	        27.49 ns/op	  36379548 sim-instr/s	       0 B/op	       0 allocs/op
+BenchmarkMulti_Run8Nodes/parallel-8    	      12	  95000000 ns/op	   8400000 sim-instr/s
+PASS
+ok  	repro	5.098s
+`
+
+func TestParse(t *testing.T) {
+	results, host, err := parse(bufio.NewScanner(strings.NewReader(sampleRun)), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "linux/amd64 Intel(R) Xeon(R) Processor @ 2.10GHz"; host != want {
+		t.Fatalf("host = %q, want %q", host, want)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	fib := results[0]
+	if fib.Name != "BenchmarkMachine_CycleLoop/fib" || fib.Iters != 41609316 {
+		t.Fatalf("bad first result: %+v", fib)
+	}
+	if fib.Procs != 1 {
+		t.Fatalf("fib Procs = %d, want 1 (no -N suffix)", fib.Procs)
+	}
+	if fib.Metrics["sim-instr/s"] != 36379548 || fib.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bad fib metrics: %v", fib.Metrics)
+	}
+	if p := results[1].Procs; p != 8 {
+		t.Fatalf("parallel-8 Procs = %d, want 8", p)
+	}
+}
+
+func TestProcsOf(t *testing.T) {
+	for name, want := range map[string]int{
+		"BenchmarkFoo":        1,
+		"BenchmarkFoo-8":      8,
+		"BenchmarkFoo/sub-16": 16,
+		"BenchmarkFoo/sub-x":  1, // non-numeric suffix is part of the name
+	} {
+		if got := procsOf(name); got != want {
+			t.Errorf("procsOf(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestRunPreservesBaselineAndRecordsHost(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	seed := `{"description":"d","baseline":{"note":"kept"},"current":[]}`
+	if err := os.WriteFile(out, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, strings.NewReader(sampleRun), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var a artifact
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, a.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if a.Description != "d" || compact.String() != `{"note":"kept"}` {
+		t.Fatalf("description/baseline not preserved: %+v", a)
+	}
+	if a.Host == "" || !strings.Contains(a.Host, "linux/amd64") {
+		t.Fatalf("host not recorded: %q", a.Host)
+	}
+	if len(a.Current) != 2 {
+		t.Fatalf("current not replaced: %+v", a.Current)
+	}
+}
+
+func TestRunRefusesMixedHosts(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	other := sampleRun // same benchmarks, different machine
+	other = strings.Replace(other, "Intel(R) Xeon(R) Processor @ 2.10GHz", "AMD EPYC 7B13", 1)
+	if err := run(out, strings.NewReader(other), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	err := run(out, strings.NewReader(sampleRun), io.Discard)
+	if err == nil {
+		t.Fatal("merge across hosts succeeded, want refusal")
+	}
+	if !strings.Contains(err.Error(), "host mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The file must be untouched by the refused run.
+	var a artifact
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Host, "AMD EPYC") {
+		t.Fatalf("refused run clobbered the artifact: host %q", a.Host)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run("", strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}

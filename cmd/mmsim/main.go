@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/capverify"
+	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
@@ -54,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	wide := fs.Bool("wide", false, "enable 3-wide LIW issue per cluster")
 	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
 	verify := fs.Bool("verify", false, "statically verify the program first; refuse to boot it if it provably faults")
+	useJIT := fs.Bool("jit", true, "enable the check-eliding superblock translator (bit-identical results; -trace/-profile/-debug fall back to the interpreter)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +113,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mmsim:", err)
 		return 1
+	}
+	if *useJIT {
+		// Before RegisterMetrics so the jit.* counters are published.
+		k.M.EnableJIT(jit.DefaultConfig())
 	}
 	// All tracing runs through one telemetry.Tracer: -trace attaches a
 	// human-readable sink for instruction events, -trace-out streams the
@@ -222,6 +228,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mmsim:", err)
 			return 1
 		}
+		// This loader establishes exactly capverify's entry contract
+		// (r1 = RW pointer to a >= -data byte segment, nothing else),
+		// so the translator may elide the checks the verifier proved.
+		k.M.JITRegister(prog, ip.Addr(), capverify.Config{DataBytes: *dataBytes})
 		ths = append(ths, th)
 		code = append(code, codeSeg{start: ip.Addr(), size: prog.ByteSize(), thread: th.ID})
 	}

@@ -259,3 +259,36 @@ func TestVerifyFlagRefusesFaultingProgram(t *testing.T) {
 		t.Errorf("clean program: exit %d out %q", code, out)
 	}
 }
+
+// TestJITVerifyRefusesBeforeCompiling: the static gate must fire before
+// the translator sees a single instruction — `-jit -verify` on a
+// provably-faulting program refuses to boot (nothing runs, nothing
+// compiles), exactly like `-verify` alone.
+func TestJITVerifyRefusesBeforeCompiling(t *testing.T) {
+	code, out, stderr := runCLI([]string{"-jit", "-verify", "-"}, "ld r2, r9, 0\nhalt\n")
+	if code != 1 {
+		t.Errorf("provably faulting program booted under -jit: exit %d", code)
+	}
+	if !strings.Contains(stderr, "refusing to boot") {
+		t.Errorf("refusal diagnostic: %q", stderr)
+	}
+	if strings.Contains(out, "thread") || strings.Contains(out, "cycles=") {
+		t.Errorf("machine booted despite refusal:\n%s", out)
+	}
+}
+
+// TestJITOutputMatchesInterpreter: the full human-readable report —
+// registers, cycles, instructions, cache and TLB counters — must be
+// byte-identical with the translator on and off.
+func TestJITOutputMatchesInterpreter(t *testing.T) {
+	// Hot enough to cross the compile threshold (64).
+	hot := "ldi r3, 500\nloop: subi r3, r3, 1\nbnez r3, loop\nldi r4, 77\nhalt\n"
+	codeJ, outJ, _ := runCLI([]string{"-jit", "-v", "-"}, hot)
+	codeI, outI, _ := runCLI([]string{"-jit=false", "-v", "-"}, hot)
+	if codeJ != 0 || codeI != 0 {
+		t.Fatalf("exits: jit %d interp %d", codeJ, codeI)
+	}
+	if outJ != outI {
+		t.Errorf("output diverges:\n-- jit --\n%s\n-- interp --\n%s", outJ, outI)
+	}
+}

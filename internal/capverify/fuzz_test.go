@@ -1,4 +1,4 @@
-package capverify
+package capverify_test
 
 import (
 	"os"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/capverify"
 	"repro/internal/faultinject"
 )
 
@@ -31,12 +32,11 @@ func FuzzVerify(f *testing.F) {
 		if err != nil {
 			return // not assemblable: out of scope
 		}
-		for _, cfg := range []Config{{}, {Privileged: true}, {DataBytes: 64}} {
-			rep := Verify(prog, cfg)
+		for _, cfg := range []capverify.Config{{}, {Privileged: true}, {DataBytes: 64}} {
+			rep := capverify.Verify(prog, cfg)
 			if rep == nil {
 				t.Fatal("nil report")
 			}
-			rep.sortDiags()
 			_ = rep.Summary()
 		}
 	})

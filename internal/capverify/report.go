@@ -139,6 +139,11 @@ type Report struct {
 	// bounded: every instruction was assumed reachable with unknown
 	// state, so unknown verdicts are inflated (but faults remain real).
 	Abyss bool
+
+	// sites holds, per word index, the checks evaluated there (nil for
+	// unreachable words, empty-non-nil for reachable check-free ones).
+	// Exposed through SiteChecks and Sites (sites.go).
+	sites [][]SiteCheck
 }
 
 // Faults returns the provable-fault diagnostics.

@@ -1,0 +1,100 @@
+package capverify
+
+// This file is the verifier's interface to execution machinery that
+// wants to *act* on verdicts rather than report them: the per-site
+// check table. The superblock translator (internal/jit) asks, for each
+// instruction it compiles, which hardware checks the analysis proved
+// safe; provably-safe checks are elided from the compiled code and
+// everything else keeps the full dynamic check sequence.
+//
+// Soundness contract: verdicts are relative to the Config the report
+// was computed under (the entry state: r1 a read/write pointer to a
+// >= DataBytes scratch segment, every other register uninitialized).
+// A caller eliding checks must run the program under exactly that
+// contract — handing the program a smaller segment, or extra
+// capabilities in other registers, voids the proof.
+
+// SiteCheck is one dynamic check at one instruction site: which
+// hardware check class it is and what the analysis concluded.
+type SiteCheck struct {
+	Class   Class
+	Verdict Verdict
+}
+
+// SiteChecks returns the checks evaluated at word index pc, in the
+// order the hardware performs them. The result is nil when pc is
+// unreachable (or out of range) and non-nil-but-empty when pc is
+// reachable and performs no dynamic checks (HALT, for example) — the
+// distinction carries liveness, so callers can tell "no checks needed"
+// from "never analyzed".
+func (r *Report) SiteChecks(pc int) []SiteCheck {
+	if pc < 0 || pc >= len(r.sites) {
+		return nil
+	}
+	return r.sites[pc]
+}
+
+// Sites keys the report's per-site table by virtual address: base is
+// the address the program's code segment was loaded at (the Addr of
+// the pointer kernel.LoadProgram returned). This is the form the
+// block translator uses — it discovers hot code by fetch address, not
+// word index.
+func (r *Report) Sites(base uint64) *SiteTable {
+	return &SiteTable{base: base, rep: r}
+}
+
+// SiteTable is a Report's check-site table viewed through the load
+// address of the code segment.
+type SiteTable struct {
+	base uint64
+	rep  *Report
+}
+
+// Base returns the load address the table was keyed with.
+func (t *SiteTable) Base() uint64 { return t.base }
+
+// pc converts a fetch address to a word index; ok is false for
+// unaligned or out-of-segment addresses.
+func (t *SiteTable) pc(vaddr uint64) (int, bool) {
+	if vaddr < t.base || (vaddr-t.base)%8 != 0 {
+		return 0, false
+	}
+	pc := int((vaddr - t.base) / 8)
+	if pc >= len(t.rep.sites) {
+		return 0, false
+	}
+	return pc, true
+}
+
+// Checks returns the check verdicts for the instruction fetched from
+// vaddr (see Report.SiteChecks for the nil/empty distinction).
+func (t *SiteTable) Checks(vaddr uint64) []SiteCheck {
+	pc, ok := t.pc(vaddr)
+	if !ok {
+		return nil
+	}
+	return t.rep.SiteChecks(pc)
+}
+
+// Reachable reports whether the analysis found the instruction at
+// vaddr reachable at all.
+func (t *SiteTable) Reachable(vaddr uint64) bool {
+	pc, ok := t.pc(vaddr)
+	return ok && t.rep.sites[pc] != nil
+}
+
+// AllSafe reports whether every dynamic check at vaddr is provably
+// safe — the condition under which a translator may elide the site's
+// checks entirely. False for unreachable sites: no proof exists there.
+func (t *SiteTable) AllSafe(vaddr uint64) bool {
+	pc, ok := t.pc(vaddr)
+	if !ok || t.rep.sites[pc] == nil {
+		return false
+	}
+	for _, c := range t.rep.sites[pc] {
+		if c.Verdict != VerdictSafe {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package capverify_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/capverify"
+	"repro/internal/faultinject"
+)
+
+// sitesCorpus assembles every shipped program and campaign workload —
+// the population whose per-site tables the translator consumes.
+func sitesCorpus(t *testing.T) map[string]*asm.Program {
+	t.Helper()
+	out := map[string]*asm.Program{}
+	files, _ := filepath.Glob(filepath.Join("..", "..", "programs", "*.s"))
+	for _, file := range files {
+		if filepath.Base(file) == "memlib.s" {
+			continue // library, not a program
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.AssembleNamed(filepath.Base(file), string(src))
+		if err != nil {
+			// usemem.s needs linking; covered via the workloads and the
+			// root differential suite.
+			continue
+		}
+		out[filepath.Base(file)] = prog
+	}
+	for name, src := range faultinject.WorkloadSources() {
+		prog, err := asm.AssembleNamed(name+".s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["wl:"+name] = prog
+	}
+	if len(out) < 3 {
+		t.Fatalf("corpus too small: %d programs", len(out))
+	}
+	return out
+}
+
+// TestSiteChecksAccountForEveryCheck: the per-site table must be the
+// same population the report's totals tally — every check counted in
+// Totals appears at exactly one site with the same verdict.
+func TestSiteChecksAccountForEveryCheck(t *testing.T) {
+	for name, prog := range sitesCorpus(t) {
+		rep := capverify.Verify(prog, capverify.Config{})
+		var got capverify.Counts
+		reachable := 0
+		img := capverify.NewImage(prog, capverify.Config{})
+		for pc := 0; pc < img.SegWords(); pc++ {
+			checks := rep.SiteChecks(pc)
+			if checks == nil {
+				continue
+			}
+			reachable++
+			for _, c := range checks {
+				switch c.Verdict {
+				case capverify.VerdictSafe:
+					got.Safe++
+				case capverify.VerdictUnknown:
+					got.Unknown++
+				case capverify.VerdictFault:
+					got.Fault++
+				}
+			}
+		}
+		if got != rep.Totals {
+			t.Errorf("%s: per-site tally %+v != report totals %+v", name, got, rep.Totals)
+		}
+		if reachable != rep.ReachableWords {
+			t.Errorf("%s: %d non-nil sites, report says %d reachable words", name, reachable, rep.ReachableWords)
+		}
+	}
+}
+
+// TestSiteTableMatchesSiteChecks: the address-keyed view must agree
+// with the pc-keyed view at every word, and reject unaligned and
+// out-of-segment addresses.
+func TestSiteTableMatchesSiteChecks(t *testing.T) {
+	const base = 0x40000
+	for name, prog := range sitesCorpus(t) {
+		rep := capverify.Verify(prog, capverify.Config{})
+		tbl := rep.Sites(base)
+		if tbl.Base() != base {
+			t.Fatalf("%s: Base() = %#x", name, tbl.Base())
+		}
+		img := capverify.NewImage(prog, capverify.Config{})
+		for pc := 0; pc < img.SegWords(); pc++ {
+			vaddr := uint64(base + pc*8)
+			want := rep.SiteChecks(pc)
+			got := tbl.Checks(vaddr)
+			if len(got) != len(want) || (got == nil) != (want == nil) {
+				t.Fatalf("%s pc=%d: Checks(%#x) = %v, want %v", name, pc, vaddr, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s pc=%d check %d: %+v != %+v", name, pc, i, got[i], want[i])
+				}
+			}
+			if tbl.Reachable(vaddr) != (want != nil) {
+				t.Errorf("%s pc=%d: Reachable(%#x) = %v, sites nil=%v", name, pc, vaddr, tbl.Reachable(vaddr), want == nil)
+			}
+			allSafe := want != nil
+			for _, c := range want {
+				if c.Verdict != capverify.VerdictSafe {
+					allSafe = false
+				}
+			}
+			if tbl.AllSafe(vaddr) != allSafe {
+				t.Errorf("%s pc=%d: AllSafe(%#x) = %v, want %v (checks %v)", name, pc, vaddr, tbl.AllSafe(vaddr), allSafe, want)
+			}
+			// Unaligned addresses inside the word carry no verdict.
+			if tbl.Checks(vaddr+4) != nil || tbl.AllSafe(vaddr+4) || tbl.Reachable(vaddr+4) {
+				t.Errorf("%s pc=%d: unaligned address %#x yields a verdict", name, pc, vaddr+4)
+			}
+		}
+		// Below and beyond the segment: no verdicts.
+		end := uint64(base + img.SegWords()*8)
+		for _, bad := range []uint64{base - 8, end, end + 4096} {
+			if tbl.Checks(bad) != nil || tbl.AllSafe(bad) || tbl.Reachable(bad) {
+				t.Errorf("%s: out-of-segment address %#x yields a verdict", name, bad)
+			}
+		}
+	}
+}
+
+// TestSiteChecksReachableVersusNil: reachable instructions carry a
+// non-nil check list (possibly empty — the nil/non-nil distinction is
+// liveness), unreachable words and out-of-range indices return nil.
+func TestSiteChecksReachableVersusNil(t *testing.T) {
+	prog, err := asm.Assemble(`
+	ldi r2, 1
+	halt
+	br  dead       ; unreachable: nothing ever branches here
+dead:
+	ld  r3, r1, 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := capverify.Verify(prog, capverify.Config{})
+	for pc := 0; pc <= 1; pc++ {
+		if c := rep.SiteChecks(pc); c == nil {
+			t.Errorf("reachable pc %d: nil, want a (possibly empty) check list", pc)
+		}
+	}
+	for pc := 2; pc <= 3; pc++ {
+		if c := rep.SiteChecks(pc); c != nil {
+			t.Errorf("unreachable pc %d: %v, want nil", pc, c)
+		}
+	}
+	if c := rep.SiteChecks(-1); c != nil {
+		t.Errorf("pc -1: %v, want nil", c)
+	}
+	if c := rep.SiteChecks(1 << 20); c != nil {
+		t.Errorf("out-of-range pc: %v, want nil", c)
+	}
+	// An elision consumer must see HALT/LDI as all-safe at a load
+	// address and the unreachable load as not elidable.
+	tbl := rep.Sites(0x1000)
+	if !tbl.AllSafe(0x1000) || !tbl.AllSafe(0x1008) {
+		t.Error("reachable safe sites not AllSafe")
+	}
+	if tbl.AllSafe(0x1018) {
+		t.Error("unreachable site reported AllSafe: no proof exists there")
+	}
+}

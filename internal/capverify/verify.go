@@ -112,13 +112,14 @@ func (v *verifier) run() *Report {
 
 	// Report pass: replay each reachable word over its fixpoint
 	// in-state and record the check verdicts.
-	rep := &Report{Abyss: abyss}
+	rep := &Report{Abyss: abyss, sites: make([][]SiteCheck, n)}
 	for pc := 0; pc < n; pc++ {
 		in := states[pc]
 		if !in.live {
 			continue
 		}
 		rep.ReachableWords++
+		rep.sites[pc] = []SiteCheck{} // reachable, even if check-free
 		if !v.img.Decodes[pc] {
 			// Fetching this word faults. Provable only when the word is
 			// certainly reached; a speculative or havoc path makes it an
@@ -129,15 +130,18 @@ func (v *verifier) run() *Report {
 				verdict = VerdictFault
 				msg = "execution reaches a word that does not decode as an instruction"
 			}
-			rep.add(v.diag(pc, in, check{
+			c := check{
 				class: ClassCtrl, verdict: verdict, code: core.FaultPerm,
 				msg: msg, reg: -1,
-			}))
+			}
+			rep.add(v.diag(pc, in, c))
+			rep.sites[pc] = append(rep.sites[pc], SiteCheck{Class: c.class, Verdict: c.verdict})
 			continue
 		}
 		out := v.step(pc, in)
 		for _, c := range out.checks {
 			rep.add(v.diag(pc, in, c))
+			rep.sites[pc] = append(rep.sites[pc], SiteCheck{Class: c.class, Verdict: c.verdict})
 		}
 	}
 	rep.sortDiags()

@@ -1,4 +1,4 @@
-package capverify
+package capverify_test
 
 import (
 	"os"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/capverify"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/kernel"
@@ -88,7 +89,7 @@ func shippedPrograms(t *testing.T) map[string]*asm.Program {
 // fault, and each must in fact run to a clean halt on the simulator.
 func TestShippedProgramsSound(t *testing.T) {
 	for name, prog := range shippedPrograms(t) {
-		rep := Verify(prog, Config{})
+		rep := capverify.Verify(prog, capverify.Config{})
 		for _, d := range rep.Faults() {
 			t.Errorf("%s: false provable fault: %s", name, d)
 		}
@@ -106,7 +107,7 @@ func TestShippedProgramsSound(t *testing.T) {
 // are themselves verifiably fault-free.
 func TestWorkloadsSound(t *testing.T) {
 	for name, src := range faultinject.WorkloadSources() {
-		rep, err := VerifySource(name+".s", src, Config{})
+		rep, err := capverify.VerifySource(name+".s", src, capverify.Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -202,7 +203,7 @@ var badPrograms = []badProgram{
 // right code, and the simulator raises exactly that code at runtime.
 func TestBadProgramsDifferential(t *testing.T) {
 	for _, bp := range badPrograms {
-		rep, err := VerifySource(bp.name+".s", bp.src, Config{})
+		rep, err := capverify.VerifySource(bp.name+".s", bp.src, capverify.Config{})
 		if err != nil {
 			t.Fatalf("%s: assemble: %v", bp.name, err)
 		}
@@ -241,7 +242,7 @@ func TestFibDischarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := VerifySource("fib.s", string(src), Config{})
+	rep, err := capverify.VerifySource("fib.s", string(src), capverify.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestRegisterProvenance(t *testing.T) {
 	ld r6, r5, 0
 	halt
 `
-	rep, err := VerifySource("prov.s", src, Config{})
+	rep, err := capverify.VerifySource("prov.s", src, capverify.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

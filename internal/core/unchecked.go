@@ -1,0 +1,34 @@
+package core
+
+import "repro/internal/word"
+
+// This file provides the unchecked counterparts of the pointer
+// operations in ops.go, for callers that hold a static proof the checks
+// pass — the check-eliding superblock translator (internal/jit), acting
+// on capverify's provably-safe verdicts. Each function computes exactly
+// the value its checked counterpart would return when no fault is
+// raised; using one without such a proof forges capabilities.
+
+// UncheckedAdvance moves p by off bytes with no immutability or bounds
+// check: the elided form of LEA(p, off) and of the sequential
+// instruction-pointer advance. The address wraps in 54-bit arithmetic,
+// matching the checked adder.
+func UncheckedAdvance(p Pointer, off int64) Pointer {
+	return p.withAddr(p.Addr() + uint64(off))
+}
+
+// UncheckedLEA is the elided form of LEA on a register word: add off to
+// the address field, preserving tag, permission, and length. The low 54
+// bits of w.Bits+off equal the checked (Addr+off) mod 2^54, so the
+// result is bit-identical to the checked path's when that path does not
+// fault.
+func UncheckedLEA(w word.Word, off int64) word.Word {
+	return word.Tagged(w.Bits&^AddrMask | (w.Bits+uint64(off))&AddrMask)
+}
+
+// UncheckedLEAB is the elided form of LEAB on a register word: add off
+// to the segment *base* instead of the current address.
+func UncheckedLEAB(w word.Word, off int64) word.Word {
+	p := Pointer{bits: w.Bits}
+	return word.Tagged(w.Bits&^AddrMask | (p.Base()+uint64(off))&AddrMask)
+}

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 26 {
-		t.Fatalf("registered %d experiments, want 26 (E1..E26)", len(all))
+	if len(all) != 27 {
+		t.Fatalf("registered %d experiments, want 27 (E1..E27)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -409,6 +409,22 @@ func TestRunAllSucceeds(t *testing.T) {
 		if !strings.Contains(out, "=== E") {
 			t.Fatal("no experiment headers")
 		}
+	}
+}
+
+func TestE27CompiledTierCensus(t *testing.T) {
+	out := runOne(t, "E27", "fib.s", "elided", "wl:sweep-sum", "bit-identical")
+	// runE27 itself gates on bit-exact interp/jit agreement and on the
+	// translator actually engaging; here we pin the corpus and require
+	// the hot programs to show compiled blocks with elided checks.
+	for _, name := range []string{"sieve.s", "usemem.s", "crosscheck.s",
+		"wl:ptr-chase", "wl:alu-mix", "wl:derive", "wl:byte-ops"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E27 report missing program %q", name)
+		}
+	}
+	if len(stats.ParseTables(out)) < 1 {
+		t.Fatalf("E27 report has no parseable table:\n%s", out)
 	}
 }
 

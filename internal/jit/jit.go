@@ -1,0 +1,462 @@
+// Package jit is the check-eliding superblock translator: the compiled
+// execution tier above the internal/machine interpreter.
+//
+// The paper's thesis is that capability checks can be made (near) free
+// in hardware; the software reproduction pays for every tag, permission,
+// bounds, and alignment check on every dispatched instruction. This
+// package cashes in internal/capverify's static proofs instead: hot
+// straight-line regions (discovered by per-branch-target execution
+// counters) are compiled into flat step slices in which every check the
+// verifier proved safe is elided, and every site it could not prove
+// keeps the interpreter's full dynamic check sequence by dispatching
+// through the ordinary path.
+//
+// The translator produces *data*, not code: a Block is a slice of Steps
+// each tagged with a specialization kind; the executor that interprets
+// them lives in internal/machine (blockexec.go) because each step needs
+// the machine's cache, address space, fault and accounting machinery.
+// Correctness bar: architectural state, vm/cache statistics, and cycle
+// accounting are bit-identical to the interpreter on every program.
+//
+// Soundness: a verdict is a proof about the registered program's code
+// under capverify's entry contract (see Engine.Register). The proofs are
+// void the moment registered code is modified, so a store into any
+// registered region invalidates every compiled block and permanently
+// disables the translator (Space.OnWrite fan-out); unmapping a region
+// drops it. Self-modifying programs simply run interpreted.
+package jit
+
+import (
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/capverify"
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+// Kind selects the specialized executor for one compiled step. Every
+// kind other than KDispatch has all of its site checks statically
+// discharged; KDispatch retains the full dynamic sequence by running
+// the interpreter's dispatch for that one instruction.
+type Kind uint8
+
+const (
+	// KDispatch runs the instruction through the interpreter's dispatch
+	// switch: all dynamic checks retained.
+	KDispatch Kind = iota
+	// KALU is an integer ALU / move / load-immediate instruction with a
+	// provably-safe sequential IP advance.
+	KALU
+	// KLoad / KStore are word memory accesses with every check (tag,
+	// perm, bounds, span, align, ctrl) proven safe.
+	KLoad
+	KStore
+	// KLoadB / KStoreB are the byte-access forms.
+	KLoadB
+	KStoreB
+	// KLea covers LEA/LEAI/LEAB/LEABI with immutability and bounds
+	// proven; the pointer arithmetic runs unchecked.
+	KLea
+	// KBr is an unconditional branch whose target provably stays in the
+	// code segment. It always ends its block.
+	KBr
+	// KBeqz / KBnez are conditional branches with a safe target; the
+	// fall-through continues inside the block, a taken branch exits it
+	// (or chains back to the block head).
+	KBeqz
+	KBnez
+	// KHalt stops the thread. It always ends its block.
+	KHalt
+)
+
+// Step is one compiled instruction: the executor switches on Kind and
+// reads operands from Inst. Addr is the instruction's fetch address —
+// the executor re-translates it each step so TLB behavior matches the
+// interpreter exactly.
+type Step struct {
+	Kind Kind
+	Addr uint64
+	Inst isa.Inst
+}
+
+// Block is one compiled superblock: straight-line code entered only at
+// Head. Valid is cleared (never reset) when an invalidation covers the
+// block; executors must re-check it after every potentially-writing
+// step. Elided and Retained count the capverify check sites the
+// compiled form skips and keeps, respectively.
+type Block struct {
+	Head  uint64
+	Steps []Step
+	Valid bool
+
+	Elided   int
+	Retained int
+}
+
+// end returns the first address past the block's last instruction.
+func (b *Block) end() uint64 { return b.Head + uint64(len(b.Steps))*8 }
+
+// region is one registered program: its analyzed image and report, at
+// its load address.
+type region struct {
+	base   uint64
+	size   uint64 // code segment bytes (2^CodeLog)
+	img    *capverify.Image
+	sites  *capverify.SiteTable
+	dirty  []bool // word was overwritten after registration
+	blocks []*Block
+}
+
+// Config fixes the translator's thresholds.
+type Config struct {
+	// Threshold is how many times an address must be a taken-branch
+	// target before compilation triggers. 0 means the default (64).
+	Threshold int
+	// MaxBlock caps a block's length in instructions (default 64).
+	MaxBlock int
+	// ChainBudget caps how many steps a whole-block executor may run
+	// per machine-loop entry, bounding loop-chaining (default 256).
+	ChainBudget int
+}
+
+// DefaultConfig returns the standard thresholds.
+func DefaultConfig() Config {
+	return Config{Threshold: 64, MaxBlock: 64, ChainBudget: 256}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 64
+	}
+	if c.MaxBlock <= 0 {
+		c.MaxBlock = 64
+	}
+	if c.ChainBudget <= 0 {
+		c.ChainBudget = 256
+	}
+	return c
+}
+
+// Counters are the translator's telemetry: exported fields so the
+// machine's executor can bump Entries without a call.
+type Counters struct {
+	Compiled      uint64 // blocks compiled
+	Invalidated   uint64 // blocks invalidated by code writes or unmaps
+	Entries       uint64 // block entries from the dispatch fast path
+	ElidedSites   uint64 // check sites elided across compiled blocks
+	RetainedSites uint64 // check sites retained across compiled blocks
+}
+
+// Direct-mapped table geometry, mirroring the machine's decoded-
+// instruction cache: indexed by word address, keyed by vaddr+1 so the
+// zero value is empty.
+const (
+	headEntries = 4096
+	headMask    = headEntries - 1
+	heatEntries = 4096
+	heatMask    = heatEntries - 1
+)
+
+type headEntry struct {
+	key uint64
+	blk *Block
+}
+
+type heatEntry struct {
+	key   uint64
+	count uint32
+}
+
+// Engine is one machine's translator instance. It is confined to the
+// machine's goroutine like the rest of the simulator core.
+type Engine struct {
+	cfg     Config
+	regions []*region
+	heads   [headEntries]headEntry
+	heat    [heatEntries]heatEntry
+	dead    bool
+
+	Counters Counters
+	// CompileLatency observes wall-clock nanoseconds per compilation.
+	// Telemetry only: it never feeds back into simulated time.
+	CompileLatency *telemetry.Histogram
+}
+
+// New returns an engine with the given thresholds (zero fields take
+// defaults).
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), CompileLatency: telemetry.NewHistogram()}
+}
+
+// ChainBudget returns the per-entry step budget for whole-block
+// execution.
+func (e *Engine) ChainBudget() int { return e.cfg.ChainBudget }
+
+// Dead reports whether a write into registered code voided all proofs
+// and permanently disabled the translator.
+func (e *Engine) Dead() bool { return e.dead }
+
+// Register makes a loaded program's code eligible for compilation.
+// base is the address its code segment was loaded at (the pointer
+// kernel.LoadProgram returned); cfg must describe the environment the
+// program actually runs under.
+//
+// Soundness contract: capverify's verdicts assume the program starts at
+// its first word with r1 holding a read/write pointer to a segment of
+// at least cfg.DataBytes bytes and every other register empty. Callers
+// must guarantee that contract (mmsim's loader does); registering a
+// program that is entered differently, or with extra capabilities in
+// registers, would elide checks the verifier never proved.
+func (e *Engine) Register(prog *asm.Program, base uint64, cfg capverify.Config) {
+	if e.dead {
+		return
+	}
+	img := capverify.NewImage(prog, cfg)
+	rep := capverify.Verify(prog, cfg)
+	size := uint64(img.SegWords()) * 8
+	// A reload over a stale registration replaces it.
+	e.InvalidateUnmap(base, size)
+	e.regions = append(e.regions, &region{
+		base:  base,
+		size:  size,
+		img:   img,
+		sites: rep.Sites(base),
+		dirty: make([]bool, img.SegWords()),
+	})
+}
+
+// Regions returns how many programs are currently registered.
+func (e *Engine) Regions() int { return len(e.regions) }
+
+// BlockAt returns the valid compiled block headed at addr, or nil.
+func (e *Engine) BlockAt(addr uint64) *Block {
+	h := &e.heads[(addr>>3)&headMask]
+	if h.key != addr+1 {
+		return nil
+	}
+	if b := h.blk; b.Valid {
+		return b
+	}
+	h.key, h.blk = 0, nil
+	return nil
+}
+
+// NoteBranch records a taken-branch target; crossing the heat threshold
+// triggers compilation at that head.
+func (e *Engine) NoteBranch(addr uint64) {
+	if e.dead || len(e.regions) == 0 {
+		return
+	}
+	h := &e.heat[(addr>>3)&heatMask]
+	if h.key != addr+1 {
+		h.key, h.count = addr+1, 1
+		return
+	}
+	h.count++
+	if h.count == uint32(e.cfg.Threshold) {
+		e.compileAt(addr)
+	}
+}
+
+// InvalidateWrite handles a store at vaddr (Space.OnWrite fan-out). A
+// store outside every registered region is ordinary data traffic; a
+// store *into* one is self-modifying code, which voids every proof the
+// verifier ever produced for this engine — the written instruction can
+// compute register states the fixpoint never saw, and those states flow
+// into every block. All blocks die and the translator disables itself.
+func (e *Engine) InvalidateWrite(vaddr uint64) {
+	if e.dead || len(e.regions) == 0 {
+		return
+	}
+	w := vaddr &^ 7
+	for _, r := range e.regions {
+		if w >= r.base && w < r.base+r.size {
+			r.dirty[(w-r.base)>>3] = true
+			e.flushAll()
+			e.dead = true
+			return
+		}
+	}
+}
+
+// InvalidateUnmap handles an address-range unmap (Space.OnUnmap
+// fan-out): regions overlapping the range are dropped and their blocks
+// invalidated. Unlike a code write this is not self-modification — the
+// remaining regions' proofs still hold.
+func (e *Engine) InvalidateUnmap(vaddr, size uint64) {
+	if e.dead {
+		return
+	}
+	keep := e.regions[:0]
+	for _, r := range e.regions {
+		if r.base+r.size <= vaddr || vaddr+size <= r.base {
+			keep = append(keep, r)
+			continue
+		}
+		for _, b := range r.blocks {
+			if b.Valid {
+				b.Valid = false
+				e.Counters.Invalidated++
+			}
+		}
+	}
+	e.regions = keep
+}
+
+// flushAll invalidates every block and clears the lookup tables.
+func (e *Engine) flushAll() {
+	for _, r := range e.regions {
+		for _, b := range r.blocks {
+			if b.Valid {
+				b.Valid = false
+				e.Counters.Invalidated++
+			}
+		}
+	}
+	e.heads = [headEntries]headEntry{}
+	e.heat = [heatEntries]heatEntry{}
+	e.regions = nil
+}
+
+// regionFor finds the registered region containing addr.
+func (e *Engine) regionFor(addr uint64) *region {
+	for _, r := range e.regions {
+		if addr >= r.base && addr < r.base+r.size {
+			return r
+		}
+	}
+	return nil
+}
+
+// compileAt builds and installs a block headed at addr, if possible.
+func (e *Engine) compileAt(addr uint64) {
+	if e.BlockAt(addr) != nil {
+		return
+	}
+	r := e.regionFor(addr)
+	if r == nil || (addr-r.base)%8 != 0 {
+		return
+	}
+	start := time.Now()
+	blk := e.build(r, addr)
+	if blk == nil {
+		return
+	}
+	e.CompileLatency.Observe(uint64(time.Since(start)))
+	e.Counters.Compiled++
+	e.Counters.ElidedSites += uint64(blk.Elided)
+	e.Counters.RetainedSites += uint64(blk.Retained)
+	r.blocks = append(r.blocks, blk)
+	h := &e.heads[(addr>>3)&headMask]
+	h.key, h.blk = addr+1, blk
+}
+
+// build compiles the straight-line region starting at head. The block
+// ends at the first JMP/JMPL/TRAP (excluded — their control transfer
+// and kernel interaction stay interpreted), at BR or HALT (included),
+// at any word the verifier found unreachable or undecodable, or at
+// MaxBlock steps. Conditional branches stay inside the block: their
+// fall-through continues, a taken branch exits.
+func (e *Engine) build(r *region, head uint64) *Block {
+	pc := int((head - r.base) >> 3)
+	n := r.img.SegWords()
+	blk := &Block{Head: head, Valid: true}
+	for len(blk.Steps) < e.cfg.MaxBlock && pc < n {
+		if r.dirty[pc] || !r.img.Decodes[pc] {
+			break
+		}
+		checks := r.sites.Checks(r.base + uint64(pc)*8)
+		if checks == nil {
+			break // unreachable per the verifier: no proof exists here
+		}
+		kind, ends, ok := classify(r.img.Insts[pc], allSafe(checks))
+		if !ok {
+			break
+		}
+		blk.Steps = append(blk.Steps, Step{
+			Kind: kind,
+			Addr: r.base + uint64(pc)*8,
+			Inst: r.img.Insts[pc],
+		})
+		if kind == KDispatch {
+			blk.Retained += len(checks)
+		} else {
+			blk.Elided += len(checks)
+		}
+		if ends {
+			break
+		}
+		pc++
+	}
+	if len(blk.Steps) < 2 {
+		return nil
+	}
+	return blk
+}
+
+// allSafe reports whether every check at a site is provably safe.
+func allSafe(checks []capverify.SiteCheck) bool {
+	for _, c := range checks {
+		if c.Verdict != capverify.VerdictSafe {
+			return false
+		}
+	}
+	return true
+}
+
+// classify maps one instruction to its step kind: a specialized
+// (check-elided) kind when every site check is safe and the executor
+// has a fast form for it, KDispatch otherwise. ends marks block
+// enders; ok false excludes the instruction from blocks entirely.
+func classify(inst isa.Inst, safe bool) (kind Kind, ends, ok bool) {
+	switch inst.Op {
+	case isa.JMP, isa.JMPL, isa.TRAP:
+		return 0, false, false
+	case isa.HALT:
+		return KHalt, true, true
+	case isa.BR:
+		if safe {
+			return KBr, true, true
+		}
+		return KDispatch, true, true
+	case isa.BEQZ:
+		if safe {
+			return KBeqz, false, true
+		}
+	case isa.BNEZ:
+		if safe {
+			return KBnez, false, true
+		}
+	case isa.NOP, isa.ADD, isa.ADDI, isa.SUB, isa.SUBI, isa.MUL,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHLI, isa.SHR, isa.SHRI,
+		isa.SLT, isa.SLTI, isa.SEQ, isa.SEQI, isa.MOV, isa.LDI:
+		if safe {
+			return KALU, false, true
+		}
+	case isa.LD:
+		if safe {
+			return KLoad, false, true
+		}
+	case isa.ST:
+		if safe {
+			return KStore, false, true
+		}
+	case isa.LDB:
+		if safe {
+			return KLoadB, false, true
+		}
+	case isa.STB:
+		if safe {
+			return KStoreB, false, true
+		}
+	case isa.LEA, isa.LEAI, isa.LEAB, isa.LEABI:
+		if safe {
+			return KLea, false, true
+		}
+	}
+	// Everything else — unsafe sites, pointer-field ops, floating
+	// point, MOVIP — keeps the interpreter's checks for this one
+	// instruction.
+	return KDispatch, false, true
+}

@@ -27,6 +27,9 @@ func (m *Machine) execute(t *Thread) {
 		m.executeRemoteFetch(t)
 		return
 	}
+	if m.jit != nil && m.jitStep(t) {
+		return
+	}
 	inst, err := m.fetchDecoded(t.IP.Addr())
 	if err != nil {
 		m.fault(t, err)
@@ -685,6 +688,11 @@ func (m *Machine) branch(t *Thread, imm int64) {
 		return
 	}
 	t.IP = ip
+	if m.jit != nil {
+		// Taken-branch targets are the translator's heat signal: hot
+		// loop heads cross the compile threshold here.
+		m.jit.NoteBranch(ip.Addr())
+	}
 	m.retire(t)
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/jit"
 	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/word"
@@ -243,6 +244,12 @@ type Machine struct {
 	scrubEvery uint64
 	scrubWords int
 
+	// runLimit is the absolute cycle bound of the Run call in progress
+	// (0 = none). The compiled-block executor reads it so whole-block
+	// chaining stops exactly at the cap — Run(n) consumes the same n
+	// cycles with the translator on or off.
+	runLimit uint64
+
 	OnTrap  TrapHandler
 	OnFault FaultHandler
 
@@ -287,6 +294,11 @@ type Machine struct {
 	// Profiler, when non-nil, samples the address of every issued
 	// instruction for hot-spot attribution.
 	Profiler *telemetry.Profiler
+
+	// jit, when non-nil, is the superblock translator: execute enters
+	// compiled blocks at their heads instead of fetching through the
+	// interpreter. Installed by EnableJIT (blockexec.go).
+	jit *jit.Engine
 }
 
 // New builds a machine.
@@ -413,6 +425,14 @@ func (m *Machine) RegisterMetrics(reg *telemetry.Registry) {
 		reg.RegisterHistogram("machine.hist.domain_switch", m.hists.DomainSwitch)
 		reg.RegisterHistogram("machine.hist.remote_rt", m.hists.RemoteRT)
 	}
+	if m.jit != nil {
+		reg.Counter("jit.compiled", func() uint64 { return m.jit.Counters.Compiled })
+		reg.Counter("jit.invalidated", func() uint64 { return m.jit.Counters.Invalidated })
+		reg.Counter("jit.entries", func() uint64 { return m.jit.Counters.Entries })
+		reg.Counter("jit.elided_sites", func() uint64 { return m.jit.Counters.ElidedSites })
+		reg.Counter("jit.retained_sites", func() uint64 { return m.jit.Counters.RetainedSites })
+		reg.RegisterHistogram("jit.hist.compile_ns", m.jit.CompileLatency)
+	}
 	reg.Counter("mem.ecc.corrected", func() uint64 { return m.Space.Phys.ECCStats().Corrected })
 	reg.Counter("mem.ecc.double_bit", func() uint64 { return m.Space.Phys.ECCStats().DoubleBit })
 	reg.Counter("mem.ecc.scrub_words", func() uint64 { return m.Space.Phys.ECCStats().ScrubWords })
@@ -512,6 +532,10 @@ func (m *Machine) Run(maxCycles uint64) uint64 {
 		return m.runScrubbed(maxCycles)
 	}
 	start := m.cycle
+	if limit := start + maxCycles; limit > start {
+		m.runLimit = limit
+		defer func() { m.runLimit = 0 }()
+	}
 	for !m.Done() && m.cycle-start < maxCycles {
 		m.Step()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/jit"
 	"repro/internal/word"
 )
 
@@ -48,6 +49,12 @@ type Thread struct {
 	blockedUntil uint64
 
 	cluster, slot int
+
+	// Compiled-block resume cursor (blockexec.go): when jblk is
+	// non-nil, execution resumes at step jidx, revalidated against the
+	// IP and the block's Valid flag before use.
+	jblk *jit.Block
+	jidx int
 }
 
 // SetIP installs an execute pointer as the thread's instruction

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/noc"
@@ -57,6 +58,15 @@ type Config struct {
 	// Workers bounds the parallel scheduler's worker count; 0 means
 	// min(GOMAXPROCS, nodes).
 	Workers int
+	// JIT enables the check-eliding superblock translator on every
+	// node's machine (see internal/jit). Nodes run it in paced mode —
+	// one compiled step per cycle, so the lockstep barrier and remote
+	// delivery order are untouched and results stay bit-identical to
+	// the interpreter. Off by default: the fault-injection campaigns
+	// corrupt state under the verifier's feet, so they keep the
+	// interpreter. Callers load programs through Node.K and then
+	// register them with k.M.JITRegister.
+	JIT bool
 	// WatchdogCycles, when non-zero, arms a cycle-deadline watchdog:
 	// if that many cycles elapse with no node retiring an instruction
 	// (or taking a fault), Run stops and Hung reports true. This is how
@@ -207,6 +217,9 @@ func New(cfg Config) (*System, error) {
 		// cycle barrier (deliver), in node order — the serialization
 		// point that makes parallel and serial stepping bit-identical.
 		k.M.DeferRemote = true
+		if cfg.JIT {
+			k.M.EnableJIT(jit.DefaultConfig())
+		}
 		s.Nodes = append(s.Nodes, n)
 	}
 	return s, nil
@@ -393,6 +406,13 @@ func (s *System) installKernel(id int, k *kernel.Kernel) {
 	n.K = k
 	k.M.Remote = n
 	k.M.DeferRemote = true
+	if s.cfg.JIT {
+		// Fresh engine: compiled blocks describe code the restored image
+		// may not contain, and the kernel re-registers nothing — the
+		// translator rewarms from interpreter heat. OnRestore may call
+		// JITRegister to resupply verifier proofs.
+		k.M.EnableJIT(jit.DefaultConfig())
+	}
 	s.dead[id] = false
 	s.stallUntil[id] = 0
 	// Re-apply the introspection wiring the checkpoint image does not
