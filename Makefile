@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json audit fuzz-short lint verify obsv jit
+.PHONY: check fmt vet test race build bench bench-all bench-json bench-persist audit fuzz-short lint verify obsv jit persist
 
 check: fmt vet lint test race
 
@@ -83,6 +83,26 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzAsm -fuzztime $(FUZZTIME) ./internal/asm/
 	$(GO) test -run '^$$' -fuzz FuzzTransport -fuzztime $(FUZZTIME) ./internal/noc/
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime $(FUZZTIME) ./internal/capverify/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/persist/
+
+# Durable-checkpoint gate (docs/ROBUSTNESS.md): the E28 chain
+# differential + persistence-fault campaign + capture-cost gates, the
+# on-disk format and store unit tests, the dirty-bit lifecycle and
+# delta-capture tests, the multicomputer's disk-backed checkpoint ring,
+# and the mmsim -checkpoint-dir/-restore CLI flow.
+persist:
+	$(GO) run ./cmd/experiments -run E28
+	$(GO) test ./internal/persist/
+	$(GO) test -run 'TestDirty|TestIncremental|TestCapture' ./internal/vm/ ./internal/kernel/
+	$(GO) test -run 'TestPersist' ./internal/multi/ ./internal/faultinject/
+	$(GO) test -run 'TestCheckpointThenRestore|TestRestore|TestPersistMetrics' ./cmd/mmsim/
+
+# Regenerate BENCH_persist.json: full gob image vs dirty-page delta at
+# 1%/10%/50% dirty (see docs/ROBUSTNESS.md; byte ratios are gated
+# deterministically by E28).
+bench-persist:
+	$(GO) test -run '^$$' -bench 'BenchmarkPersist' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_persist.json
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
 # sections of BENCH_hotpath.json (interpreter; the CycleLoop anchor

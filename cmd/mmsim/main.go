@@ -29,6 +29,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/persist"
 	"repro/internal/telemetry"
 	"repro/internal/word"
 )
@@ -56,43 +57,58 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	debug := fs.Bool("debug", false, "interactive debugger (program must come from a file, not stdin)")
 	verify := fs.Bool("verify", false, "statically verify the program first; refuse to boot it if it provably faults")
 	useJIT := fs.Bool("jit", true, "enable the check-eliding superblock translator (bit-identical results; -trace/-profile/-debug fall back to the interpreter)")
+	ckptDir := fs.String("checkpoint-dir", "", "write incremental crash-safe checkpoints (base + dirty-page deltas) to this directory while running")
+	ckptEvery := fs.Uint64("checkpoint-every", 250_000, "with -checkpoint-dir: cycles between checkpoint generations")
+	restore := fs.Bool("restore", false, "boot from the newest intact generation in -checkpoint-dir instead of loading a program (pass the same -scheme/-wide as the original run)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() != 1 {
+	if *restore {
+		if *ckptDir == "" {
+			fmt.Fprintln(stderr, "mmsim: -restore needs -checkpoint-dir")
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "mmsim: -restore resumes the checkpointed program; do not pass one")
+			return 2
+		}
+	} else if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: mmsim [flags] <file.s | ->")
 		return 2
 	}
 
-	var src []byte
-	var err error
-	if name := fs.Arg(0); name == "-" {
-		src, err = io.ReadAll(stdin)
-	} else {
-		src, err = os.ReadFile(name)
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "mmsim:", err)
-		return 1
-	}
-
-	display := fs.Arg(0)
-	if display == "-" {
-		display = "<stdin>"
-	}
-	prog, err := asm.AssembleNamed(display, string(src))
-	if err != nil {
-		fmt.Fprintln(stderr, "mmsim:", err)
-		return 1
-	}
-	if *verify {
-		rep := capverify.Verify(prog, capverify.Config{DataBytes: *dataBytes})
-		if rep.HasFault() {
-			for _, d := range rep.Faults() {
-				fmt.Fprintln(stderr, "mmsim:", d)
-			}
-			fmt.Fprintln(stderr, "mmsim: program provably faults; refusing to boot (run mmlint for details)")
+	var prog *asm.Program
+	if !*restore {
+		var src []byte
+		var err error
+		if name := fs.Arg(0); name == "-" {
+			src, err = io.ReadAll(stdin)
+		} else {
+			src, err = os.ReadFile(name)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
 			return 1
+		}
+
+		display := fs.Arg(0)
+		if display == "-" {
+			display = "<stdin>"
+		}
+		prog, err = asm.AssembleNamed(display, string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		if *verify {
+			rep := capverify.Verify(prog, capverify.Config{DataBytes: *dataBytes})
+			if rep.HasFault() {
+				for _, d := range rep.Faults() {
+					fmt.Fprintln(stderr, "mmsim:", d)
+				}
+				fmt.Fprintln(stderr, "mmsim: program provably faults; refusing to boot (run mmlint for details)")
+				return 1
+			}
 		}
 	}
 
@@ -109,10 +125,40 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mmsim: unknown scheme %q\n", *schemeName)
 		return 2
 	}
-	k, err := kernel.New(cfg)
-	if err != nil {
-		fmt.Fprintln(stderr, "mmsim:", err)
-		return 1
+	var store *persist.Store
+	if *ckptDir != "" {
+		st, err := persist.Open(*ckptDir, 1)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		store = st
+	}
+	var k *kernel.Kernel
+	if *restore {
+		k2, gen, cycle, err := persist.RestoreNewest(store, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim: restore:", err)
+			return 1
+		}
+		k = k2
+		fmt.Fprintf(stdout, "mmsim: restored generation %d (captured at cycle %d) from %s\n", gen, cycle, *ckptDir)
+	} else {
+		k2, err := kernel.New(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		k = k2
+	}
+	var saver *persist.Saver
+	if store != nil {
+		sv, err := persist.NewSaver(store, persist.DefaultBaseEvery)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		saver = sv
 	}
 	if *useJIT {
 		// Before RegisterMetrics so the jit.* counters are published.
@@ -177,6 +223,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			k.M.EnableHistograms()
 		}
 		k.RegisterMetrics(reg)
+		if store != nil {
+			store.RegisterMetrics(reg, "persist")
+		}
 	}
 	var srv *http.Server
 	if *serveAddr != "" {
@@ -212,7 +261,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var ths []*machine.Thread
 	var code []codeSeg
-	for i := 0; i < *threads; i++ {
+	if *restore {
+		// The checkpoint carries the threads; there is no program to load
+		// (and no verifier contract to hand the translator).
+		ths = k.M.Threads()
+	}
+	for i := 0; !*restore && i < *threads; i++ {
 		ip, err := k.LoadProgram(prog, false)
 		if err != nil {
 			fmt.Fprintln(stderr, "mmsim:", err)
@@ -242,8 +296,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 2
 		}
 		debugREPL(k, stdin, stdout, *maxCycles)
-	} else {
+	} else if saver == nil {
 		k.Run(*maxCycles)
+	} else {
+		// Run in checkpoint-sized chunks: after each chunk, capture a
+		// generation (a full base when the chain needs re-anchoring,
+		// otherwise a dirty-page delta) and commit it atomically.
+		for ran := uint64(0); ran < *maxCycles && !k.M.Done(); {
+			chunk := *ckptEvery
+			if rest := *maxCycles - ran; chunk > rest {
+				chunk = rest
+			}
+			stepped := k.Run(chunk)
+			if stepped == 0 {
+				break
+			}
+			ran += stepped
+			if _, err := saver.Capture(k, k.M.Cycle()); err != nil {
+				fmt.Fprintln(stderr, "mmsim: checkpoint:", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "mmsim: %d checkpoint generation(s) in %s (newest gen %d)\n",
+			store.Stats().Captures, *ckptDir, saver.Gen())
 	}
 
 	exit := 0
@@ -312,6 +387,9 @@ type codeSeg struct {
 // loaded program (annotated with the owning thread when several copies
 // are loaded), falling back to the raw address.
 func symbolizer(prog *asm.Program, code []codeSeg) func(addr uint64) string {
+	if prog == nil { // restored run: no program image to symbolize against
+		return func(addr uint64) string { return fmt.Sprintf("%#x", addr) }
+	}
 	type lab struct {
 		word int
 		name string

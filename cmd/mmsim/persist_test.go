@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// longCountdown runs long enough for -checkpoint-every to commit
+// several generations before -max-cycles interrupts it.
+const longCountdown = "ldi r3, 2000\nloop: st r1, 0, r3\nld r4, r1, 0\nsubi r3, r3, 1\nbnez r3, loop\nhalt\n"
+
+// regsLine extracts the per-thread register summary from mmsim output.
+func regsLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "r1=") {
+			return strings.TrimSpace(l)
+		}
+	}
+	t.Fatalf("no register line in output:\n%s", out)
+	return ""
+}
+
+// The headline persistence flow: an interrupted checkpointed run,
+// resumed from disk with -restore, finishes with the exact register
+// file of an uninterrupted run.
+func TestCheckpointThenRestoreMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	code, refOut, errOut := runCLI([]string{"-"}, longCountdown)
+	if code != 0 {
+		t.Fatalf("reference run exit %d: %s", code, errOut)
+	}
+	ref := regsLine(t, refOut)
+
+	// "Crash" partway through: the cycle budget cuts the run short, but
+	// every committed generation survives on disk.
+	code, out, errOut := runCLI([]string{
+		"-checkpoint-dir", dir, "-checkpoint-every", "1000", "-max-cycles", "3000", "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("checkpointed run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "checkpoint generation(s)") {
+		t.Errorf("missing checkpoint summary:\n%s", out)
+	}
+	if strings.Contains(out, "halted") {
+		t.Fatalf("interrupted run should not have finished:\n%s", out)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) < 4 { // >= 2 generations x (image + marker)
+		t.Fatalf("store has %d files (err %v), want several generations", len(ents), err)
+	}
+
+	code, out, errOut = runCLI([]string{"-restore", "-checkpoint-dir", dir}, "")
+	if code != 0 {
+		t.Fatalf("restore run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "restored generation") {
+		t.Errorf("missing restore banner:\n%s", out)
+	}
+	if !strings.Contains(out, "halted") {
+		t.Errorf("restored run did not finish:\n%s", out)
+	}
+	if got := regsLine(t, out); got != ref {
+		t.Errorf("restored run diverged:\n got %s\nwant %s", got, ref)
+	}
+}
+
+// Restore falls back past a damaged newest generation.
+func TestRestoreFallsBackPastDamage(t *testing.T) {
+	dir := t.TempDir()
+	code, _, errOut := runCLI([]string{
+		"-checkpoint-dir", dir, "-checkpoint-every", "1000", "-max-cycles", "3000", "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("checkpointed run exit %d: %s", code, errOut)
+	}
+	// Flip one bit in the newest image file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := ""
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".ckpt") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	path := filepath.Join(dir, newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runCLI([]string{"-restore", "-checkpoint-dir", dir}, "")
+	if code != 0 {
+		t.Fatalf("restore after damage exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "restored generation") || !strings.Contains(out, "halted") {
+		t.Errorf("fallback restore did not complete:\n%s", out)
+	}
+}
+
+func TestPersistMetricsVisible(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCLI([]string{
+		"-checkpoint-dir", dir, "-checkpoint-every", "1000", "-metrics", "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, m := range []string{`"persist.captures"`, `"persist.bytes_written"`, `"persist.delta_pages"`} {
+		if !strings.Contains(out, m) {
+			t.Errorf("metrics snapshot missing %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestRestoreFlagValidation(t *testing.T) {
+	if code, _, errOut := runCLI([]string{"-restore"}, ""); code != 2 ||
+		!strings.Contains(errOut, "-checkpoint-dir") {
+		t.Errorf("bare -restore: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, errOut := runCLI([]string{"-restore", "-checkpoint-dir", t.TempDir(), "prog.s"}, ""); code != 2 ||
+		!strings.Contains(errOut, "do not pass one") {
+		t.Errorf("-restore with program: exit %d, stderr %q", code, errOut)
+	}
+	// An empty store is a hard error, not a silent fresh boot.
+	if code, _, errOut := runCLI([]string{"-restore", "-checkpoint-dir", t.TempDir()}, ""); code != 1 ||
+		!strings.Contains(errOut, "restore") {
+		t.Errorf("empty store: exit %d, stderr %q", code, errOut)
+	}
+}

@@ -187,6 +187,18 @@ func (d *dashboard) frame(snap map[string]float64) string {
 	if r, ok := snap["recovery.restores"]; ok && r > 0 {
 		fmt.Fprintf(&b, "  restores=%.0f", r)
 	}
+	if c, ok := snap["persist.captures"]; ok {
+		fmt.Fprintf(&b, "  ckpt.gens=%.0f", c)
+		if r := snap["persist.restores"]; r > 0 {
+			fmt.Fprintf(&b, "  ckpt.restores=%.0f", r)
+		}
+		if f := snap["persist.fallbacks"]; f > 0 {
+			fmt.Fprintf(&b, "  CKPT-FALLBACKS=%.0f", f)
+		}
+		if cd := snap["persist.corrupt_detected"]; cd > 0 {
+			fmt.Fprintf(&b, "  CKPT-CORRUPT=%.0f", cd)
+		}
+	}
 	b.WriteString("\n\n")
 
 	fmt.Fprintf(&b, "%-8s %6s %7s %7s %7s %6s  %s\n",
@@ -254,6 +266,16 @@ func (d *dashboard) frame(snap map[string]float64) string {
 			wrote = true
 		}
 		fmt.Fprintf(&b, "%-20s %9.0f %7.0f %7.0f %7.0f\n", h.label, count, p50, p99, max)
+	}
+
+	// Checkpoint capture latency is wall time (the persist store lives
+	// outside the simulated clock), so it gets its own units.
+	if c := snap["persist.capture_latency_ns.count"]; c > 0 {
+		fmt.Fprintf(&b, "\ncheckpoint capture (us) count %.0f  p50 %.0f  p99 %.0f  max %.0f\n",
+			c,
+			snap["persist.capture_latency_ns.p50"]/1e3,
+			snap["persist.capture_latency_ns.p99"]/1e3,
+			snap["persist.capture_latency_ns.max"]/1e3)
 	}
 
 	d.prev = snap

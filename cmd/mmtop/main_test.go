@@ -154,3 +154,32 @@ func TestRunBadEndpoint(t *testing.T) {
 		t.Errorf("unreachable endpoint exit = %d", code)
 	}
 }
+
+func TestFramePersistSection(t *testing.T) {
+	var d dashboard
+	out := d.frame(map[string]float64{
+		"machine.cycles":                   100,
+		"machine.instructions":             50,
+		"persist.captures":                 7,
+		"persist.restores":                 1,
+		"persist.fallbacks":                1,
+		"persist.corrupt_detected":         2,
+		"persist.capture_latency_ns.count": 7,
+		"persist.capture_latency_ns.p50":   42000,
+		"persist.capture_latency_ns.p99":   90000,
+		"persist.capture_latency_ns.max":   120000,
+	})
+	for _, want := range []string{
+		"ckpt.gens=7", "ckpt.restores=1", "CKPT-FALLBACKS=1", "CKPT-CORRUPT=2",
+		"checkpoint capture (us)", "p50 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// A run without a checkpoint store must not mention checkpoints.
+	clean := (&dashboard{}).frame(map[string]float64{"machine.cycles": 1})
+	if strings.Contains(clean, "ckpt") || strings.Contains(clean, "checkpoint") {
+		t.Errorf("persist rows leaked into a storeless frame:\n%s", clean)
+	}
+}

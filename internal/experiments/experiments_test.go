@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 27 {
-		t.Fatalf("registered %d experiments, want 27 (E1..E27)", len(all))
+	if len(all) != 28 {
+		t.Fatalf("registered %d experiments, want 28 (E1..E28)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -438,5 +438,39 @@ func TestE25StaticDischarge(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Errorf("E25 report missing program %q", name)
 		}
+	}
+}
+
+func TestE28PersistentCheckpoints(t *testing.T) {
+	out := runOne(t, "E28", "Delta-chain differential", "persist-torn", "persist-missing",
+		"Capture cost", "match")
+	// runE28 itself gates on every-generation fingerprint identity, zero
+	// unrecovered/escaped persistence faults, and the >=5x byte win at
+	// 10% dirty; here we pin the report shape.
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("E28 reports a diverged generation:\n%s", out)
+	}
+	if len(stats.ParseTables(out)) < 3 {
+		t.Fatalf("E28 report missing tables:\n%s", out)
+	}
+}
+
+func TestE28Metrics(t *testing.T) {
+	e, ok := Lookup("E28")
+	if !ok || e.Metrics == nil {
+		t.Fatal("E28 has no metrics hook")
+	}
+	snap, err := e.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["e28.chain.match"] != 1 {
+		t.Errorf("e28.chain.match = %v, want 1", snap["e28.chain.match"])
+	}
+	if snap["faultinject.persist.fallbacks"] == 0 {
+		t.Error("campaign fallback metric missing or zero")
+	}
+	if snap["e28.cost.ratio_x10.10pct"] < 50 {
+		t.Errorf("10%% dirty byte ratio %v < 5x", snap["e28.cost.ratio_x10.10pct"])
 	}
 }

@@ -33,6 +33,10 @@ type trialResult struct {
 	eccFixed    uint64 // single-bit memory errors corrected
 	retransmits uint64 // transport frames re-sent
 	dupSupp     uint64 // duplicate frames suppressed
+
+	// Persistence-trial accounting (persist.go), zero elsewhere.
+	persistCorrupt  uint64 // generations rejected by checksums/markers
+	persistFallback uint64 // restores that fell back past damage
 }
 
 // classifyFault maps a faulted thread's error to an outcome. Explicit

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -27,6 +28,11 @@ type CampaignConfig struct {
 	NodeTrials int
 	// Workers bounds trial concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// PersistTrials is the trial count for each persistence class
+	// (persist-torn, persist-trunc, persist-rot, persist-missing): each
+	// trial damages a copy of a pristine on-disk checkpoint store and
+	// audits the recovery path (see persist.go).
+	PersistTrials int
 	// Recovery additionally runs the checkpoint/kill/restore trial.
 	Recovery bool
 	// Tolerate runs every trial with the self-healing stack enabled
@@ -63,6 +69,19 @@ func DefaultTolerantCampaign() CampaignConfig {
 	}
 }
 
+// DefaultPersistCampaign is the E28 persistence-fault configuration:
+// every durability damage class against the pristine checkpoint store,
+// with the tolerance semantics (a detected-and-repaired fallback counts
+// as Tolerated). The gate is zero unrecovered detections and zero
+// escapes.
+func DefaultPersistCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:          1,
+		PersistTrials: 40,
+		Tolerate:      true,
+	}
+}
+
 // ClassStats aggregates one class's outcomes.
 type ClassStats struct {
 	Class     Class
@@ -95,6 +114,9 @@ type Result struct {
 	EccFixed    uint64 // single-bit memory errors corrected
 	Retransmits uint64 // transport frames re-sent
 	DupSupp     uint64 // duplicate frames suppressed
+	// Persistence-trial repair work (zero unless PersistTrials ran).
+	PersistCorrupt   uint64 // generations rejected by checksums/markers
+	PersistFallbacks uint64 // restores that fell back past damage
 
 	// Flights holds the flight-recorder dumps of the first
 	// MaxFlightCaptures trials whose outcome the audit could not explain
@@ -125,6 +147,7 @@ type trialSpec struct {
 var localClasses = []Class{MemBit, RegBit, PtrField, TLBEntry}
 var nocClasses = []Class{NoCDrop, NoCDuplicate, NoCCorrupt, NoCDelay}
 var nodeClasses = []Class{NodeKill, NodeStall}
+var persistClasses = []Class{PersistTorn, PersistTrunc, PersistRot, PersistMissing}
 
 // RunCampaign executes the full audit: prepares the clean reference
 // runs, fans the trial list across a worker pool, and aggregates the
@@ -141,6 +164,17 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 	if needMesh {
 		var err error
 		if mesh, err = prepareMesh(); err != nil {
+			return nil, err
+		}
+	}
+	var fx *persistFixture
+	if cfg.PersistTrials > 0 {
+		fxDir, err := os.MkdirTemp("", "mmpersist-fixture-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(fxDir)
+		if fx, err = preparePersistFixture(fxDir); err != nil {
 			return nil, err
 		}
 	}
@@ -162,6 +196,11 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 	}
 	for _, c := range nodeClasses {
 		for i := 0; i < cfg.NodeTrials; i++ {
+			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
+		}
+	}
+	for _, c := range persistClasses {
+		for i := 0; i < cfg.PersistTrials; i++ {
 			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
 		}
 	}
@@ -191,6 +230,8 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 				}
 				sp := specs[i]
 				switch {
+				case sp.class >= PersistTorn:
+					results[i] = runPersistTrial(fx, sp.class, sp.seed)
 				case sp.wl != nil && cfg.Tolerate:
 					results[i] = runLocalTolerantTrial(sp.wl, sp.class, sp.seed)
 				case sp.wl != nil:
@@ -246,6 +287,8 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 		res.EccFixed += results[i].eccFixed
 		res.Retransmits += results[i].retransmits
 		res.DupSupp += results[i].dupSupp
+		res.PersistCorrupt += results[i].persistCorrupt
+		res.PersistFallbacks += results[i].persistFallback
 	}
 	if cfg.Recovery {
 		var rec *RecoveryResult
@@ -301,6 +344,13 @@ func (r *Result) Table() string {
 		rt.AddRow("ecc single-bit corrections", int(r.EccFixed))
 		rt.AddRow("transport retransmits", int(r.Retransmits))
 		rt.AddRow("duplicates suppressed", int(r.DupSupp))
+		// Persistence rows appear only when persistence classes ran, so
+		// campaigns without them (E24) render byte-identically to before
+		// the durability audit existed.
+		if r.persistTrials() > 0 {
+			rt.AddRow("persist corrupt generations detected", int(r.PersistCorrupt))
+			rt.AddRow("persist fallback restores", int(r.PersistFallbacks))
+		}
 		b.WriteString(rt.String())
 	}
 
@@ -331,6 +381,17 @@ func (r *Result) Table() string {
 	return b.String()
 }
 
+// persistTrials sums the persistence classes' trial counts.
+func (r *Result) persistTrials() int {
+	n := 0
+	for _, c := range persistClasses {
+		if int(c) < len(r.Classes) {
+			n += r.Classes[c].Trials
+		}
+	}
+	return n
+}
+
 // RegisterMetrics exposes the campaign on a telemetry registry under
 // the faultinject.* namespace.
 func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
@@ -352,6 +413,10 @@ func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
 		add64("mem.ecc.corrected", r.EccFixed)
 		add64("noc.transport.retransmits", r.Retransmits)
 		add64("noc.transport.dup_suppressed", r.DupSupp)
+		if r.persistTrials() > 0 {
+			add64("persist.corrupt_detected", r.PersistCorrupt)
+			add64("persist.fallbacks", r.PersistFallbacks)
+		}
 	}
 	for _, cs := range r.Classes {
 		if cs.Trials == 0 {

@@ -112,21 +112,38 @@ const (
 	NodeKill
 	// NodeStall freezes one node for a bounded number of cycles.
 	NodeStall
+	// PersistTorn truncates one file of the NEWEST on-disk checkpoint
+	// generation at a random offset — the shape a crash leaves behind
+	// mid-write.
+	PersistTorn
+	// PersistTrunc truncates a random file of ANY generation in the
+	// store.
+	PersistTrunc
+	// PersistRot flips one random bit somewhere in the store — media
+	// decay after the write committed.
+	PersistRot
+	// PersistMissing deletes every file of one generation — an
+	// over-eager cleanup or a lost directory entry.
+	PersistMissing
 
 	NumClasses int = iota
 )
 
 var classNames = [...]string{
-	MemBit:       "mem-bit",
-	RegBit:       "reg-bit",
-	PtrField:     "ptr-field",
-	TLBEntry:     "tlb-entry",
-	NoCDrop:      "noc-drop",
-	NoCDuplicate: "noc-duplicate",
-	NoCCorrupt:   "noc-corrupt",
-	NoCDelay:     "noc-delay",
-	NodeKill:     "node-kill",
-	NodeStall:    "node-stall",
+	MemBit:         "mem-bit",
+	RegBit:         "reg-bit",
+	PtrField:       "ptr-field",
+	TLBEntry:       "tlb-entry",
+	NoCDrop:        "noc-drop",
+	NoCDuplicate:   "noc-duplicate",
+	NoCCorrupt:     "noc-corrupt",
+	NoCDelay:       "noc-delay",
+	NodeKill:       "node-kill",
+	NodeStall:      "node-stall",
+	PersistTorn:    "persist-torn",
+	PersistTrunc:   "persist-trunc",
+	PersistRot:     "persist-rot",
+	PersistMissing: "persist-missing",
 }
 
 func (c Class) String() string {

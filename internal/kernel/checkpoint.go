@@ -27,7 +27,10 @@ import (
 // gates, process objects) are code, not data — re-register them after
 // restore.
 
-// Checkpoint is the serializable system image.
+// Checkpoint is the serializable system image. A base image (Delta
+// false) is self-contained; a delta image (incremental.go) holds only
+// the pages changed since its parent generation plus tombstones, and
+// can be consumed only through Materialize/RestoreChain.
 type Checkpoint struct {
 	RegionBase uint64
 	RegionLog  uint
@@ -39,6 +42,14 @@ type Checkpoint struct {
 	Resident []PageImage
 	Swapped  []PageImage
 	Threads  []ThreadImage
+
+	// Delta marks an incremental image: Resident/Swapped hold only the
+	// pages changed since the parent generation. Dropped/SwapDropped are
+	// tombstones — pages present in the parent that no longer exist.
+	// Segment/thread metadata is always captured in full (it is small).
+	Delta       bool
+	Dropped     []uint64
+	SwapDropped []uint64
 }
 
 // PageImage is one page of tagged words; Frame is meaningful only for
@@ -77,17 +88,12 @@ func (k *Kernel) Checkpoint() (*Checkpoint, error) {
 		cp.Revoked[b] = true
 	}
 
-	wordsPerPage := vm.PageSize / word.BytesPerWord
 	var walkErr error
 	k.M.Space.PT.Walk(func(page uint64, pte vm.PTE) bool {
-		img := PageImage{VAddr: page, Frame: pte.Frame, Words: make([]word.Word, wordsPerPage)}
-		for i := 0; i < wordsPerPage; i++ {
-			w, err := k.M.Space.Phys.ReadWord(pte.Frame + uint64(i)*word.BytesPerWord)
-			if err != nil {
-				walkErr = err
-				return false
-			}
-			img.Words[i] = w
+		img, err := k.readPage(page, pte.Frame)
+		if err != nil {
+			walkErr = err
+			return false
 		}
 		cp.Resident = append(cp.Resident, img)
 		return true
@@ -95,7 +101,8 @@ func (k *Kernel) Checkpoint() (*Checkpoint, error) {
 	if walkErr != nil {
 		return nil, walkErr
 	}
-	for page, words := range k.M.Space.SwapContents() {
+	for _, page := range k.M.Space.SwapPageList() {
+		words, _ := k.M.Space.SwapPage(page)
 		cp.Swapped = append(cp.Swapped, PageImage{VAddr: page, Words: words})
 	}
 
@@ -116,6 +123,9 @@ func (k *Kernel) Checkpoint() (*Checkpoint, error) {
 // memory as the image uses). Thread fault state is not preserved:
 // faulted threads restore as faulted with a nil fault record.
 func Restore(cfg machine.Config, cp *Checkpoint) (*Kernel, error) {
+	if cp.Delta {
+		return nil, fmt.Errorf("kernel: cannot restore a delta image directly; materialize its chain first")
+	}
 	k, err := NewWithRegion(cfg, cp.RegionBase, cp.RegionLog)
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/noc"
+	"repro/internal/persist"
 	"repro/internal/telemetry"
 	"repro/internal/word"
 )
@@ -94,6 +95,20 @@ type Config struct {
 	// failing machine must eventually surface as Hung, not livelock
 	// through the same checkpoint forever. 0 means 4.
 	MaxRestores int
+
+	// PersistDir, when non-empty, replaces the in-memory checkpoint ring
+	// with a durable on-disk store (internal/persist): each coordinated
+	// generation is written as incremental dirty-page deltas with
+	// per-section checksums and a commit marker, pruned to CheckpointKeep
+	// (delta chains pin their base images beyond the window), and
+	// auto-recovery restores from the newest generation on disk whose
+	// whole chain verifies — a torn or bit-rotted newest generation
+	// falls back to an older intact one.
+	PersistDir string
+	// PersistBaseEvery bounds delta-chain length in the durable store: a
+	// fresh base image every Nth generation. 0 means
+	// persist.DefaultBaseEvery; 1 writes only base images.
+	PersistBaseEvery int
 }
 
 // DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
@@ -148,6 +163,14 @@ type System struct {
 	ckpts       []ckptGen
 	checkpoints uint64 // generations captured (recovery.checkpoints)
 	restores    uint64 // automatic recoveries performed (recovery.restores)
+
+	// Durable persistence state (Config.PersistDir): the on-disk store
+	// and the per-node incremental capture baselines. A nil entry in
+	// capStates forces the next generation to be a full base.
+	store      *persist.Store
+	capStates  []*kernel.CaptureState
+	persistGen uint64 // newest generation committed to the store
+	sinceBase  int    // deltas since the last base image
 
 	// Introspection state (all optional, all off by default).
 	spans      *spanState                  // EnableSpans: causal-span allocator
@@ -222,8 +245,25 @@ func New(cfg Config) (*System, error) {
 		}
 		s.Nodes = append(s.Nodes, n)
 	}
+	if cfg.PersistDir != "" {
+		st, err := persist.Open(cfg.PersistDir, net.Nodes())
+		if err != nil {
+			return nil, err
+		}
+		gen, err := st.MaxGen()
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.persistGen = gen // numbering resumes after a reboot
+		s.capStates = make([]*kernel.CaptureState, net.Nodes())
+	}
 	return s, nil
 }
+
+// Store returns the durable checkpoint store, or nil when the system
+// runs with the in-memory ring (Config.PersistDir empty).
+func (s *System) Store() *persist.Store { return s.store }
 
 // Stats returns a copy of the cross-node counters.
 func (s *System) Stats() Stats { return s.stats }
@@ -327,6 +367,10 @@ func (s *System) checkpointAll() {
 			return
 		}
 	}
+	if s.store != nil {
+		s.persistCheckpoint()
+		return
+	}
 	g := ckptGen{cycle: s.cycle, cps: make([]*kernel.Checkpoint, len(s.Nodes))}
 	for i, n := range s.Nodes {
 		cp, err := n.K.Checkpoint()
@@ -341,6 +385,74 @@ func (s *System) checkpointAll() {
 		s.ckpts = s.ckpts[:keep]
 	}
 	s.checkpoints++
+}
+
+// persistBaseEvery resolves Config.PersistBaseEvery.
+func (s *System) persistBaseEvery() int {
+	if s.cfg.PersistBaseEvery > 0 {
+		return s.cfg.PersistBaseEvery
+	}
+	return persist.DefaultBaseEvery
+}
+
+// persistCheckpoint writes one coordinated generation to the durable
+// store. All nodes must capture the same kind, so the whole generation
+// re-bases when any node's baseline is missing or stale (first capture,
+// a Revive that swapped a kernel, a previous error) or the delta chain
+// reached PersistBaseEvery. On ANY error every baseline is dropped:
+// the failed generation never got a commit marker, so the next capture
+// starts a fresh base — dirty bits cleared by a failed capture are
+// swallowed by the full image, never lost.
+func (s *System) persistCheckpoint() {
+	full := s.sinceBase >= s.persistBaseEvery()-1
+	for i, n := range s.Nodes {
+		if !s.capStates[i].Matches(n.K) {
+			full = true
+		}
+	}
+	cps := make([]*kernel.Checkpoint, len(s.Nodes))
+	ncaps := make([]*kernel.CaptureState, len(s.Nodes))
+	for i, n := range s.Nodes {
+		prev := s.capStates[i]
+		if full {
+			prev = nil
+		}
+		cp, ncap, err := n.K.CheckpointIncremental(prev)
+		if err != nil {
+			s.resetCapStates()
+			return
+		}
+		cps[i] = cp
+		ncaps[i] = ncap
+	}
+	gen := s.persistGen + 1
+	if err := s.store.WriteGeneration(gen, s.persistGen, s.cycle, cps); err != nil {
+		s.resetCapStates()
+		return
+	}
+	copy(s.capStates, ncaps)
+	s.persistGen = gen
+	if full {
+		s.sinceBase = 0
+	} else {
+		s.sinceBase++
+	}
+	s.checkpoints++
+	// Prune inside the barrier, like the in-memory ring: retention is
+	// part of the generation commit. Prune never removes a base a
+	// retained delta still replays from.
+	if err := s.store.Prune(s.checkpointKeep()); err != nil {
+		s.resetCapStates() // disk trouble: re-base defensively
+	}
+}
+
+// resetCapStates drops every incremental baseline: the next generation
+// is a full base.
+func (s *System) resetCapStates() {
+	for i := range s.capStates {
+		s.capStates[i] = nil
+	}
+	s.sinceBase = 0
 }
 
 // CheckpointNow captures a coordinated generation immediately — the
@@ -370,12 +482,30 @@ func (s *System) CheckpointNow() error {
 // Hung) when no generation exists, the restore budget is spent, or a
 // rebuild fails.
 func (s *System) recoverAll() bool {
-	if len(s.ckpts) == 0 || s.restores >= s.maxRestores() {
+	if s.restores >= s.maxRestores() {
 		return false
 	}
-	g := s.ckpts[len(s.ckpts)-1]
+	var cps []*kernel.Checkpoint
+	if s.store != nil {
+		// Durable path: newest generation on disk whose whole delta
+		// chain verifies. A damaged newest generation is skipped (and
+		// counted) in favor of an older intact one.
+		loaded, _, _, err := s.store.LoadNewestIntact()
+		if err != nil {
+			return false
+		}
+		cps = loaded
+		// The restored kernels have fresh Spaces: every incremental
+		// baseline is stale, so the next generation re-bases.
+		s.resetCapStates()
+	} else {
+		if len(s.ckpts) == 0 {
+			return false
+		}
+		cps = s.ckpts[len(s.ckpts)-1].cps
+	}
 	for i := range s.Nodes {
-		k, err := kernel.Restore(s.cfg.Node, g.cps[i])
+		k, err := kernel.Restore(s.cfg.Node, cps[i])
 		if err != nil {
 			return false
 		}
@@ -576,6 +706,9 @@ func (s *System) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("multi.cycle", func() uint64 { return s.cycle })
 	reg.Counter("recovery.checkpoints", func() uint64 { return s.checkpoints })
 	reg.Counter("recovery.restores", func() uint64 { return s.restores })
+	if s.store != nil {
+		s.store.RegisterMetrics(reg, "persist")
+	}
 	s.Net.RegisterMetrics(reg, "noc")
 	for _, n := range s.Nodes {
 		s.registerNode(n.ID)

@@ -1,0 +1,171 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func encodeTB(hdr Header, cp *kernel.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, hdr, cp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func emptyImage() *kernel.Checkpoint {
+	return &kernel.Checkpoint{Segments: map[uint64]uint{}, Revoked: map[uint64]bool{}}
+}
+
+// fuzzSeeds are the interesting shapes: a base image, a delta image
+// with tombstones, an empty image, and a commit marker (wrong magic for
+// Decode, but it exercises the early paths).
+func fuzzSeeds(t testing.TB) [][]byte {
+	var out [][]byte
+	for _, delta := range []bool{false, true} {
+		hdr := Header{Node: 0, Gen: 2, Parent: 1, Cycle: 100, Delta: delta}
+		if !delta {
+			hdr.Parent = 2
+		}
+		cp := syntheticImage(delta)
+		enc, err := encodeTB(hdr, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, enc)
+	}
+	empty, err := encodeTB(Header{Gen: 1, Parent: 1}, emptyImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, empty)
+	out = append(out, encodeMarker(&genInfo{gen: 1, parent: 1, cycle: 5,
+		files: []memberInfo{{name: "gen00000001-node00.ckpt", size: 10, crc: 1}}}))
+	out = append(out, []byte(magicImage), nil)
+	return out
+}
+
+// FuzzCheckpointDecode: arbitrary bytes must never panic the decoder,
+// and every rejection must be a typed *FormatError. Valid inputs must
+// re-encode canonically.
+func FuzzCheckpointDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, cp, err := Decode(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error %T is not *FormatError: %v", err, err)
+			}
+			return
+		}
+		// Anything the decoder accepts must survive a canonical round
+		// trip — otherwise corrupt-but-accepted states could propagate.
+		if _, err := encodeTB(hdr, cp); err != nil {
+			t.Fatalf("accepted image fails re-encode: %v", err)
+		}
+		// Marker decoding shares the reader; throw the bytes at it too.
+		if _, err := decodeMarker(data); err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("marker error %T is not *FormatError: %v", err, err)
+			}
+		}
+	})
+}
+
+// TestSeedCorpusCommitted keeps the committed corpus honest: every file
+// under testdata/fuzz/FuzzCheckpointDecode must be a well-formed corpus
+// entry whose bytes run through the fuzz property without failing.
+func TestSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed seed corpus missing: %v", err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("committed seed corpus is empty")
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := corpusBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, _, err := Decode(body); err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("%s: error %T is not *FormatError", e.Name(), err)
+			}
+		}
+	}
+}
+
+// corpusBytes parses the "go test fuzz v1" single-[]byte entry format.
+func corpusBytes(data []byte) ([]byte, error) {
+	lines := splitLines(string(data))
+	if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a v1 corpus entry")
+	}
+	var s string
+	if _, err := fmt.Sscanf(lines[1], "[]byte(%q)", &s); err != nil {
+		// Quoted strings with escapes need Unquote, not Sscanf.
+		raw := lines[1]
+		if len(raw) < len("[]byte()") || raw[:7] != "[]byte(" || raw[len(raw)-1] != ')' {
+			return nil, fmt.Errorf("entry is not a []byte literal")
+		}
+		u, err := strconv.Unquote(raw[7 : len(raw)-1])
+		if err != nil {
+			return nil, err
+		}
+		return []byte(u), nil
+	}
+	return []byte(s), nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestWriteSeedCorpus regenerates testdata/fuzz/FuzzCheckpointDecode
+// from fuzzSeeds. Gated: run with PERSIST_WRITE_CORPUS=1 after a format
+// change, then commit the result.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("PERSIST_WRITE_CORPUS") == "" {
+		t.Skip("corpus generator; set PERSIST_WRITE_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeeds(t) {
+		entry := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,16 @@ type Space struct {
 	swap      map[uint64]swapPage
 	swapStats SwapStats
 
+	// Incremental-checkpoint mutation tracking (capture.go): armed by
+	// StartCaptureTracking, drained at each capture barrier. freshMaps
+	// records pages newly entered into the page table (their PTE starts
+	// clean even when the frame's contents are new); touchedSwap records
+	// backing-store pages whose buffers changed (swap-out, restore,
+	// in-place scrub) — mutations no resident dirty bit can witness.
+	track       bool
+	freshMaps   map[uint64]struct{}
+	touchedSwap map[uint64]struct{}
+
 	// tc is a small direct-mapped translation micro-cache (indexed by
 	// low VPN bits): repeated references to recently translated pages —
 	// instruction fetch and the data stream it interleaves with — skip
@@ -180,6 +190,7 @@ func (s *Space) EnsureMapped(vaddr, size uint64) error {
 			if err := s.PT.Map(page, frame); err != nil {
 				return err
 			}
+			s.trackMap(page)
 			s.stats.DemandMaps++
 		}
 		if page == last {

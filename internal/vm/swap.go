@@ -65,6 +65,7 @@ func (s *Space) SwapOut(vaddr uint64) error {
 		buf[i] = w
 	}
 	s.swap[page] = buf
+	s.trackSwap(page)
 	s.PT.Unmap(page)
 	s.TLB.Invalidate(page)
 	if err := s.Frames.Release(pte.Frame); err != nil {
@@ -99,6 +100,7 @@ func (s *Space) SwapIn(vaddr uint64) error {
 	if err := s.PT.Map(page, frame); err != nil {
 		return err
 	}
+	s.trackMap(page)
 	delete(s.swap, page)
 	s.swapStats.SwapIns++
 	if s.Tracer != nil && s.Tracer.Enabled(telemetry.EvSwapIn) {
@@ -177,6 +179,7 @@ func (s *Space) ZeroWords(lo, hi uint64) error {
 			for a := plo; a < phi; a += word.BytesPerWord {
 				buf[(a-page)/word.BytesPerWord] = word.Word{}
 			}
+			s.trackSwap(page)
 			continue
 		}
 		if _, ok := s.PT.Lookup(page); !ok {
@@ -212,5 +215,6 @@ func (s *Space) RestoreSwapPage(page uint64, words []word.Word) error {
 	}
 	s.ensureSwap()
 	s.swap[page] = append(swapPage(nil), words...)
+	s.trackSwap(page)
 	return nil
 }
