@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json bench-persist audit fuzz-short lint verify obsv jit persist
+.PHONY: check fmt vet test race build bench bench-all bench-json bench-persist bench-migrate audit fuzz-short lint verify obsv jit persist migrate
 
 check: fmt vet lint test race
 
@@ -84,6 +84,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTransport -fuzztime $(FUZZTIME) ./internal/noc/
 	$(GO) test -run '^$$' -fuzz FuzzVerify -fuzztime $(FUZZTIME) ./internal/capverify/
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/persist/
+	$(GO) test -run '^$$' -fuzz FuzzMigrateFrame -fuzztime $(FUZZTIME) ./internal/migrate/
 
 # Durable-checkpoint gate (docs/ROBUSTNESS.md): the E28 chain
 # differential + persistence-fault campaign + capture-cost gates, the
@@ -97,12 +98,33 @@ persist:
 	$(GO) test -run 'TestPersist' ./internal/multi/ ./internal/faultinject/
 	$(GO) test -run 'TestCheckpointThenRestore|TestRestore|TestPersistMetrics' ./cmd/mmsim/
 
+# Live-migration gate (docs/ROBUSTNESS.md): the E29 differential +
+# dirty-rate sweep + migration fault campaign, the wire protocol and
+# pre-copy unit tests, abort-invariance on the mesh (serial and
+# parallel schedulers), the migration fault classes in the campaign
+# harness, the Prune retention property, and the mmsim
+# -migrate-at/-migrate-to/-checkpoint-ls CLI flow.
+migrate:
+	$(GO) run ./cmd/experiments -run E29
+	$(GO) test ./internal/migrate/
+	$(GO) test -run 'TestMigrate' ./internal/multi/ ./internal/faultinject/ ./cmd/mmsim/
+	$(GO) test -run 'TestStorePruneProperty' ./internal/persist/
+	$(GO) test -run 'TestCheckpointLs' ./cmd/mmsim/
+
 # Regenerate BENCH_persist.json: full gob image vs dirty-page delta at
 # 1%/10%/50% dirty (see docs/ROBUSTNESS.md; byte ratios are gated
 # deterministically by E28).
 bench-persist:
 	$(GO) test -run '^$$' -bench 'BenchmarkPersist' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_persist.json
+
+# Regenerate BENCH_migrate.json: end-to-end pre-copy migration at
+# 1%/10%/50% dirty per round plus the wire codec (see
+# docs/ROBUSTNESS.md; the STW-vs-full-wire ratio is gated
+# deterministically by E29).
+bench-migrate:
+	$(GO) test -run '^$$' -bench 'BenchmarkMigrate' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_migrate.json
 
 # Hot-path benchmarks (docs/PERFORMANCE.md). Updates the "current"
 # sections of BENCH_hotpath.json (interpreter; the CycleLoop anchor

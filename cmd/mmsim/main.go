@@ -29,6 +29,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/migrate"
 	"repro/internal/persist"
 	"repro/internal/telemetry"
 	"repro/internal/word"
@@ -60,7 +61,48 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	ckptDir := fs.String("checkpoint-dir", "", "write incremental crash-safe checkpoints (base + dirty-page deltas) to this directory while running")
 	ckptEvery := fs.Uint64("checkpoint-every", 250_000, "with -checkpoint-dir: cycles between checkpoint generations")
 	restore := fs.Bool("restore", false, "boot from the newest intact generation in -checkpoint-dir instead of loading a program (pass the same -scheme/-wide as the original run)")
+	ckptLs := fs.Bool("checkpoint-ls", false, "list the generations in -checkpoint-dir (gen, parent, kind, cycle, bytes) and exit")
+	migrateAt := fs.Uint64("migrate-at", 0, "live-migrate the machine after this many cycles: iterative pre-copy over a simulated wire, fingerprint handshake, then cut the run over to the standby replica (requires -migrate-to)")
+	migrateTo := fs.String("migrate-to", "", "with -migrate-at: commit the migrated image as a checkpoint store in this directory (resume it cross-process with -restore -checkpoint-dir)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ckptLs {
+		if *ckptDir == "" {
+			fmt.Fprintln(stderr, "mmsim: -checkpoint-ls needs -checkpoint-dir")
+			return 2
+		}
+		st, err := persist.Open(*ckptDir, 1)
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		descs, err := st.Describe()
+		if err != nil {
+			fmt.Fprintln(stderr, "mmsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-5s %-6s %-5s %12s %12s\n", "gen", "parent", "kind", "cycle", "bytes")
+		for _, d := range descs {
+			kind := "base"
+			if d.Delta {
+				kind = "delta"
+			}
+			fmt.Fprintf(stdout, "%-5d %-6d %-5s %12d %12d\n", d.Gen, d.Parent, kind, d.Cycle, d.Bytes)
+		}
+		fmt.Fprintf(stdout, "mmsim: %d generation(s) in %s\n", len(descs), *ckptDir)
+		return 0
+	}
+	if (*migrateAt == 0) != (*migrateTo == "") {
+		fmt.Fprintln(stderr, "mmsim: -migrate-at and -migrate-to go together")
+		return 2
+	}
+	if *migrateAt > 0 && *ckptDir != "" {
+		fmt.Fprintln(stderr, "mmsim: -migrate-at does not combine with -checkpoint-dir (the migrated image becomes its own store)")
+		return 2
+	}
+	if *migrateAt > 0 && *debug {
+		fmt.Fprintln(stderr, "mmsim: -migrate-at does not combine with -debug")
 		return 2
 	}
 	if *restore {
@@ -296,6 +338,51 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 2
 		}
 		debugREPL(k, stdin, stdout, *maxCycles)
+	} else if *migrateAt > 0 {
+		budget := *migrateAt
+		if budget > *maxCycles {
+			budget = *maxCycles
+		}
+		ran := k.Run(budget)
+		if k.M.Done() {
+			fmt.Fprintln(stdout, "mmsim: program finished before -migrate-at; nothing to migrate")
+		} else {
+			recv := migrate.NewReceiver()
+			link := migrate.NewLink(migrate.LinkConfig{})
+			link.Deliver = recv.Deliver
+			rep, err := migrate.Run(k, link, recv, func(c uint64) { ran += k.Run(c) }, migrate.Config{})
+			if err != nil {
+				fmt.Fprintln(stderr, "mmsim: migrate:", err)
+				return 1
+			}
+			k2, err := kernel.Restore(cfg, rep.Image)
+			if err != nil {
+				fmt.Fprintln(stderr, "mmsim: migrate: standby boot:", err)
+				return 1
+			}
+			mst, err := persist.Open(*migrateTo, 1)
+			if err != nil {
+				fmt.Fprintln(stderr, "mmsim:", err)
+				return 1
+			}
+			sv, err := persist.NewSaver(mst, persist.DefaultBaseEvery)
+			if err != nil {
+				fmt.Fprintln(stderr, "mmsim:", err)
+				return 1
+			}
+			if _, err := sv.Capture(k2, k.M.Cycle()); err != nil {
+				fmt.Fprintln(stderr, "mmsim: migrate: commit image:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "mmsim: migration committed after %d rounds (%d pages, %d B on the wire, stw %d cycles); standby image is generation %d in %s\n",
+				len(rep.Rounds), rep.TotalPages(), rep.Link.PayloadBytes, rep.STWCycles, sv.Gen(), *migrateTo)
+			// Cutover: the rest of the run executes on the standby replica.
+			k = k2
+			if ran < *maxCycles {
+				k.Run(*maxCycles - ran)
+			}
+			ths = k.M.Threads()
+		}
 	} else if saver == nil {
 		k.Run(*maxCycles)
 	} else {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// -checkpoint-ls lists every generation of a store: gen, parent, kind
+// (base/delta), capture cycle and byte size.
+func TestCheckpointLs(t *testing.T) {
+	dir := t.TempDir()
+	code, _, errOut := runCLI([]string{
+		"-checkpoint-dir", dir, "-checkpoint-every", "500", "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("checkpointed run exit %d: %s", code, errOut)
+	}
+
+	code, out, errOut := runCLI([]string{"-checkpoint-ls", "-checkpoint-dir", dir}, "")
+	if code != 0 {
+		t.Fatalf("-checkpoint-ls exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"gen", "parent", "kind", "cycle", "bytes", "base", "generation(s) in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "delta") {
+		t.Errorf("no delta generations listed (base-every should have produced some):\n%s", out)
+	}
+	// One row per generation plus header and summary.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := len(ents) / 2 // image + marker per generation
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != gens+2 {
+		t.Errorf("listing has %d lines for %d generations:\n%s", lines, gens, out)
+	}
+}
+
+// The headline migration flow: a run interrupted by a live migration
+// finishes on the standby replica with the uninterrupted register
+// file, and the committed image restores CROSS-PROCESS via -restore.
+func TestMigrateThenRestoreMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	code, refOut, errOut := runCLI([]string{"-"}, longCountdown)
+	if code != 0 {
+		t.Fatalf("reference run exit %d: %s", code, errOut)
+	}
+	ref := regsLine(t, refOut)
+
+	code, out, errOut := runCLI([]string{
+		"-migrate-at", "2000", "-migrate-to", dir, "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("migrated run exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "migration committed after") {
+		t.Fatalf("missing migration banner:\n%s", out)
+	}
+	if !strings.Contains(out, "halted") {
+		t.Fatalf("migrated run did not finish:\n%s", out)
+	}
+	if got := regsLine(t, out); got != ref {
+		t.Errorf("run diverged after cutover:\n got %s\nwant %s", got, ref)
+	}
+
+	// The committed image is an ordinary checkpoint store: a separate
+	// process resumes it from the cutover point.
+	code, out, errOut = runCLI([]string{"-restore", "-checkpoint-dir", dir}, "")
+	if code != 0 {
+		t.Fatalf("cross-process restore exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "halted") {
+		t.Errorf("restored standby did not finish:\n%s", out)
+	}
+	if got := regsLine(t, out); got != ref {
+		t.Errorf("cross-process resume diverged:\n got %s\nwant %s", got, ref)
+	}
+}
+
+// A program that halts before the armed cycle reports there was
+// nothing to migrate and still finishes normally.
+func TestMigrateAfterHaltIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := runCLI([]string{
+		"-migrate-at", "40000000", "-migrate-to", dir, "-"},
+		longCountdown)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "nothing to migrate") {
+		t.Errorf("missing no-op banner:\n%s", out)
+	}
+	if !strings.Contains(out, "halted") {
+		t.Errorf("run did not finish:\n%s", out)
+	}
+}
+
+func TestMigrateFlagValidation(t *testing.T) {
+	if code, _, errOut := runCLI([]string{"-migrate-at", "100", "-"}, "halt\n"); code != 2 ||
+		!strings.Contains(errOut, "go together") {
+		t.Errorf("-migrate-at without -migrate-to: exit %d, stderr %s", code, errOut)
+	}
+	if code, _, errOut := runCLI([]string{"-migrate-to", "/tmp/x", "-"}, "halt\n"); code != 2 ||
+		!strings.Contains(errOut, "go together") {
+		t.Errorf("-migrate-to without -migrate-at: exit %d, stderr %s", code, errOut)
+	}
+	if code, _, errOut := runCLI([]string{
+		"-migrate-at", "100", "-migrate-to", "/tmp/x", "-checkpoint-dir", "/tmp/y", "-"}, "halt\n"); code != 2 ||
+		!strings.Contains(errOut, "does not combine") {
+		t.Errorf("-migrate-at with -checkpoint-dir: exit %d, stderr %s", code, errOut)
+	}
+	if code, _, errOut := runCLI([]string{"-checkpoint-ls"}, ""); code != 2 ||
+		!strings.Contains(errOut, "needs -checkpoint-dir") {
+		t.Errorf("-checkpoint-ls without dir: exit %d, stderr %s", code, errOut)
+	}
+}

@@ -199,6 +199,22 @@ func (d *dashboard) frame(snap map[string]float64) string {
 			fmt.Fprintf(&b, "  CKPT-CORRUPT=%.0f", cd)
 		}
 	}
+	if st, ok := snap["migrate.started"]; ok && st > 0 {
+		status := "pre-copy"
+		switch {
+		case snap["migrate.committed"] > 0:
+			status = "committed"
+		case snap["migrate.aborted"] > 0:
+			status = "aborted"
+		}
+		fmt.Fprintf(&b, "  migrate=%s rounds=%.0f", status, snap["migrate.rounds"])
+		if r := snap["migrate.retransmits"]; r > 0 {
+			fmt.Fprintf(&b, "  mig.retrans=%.0f", r)
+		}
+		if w := snap["migrate.stw_window.max"]; w > 0 {
+			fmt.Fprintf(&b, "  stw=%.0fcy", w)
+		}
+	}
 	b.WriteString("\n\n")
 
 	fmt.Fprintf(&b, "%-8s %6s %7s %7s %7s %6s  %s\n",

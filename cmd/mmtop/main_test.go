@@ -183,3 +183,36 @@ func TestFramePersistSection(t *testing.T) {
 		t.Errorf("persist rows leaked into a storeless frame:\n%s", clean)
 	}
 }
+
+func TestFrameMigrateSection(t *testing.T) {
+	var d dashboard
+	out := d.frame(map[string]float64{
+		"machine.cycles":           100,
+		"machine.instructions":     50,
+		"migrate.started":          1,
+		"migrate.committed":        1,
+		"migrate.rounds":           3,
+		"migrate.retransmits":      2,
+		"migrate.stw_window.count": 1,
+		"migrate.stw_window.max":   15,
+	})
+	for _, want := range []string{"migrate=committed", "rounds=3", "mig.retrans=2", "stw=15cy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	aborted := (&dashboard{}).frame(map[string]float64{
+		"machine.cycles":  1,
+		"migrate.started": 1,
+		"migrate.aborted": 1,
+		"migrate.rounds":  2,
+	})
+	if !strings.Contains(aborted, "migrate=aborted") {
+		t.Errorf("aborted migration not shown:\n%s", aborted)
+	}
+	// A run without an armed migration must not mention one.
+	clean := (&dashboard{}).frame(map[string]float64{"machine.cycles": 1})
+	if strings.Contains(clean, "migrate") {
+		t.Errorf("migration rows leaked into a migration-free frame:\n%s", clean)
+	}
+}

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 28 {
-		t.Fatalf("registered %d experiments, want 28 (E1..E28)", len(all))
+	if len(all) != 29 {
+		t.Fatalf("registered %d experiments, want 29 (E1..E29)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
@@ -452,6 +452,43 @@ func TestE28PersistentCheckpoints(t *testing.T) {
 	}
 	if len(stats.ParseTables(out)) < 3 {
 		t.Fatalf("E28 report missing tables:\n%s", out)
+	}
+}
+
+func TestE29LiveMigration(t *testing.T) {
+	out := runOne(t, "E29", "Live-migration differential", "abort@cutover", "Dirty-rate sweep",
+		"migrate-src-kill", "stop-the-world")
+	// runE29 itself gates on outcome identity for the commit, exact
+	// bit-identity for every abort, the >=5x STW win at <=10% dirty,
+	// and a zero-unrecovered fault campaign; here we pin report shape.
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("E29 reports a diverged scenario:\n%s", out)
+	}
+	if len(stats.ParseTables(out)) < 4 {
+		t.Fatalf("E29 report missing tables:\n%s", out)
+	}
+}
+
+func TestE29Metrics(t *testing.T) {
+	e, ok := Lookup("E29")
+	if !ok || e.Metrics == nil {
+		t.Fatal("E29 has no metrics hook")
+	}
+	snap, err := e.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["e29.diff.match"] != 1 {
+		t.Errorf("e29.diff.match = %v, want 1", snap["e29.diff.match"])
+	}
+	if snap["e29.probe.rounds"] < 2 {
+		t.Errorf("e29.probe.rounds = %v, want iterative pre-copy", snap["e29.probe.rounds"])
+	}
+	if snap["faultinject.migrate.retransmits"] == 0 {
+		t.Error("campaign retransmit metric missing or zero")
+	}
+	if snap["e29.sweep.ratio_x10.10pct"] < 50 {
+		t.Errorf("10%% dirty STW ratio %v < 5x", snap["e29.sweep.ratio_x10.10pct"])
 	}
 }
 

@@ -37,6 +37,11 @@ type trialResult struct {
 	// Persistence-trial accounting (persist.go), zero elsewhere.
 	persistCorrupt  uint64 // generations rejected by checksums/markers
 	persistFallback uint64 // restores that fell back past damage
+
+	// Migration-trial accounting (migrate.go), zero elsewhere.
+	migrateRetrans uint64 // migration wire frames re-sent
+	migrateDupSupp uint64 // duplicate migration frames suppressed
+	migrateAborts  uint64 // migrations aborted with the source intact
 }
 
 // classifyFault maps a faulted thread's error to an outcome. Explicit

@@ -33,6 +33,11 @@ type CampaignConfig struct {
 	// trial damages a copy of a pristine on-disk checkpoint store and
 	// audits the recovery path (see persist.go).
 	PersistTrials int
+	// MigrateTrials is the trial count for each live-migration class
+	// (frame drop/corrupt/dup/trunc on the migration wire, source kill,
+	// standby crash, cutover interruption): each trial arms a live
+	// migration mid-run and attacks one stage of it (see migrate.go).
+	MigrateTrials int
 	// Recovery additionally runs the checkpoint/kill/restore trial.
 	Recovery bool
 	// Tolerate runs every trial with the self-healing stack enabled
@@ -82,6 +87,20 @@ func DefaultPersistCampaign() CampaignConfig {
 	}
 }
 
+// DefaultMigrateCampaign is the E29 live-migration fault
+// configuration: every migration-stage damage class against an armed
+// mid-run migration, with the tolerance semantics. The gate is zero
+// unrecovered detections and zero escapes: lossy-wire trials must
+// commit by retransmission and every interrupted migration must abort
+// with the source bit-identical to never having migrated.
+func DefaultMigrateCampaign() CampaignConfig {
+	return CampaignConfig{
+		Seed:          1,
+		MigrateTrials: 25,
+		Tolerate:      true,
+	}
+}
+
 // ClassStats aggregates one class's outcomes.
 type ClassStats struct {
 	Class     Class
@@ -117,6 +136,10 @@ type Result struct {
 	// Persistence-trial repair work (zero unless PersistTrials ran).
 	PersistCorrupt   uint64 // generations rejected by checksums/markers
 	PersistFallbacks uint64 // restores that fell back past damage
+	// Migration-trial repair work (zero unless MigrateTrials ran).
+	MigrateRetransmits uint64 // migration wire frames re-sent
+	MigrateDupSupp     uint64 // duplicate migration frames suppressed
+	MigrateAborts      uint64 // migrations aborted with the source intact
 
 	// Flights holds the flight-recorder dumps of the first
 	// MaxFlightCaptures trials whose outcome the audit could not explain
@@ -148,6 +171,10 @@ var localClasses = []Class{MemBit, RegBit, PtrField, TLBEntry}
 var nocClasses = []Class{NoCDrop, NoCDuplicate, NoCCorrupt, NoCDelay}
 var nodeClasses = []Class{NodeKill, NodeStall}
 var persistClasses = []Class{PersistTorn, PersistTrunc, PersistRot, PersistMissing}
+var migrateClasses = []Class{
+	MigrateFrameDrop, MigrateFrameCorrupt, MigrateFrameDup, MigrateFrameTrunc,
+	MigrateSrcKill, MigrateStandbyCrash, MigrateCutover,
+}
 
 // RunCampaign executes the full audit: prepares the clean reference
 // runs, fans the trial list across a worker pool, and aggregates the
@@ -178,6 +205,13 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 			return nil, err
 		}
 	}
+	var mfx *migrateClean
+	if cfg.MigrateTrials > 0 {
+		var err error
+		if mfx, err = prepareMigrateFixture(); err != nil {
+			return nil, err
+		}
+	}
 
 	var specs []trialSpec
 	for _, c := range localClasses {
@@ -201,6 +235,11 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 	}
 	for _, c := range persistClasses {
 		for i := 0; i < cfg.PersistTrials; i++ {
+			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
+		}
+	}
+	for _, c := range migrateClasses {
+		for i := 0; i < cfg.MigrateTrials; i++ {
 			specs = append(specs, trialSpec{class: c, seed: mixSeed(cfg.Seed, uint64(c), uint64(i))})
 		}
 	}
@@ -230,6 +269,8 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 				}
 				sp := specs[i]
 				switch {
+				case sp.class >= MigrateFrameDrop:
+					results[i] = runMigrateTrial(mfx, sp.class, sp.seed)
 				case sp.class >= PersistTorn:
 					results[i] = runPersistTrial(fx, sp.class, sp.seed)
 				case sp.wl != nil && cfg.Tolerate:
@@ -289,6 +330,9 @@ func RunCampaign(cfg CampaignConfig) (*Result, error) {
 		res.DupSupp += results[i].dupSupp
 		res.PersistCorrupt += results[i].persistCorrupt
 		res.PersistFallbacks += results[i].persistFallback
+		res.MigrateRetransmits += results[i].migrateRetrans
+		res.MigrateDupSupp += results[i].migrateDupSupp
+		res.MigrateAborts += results[i].migrateAborts
 	}
 	if cfg.Recovery {
 		var rec *RecoveryResult
@@ -351,6 +395,13 @@ func (r *Result) Table() string {
 			rt.AddRow("persist corrupt generations detected", int(r.PersistCorrupt))
 			rt.AddRow("persist fallback restores", int(r.PersistFallbacks))
 		}
+		// Migration rows likewise appear only when migration classes
+		// ran, keeping earlier campaigns' tables byte-identical.
+		if r.migrateTrials() > 0 {
+			rt.AddRow("migration frames retransmitted", int(r.MigrateRetransmits))
+			rt.AddRow("migration duplicates suppressed", int(r.MigrateDupSupp))
+			rt.AddRow("migration aborts rolled back", int(r.MigrateAborts))
+		}
 		b.WriteString(rt.String())
 	}
 
@@ -392,6 +443,17 @@ func (r *Result) persistTrials() int {
 	return n
 }
 
+// migrateTrials sums the live-migration classes' trial counts.
+func (r *Result) migrateTrials() int {
+	n := 0
+	for _, c := range migrateClasses {
+		if int(c) < len(r.Classes) {
+			n += r.Classes[c].Trials
+		}
+	}
+	return n
+}
+
 // RegisterMetrics exposes the campaign on a telemetry registry under
 // the faultinject.* namespace.
 func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
@@ -416,6 +478,11 @@ func (r *Result) RegisterMetrics(reg *telemetry.Registry) {
 		if r.persistTrials() > 0 {
 			add64("persist.corrupt_detected", r.PersistCorrupt)
 			add64("persist.fallbacks", r.PersistFallbacks)
+		}
+		if r.migrateTrials() > 0 {
+			add64("migrate.retransmits", r.MigrateRetransmits)
+			add64("migrate.dup_suppressed", r.MigrateDupSupp)
+			add64("migrate.aborts", r.MigrateAborts)
 		}
 	}
 	for _, cs := range r.Classes {

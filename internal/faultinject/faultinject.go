@@ -125,6 +125,29 @@ const (
 	// PersistMissing deletes every file of one generation — an
 	// over-eager cleanup or a lost directory entry.
 	PersistMissing
+	// MigrateFrameDrop loses live-migration wire frames during the
+	// pre-copy transfer; the link must recover by retransmission.
+	MigrateFrameDrop
+	// MigrateFrameCorrupt flips payload bits in migration frames; the
+	// frame CRC must reject them and the link must retransmit.
+	MigrateFrameCorrupt
+	// MigrateFrameDup delivers migration frames twice; the sequenced
+	// link must suppress the duplicates.
+	MigrateFrameDup
+	// MigrateFrameTrunc tears migration frames short on the wire; the
+	// decoder must reject the torn frame and the link retransmit.
+	MigrateFrameTrunc
+	// MigrateSrcKill kills the source node mid-round during pre-copy;
+	// the migration must abort rather than commit a stale image, and
+	// the watchdog-driven recovery stack must finish the run.
+	MigrateSrcKill
+	// MigrateStandbyCrash crashes the standby partway through the
+	// transfer; the migration must abort with the source unharmed.
+	MigrateStandbyCrash
+	// MigrateCutover interrupts the migration at the cutover barrier,
+	// after the fingerprint handshake but before commit; the abort
+	// must leave the source bit-identical to never having migrated.
+	MigrateCutover
 
 	NumClasses int = iota
 )
@@ -144,6 +167,14 @@ var classNames = [...]string{
 	PersistTrunc:   "persist-trunc",
 	PersistRot:     "persist-rot",
 	PersistMissing: "persist-missing",
+
+	MigrateFrameDrop:    "migrate-frame-drop",
+	MigrateFrameCorrupt: "migrate-frame-corrupt",
+	MigrateFrameDup:     "migrate-frame-dup",
+	MigrateFrameTrunc:   "migrate-frame-trunc",
+	MigrateSrcKill:      "migrate-src-kill",
+	MigrateStandbyCrash: "migrate-standby-crash",
+	MigrateCutover:      "migrate-cutover",
 }
 
 func (c Class) String() string {

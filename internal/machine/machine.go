@@ -449,6 +449,12 @@ func (m *Machine) Stats() Stats { return m.stats }
 // Threads returns the resident threads in creation order.
 func (m *Machine) Threads() []*Thread { return m.threads }
 
+// RemotePending returns the number of deferred remote accesses parked
+// for completion at the next ServiceRemote call. Zero between cycle
+// barriers — the quiescence condition a migration cutover requires
+// before it may swap the kernel out from under the mesh wiring.
+func (m *Machine) RemotePending() int { return len(m.pending) }
+
 // AddThread installs a new hardware thread in the first free slot and
 // returns it. The caller (normally the kernel) must set IP and initial
 // registers before running.

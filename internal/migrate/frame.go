@@ -1,0 +1,217 @@
+// Package migrate implements live migration of a running node onto a
+// standby replica by iterative pre-copy over delta checkpoints.
+//
+// The protocol (docs/ROBUSTNESS.md):
+//
+//  1. Round 1 ships a full base image of the source kernel, captured
+//     with kernel.Checkpoint (non-destructive reads — the migration
+//     NEVER touches the dirty-bit plane, which belongs to the
+//     concurrent persist chain).
+//  2. While each round's image is on the wire, the source keeps
+//     stepping; the next round ships only the pages whose content hash
+//     changed since they were last shipped (plus tombstones), as a
+//     kernel.Checkpoint delta image.
+//  3. When the delta shrinks below the convergence threshold (or the
+//     round budget expires), the cutover barrier runs: the source
+//     stops stepping, the final delta and a fingerprint handshake
+//     cross the wire, and the standby materializes the chain
+//     (kernel.Materialize), verifies the fingerprint, and takes over.
+//     The stop-the-world window is exactly the wire time of that final
+//     exchange.
+//  4. At ANY point before commit an abort rolls the standby back to
+//     nothing and leaves the source bit-identical to never having
+//     migrated — the source was only read and stepped, never written.
+//
+// Images travel in the persist package's checksummed section encoding,
+// chunked into frames over a sequenced lossy link with retransmit and
+// exponential backoff (link.go), so torn, dropped, duplicated or
+// corrupted frames cost retransmissions, never the migration.
+//
+// This file is the wire-frame codec. DecodeFrame never panics on
+// arbitrary bytes: every malformed input produces a typed *FrameError
+// (FuzzMigrateFrame holds the line).
+package migrate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// FrameKind tags one wire frame.
+type FrameKind uint8
+
+const (
+	// FrameHello opens a migration: payload carries the protocol
+	// parameters digest (round budget, converge threshold) so a standby
+	// from a different build refuses early.
+	FrameHello FrameKind = 1
+	// FrameImage carries one chunk of one round's encoded checkpoint
+	// image (persist.Encode bytes).
+	FrameImage FrameKind = 2
+	// FrameFingerprint opens the cutover barrier: payload is the
+	// source's 8-byte architectural fingerprint of the materialized
+	// chain, which the standby must reproduce before commit.
+	FrameFingerprint FrameKind = 3
+	// FrameCommit seals the migration: the standby has verified the
+	// fingerprint and owns the workload from here.
+	FrameCommit FrameKind = 4
+	// FrameAbort tears the migration down: the standby discards
+	// everything it accumulated.
+	FrameAbort FrameKind = 5
+
+	frameKindMax = FrameAbort
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "hello"
+	case FrameImage:
+		return "image"
+	case FrameFingerprint:
+		return "fingerprint"
+	case FrameCommit:
+		return "commit"
+	case FrameAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Frame header layout (little-endian), followed by the payload:
+//
+//	magic   "MMMIGR01"  8 bytes
+//	kind    u8
+//	round   u32  (pre-copy round, 1-based; 0 for control frames)
+//	seq     u64  (link-wide sequence number)
+//	chunk   u32  (chunk index within this round's image)
+//	chunks  u32  (total chunks of this round's image)
+//	plen    u32  (payload byte count)
+//	pcrc    u32  (CRC-32/IEEE of the payload)
+//	hcrc    u32  (CRC-32/IEEE of every header byte above)
+const (
+	frameMagic  = "MMMIGR01"
+	frameHdrLen = 8 + 1 + 4 + 8 + 4 + 4 + 4 + 4 + 4
+
+	// MaxFramePayload bounds one frame's payload so a multi-page image
+	// crosses the wire as many frames — a torn or lost frame costs one
+	// retransmission, not the round.
+	MaxFramePayload = 2048
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Kind          FrameKind
+	Round         uint32
+	Seq           uint64
+	Chunk, Chunks uint32
+	Payload       []byte
+}
+
+// FrameError is the decoder's only failure mode — torn, truncated,
+// bit-rotted and impossible frames all map to one, never a panic.
+type FrameError struct {
+	Msg string
+}
+
+func (e *FrameError) Error() string { return "migrate: frame: " + e.Msg }
+
+// CorruptionDetected marks frame-decode failures as explicit corruption
+// detections, the convention shared with persist.FormatError and
+// noc.HeaderError: the link layer counts these and retransmits.
+func (e *FrameError) CorruptionDetected() bool { return true }
+
+func frameErrf(format string, args ...any) *FrameError {
+	return &FrameError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// EncodeFrame serializes f. Payloads beyond MaxFramePayload are a
+// caller bug and return an error (the chunker never produces them).
+func EncodeFrame(f *Frame) ([]byte, error) {
+	if f.Kind == 0 || f.Kind > frameKindMax {
+		return nil, frameErrf("encode: unknown kind %d", f.Kind)
+	}
+	if len(f.Payload) > MaxFramePayload {
+		return nil, frameErrf("encode: payload %d exceeds %d", len(f.Payload), MaxFramePayload)
+	}
+	b := make([]byte, 0, frameHdrLen+len(f.Payload))
+	b = append(b, frameMagic...)
+	b = append(b, byte(f.Kind))
+	b = binary.LittleEndian.AppendUint32(b, f.Round)
+	b = binary.LittleEndian.AppendUint64(b, f.Seq)
+	b = binary.LittleEndian.AppendUint32(b, f.Chunk)
+	b = binary.LittleEndian.AppendUint32(b, f.Chunks)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(f.Payload))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return append(b, f.Payload...), nil
+}
+
+// DecodeFrame parses one wire frame. Arbitrary input never panics: any
+// malformed byte stream yields a *FrameError.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < frameHdrLen {
+		return nil, frameErrf("truncated header: %d bytes", len(data))
+	}
+	if string(data[:8]) != frameMagic {
+		return nil, frameErrf("bad magic")
+	}
+	hcrc := binary.LittleEndian.Uint32(data[frameHdrLen-4:])
+	if crc32.ChecksumIEEE(data[:frameHdrLen-4]) != hcrc {
+		return nil, frameErrf("header checksum mismatch")
+	}
+	f := &Frame{
+		Kind:   FrameKind(data[8]),
+		Round:  binary.LittleEndian.Uint32(data[9:]),
+		Seq:    binary.LittleEndian.Uint64(data[13:]),
+		Chunk:  binary.LittleEndian.Uint32(data[21:]),
+		Chunks: binary.LittleEndian.Uint32(data[25:]),
+	}
+	if f.Kind == 0 || f.Kind > frameKindMax {
+		return nil, frameErrf("unknown kind %d", f.Kind)
+	}
+	plen := binary.LittleEndian.Uint32(data[29:])
+	pcrc := binary.LittleEndian.Uint32(data[33:])
+	if plen > MaxFramePayload {
+		return nil, frameErrf("payload length %d exceeds %d", plen, MaxFramePayload)
+	}
+	if uint32(len(data)-frameHdrLen) != plen {
+		return nil, frameErrf("payload length %d disagrees with frame size %d", plen, len(data)-frameHdrLen)
+	}
+	if f.Chunks > 0 && f.Chunk >= f.Chunks {
+		return nil, frameErrf("chunk %d of %d", f.Chunk, f.Chunks)
+	}
+	payload := data[frameHdrLen:]
+	if crc32.ChecksumIEEE(payload) != pcrc {
+		return nil, frameErrf("payload checksum mismatch")
+	}
+	if plen > 0 {
+		f.Payload = append([]byte(nil), payload...)
+	}
+	return f, nil
+}
+
+// chunkImage splits one encoded image into FrameImage frames of at
+// most MaxFramePayload bytes each. seq numbers are assigned by the
+// link at send time.
+func chunkImage(round uint32, img []byte) []*Frame {
+	chunks := (len(img) + MaxFramePayload - 1) / MaxFramePayload
+	if chunks == 0 {
+		chunks = 1
+	}
+	frames := make([]*Frame, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		lo := i * MaxFramePayload
+		hi := lo + MaxFramePayload
+		if hi > len(img) {
+			hi = len(img)
+		}
+		frames = append(frames, &Frame{
+			Kind: FrameImage, Round: round,
+			Chunk: uint32(i), Chunks: uint32(chunks),
+			Payload: img[lo:hi],
+		})
+	}
+	return frames
+}

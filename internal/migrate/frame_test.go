@@ -1,0 +1,180 @@
+package migrate
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, 301)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	f := &Frame{Kind: FrameImage, Round: 3, Seq: 42, Chunk: 1, Chunks: 5, Payload: payload}
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != f.Kind || got.Round != f.Round || got.Seq != f.Seq ||
+		got.Chunk != f.Chunk || got.Chunks != f.Chunks {
+		t.Fatalf("header mismatch: %+v vs %+v", got, f)
+	}
+	if string(got.Payload) != string(f.Payload) {
+		t.Fatalf("payload mismatch")
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	raw, err := EncodeFrame(&Frame{Kind: FrameCommit, Seq: 7})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != FrameCommit || got.Payload != nil {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Every single-bit flip and every truncation of a valid frame must be
+// detected as a typed *FrameError, never accepted and never a panic.
+func TestFrameCorruptionDetected(t *testing.T) {
+	f := &Frame{Kind: FrameImage, Round: 1, Seq: 9, Chunks: 1, Payload: []byte("the quick brown fox")}
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for i := 0; i < len(raw); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeFrame(mut); err == nil {
+				t.Fatalf("flip byte %d bit %d accepted", i, bit)
+			} else {
+				var fe *FrameError
+				if !errors.As(err, &fe) || !fe.CorruptionDetected() {
+					t.Fatalf("flip byte %d bit %d: not a FrameError: %v", i, bit, err)
+				}
+			}
+		}
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeFrame(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFrameEncodeRejectsBadKind(t *testing.T) {
+	if _, err := EncodeFrame(&Frame{Kind: 0}); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	if _, err := EncodeFrame(&Frame{Kind: frameKindMax + 1}); err == nil {
+		t.Fatal("out-of-range kind accepted")
+	}
+	big := make([]byte, MaxFramePayload+1)
+	if _, err := EncodeFrame(&Frame{Kind: FrameImage, Chunks: 1, Payload: big}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestChunkImage(t *testing.T) {
+	img := make([]byte, MaxFramePayload*2+100)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	frames := chunkImage(4, img)
+	if len(frames) != 3 {
+		t.Fatalf("want 3 chunks, got %d", len(frames))
+	}
+	var back []byte
+	for i, f := range frames {
+		if f.Chunk != uint32(i) || f.Chunks != 3 || f.Round != 4 || f.Kind != FrameImage {
+			t.Fatalf("chunk %d header: %+v", i, f)
+		}
+		back = append(back, f.Payload...)
+	}
+	if string(back) != string(img) {
+		t.Fatal("reassembly mismatch")
+	}
+	if got := chunkImage(1, nil); len(got) != 1 || len(got[0].Payload) != 0 {
+		t.Fatalf("empty image should yield one empty chunk, got %d", len(got))
+	}
+}
+
+func TestLinkRetransmitAndBackoff(t *testing.T) {
+	var delivered []*Frame
+	l := NewLink(LinkConfig{LatencyCycles: 10, BytesPerCycle: 100, RetransmitTimeout: 50})
+	l.Deliver = func(f *Frame) error { delivered = append(delivered, f); return nil }
+	l.Intercept = func(f *Frame, attempt int) Fate {
+		return Fate{Drop: attempt < 2}
+	}
+	if err := l.Send(&Frame{Kind: FrameHello}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	st := l.Stats()
+	if st.Retransmits != 2 || len(delivered) != 1 {
+		t.Fatalf("retransmits %d delivered %d", st.Retransmits, len(delivered))
+	}
+	// Backoff: 50<<0 + 50<<1 = 150 cycles on top of 3 attempts' wire time.
+	if st.WireCycles < 150 {
+		t.Fatalf("backoff not accounted: %d", st.WireCycles)
+	}
+}
+
+func TestLinkGiveUp(t *testing.T) {
+	l := NewLink(LinkConfig{MaxRetries: 3})
+	l.Intercept = func(f *Frame, attempt int) Fate { return Fate{Drop: true} }
+	err := l.Send(&Frame{Kind: FrameHello})
+	var le *LinkError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LinkError, got %v", err)
+	}
+	if l.Stats().GaveUp != 1 {
+		t.Fatalf("GaveUp = %d", l.Stats().GaveUp)
+	}
+}
+
+func TestLinkDuplicateSuppressed(t *testing.T) {
+	n := 0
+	l := NewLink(LinkConfig{})
+	l.Deliver = func(f *Frame) error { n++; return nil }
+	l.Intercept = func(f *Frame, attempt int) Fate { return Fate{Duplicate: true} }
+	if err := l.Send(&Frame{Kind: FrameHello}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if n != 1 || l.Stats().DupSuppressed != 1 {
+		t.Fatalf("delivered %d dupSuppressed %d", n, l.Stats().DupSuppressed)
+	}
+}
+
+func TestLinkCorruptAndTruncateRecovered(t *testing.T) {
+	for name, fate := range map[string]Fate{
+		"corrupt":  {Corrupt: true},
+		"truncate": {Truncate: true},
+	} {
+		n := 0
+		l := NewLink(LinkConfig{})
+		l.Deliver = func(f *Frame) error { n++; return nil }
+		fateOnce := fate
+		l.Intercept = func(f *Frame, attempt int) Fate {
+			if attempt == 0 {
+				return fateOnce
+			}
+			return Fate{}
+		}
+		if err := l.Send(&Frame{Kind: FrameHello, Payload: []byte("payload")}); err != nil {
+			t.Fatalf("%s: send: %v", name, err)
+		}
+		st := l.Stats()
+		if n != 1 || st.CorruptDetected != 1 || st.Retransmits != 1 {
+			t.Fatalf("%s: delivered %d corrupt %d retransmits %d", name, n, st.CorruptDetected, st.Retransmits)
+		}
+	}
+}

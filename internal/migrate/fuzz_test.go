@@ -1,0 +1,55 @@
+package migrate
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzMigrateFrame holds the wire-frame decoder to its contract:
+// arbitrary bytes never panic, every rejection is a typed *FrameError,
+// and anything the decoder accepts re-encodes to a frame the decoder
+// accepts again with identical fields.
+func FuzzMigrateFrame(f *testing.F) {
+	seed := func(fr *Frame) {
+		raw, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(raw)
+	}
+	seed(&Frame{Kind: FrameHello, Payload: []byte{1, 0, 0, 0, 8, 0, 0, 0}})
+	seed(&Frame{Kind: FrameImage, Round: 1, Seq: 3, Chunk: 0, Chunks: 2, Payload: bytes.Repeat([]byte{0xa5}, 64)})
+	seed(&Frame{Kind: FrameFingerprint, Seq: 9, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	seed(&Frame{Kind: FrameCommit, Seq: 10})
+	seed(&Frame{Kind: FrameAbort, Seq: 11})
+	f.Add([]byte(frameMagic))                      // magic then nothing
+	f.Add([]byte{})                                // empty
+	f.Add(bytes.Repeat([]byte{0xff}, frameHdrLen)) // wrong magic, full header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode error is not *FrameError: %T %v", err, err)
+			}
+			if !fe.CorruptionDetected() {
+				t.Fatal("FrameError must report CorruptionDetected")
+			}
+			return
+		}
+		raw, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		fr2, err := DecodeFrame(raw)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Round != fr.Round || fr2.Seq != fr.Seq ||
+			fr2.Chunk != fr.Chunk || fr2.Chunks != fr.Chunks || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", fr2, fr)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package migrate
+
+import "fmt"
+
+// Fate is what the link's interceptor decides for one transmission
+// attempt of one frame — mirroring noc.Transport's per-attempt fault
+// hook so the migration fault campaign can hit the wire exactly where
+// a real network would fail.
+type Fate struct {
+	// Drop loses the attempt entirely; the sender times out and
+	// retransmits after backoff.
+	Drop bool
+	// Corrupt flips bits in the encoded frame; the receiver's CRC
+	// rejects it and the sender retransmits.
+	Corrupt bool
+	// Truncate tears the frame short (a partial write); the receiver's
+	// length/CRC checks reject it and the sender retransmits.
+	Truncate bool
+	// Duplicate delivers the attempt twice; the receiver's sequence
+	// dedup suppresses the copy.
+	Duplicate bool
+}
+
+// LinkStats counts what the wire did during one migration.
+type LinkStats struct {
+	FramesSent      uint64 // distinct frames handed to Send
+	Attempts        uint64 // transmission attempts including retries
+	Retransmits     uint64 // attempts beyond the first per frame
+	DupSuppressed   uint64 // duplicate deliveries discarded by seq dedup
+	CorruptDetected uint64 // attempts rejected by frame CRC/length checks
+	GaveUp          uint64 // frames abandoned after MaxRetries
+	WireCycles      uint64 // simulated cycles spent on the wire (incl. backoff)
+	PayloadBytes    uint64 // payload bytes successfully delivered
+}
+
+// LinkError is the link's terminal failure: a frame exhausted its
+// retries (the peer is unreachable) or the receiver itself failed
+// (Err carries the receiver's error, unwrappable).
+type LinkError struct {
+	Seq      uint64
+	Attempts int
+	Msg      string
+	Err      error
+}
+
+func (e *LinkError) Error() string {
+	msg := e.Msg
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	return fmt.Sprintf("migrate: link: frame seq %d failed after %d attempts: %s", e.Seq, e.Attempts, msg)
+}
+
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// LinkConfig sizes the simulated wire.
+type LinkConfig struct {
+	// LatencyCycles is the fixed per-frame cost.
+	LatencyCycles uint64
+	// BytesPerCycle is the wire bandwidth; 0 means DefaultBytesPerCycle.
+	BytesPerCycle uint64
+	// RetransmitTimeout is the base backoff; attempt k waits
+	// RetransmitTimeout << k cycles before retrying. 0 means
+	// DefaultRetransmitTimeout.
+	RetransmitTimeout uint64
+	// MaxRetries bounds retransmissions per frame; 0 means
+	// DefaultMaxRetries. Exhausting it makes the link give up, which
+	// aborts the migration.
+	MaxRetries int
+}
+
+// Link defaults, deliberately matching the noc transport's shape
+// (window/RTO/backoff) so the two reliability layers read alike.
+const (
+	DefaultLatencyCycles     = 16
+	DefaultBytesPerCycle     = 8
+	DefaultRetransmitTimeout = 64
+	DefaultMaxRetries        = 8
+)
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.LatencyCycles == 0 {
+		c.LatencyCycles = DefaultLatencyCycles
+	}
+	if c.BytesPerCycle == 0 {
+		c.BytesPerCycle = DefaultBytesPerCycle
+	}
+	if c.RetransmitTimeout == 0 {
+		c.RetransmitTimeout = DefaultRetransmitTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	return c
+}
+
+// Link is a sequenced, simulated-lossy channel between the migration
+// source and the standby. Loss is injected per attempt by Intercept;
+// recovery is retransmission with exponential backoff and sequence
+// dedup — a deliberately software-visible miniature of the noc
+// transport's reliability loop, reused here because migration frames
+// cross a real network in the deployment this models.
+type Link struct {
+	cfg LinkConfig
+	// Intercept, when set, decides each attempt's fate. attempt is
+	// 0-based per frame.
+	Intercept func(f *Frame, attempt int) Fate
+	// Deliver receives each successfully decoded, deduplicated frame.
+	// An error from Deliver is terminal (the standby died): the link
+	// does not retry it.
+	Deliver func(f *Frame) error
+
+	nextSeq   uint64
+	delivered map[uint64]bool
+	stats     LinkStats
+}
+
+// NewLink builds a link with cfg (zero fields take defaults).
+func NewLink(cfg LinkConfig) *Link {
+	return &Link{cfg: cfg.withDefaults(), delivered: make(map[uint64]bool)}
+}
+
+// Stats returns a snapshot of the wire counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// frameCost is the wire time of one attempt: fixed latency plus the
+// serialization time of the encoded bytes.
+func (l *Link) frameCost(n int) uint64 {
+	return l.cfg.LatencyCycles + (uint64(n)+l.cfg.BytesPerCycle-1)/l.cfg.BytesPerCycle
+}
+
+// corruptBytes returns a copy of raw with a deterministic bit flipped
+// in the payload region (or header if there is no payload).
+func corruptBytes(raw []byte) []byte {
+	c := append([]byte(nil), raw...)
+	i := len(c) - 1
+	if len(c) > frameHdrLen {
+		i = frameHdrLen + (len(c)-frameHdrLen)/2
+	}
+	c[i] ^= 0x40
+	return c
+}
+
+// Send transmits one frame reliably: encode, subject each attempt to
+// the interceptor, retransmit with exponential backoff on loss or
+// CRC rejection, dedup duplicates at the receiver. It returns nil once
+// the frame is delivered exactly once, or a *LinkError if retries are
+// exhausted or the receiver fails terminally.
+func (l *Link) Send(f *Frame) error {
+	f.Seq = l.nextSeq
+	l.nextSeq++
+	raw, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	l.stats.FramesSent++
+
+	for attempt := 0; ; attempt++ {
+		if attempt > l.cfg.MaxRetries {
+			l.stats.GaveUp++
+			return &LinkError{Seq: f.Seq, Attempts: attempt, Msg: "retries exhausted"}
+		}
+		if attempt > 0 {
+			l.stats.Retransmits++
+			// Exponential backoff before the retry, capped by the shift
+			// width to stay defined.
+			shift := uint(attempt - 1)
+			if shift > 16 {
+				shift = 16
+			}
+			l.stats.WireCycles += l.cfg.RetransmitTimeout << shift
+		}
+		l.stats.Attempts++
+		l.stats.WireCycles += l.frameCost(len(raw))
+
+		var fate Fate
+		if l.Intercept != nil {
+			fate = l.Intercept(f, attempt)
+		}
+		if fate.Drop {
+			continue
+		}
+		wire := raw
+		if fate.Corrupt {
+			wire = corruptBytes(raw)
+		}
+		if fate.Truncate {
+			cut := len(wire) / 2
+			wire = append([]byte(nil), wire[:cut]...)
+		}
+		copies := 1
+		if fate.Duplicate {
+			copies = 2
+		}
+		ok := false
+		for c := 0; c < copies; c++ {
+			got, derr := DecodeFrame(wire)
+			if derr != nil {
+				// Torn or corrupted on the wire: the receiver detected it
+				// and discarded; the sender retransmits after backoff.
+				l.stats.CorruptDetected++
+				break
+			}
+			if l.delivered[got.Seq] {
+				l.stats.DupSuppressed++
+				ok = true
+				continue
+			}
+			l.delivered[got.Seq] = true
+			l.stats.PayloadBytes += uint64(len(got.Payload))
+			if l.Deliver != nil {
+				if err := l.Deliver(got); err != nil {
+					return &LinkError{Seq: f.Seq, Attempts: attempt + 1, Err: err}
+				}
+			}
+			ok = true
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// SendImage chunks one encoded checkpoint image into frames and sends
+// them in order, returning the delivered byte count.
+func (l *Link) SendImage(round uint32, img []byte) error {
+	for _, f := range chunkImage(round, img) {
+		if err := l.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/migrate"
 	"repro/internal/noc"
 	"repro/internal/persist"
 	"repro/internal/telemetry"
@@ -109,6 +110,20 @@ type Config struct {
 	// fresh base image every Nth generation. 0 means
 	// persist.DefaultBaseEvery; 1 writes only base images.
 	PersistBaseEvery int
+
+	// MigrateAt, when non-zero, arms one live migration during Run:
+	// when the system reaches this cycle count, node MigrateNode is
+	// migrated onto a standby replica by iterative pre-copy
+	// (internal/migrate) and, on commit, atomically swapped in. The
+	// source keeps executing its normal schedule during pre-copy, so an
+	// aborted (or never-started) migration is bit-identical to this
+	// knob being off.
+	MigrateAt uint64
+	// MigrateNode is the node to migrate when MigrateAt trips.
+	MigrateNode int
+	// Migrate parameterizes the armed migration (rounds, convergence,
+	// link shape). Zero values take the migrate package defaults.
+	Migrate migrate.Config
 }
 
 // DefaultConfig is a 2×2×2-node machine of M-Machine nodes.
@@ -171,6 +186,15 @@ type System struct {
 	capStates  []*kernel.CaptureState
 	persistGen uint64 // newest generation committed to the store
 	sinceBase  int    // deltas since the last base image
+
+	// Live-migration state (Config.MigrateAt). OnMigrate, when non-nil,
+	// runs just before the armed migration starts, with the wire link
+	// and the standby receiver — the fault campaign's handle for frame
+	// fates and standby crashes.
+	OnMigrate      func(link *migrate.Link, recv *migrate.Receiver)
+	migrated       bool             // the armed migration has run
+	migrateMetrics *migrate.Metrics // non-nil iff MigrateAt is armed
+	migrateReport  *migrate.Report  // outcome of the armed migration
 
 	// Introspection state (all optional, all off by default).
 	spans      *spanState                  // EnableSpans: causal-span allocator
@@ -257,6 +281,12 @@ func New(cfg Config) (*System, error) {
 		s.store = st
 		s.persistGen = gen // numbering resumes after a reboot
 		s.capStates = make([]*kernel.CaptureState, net.Nodes())
+	}
+	if cfg.MigrateAt != 0 {
+		if cfg.MigrateNode < 0 || cfg.MigrateNode >= net.Nodes() {
+			return nil, fmt.Errorf("multi: migrate node %d out of range [0,%d)", cfg.MigrateNode, net.Nodes())
+		}
+		s.migrateMetrics = migrate.NewMetrics()
 	}
 	return s, nil
 }
@@ -563,6 +593,92 @@ func (s *System) Checkpoints() uint64 { return s.checkpoints }
 // Restores returns the number of automatic recoveries performed.
 func (s *System) Restores() uint64 { return s.restores }
 
+// --- Live migration ----------------------------------------------------
+
+// MigrateReport returns the outcome of the armed migration, or nil if
+// it has not run.
+func (s *System) MigrateReport() *migrate.Report { return s.migrateReport }
+
+// MigrateMetrics returns the migration telemetry block, or nil when no
+// migration is armed.
+func (s *System) MigrateMetrics() *migrate.Metrics { return s.migrateMetrics }
+
+// maybeMigrate fires the armed migration once the cycle threshold is
+// reached, between Step calls on the coordinating goroutine. It
+// returns how many cycles the migration stepped the system (counted
+// against Run's budget).
+func (s *System) maybeMigrate() uint64 {
+	if s.migrated || s.cfg.MigrateAt == 0 || s.cycle < s.cfg.MigrateAt || s.hung {
+		return 0
+	}
+	s.migrated = true
+	rep, _ := s.MigrateNode(s.cfg.MigrateNode, s.cfg.Migrate)
+	if rep == nil {
+		return 0
+	}
+	return rep.SteppedCycles
+}
+
+// MigrateNode live-migrates node id onto a fresh standby replica:
+// iterative pre-copy while the whole system keeps stepping its normal
+// schedule, then a cutover barrier (final delta, fingerprint
+// handshake, commit) and an atomic role swap via installKernel. On
+// abort — wire gave up, standby died, source killed, or a configured
+// abort point — the standby is discarded and the system is untouched:
+// the source only ever executed the exact Step schedule it would have
+// executed anyway.
+//
+// Must be called between cycle barriers on the coordinating goroutine
+// (the run loops call it via maybeMigrate; tests may call it directly
+// when the system is not running).
+func (s *System) MigrateNode(id int, mcfg migrate.Config) (*migrate.Report, error) {
+	if id < 0 || id >= len(s.Nodes) {
+		return nil, fmt.Errorf("multi: migrate node %d out of range", id)
+	}
+	if s.dead[id] {
+		return nil, fmt.Errorf("multi: migrate node %d is dead", id)
+	}
+	n := s.Nodes[id]
+	recv := migrate.NewReceiver()
+	link := migrate.NewLink(mcfg.Link)
+	link.Deliver = recv.Deliver
+	if s.OnMigrate != nil {
+		s.OnMigrate(link, recv)
+	}
+	mcfg.Node = id
+	prevAbort := mcfg.AbortIf
+	mcfg.AbortIf = func() bool {
+		return s.dead[id] || s.hung || (prevAbort != nil && prevAbort())
+	}
+	rep, err := migrate.Run(n.K, link, recv, func(cycles uint64) {
+		for i := uint64(0); i < cycles && !s.Done() && !s.hung; i++ {
+			s.Step()
+		}
+	}, mcfg)
+	s.migrateReport = rep
+	defer s.migrateMetrics.Note(rep)
+	if err != nil || !rep.Committed {
+		return rep, err
+	}
+	// Quiescence check: between barriers every deferred remote access
+	// has completed, so the mesh wiring can be swapped safely. A
+	// non-empty queue here means the caller violated the barrier
+	// contract — refuse the swap, keep the source.
+	if pend := n.K.M.RemotePending(); pend != 0 {
+		rep.Committed = false
+		rep.Reason = "not-quiescent"
+		return rep, fmt.Errorf("multi: migrate node %d: %d remote accesses pending at cutover", id, pend)
+	}
+	k2, err := kernel.Restore(s.cfg.Node, rep.Image)
+	if err != nil {
+		rep.Committed = false
+		rep.Reason = "restore-failed"
+		return rep, err
+	}
+	s.installKernel(id, k2)
+	return rep, nil
+}
+
 // --- Introspection: spans, histograms, flight recorders ----------------
 
 // EnableSpans turns on causal spans for remote operations: every
@@ -709,6 +825,9 @@ func (s *System) RegisterMetrics(reg *telemetry.Registry) {
 	if s.store != nil {
 		s.store.RegisterMetrics(reg, "persist")
 	}
+	if s.migrateMetrics != nil {
+		s.migrateMetrics.RegisterMetrics(reg, "migrate")
+	}
 	s.Net.RegisterMetrics(reg, "noc")
 	for _, n := range s.Nodes {
 		s.registerNode(n.ID)
@@ -810,8 +929,12 @@ func (s *System) Run(maxCycles uint64) uint64 {
 
 func (s *System) runSerial(maxCycles uint64) uint64 {
 	var c uint64
-	for c = 0; c < maxCycles && !s.Done() && !s.hung; c++ {
+	for c < maxCycles && !s.Done() && !s.hung {
 		s.Step()
+		c++
+		// The armed migration steps the system itself (pre-copy overlaps
+		// execution); those cycles count against this Run's budget.
+		c += s.maybeMigrate()
 	}
 	return c
 }
@@ -874,6 +997,10 @@ func (s *System) runParallel(maxCycles uint64) uint64 {
 		b.await() // wait for every node's step
 		s.deliver()
 		c++
+		// Workers are parked at the cycle-start barrier, so the armed
+		// migration may step the system serially from here — bit-identical
+		// to the parallel schedule by the package invariant.
+		c += s.maybeMigrate()
 	}
 	wg.Wait()
 	return c

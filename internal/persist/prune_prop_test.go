@@ -1,0 +1,126 @@
+package persist
+
+import "testing"
+
+// pruneRNG is a tiny deterministic xorshift64* generator so the
+// property sweep is reproducible from its seed alone.
+type pruneRNG uint64
+
+func (r *pruneRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = pruneRNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *pruneRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestStorePrunePropertyNeverStrandsBase sweeps randomized
+// (baseEvery, generations, keep) triples and checks the Prune
+// contract on every one:
+//
+//  1. the newest keep generations all survive,
+//  2. every surviving delta's parent chain resolves, link by link,
+//     down to a surviving base (pruning never strands a delta), and
+//  3. the store stays restorable: LoadNewestIntact returns the newest
+//     generation and every retained generation materializes.
+func TestStorePrunePropertyNeverStrandsBase(t *testing.T) {
+	rng := pruneRNG(0x9E3779B97F4A7C15)
+	for trial := 0; trial < 24; trial++ {
+		baseEvery := 1 + rng.intn(5) // 1..5
+		gens := 1 + rng.intn(10)     // 1..10
+		keep := 1 + rng.intn(gens+2) // 1..gens+2 (over-keep must be a no-op)
+
+		dir := t.TempDir()
+		st, err := Open(dir, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := NewSaver(st, baseEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, th := persistKernel(t)
+		for g := 0; g < gens; g++ {
+			for i := 0; i < 40; i++ {
+				k.M.Step()
+			}
+			if _, err := sv.Capture(k, uint64(40*(g+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if th.Done() {
+			t.Fatal("workload finished before the chain was captured — lengthen it")
+		}
+
+		if err := st.Prune(keep); err != nil {
+			t.Fatalf("trial %d (baseEvery=%d gens=%d keep=%d): Prune: %v",
+				trial, baseEvery, gens, keep, err)
+		}
+		descs, err := st.Describe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		left := make(map[uint64]*GenDesc, len(descs))
+		for _, d := range descs {
+			left[d.Gen] = d
+		}
+
+		// Property 1: the newest keep generations survive untouched.
+		wantKeep := keep
+		if wantKeep > gens {
+			wantKeep = gens
+		}
+		for g := gens - wantKeep + 1; g <= gens; g++ {
+			if _, ok := left[uint64(g)]; !ok {
+				t.Fatalf("trial %d (baseEvery=%d gens=%d keep=%d): retained generation %d pruned; left %v",
+					trial, baseEvery, gens, keep, g, genNums(descs))
+			}
+		}
+
+		// Property 2: every surviving delta's chain walks to a
+		// surviving base — no retained generation is ever stranded.
+		for _, d := range descs {
+			cur := d
+			for hops := 0; cur.Delta; hops++ {
+				if hops > gens {
+					t.Fatalf("trial %d: parent cycle at generation %d", trial, d.Gen)
+				}
+				parent, ok := left[cur.Parent]
+				if !ok {
+					t.Fatalf("trial %d (baseEvery=%d gens=%d keep=%d): generation %d stranded — parent %d pruned; left %v",
+						trial, baseEvery, gens, keep, d.Gen, cur.Parent, genNums(descs))
+				}
+				cur = parent
+			}
+		}
+
+		// Property 3: the store is still fully restorable.
+		for _, d := range descs {
+			if _, _, err := st.LoadGeneration(d.Gen); err != nil {
+				t.Fatalf("trial %d: retained generation %d unloadable: %v", trial, d.Gen, err)
+			}
+		}
+		cps, newest, _, err := st.LoadNewestIntact()
+		if err != nil {
+			t.Fatalf("trial %d (baseEvery=%d gens=%d keep=%d): LoadNewestIntact: %v",
+				trial, baseEvery, gens, keep, err)
+		}
+		if newest != uint64(gens) {
+			t.Fatalf("trial %d: LoadNewestIntact restored %d, want %d", trial, newest, gens)
+		}
+		if len(cps) != 1 || cps[0] == nil {
+			t.Fatalf("trial %d: LoadNewestIntact returned %d checkpoints", trial, len(cps))
+		}
+	}
+}
+
+func genNums(descs []*GenDesc) []uint64 {
+	out := make([]uint64, len(descs))
+	for i, d := range descs {
+		out[i] = d.Gen
+	}
+	return out
+}
