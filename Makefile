@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-all bench-json bench-persist bench-migrate audit fuzz-short lint verify obsv jit persist migrate
+.PHONY: check fmt vet test race build bench bench-all bench-json bench-persist bench-migrate audit fuzz-short lint verify obsv jit flow persist migrate
 
 check: fmt vet lint test race
 
@@ -61,6 +61,15 @@ jit:
 	$(GO) test -run 'TestJITDifferentialCorpus' .
 	$(GO) test -run 'TestJIT' ./internal/machine/ ./internal/multi/ ./cmd/mmsim/
 	$(GO) test -run 'TestSite' ./internal/capverify/
+
+# Capability-flow gate: the E30 flow-vs-register-only differential with
+# its 90% discharge and zero-leak gates, the crafted store/reload/alias
+# and confinement differential suite, the store-lattice and
+# threshold-widening property tests, and the mmlint -stats/leak surface.
+flow:
+	$(GO) run ./cmd/experiments -run E30
+	$(GO) test -run 'TestFlow|TestConfinement|TestStore|TestJoinMem|TestThreshold' ./internal/capverify/
+	$(GO) test ./cmd/mmlint/
 
 # Full protection audit: the E23 fault-injection campaign (>=10k seeded
 # injections across every fault class plus the checkpoint-recovery

@@ -2,17 +2,22 @@
 // guarded-pointer protection model: it proves which of the hardware's
 // dynamic checks (tag, permission, bounds, alignment, privilege,
 // control) always pass, and flags check sites that provably fault on
-// every execution reaching them — before the program is ever run.
+// every execution reaching them — before the program is ever run. The
+// capability-flow analysis also reports `leak` diagnostics: pointers a
+// protection domain stores or hands across an enter-gated crossing,
+// escaping its confinement.
 //
 // Multiple files are assembled as modules and linked, like mmld.
 //
 // Exit status: 0 clean (no provable fault), 1 at least one provable
-// fault, 2 usage or assembly error.
+// fault, 2 usage or assembly error. Leaks do not affect the exit
+// status: confinement is a property to audit, not an error.
 //
 // Usage:
 //
 //	mmlint prog.s                 # verify, print findings
 //	mmlint -v prog.s              # also print undischarged (unknown) sites
+//	mmlint -stats prog.s          # per-class discharge statistics table
 //	mmlint -json main.s lib.s     # link then verify, machine-readable
 package main
 
@@ -42,6 +47,7 @@ type jsonReport struct {
 	PerClass  map[string]capverify.Counts `json:"per_class"`
 	Diags     []capverify.Diag            `json:"diags"`
 	Faults    []string                    `json:"faults"`
+	Leaks     []capverify.Leak            `json:"leaks"`
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -49,13 +55,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit a machine-readable report")
 	verbose := fs.Bool("v", false, "also print unknown (undischarged) check sites")
+	stats := fs.Bool("stats", false, "print per-class discharge and retained-site statistics")
 	dataBytes := fs.Uint64("data", 4096, "assumed size of the scratch data segment in r1")
 	priv := fs.Bool("priv", false, "assume the program starts with an execute-privileged IP")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "usage: mmlint [-json] [-v] [-data n] [-priv] <file.s | -> [file.s ...]")
+		fmt.Fprintln(stderr, "usage: mmlint [-json] [-v] [-stats] [-data n] [-priv] <file.s | -> [file.s ...]")
 		return 2
 	}
 
@@ -67,7 +74,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	rep := capverify.Verify(prog, capverify.Config{DataBytes: *dataBytes, Privileged: *priv})
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		out := jsonReport{
 			Programs:  fs.Args(),
 			Abyss:     rep.Abyss,
@@ -76,6 +84,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			PerClass:  make(map[string]capverify.Counts),
 			Diags:     rep.Diags,
 			Faults:    []string{},
+			Leaks:     rep.Leaks,
 		}
 		for c := capverify.Class(0); c < capverify.NumClasses; c++ {
 			if rep.PerClass[c].Total() > 0 {
@@ -91,11 +100,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mmlint:", err)
 			return 2
 		}
-	} else {
+	case *stats:
+		printStats(stdout, fs.Args(), rep)
+	default:
 		for _, d := range rep.Diags {
 			if d.Verdict == "fault" || *verbose {
 				fmt.Fprintln(stdout, d)
 			}
+		}
+		for _, l := range rep.Leaks {
+			fmt.Fprintln(stdout, l)
 		}
 		if rep.Abyss {
 			fmt.Fprintln(stdout, "note: an indirect jump could not be bounded; unknown counts are conservative")
@@ -107,6 +121,48 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printStats renders the check-site census the E25/E30 experiments
+// compute, for one program, without running an experiment: per-class
+// discharge plus every retained (undischarged) site.
+func printStats(w io.Writer, names []string, rep *capverify.Report) {
+	fmt.Fprintf(w, "program: %s\n", strings.Join(names, "+"))
+	fmt.Fprintf(w, "reachable words: %d   discharge: %.0f%%\n",
+		rep.ReachableWords, 100*rep.DischargeRatio())
+	if rep.Abyss {
+		fmt.Fprintln(w, "note: analysis fell into the abyss; numbers are conservative")
+	}
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %10s\n", "class", "safe", "dynamic", "fault", "discharge")
+	for c := capverify.Class(0); c < capverify.NumClasses; c++ {
+		n := rep.PerClass[c]
+		if n.Total() == 0 {
+			continue
+		}
+		pct := "-"
+		if n.Safe+n.Unknown > 0 {
+			pct = fmt.Sprintf("%.0f%%", 100*float64(n.Safe)/float64(n.Safe+n.Unknown))
+		}
+		fmt.Fprintf(w, "%-8s %8d %8d %8d %10s\n", c, n.Safe, n.Unknown, n.Fault, pct)
+	}
+	fmt.Fprintf(w, "%-8s %8d %8d %8d %10.0f%%\n", "total",
+		rep.Totals.Safe, rep.Totals.Unknown, rep.Totals.Fault, 100*rep.DischargeRatio())
+	retained := 0
+	for _, d := range rep.Diags {
+		if d.Verdict == "unknown" {
+			if retained == 0 {
+				fmt.Fprintln(w, "retained (dynamic) check sites:")
+			}
+			retained++
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+	if len(rep.Leaks) > 0 {
+		fmt.Fprintln(w, "confinement leaks:")
+		for _, l := range rep.Leaks {
+			fmt.Fprintf(w, "  %s\n", l)
+		}
+	}
 }
 
 // load assembles the inputs: a single module via AssembleNamed (plain

@@ -74,6 +74,71 @@ func TestJSONOutputAndLinking(t *testing.T) {
 	}
 }
 
+func TestStatsTable(t *testing.T) {
+	code, out, _ := runLint(t, "", "-stats", filepath.Join("..", "..", "programs", "sieve.s"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	for _, want := range []string{"program:", "discharge", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// leakSrc restricts an execute pointer to enter-only and jumps through
+// it: a domain crossing. The callee stores the caller's r1 capability
+// into shared memory — the store must surface as a leak diagnostic.
+const leakSrc = `	movip r2
+	ldi  r4, =sub
+	leab r2, r2, r4
+	ldi  r5, 6
+	restrict r6, r2, r5
+	jmp  r6
+sub:
+	st   r1, 0, r1
+	halt
+`
+
+func TestLeakDiagnostics(t *testing.T) {
+	code, out, _ := runLint(t, leakSrc, "-")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (leaks are not faults)\n%s", code, out)
+	}
+	if !strings.Contains(out, `store leaks capability in r1 out of domain "sub"`) {
+		t.Errorf("store leak missing:\n%s", out)
+	}
+	if !strings.Contains(out, "crossing leaks capability") {
+		t.Errorf("crossing leak missing:\n%s", out)
+	}
+}
+
+func TestJSONIncludesLeaks(t *testing.T) {
+	code, out, _ := runLint(t, leakSrc, "-json", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	var rep struct {
+		Leaks []struct {
+			Kind string `json:"kind"`
+			Reg  int    `json:"reg"`
+			Dom  string `json:"dom"`
+		} `json:"leaks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	var stores int
+	for _, l := range rep.Leaks {
+		if l.Kind == "store" && l.Reg == 1 && l.Dom == "sub" {
+			stores++
+		}
+	}
+	if stores != 1 {
+		t.Errorf("want exactly one r1 store leak from sub, got leaks %+v", rep.Leaks)
+	}
+}
+
 func TestVerboseShowsUnknowns(t *testing.T) {
 	f := filepath.Join(t.TempDir(), "u.s")
 	// r2 is data-dependent: the lea bounds check stays unknown.

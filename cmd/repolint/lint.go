@@ -44,6 +44,14 @@ var bannedTimeFuncs = map[string]bool{
 	"NewTimer":  true,
 }
 
+// fatalLogFuncs are the log functions rule 4 rejects alongside os.Exit:
+// they terminate the process, which only a main package may decide.
+var fatalLogFuncs = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"Fatalln": true,
+}
+
 // Lint walks the repository tree rooted at root and returns every rule
 // violation, sorted by position.
 func Lint(root string) ([]Finding, error) {
@@ -84,9 +92,14 @@ func Lint(root string) ([]Finding, error) {
 // element below internal/ names the package directory.
 func lintFile(path, rel string) ([]Finding, error) {
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, 0)
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %v", rel, err)
+	}
+	if ast.IsGenerated(f) {
+		// Generated files (go:generate output, fuzz harness stubs) are
+		// exempt: their style is the generator's business.
+		return nil, nil
 	}
 
 	parts := strings.Split(filepath.ToSlash(rel), "/")
@@ -144,6 +157,16 @@ func lintFile(path, rel string) ([]Finding, error) {
 			if deterministic && pkg.Name == "time" && bannedTimeFuncs[fn.Sel.Name] {
 				report(call.Pos(), "determinism",
 					"time.%s in deterministic package internal/%s; simulated time must come from cycle counts", fn.Sel.Name, pkgDir)
+			}
+			// Rule 4: libraries must not terminate the process. Only a
+			// main package under cmd/ decides the exit status.
+			if pkg.Name == "os" && fn.Sel.Name == "Exit" {
+				report(call.Pos(), "no-exit",
+					"os.Exit in internal/%s; return an error and let cmd/ decide the exit status", pkgDir)
+			}
+			if pkg.Name == "log" && fatalLogFuncs[fn.Sel.Name] {
+				report(call.Pos(), "no-exit",
+					"log.%s in internal/%s terminates the process; return an error instead", fn.Sel.Name, pkgDir)
 			}
 		}
 		return true

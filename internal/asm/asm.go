@@ -86,6 +86,32 @@ func (p *Program) LabelByte(name string) (uint64, error) {
 	return uint64(i) * word.BytesPerWord, nil
 }
 
+// Symbolize resolves word index i against a label table to the nearest
+// preceding label, rendered "name" (exactly on the label) or "name+k"
+// (k words past it). It returns "" when no label covers i. Ties on the
+// same address pick the lexicographically smallest name, keeping the
+// rendering deterministic. This is the symbolization diagnostics use
+// to name a code address — the verifier's confinement report names
+// protection domains with it.
+func Symbolize(labels map[string]int, i int) string {
+	best, at, found := "", 0, false
+	for name, idx := range labels {
+		if idx > i {
+			continue
+		}
+		if !found || idx > at || (idx == at && name < best) {
+			best, at, found = name, idx, true
+		}
+	}
+	if !found {
+		return ""
+	}
+	if at == i {
+		return best
+	}
+	return fmt.Sprintf("%s+%d", best, i-at)
+}
+
 type stmt struct {
 	file   string // source name for diagnostics ("" = anonymous)
 	lineNo int

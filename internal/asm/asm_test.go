@@ -259,3 +259,29 @@ func TestBranchAcrossSpace(t *testing.T) {
 		t.Errorf("branch over .space imm = %d, want 6", br.Imm)
 	}
 }
+
+func TestSymbolize(t *testing.T) {
+	labels := map[string]int{"start": 0, "sub": 5, "aaa": 5, "end": 12}
+	cases := []struct {
+		i    int
+		want string
+	}{
+		{0, "start"},
+		{3, "start+3"},
+		{5, "aaa"}, // tie at 5: lexicographically smallest name
+		{9, "aaa+4"},
+		{12, "end"},
+		{100, "end+88"},
+	}
+	for _, c := range cases {
+		if got := Symbolize(labels, c.i); got != c.want {
+			t.Errorf("Symbolize(%d) = %q, want %q", c.i, got, c.want)
+		}
+	}
+	if got := Symbolize(map[string]int{"late": 7}, 3); got != "" {
+		t.Errorf("no preceding label: got %q, want \"\"", got)
+	}
+	if got := Symbolize(nil, 0); got != "" {
+		t.Errorf("nil labels: got %q, want \"\"", got)
+	}
+}

@@ -41,11 +41,16 @@ type check struct {
 // edge is one control-flow successor with its post-state. spec marks a
 // speculative candidate of an imprecise indirect jump: the target is
 // possible, not certain, so reaching a non-decodable word through it is
-// an unknown rather than a provable fetch fault.
+// an unknown rather than a provable fetch fault. call marks a JMPL with
+// a single exact target (an interprocedural call the engine analyses in
+// its own context); enter marks an exact jump through a provably
+// enter-only pointer (a protection-domain crossing).
 type edge struct {
-	pc   int
-	st   state
-	spec bool
+	pc    int
+	st    state
+	spec  bool
+	call  bool
+	enter bool
 }
 
 // stepOut is everything one instruction's abstract execution produces.

@@ -1,0 +1,163 @@
+package capverify
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Confinement pass: which capabilities can escape a protection domain?
+//
+// A protection domain in the analysis is the code reached through an
+// enter-gated crossing (an exact jump through a pointer holding only
+// enter permissions — the guarded-pointer protected-subsystem entry of
+// Sec 3.2). Code running inside such a domain can leak a capability in
+// two ways the confinement report tracks:
+//
+//   - store leak: the domain stores a tagged pointer into the shared
+//     data segment, where any later holder of a data pointer can reload
+//     it with full rights;
+//   - crossing leak: a register still holds a tagged pointer at the
+//     moment control crosses into another domain, handing that domain
+//     the capability directly.
+//
+// Code in the root domain cannot leak — it owns everything it holds —
+// so shipped single-domain programs produce an empty table. Leaks are
+// may-analysis diagnostics (never faults): a Definite leak stores a
+// value that is a pointer on every path; an indefinite one stores a
+// value the analysis cannot prove untagged.
+
+// Leak is one capability-escape diagnostic.
+type Leak struct {
+	PC   int    `json:"pc"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Inst string `json:"inst,omitempty"`
+
+	// Kind is "store" (a pointer written to shared memory) or
+	// "crossing" (a pointer live in a register at a domain transition).
+	Kind string `json:"kind"`
+
+	// Reg is the register holding the escaping capability.
+	Reg int `json:"reg"`
+
+	// Definite reports whether the escaping value is provably a tagged
+	// pointer (as opposed to merely not provably untagged).
+	Definite bool `json:"definite"`
+
+	// Dom names the protection domain the capability escapes from: the
+	// label of its enter entry point, or "mixed" when the context is
+	// reachable from several domains.
+	Dom string `json:"dom"`
+
+	// Perms is the escaping pointer's possible permission set, rendered.
+	Perms string `json:"perms,omitempty"`
+
+	// ValFile/ValLine locate the escaping value's definition site.
+	ValFile string `json:"val_file,omitempty"`
+	ValLine int    `json:"val_line,omitempty"`
+}
+
+func (l Leak) String() string {
+	def := "may leak"
+	if l.Definite {
+		def = "leaks"
+	}
+	s := fmt.Sprintf("%s:%d: leak: %s %s capability in r%d out of domain %q",
+		l.File, l.Line, l.Kind, def, l.Reg, l.Dom)
+	if l.Perms != "" {
+		s += fmt.Sprintf(" (perms %s)", l.Perms)
+	}
+	if l.ValFile != "" {
+		s += fmt.Sprintf("; value defined at %s:%d", l.ValFile, l.ValLine)
+	}
+	return s
+}
+
+// domName renders a context's protection-domain identifier: the label
+// at its enter entry point, or "label+k" when the entry sits k words
+// past the nearest preceding label (an enter pointer need not land
+// exactly on one).
+func (v *verifier) domName(dom int32) string {
+	if dom == domRoot {
+		return "root"
+	}
+	if dom == domMixed {
+		return "mixed"
+	}
+	if sym := asm.Symbolize(v.img.Labels, int(dom)); sym != "" {
+		return sym
+	}
+	return fmt.Sprintf("word%d", dom)
+}
+
+// collectLeaks inspects one (context, pc) replay for capability escapes
+// and records them on the report. dom is the context's protection
+// domain; the root domain never leaks.
+func (v *verifier) collectLeaks(rep *Report, pc int, dom int32, in state, out *stepOut) {
+	if !v.img.Decodes[pc] {
+		return
+	}
+	inst := v.img.Insts[pc]
+
+	// Store leak: a confined domain writes a (possible) pointer to the
+	// shared data segment and the store completes on some path.
+	if dom != domRoot && inst.Op == isa.ST && len(out.edges) > 0 {
+		val := in.regs[inst.Rb]
+		if val.Kind == KPtr || val.Kind == KTop {
+			v.addLeak(rep, pc, in, Leak{
+				Kind: "store", Reg: int(inst.Rb),
+				Definite: val.Kind == KPtr,
+				Dom:      v.domName(dom),
+			}, val)
+		}
+	}
+
+	// Crossing leak: at a domain transition, every register still
+	// holding a provable pointer — other than the jump target itself and
+	// the JMPL link — is handed to the target domain.
+	for _, e := range out.edges {
+		if !e.enter {
+			continue
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if r == int(inst.Ra) || (inst.Op == isa.JMPL && r == int(inst.Rd)) {
+				continue
+			}
+			val := in.regs[r]
+			if val.Kind != KPtr {
+				continue
+			}
+			v.addLeak(rep, pc, in, Leak{
+				Kind: "crossing", Reg: r,
+				Definite: true,
+				Dom:      v.domName(dom),
+			}, val)
+		}
+		break // edges of one enter jump share the register file
+	}
+}
+
+// addLeak fills provenance and appends, deduplicating the (pc, reg,
+// kind) triple across contexts.
+func (v *verifier) addLeak(rep *Report, pc int, in state, l Leak, val Value) {
+	for _, have := range rep.Leaks {
+		if have.PC == pc && have.Reg == l.Reg && have.Kind == l.Kind {
+			return
+		}
+	}
+	o := v.img.Origin(pc)
+	l.PC, l.File, l.Line = pc, o.File, o.Line
+	l.Inst = v.img.Insts[pc].String()
+	if val.Kind == KPtr {
+		l.Perms = permsString(val.Perms)
+	}
+	if l.Reg >= 0 && l.Reg < isa.NumRegs {
+		if def := in.defs[l.Reg]; def >= 0 {
+			vo := v.img.Origin(int(def))
+			l.ValFile, l.ValLine = vo.File, vo.Line
+		}
+	}
+	rep.Leaks = append(rep.Leaks, l)
+}

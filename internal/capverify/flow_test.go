@@ -1,0 +1,308 @@
+package capverify_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/capverify"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// flowProgram is a crafted store/reload/alias/call scenario for the
+// differential soundness suite: the whole-program analysis must never
+// be worse than the register-only analysis of PR 5, and the program
+// must still halt cleanly on the real machine.
+type flowProgram struct {
+	name string
+	src  string
+	// beats requires the flow analysis to strictly discharge more
+	// checks than the register-only analysis — the scenarios the
+	// abstract store and call contexts exist for.
+	beats bool
+}
+
+var flowPrograms = []flowProgram{
+	{"spill-reload", `
+	st   r1, 0, r1       ; spill the data capability
+	ld   r3, r1, 0       ; reload it
+	ld   r4, r3, 8       ; dereference the reloaded capability
+	halt
+`, true},
+	{"strong-update", `
+	ldi  r2, 7
+	st   r1, 0, r2       ; an integer sits in the slot
+	st   r1, 0, r1       ; strong update: a capability replaces it
+	ld   r3, r1, 0
+	ld   r4, r3, 16      ; provably in-bounds through the reload
+	halt
+`, true},
+	{"loop-spill", `
+	st   r1, 0, r1       ; spill once
+	ldi  r2, 0
+loop:
+	ld   r3, r1, 0       ; reload every iteration
+	ld   r4, r3, 8
+	addi r2, r2, 1
+	slti r5, r2, 4
+	bnez r5, loop
+	halt
+`, true},
+	{"alias-weak", `
+	ld   r2, r1, 0       ; data-dependent selector (memory starts zeroed)
+	leai r3, r1, 8
+	bnez r2, pick
+	leai r3, r1, 16      ; r3 aliases slot 8 or slot 16
+pick:
+	st   r3, 0, r1       ; weak update: both slots may hold the cap
+	ld   r4, r1, 8       ; reload through one alias
+	halt
+`, false},
+	{"byte-clobber", `
+	st   r1, 0, r1       ; capability in the slot
+	stb  r1, 3, r2       ; byte store strips the tag
+	ld   r3, r1, 0       ; reload sees a non-capability word
+	halt
+`, false},
+	{"two-calls", `
+	ldi  r2, =ldat
+	movip r3
+	leab r3, r3, r2
+	mov  r4, r1
+	jmpl r14, r3         ; first call
+	jmpl r14, r3         ; second call, same callee
+	st   r1, 0, r5
+	halt
+ldat:
+	ld   r5, r4, 0       ; callee dereferences the argument capability
+	jmp  r14
+`, false},
+	// Context sensitivity proper: the index access after the first call
+	// is in-bounds only because r7 is exactly 8 there. A context-free
+	// analysis joins the second caller's r7=1000 into the callee's exit
+	// state, so the joined index [8,1000] escapes the segment.
+	{"call-context", `
+	ldi  r2, =id
+	movip r3
+	leab r3, r3, r2
+	ldi  r7, 8
+	jmpl r14, r3         ; first call
+	shli r8, r7, 3
+	lea  r9, r1, r8      ; provable only per-context
+	ld   r10, r9, 0
+	ldi  r7, 1000
+	jmpl r14, r3         ; second call: same callee, huge index
+	halt
+id:
+	jmp  r14
+`, true},
+}
+
+// TestFlowDifferentialCrafted runs each crafted scenario through both
+// analyses: the flow analysis must keep every register-only safety
+// proof (monotone safe counts, no contradicted verdicts), never invent
+// a fault, and — where the scenario was built for it — strictly beat
+// the register-only discharge. Each program must also halt cleanly, so
+// the extra precision is checked against ground truth.
+func TestFlowDifferentialCrafted(t *testing.T) {
+	for _, fp := range flowPrograms {
+		full, err := capverify.VerifySource(fp.name+".s", fp.src, capverify.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", fp.name, err)
+		}
+		reg, err := capverify.VerifySource(fp.name+".s", fp.src, capverify.Config{RegistersOnly: true})
+		if err != nil {
+			t.Fatalf("%s: %v", fp.name, err)
+		}
+		if full.HasFault() {
+			t.Errorf("%s: flow analysis invented a fault: %v", fp.name, full.Faults())
+		}
+		if full.Abyss {
+			t.Errorf("%s: flow analysis fell into the abyss", fp.name)
+		}
+		if full.Totals.Safe < reg.Totals.Safe {
+			t.Errorf("%s: flow analysis lost precision: %d safe vs register-only %d",
+				fp.name, full.Totals.Safe, reg.Totals.Safe)
+		}
+		if fp.beats && full.Totals.Safe <= reg.Totals.Safe {
+			t.Errorf("%s: flow analysis did not beat register-only: %d safe vs %d",
+				fp.name, full.Totals.Safe, reg.Totals.Safe)
+		}
+		assertCompatible(t, fp.name, full, reg)
+
+		prog, err := asm.AssembleNamed(fp.name+".s", fp.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := runProgram(t, prog)
+		if th.State != machine.Halted || th.Fault != nil {
+			t.Errorf("%s: dynamic run ended %v (fault %v), want clean halt",
+				fp.name, th.State, th.Fault)
+		}
+	}
+}
+
+// assertCompatible checks the two reports never contradict each other:
+// at a check site both analyses evaluated, one must not say "passes on
+// every execution" (safe) while the other says "fails on every
+// execution" (fault). Sites only one analysis reaches carry no
+// contradiction — the more precise analysis may prune paths entirely.
+func assertCompatible(t *testing.T, name string, full, reg *capverify.Report) {
+	t.Helper()
+	for pc := 0; pc < 1<<15; pc++ {
+		fc, rc := full.SiteChecks(pc), reg.SiteChecks(pc)
+		if fc == nil || rc == nil {
+			continue // unreachable under at least one analysis
+		}
+		n := len(fc)
+		if len(rc) < n {
+			n = len(rc)
+		}
+		for i := 0; i < n; i++ {
+			if fc[i].Class != rc[i].Class {
+				continue
+			}
+			fv, rv := fc[i].Verdict, rc[i].Verdict
+			if (fv == capverify.VerdictSafe && rv == capverify.VerdictFault) ||
+				(fv == capverify.VerdictFault && rv == capverify.VerdictSafe) {
+				t.Errorf("%s: contradictory verdicts at pc %d %s check: flow=%v register-only=%v",
+					name, pc, fc[i].Class, fv, rv)
+			}
+		}
+	}
+}
+
+// TestFlowDifferentialShipped extends the monotonicity argument to the
+// real corpus: on every shipped program and campaign workload, the flow
+// analysis discharges at least as many checks as register-only, with no
+// new faults and no new abyss.
+func TestFlowDifferentialShipped(t *testing.T) {
+	type cfgPair struct {
+		name string
+		prog *asm.Program
+	}
+	var corpus []cfgPair
+	for name, prog := range shippedPrograms(t) {
+		corpus = append(corpus, cfgPair{name, prog})
+	}
+	for name, src := range faultinject.WorkloadSources() {
+		prog, err := asm.AssembleNamed(name+".s", src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		corpus = append(corpus, cfgPair{"wl:" + name, prog})
+	}
+	for _, c := range corpus {
+		full := capverify.Verify(c.prog, capverify.Config{})
+		reg := capverify.Verify(c.prog, capverify.Config{RegistersOnly: true})
+		if full.HasFault() {
+			t.Errorf("%s: flow analysis invented a fault: %v", c.name, full.Faults())
+		}
+		if full.Abyss && !reg.Abyss {
+			t.Errorf("%s: flow analysis fell into the abyss where register-only did not", c.name)
+		}
+		if full.Totals.Safe < reg.Totals.Safe {
+			t.Errorf("%s: flow analysis lost precision: %d safe vs register-only %d",
+				c.name, full.Totals.Safe, reg.Totals.Safe)
+		}
+		if len(full.Leaks) != 0 {
+			t.Errorf("%s: unexpected confinement leaks in clean corpus: %v", c.name, full.Leaks)
+		}
+	}
+}
+
+// leakProgram is a crafted confinement violation: a capability escapes
+// a protection domain through a store or an enter-gated crossing.
+type leakProgram struct {
+	name string
+	src  string
+	line int    // line of the escaping instruction
+	kind string // "store" or "crossing"
+	reg  int
+	dom  string
+}
+
+var leakPrograms = []leakProgram{
+	// The callee behind an enter-only pointer stores the caller's
+	// read/write capability into memory both domains can reach.
+	{"enter-store", `	movip r2
+	ldi  r4, =sub
+	leab r2, r2, r4
+	ldi  r5, 6
+	restrict r6, r2, r5  ; enter-only pointer to sub
+	jmp  r6
+sub:
+	st   r1, 0, r1       ; line 8: the store that leaks
+	halt
+`, 8, "store", 1, "sub"},
+	// An enter pointer need not land exactly on a label: entering one
+	// word past `sub` names the domain by its nearest preceding label.
+	{"enter-store-offset", `	movip r2
+	ldi  r4, =sub
+	leab r2, r2, r4
+	leai r2, r2, 8       ; entry point one word past the label
+	ldi  r5, 6
+	restrict r6, r2, r5
+	jmp  r6
+sub:
+	nop
+	st   r1, 0, r1       ; line 10: leaks out of domain "sub+1"
+	halt
+`, 10, "store", 1, "sub+1"},
+	// The crossing itself leaks every capability left in registers.
+	{"enter-crossing", `	movip r2
+	ldi  r4, =sub
+	leab r2, r2, r4
+	ldi  r5, 6
+	restrict r6, r2, r5
+	jmp  r6              ; line 6: r1 crosses into sub
+sub:
+	halt
+`, 6, "crossing", 1, "root"},
+}
+
+// TestConfinementLeaks checks the crafted leak programs are flagged at
+// the exact escaping site with the right register and domain — and that
+// a leak is an audit finding, not a fault.
+func TestConfinementLeaks(t *testing.T) {
+	for _, lp := range leakPrograms {
+		rep, err := capverify.VerifySource(lp.name+".s", lp.src, capverify.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", lp.name, err)
+		}
+		if rep.HasFault() {
+			t.Errorf("%s: leak program flagged as faulting: %v", lp.name, rep.Faults())
+		}
+		found := false
+		for _, l := range rep.Leaks {
+			if l.Line == lp.line && l.Kind == lp.kind && l.Reg == lp.reg && l.Dom == lp.dom {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %s leak of r%d from %q at line %d; got %v",
+				lp.name, lp.kind, lp.reg, lp.dom, lp.line, rep.Leaks)
+		}
+	}
+}
+
+// TestFlowHalts is the termination backstop: widening plus the store
+// key-shrinkage argument must bring every crafted scenario to a
+// fixpoint well inside the step budget (Verify would report Abyss or
+// hang otherwise; the test timing out is the failure signal).
+func TestFlowHalts(t *testing.T) {
+	srcs := make(map[string]string)
+	for _, fp := range flowPrograms {
+		srcs[fp.name] = fp.src
+	}
+	for _, lp := range leakPrograms {
+		srcs[lp.name] = lp.src
+	}
+	for name, src := range srcs {
+		for _, cfg := range []capverify.Config{{}, {Privileged: true}, {DataBytes: 64}, {RegistersOnly: true}} {
+			if _, err := capverify.VerifySource(name+".s", src, cfg); err != nil {
+				t.Errorf("%s (%+v): %v", name, cfg, err)
+			}
+		}
+	}
+}

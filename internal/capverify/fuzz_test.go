@@ -13,7 +13,15 @@ import (
 // FuzzVerify feeds arbitrary assembler-accepted programs to the
 // verifier: whatever the assembler emits, the analysis must terminate
 // without panicking. Seeds are the shipped programs, the campaign
-// workloads, and the crafted violations.
+// workloads, the crafted violations, and the flow/leak scenarios that
+// exercise the abstract store and call contexts.
+//
+// Beyond no-panic, the fuzz oracle checks the two analyses stay
+// *compatible*: the flow analysis must never prove a fault at a site
+// the register-only analysis proved safe, or vice versa. (Strict
+// safe-count monotonicity is NOT a fuzz invariant — threshold widening
+// is not monotone in general — so exact counts are only pinned in the
+// deterministic differential suite and E30.)
 func FuzzVerify(f *testing.F) {
 	files, _ := filepath.Glob(filepath.Join("..", "..", "programs", "*.s"))
 	for _, file := range files {
@@ -27,6 +35,12 @@ func FuzzVerify(f *testing.F) {
 	for _, bp := range badPrograms {
 		f.Add(bp.src)
 	}
+	for _, fp := range flowPrograms {
+		f.Add(fp.src)
+	}
+	for _, lp := range leakPrograms {
+		f.Add(lp.src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := asm.AssembleNamed("fuzz.s", src)
 		if err != nil {
@@ -38,6 +52,17 @@ func FuzzVerify(f *testing.F) {
 				t.Fatal("nil report")
 			}
 			_ = rep.Summary()
+
+			regCfg := cfg
+			regCfg.RegistersOnly = true
+			reg := capverify.Verify(prog, regCfg)
+			if reg == nil {
+				t.Fatal("nil register-only report")
+			}
+			if len(reg.Leaks) != 0 {
+				t.Fatalf("register-only analysis produced leaks: %v", reg.Leaks)
+			}
+			assertCompatible(t, "fuzz", rep, reg)
 		}
 	})
 }

@@ -24,6 +24,14 @@ type Config struct {
 	// tracking it (0 means a sensible default). Beyond the cap the jump
 	// is treated as reaching every instruction with unknown state.
 	MaxTargets int
+
+	// RegistersOnly disables the whole-program machinery — the abstract
+	// store, affine register relations, and interprocedural call
+	// contexts — restoring the original per-register analysis. Used by
+	// differential tests and `mmlint -stats` to measure what the flow
+	// analysis buys; every RegistersOnly fact is also a fact of the full
+	// analysis.
+	RegistersOnly bool
 }
 
 // minSegLog mirrors kernel.MinSegLog: the kernel never allocates a
@@ -108,15 +116,4 @@ func (img *Image) Origin(i int) asm.Origin {
 		return img.Origins[i]
 	}
 	return asm.Origin{}
-}
-
-// LabelAt returns the label whose address is exactly word i, or "".
-func (img *Image) LabelAt(i int) string {
-	best := ""
-	for name, idx := range img.Labels {
-		if idx == i && (best == "" || name < best) {
-			best = name
-		}
-	}
-	return best
 }

@@ -350,6 +350,19 @@ func Join(a, b Value) Value {
 // integer bounds go to the full 64-bit range. Congruences, permission
 // sets and length intervals are finite-height and never widened.
 func Widen(old, new Value) Value {
+	return widenTo(old, new, nil)
+}
+
+// widenTo is Widen with threshold sets: a moving bound lands on the
+// nearest enclosing threshold instead of jumping straight to ±∞. The
+// verifier harvests thresholds from comparison immediates (SLTI/SEQI),
+// which is exactly where loop bounds live, so counter intervals
+// stabilise at the loop bound rather than the full 64-bit range.
+// Thresholds must be sorted ascending. ths == nil degrades to classic
+// widening. Termination: each application either returns old or strictly
+// grows a bound to a value from the finite set ths ∪ {±∞}, so any chain
+// of widenings per bound is finite.
+func widenTo(old, new Value, ths []int64) Value {
 	j := Join(old, new)
 	if j == old {
 		return old
@@ -358,10 +371,10 @@ func Widen(old, new Value) Value {
 	case KInt:
 		if old.Kind == KInt {
 			if j.Lo < old.Lo {
-				j.Lo = math.MinInt64
+				j.Lo = thLo(j.Lo, ths)
 			}
 			if j.Hi > old.Hi {
-				j.Hi = math.MaxInt64
+				j.Hi = thHi(j.Hi, ths)
 			}
 		} else {
 			j.Lo, j.Hi = math.MinInt64, math.MaxInt64
@@ -381,6 +394,28 @@ func Widen(old, new Value) Value {
 		return j.canon()
 	}
 	return j
+}
+
+// thLo returns the largest threshold <= lo, or MinInt64 if none.
+func thLo(lo int64, ths []int64) int64 {
+	out := int64(math.MinInt64)
+	for _, t := range ths {
+		if t > lo {
+			break
+		}
+		out = t
+	}
+	return out
+}
+
+// thHi returns the smallest threshold >= hi, or MaxInt64 if none.
+func thHi(hi int64, ths []int64) int64 {
+	for _, t := range ths {
+		if t >= hi {
+			return t
+		}
+	}
+	return math.MaxInt64
 }
 
 // Leq reports a ⊑ b: every concrete word described by a is described

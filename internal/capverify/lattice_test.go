@@ -178,3 +178,44 @@ func TestCanonIdempotent(t *testing.T) {
 		}
 	}
 }
+
+// TestThresholdWideningTerminates: widening through a threshold set
+// still stabilizes fast — each change either lands on one of the
+// finitely many thresholds or escapes to ±∞, so chains stay short.
+func TestThresholdWideningTerminates(t *testing.T) {
+	vals := sampleValues()
+	ths := []int64{-1, 0, 1, 7, 8, 255, 256, 4095, 4096, 1 << 20}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		acc := vals[rng.Intn(len(vals))]
+		changes := 0
+		for i := 0; i < 200; i++ {
+			next := widenTo(acc, vals[rng.Intn(len(vals))], ths)
+			if next != acc {
+				changes++
+				acc = next
+			}
+		}
+		if changes > 30 {
+			t.Fatalf("threshold widening chain changed %d times; expected fast stabilization", changes)
+		}
+	}
+}
+
+// TestThresholdWideningSound: widening over-approximates the join —
+// Join(a,b) ⊑ widenTo(a,b,ths) for every pair and threshold set,
+// including the empty set (plain Widen).
+func TestThresholdWideningSound(t *testing.T) {
+	vals := sampleValues()
+	sets := [][]int64{nil, {0}, {-1, 0, 1, 256, 4096}}
+	for _, ths := range sets {
+		for _, a := range vals {
+			for _, b := range vals {
+				j, w := Join(a, b), widenTo(a, b, ths)
+				if !Leq(j, w) {
+					t.Fatalf("widenTo(%s, %s, %v) = %s does not bound join %s", a, b, ths, w, j)
+				}
+			}
+		}
+	}
+}

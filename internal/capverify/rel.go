@@ -1,0 +1,315 @@
+package capverify
+
+// Affine relations between registers. The interval domain alone cannot
+// prove `lea r8, r8, 8` in-bounds inside a counted loop: after widening
+// the pointer offset races to the segment end even though the loop
+// counter bounds it. A relation off(r_p) = a·int(r_c) + b ties the
+// moving pointer to the counter, so the counter's (threshold-widened,
+// branch-refined) interval transfers to the pointer offset at each
+// memory access. This is a tiny relational domain in the spirit of
+// Karr's linear equalities, specialised to one pointer/counter pair per
+// relation and a fixed capacity, which keeps the state comparable and
+// join cheap.
+//
+// Soundness: a relation is only ever *inferred* from two distinct exact
+// points at a join (two points determine the line, and both operands
+// provably lie on it), and only *kept* through a join if the other side
+// either carries the identical relation or verifies it with exact
+// values. Transfer functions either maintain the relation exactly
+// (overflow-checked — an overflowing maintenance step kills the
+// relation rather than saturating, since saturation would falsify an
+// exact equality) or kill it. Refinement intersects intervals and skips
+// on any doubt, so relations can only tighten facts, never invent them.
+
+// rel records off(r_p) = a·int(r_c) + b, valid on every concrete
+// execution reaching the program point that carries it.
+type rel struct {
+	ok   bool
+	p, c int8
+	a, b int64
+}
+
+// relCap is the number of simultaneous relations tracked per state.
+// Loops have one induction pointer and one counter; a handful covers
+// nested loops with room to spare.
+const relCap = 4
+
+type rels [relCap]rel
+
+// kill drops every relation mentioning register r (as pointer or
+// counter). Any write to r invalidates both roles.
+func (rs *rels) kill(r int8) {
+	for i := range rs {
+		if rs[i].ok && (rs[i].p == r || rs[i].c == r) {
+			rs[i] = rel{}
+		}
+	}
+}
+
+// shiftPtr maintains relations across `lea rp, rp, k`: the pointer
+// offset moved by k, so b moves by k. Relations using rp as a counter
+// are killed (the register's integer image changed non-trivially).
+func (rs *rels) shiftPtr(rp int8, k int64) {
+	for i := range rs {
+		if !rs[i].ok {
+			continue
+		}
+		if rs[i].c == rp {
+			rs[i] = rel{}
+			continue
+		}
+		if rs[i].p == rp {
+			nb, ok := addExact(rs[i].b, k)
+			if !ok {
+				rs[i] = rel{}
+				continue
+			}
+			rs[i].b = nb
+		}
+	}
+}
+
+// shiftCtr maintains relations across `addi rc, rc, k` (k negative for
+// SUBI): rc_new = rc_old + k, so off = a·rc_old + b = a·rc_new + (b −
+// a·k). Relations using rc as the pointer are killed (rc is an integer
+// now).
+func (rs *rels) shiftCtr(rc int8, k int64) {
+	for i := range rs {
+		if !rs[i].ok {
+			continue
+		}
+		if rs[i].p == rc {
+			rs[i] = rel{}
+			continue
+		}
+		if rs[i].c == rc {
+			ak, ok1 := mulExact(rs[i].a, k)
+			nb, ok2 := addExact(rs[i].b, -ak)
+			if !ok1 || !ok2 || ak == minInt64 {
+				rs[i] = rel{}
+				continue
+			}
+			rs[i].b = nb
+		}
+	}
+}
+
+// derive copies src's relations to dst with the offset displaced by k:
+// after `lea dst, src, k` (or a MOV with k = 0, or a RESTRICT, which
+// keeps the offset), off(dst) = off(src) + k = a·c + (b + k). dst's own
+// relations must already be dead (def() killed them). Relations whose
+// counter is dst itself cannot transfer (dst was just overwritten).
+func (rs *rels) derive(dst, src int8, k int64) {
+	if dst == src {
+		return
+	}
+	for _, r := range *rs {
+		if !r.ok || r.p != src || r.c == dst {
+			continue
+		}
+		nb, ok := addExact(r.b, k)
+		if !ok {
+			continue
+		}
+		for i := range rs {
+			if !rs[i].ok {
+				rs[i] = rel{ok: true, p: dst, c: r.c, a: r.a, b: nb}
+				break
+			}
+		}
+	}
+}
+
+// holdsIn reports whether state s verifies r outright: both registers
+// exact and on the line.
+func holdsIn(r rel, s *state) bool {
+	pv, cv := s.regs[r.p], s.regs[r.c]
+	if pv.Kind != KPtr || pv.OffLo != pv.OffHi || pv.OffHi > maxOff {
+		return false
+	}
+	if cv.Kind != KInt || cv.Lo != cv.Hi {
+		return false
+	}
+	ac, ok1 := mulExact(r.a, cv.Lo)
+	off, ok2 := addExact(ac, r.b)
+	return ok1 && ok2 && off == int64(pv.OffLo)
+}
+
+// maxOff bounds offsets representable as int64 with headroom for the
+// affine arithmetic; segment offsets fit in 54 bits architecturally.
+const maxOff = uint64(1) << 54
+
+const minInt64 = -1 << 63
+
+// inferRel tries to derive off(r_p) = a·int(r_c) + b from two exact
+// points (one per joined state). Two distinct counter values determine
+// the line; the division must be exact or there is no integer relation.
+func inferRel(p, c int8, sa, sb *state) (rel, bool) {
+	pa, ca := sa.regs[p], sa.regs[c]
+	pb, cb := sb.regs[p], sb.regs[c]
+	if pa.Kind != KPtr || pa.OffLo != pa.OffHi || pa.OffHi > maxOff {
+		return rel{}, false
+	}
+	if pb.Kind != KPtr || pb.OffLo != pb.OffHi || pb.OffHi > maxOff {
+		return rel{}, false
+	}
+	if ca.Kind != KInt || ca.Lo != ca.Hi || cb.Kind != KInt || cb.Lo != cb.Hi {
+		return rel{}, false
+	}
+	dc := ca.Lo - cb.Lo
+	if dc == 0 {
+		return rel{}, false
+	}
+	doff := int64(pa.OffLo) - int64(pb.OffLo)
+	if doff%dc != 0 {
+		return rel{}, false
+	}
+	a := doff / dc
+	ac, ok1 := mulExact(a, ca.Lo)
+	b, ok2 := addExact(int64(pa.OffLo), -ac)
+	if !ok1 || !ok2 || ac == minInt64 {
+		return rel{}, false
+	}
+	return rel{ok: true, p: p, c: c, a: a, b: b}, true
+}
+
+// joinRels merges the relation sets of two states meeting at a join
+// point. A relation survives iff both sides agree on it — either
+// textually or because the other side's exact values verify it. Free
+// slots are filled by inference from exact register pairs, which is how
+// loop relations are born at the first back-edge join.
+func joinRels(sa, sb *state) rels {
+	var out rels
+	n := 0
+	add := func(r rel) {
+		for i := 0; i < n; i++ {
+			if out[i].p == r.p && out[i].c == r.c {
+				return
+			}
+		}
+		if n < relCap {
+			out[n] = r
+			n++
+		}
+	}
+	for _, r := range sa.rels {
+		if !r.ok {
+			continue
+		}
+		if hasRel(&sb.rels, r) || holdsIn(r, sb) {
+			add(r)
+		}
+	}
+	for _, r := range sb.rels {
+		if !r.ok {
+			continue
+		}
+		if holdsIn(r, sa) {
+			add(r)
+		}
+	}
+	if n < relCap {
+		// Infer fresh relations from exact pointer/counter pairs.
+		for p := int8(0); p < 16 && n < relCap; p++ {
+			if sa.regs[p].Kind != KPtr {
+				continue
+			}
+			for c := int8(0); c < 16 && n < relCap; c++ {
+				if c == p || sa.regs[c].Kind != KInt {
+					continue
+				}
+				if r, ok := inferRel(p, c, sa, sb); ok {
+					add(r)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasRel(rs *rels, r rel) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// relRefine tightens the offset interval of pointer register ra's value
+// pv using any relation off(ra) = a·c + b together with the counter's
+// current interval. Refinement is pure intersection: it skips on
+// overflow, on an empty intersection, or if canonicalisation would
+// bottom out — a relation may sharpen a check, never manufacture a
+// fault or kill a path.
+func relRefine(st *state, ra int8, pv Value) Value {
+	if pv.Kind != KPtr {
+		return pv
+	}
+	for _, r := range st.rels {
+		if !r.ok || r.p != ra {
+			continue
+		}
+		cv := st.regs[r.c]
+		if cv.Kind != KInt {
+			continue
+		}
+		e0, ok1 := affine(r.a, cv.Lo, r.b)
+		e1, ok2 := affine(r.a, cv.Hi, r.b)
+		if !ok1 || !ok2 {
+			continue
+		}
+		lo, hi := e0, e1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi < 0 || uint64(lo) > pv.OffHi || pv.OffLo > uint64(hi) {
+			continue // empty intersection: stale interval, don't kill the path
+		}
+		nv := pv
+		if uint64(lo) > nv.OffLo {
+			nv.OffLo = uint64(lo)
+		}
+		if uint64(hi) < nv.OffHi {
+			nv.OffHi = uint64(hi)
+		}
+		nv = nv.canon()
+		if nv.Kind == KPtr {
+			pv = nv
+		}
+	}
+	return pv
+}
+
+// affine computes a·c + b with overflow checking.
+func affine(a, c, b int64) (int64, bool) {
+	ac, ok := mulExact(a, c)
+	if !ok {
+		return 0, false
+	}
+	return addExact(ac, b)
+}
+
+// addExact returns x+y, reporting overflow.
+func addExact(x, y int64) (int64, bool) {
+	s := x + y
+	if (y > 0 && s < x) || (y < 0 && s > x) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulExact returns x·y, reporting overflow.
+func mulExact(x, y int64) (int64, bool) {
+	if x == 0 || y == 0 {
+		return 0, true
+	}
+	p := x * y
+	if p/y != x || (x == minInt64 && y == -1) || (y == minInt64 && x == -1) {
+		return 0, false
+	}
+	return p, true
+}

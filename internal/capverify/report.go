@@ -140,6 +140,10 @@ type Report struct {
 	// state, so unknown verdicts are inflated (but faults remain real).
 	Abyss bool
 
+	// Leaks holds the confinement pass's capability-escape diagnostics
+	// (confine.go), in program order. Empty for single-domain programs.
+	Leaks []Leak
+
 	// sites holds, per word index, the checks evaluated there (nil for
 	// unreachable words, empty-non-nil for reachable check-free ones).
 	// Exposed through SiteChecks and Sites (sites.go).
@@ -206,6 +210,19 @@ func (c *Counts) bump(v Verdict) {
 	case VerdictFault:
 		c.Fault++
 	}
+}
+
+// sortLeaks puts leaks in (pc, reg, kind) order for stable output.
+func (r *Report) sortLeaks() {
+	sort.SliceStable(r.Leaks, func(i, j int) bool {
+		if r.Leaks[i].PC != r.Leaks[j].PC {
+			return r.Leaks[i].PC < r.Leaks[j].PC
+		}
+		if r.Leaks[i].Reg != r.Leaks[j].Reg {
+			return r.Leaks[i].Reg < r.Leaks[j].Reg
+		}
+		return r.Leaks[i].Kind < r.Leaks[j].Kind
+	})
 }
 
 // sortDiags puts diagnostics in (pc, class) order for stable output.

@@ -39,14 +39,31 @@ const (
 )
 
 // state is the abstract machine state at one program point: one lattice
-// value per register, plus definition provenance, predicate facts, and
-// the privilege mask. The zero value is "unreachable".
+// value per register, plus definition provenance, predicate facts,
+// affine register relations, the abstract store, and the privilege
+// mask. The zero value is "unreachable".
+//
+// state is copied by value throughout the analysis; mem's backing array
+// is shared across copies, so every mstore operation is functional
+// (copy-on-write) — see store.go.
 type state struct {
 	live  bool
 	priv  uint8
 	regs  [isa.NumRegs]Value
 	defs  [isa.NumRegs]int32
 	preds [isa.NumRegs]pred
+	rels  rels
+	mem   mstore
+}
+
+// stateEq reports whether two states are observably identical to the
+// fixpoint engine. The mem slice makes state non-comparable with ==, so
+// propagation uses this instead.
+func stateEq(a, b state) bool {
+	return a.live == b.live && a.priv == b.priv &&
+		a.regs == b.regs && a.defs == b.defs &&
+		a.preds == b.preds && a.rels == b.rels &&
+		memEq(a.mem, b.mem)
 }
 
 // entryState is the thread-start state cmd/mmsim establishes: every
@@ -82,18 +99,21 @@ func havocState() state {
 }
 
 // havocRegs clobbers every register of st in place (the effect of a
-// TRAP: the kernel may rewrite the whole register file).
+// TRAP: the kernel may rewrite the whole register file — and, through
+// its own pointers, any memory).
 func havocRegs(st *state) {
 	for i := range st.regs {
 		st.regs[i] = Top()
 		st.defs[i] = defMerged
 		st.preds[i] = pred{}
 	}
+	st.rels = rels{}
+	st.mem = mstore{}
 }
 
 // joinState merges b into a (the least upper bound); widen switches the
-// register join to the widening operator.
-func joinState(a, b state, widen bool) state {
+// register and store joins to the (threshold) widening operator.
+func (v *verifier) joinState(a, b state, widen bool) state {
 	if !a.live {
 		return b
 	}
@@ -105,7 +125,7 @@ func joinState(a, b state, widen bool) state {
 	out.priv = a.priv | b.priv
 	for i := range out.regs {
 		if widen {
-			out.regs[i] = Widen(a.regs[i], b.regs[i])
+			out.regs[i] = widenTo(a.regs[i], b.regs[i], v.ths)
 		} else {
 			out.regs[i] = Join(a.regs[i], b.regs[i])
 		}
@@ -114,17 +134,34 @@ func joinState(a, b state, widen bool) state {
 		} else {
 			out.defs[i] = defMerged
 		}
-		if a.preds[i] == b.preds[i] {
-			out.preds[i] = a.preds[i]
+	}
+	for i := range out.preds {
+		pa, pb := a.preds[i], b.preds[i]
+		switch {
+		case pa == pb:
+			out.preds[i] = pa
+		case pa.kind != pNone && pa.kind == pb.kind && pa.src == pb.src && pa.k == pb.k &&
+			a.defs[pa.src] == pa.srcDef && b.defs[pb.src] == pb.srcDef:
+			// Both sides carry the same live fact about the same source
+			// register; only the def-site anchor differs (typical at a
+			// loop head, where the source's def joins to defMerged).
+			// Re-anchor to the joined def so the fact survives the join.
+			out.preds[i] = pred{kind: pa.kind, src: pa.src, srcDef: out.defs[pa.src], k: pa.k}
 		}
+	}
+	if !v.cfg.RegistersOnly {
+		out.rels = joinRels(&a, &b)
+		out.mem = joinMem(a.mem, b.mem, widen, v.ths)
 	}
 	return out
 }
 
 // def records a register write: value, definition site, and optionally
-// the predicate fact the value carries.
+// the predicate fact the value carries. Any write invalidates affine
+// relations mentioning the register.
 func (st *state) def(rd, pc int, v Value, p pred) {
 	st.regs[rd] = v
 	st.defs[rd] = int32(pc)
 	st.preds[rd] = p
+	st.rels.kill(int8(rd))
 }

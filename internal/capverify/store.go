@@ -1,0 +1,280 @@
+package capverify
+
+import "sort"
+
+// Abstract store: the memory half of the capability-flow analysis.
+//
+// The machine's data segment is modelled as a partial map from word
+// offset to abstract Value. A cell that is *absent* means "unknown
+// contents" (⊤) — initial memory holds whatever the loader left there,
+// so absence is the sound default and the zero mstore is the fully
+// unknown store. Precision comes only from stores the analysis has
+// itself observed:
+//
+//   - A store through a pointer with a provably exact offset performs a
+//     *strong update*: the cell now holds exactly the stored value.
+//     This is what lets a capability spilled to a stack slot come back
+//     with its perm/len/offset facts intact instead of as ⊤.
+//   - A store through an inexact pointer performs a *weak update*: the
+//     stored value is joined into every existing cell the pointer's
+//     offset interval ∩ congruence class may alias. No new cells are
+//     created (the unwritten remainder is already ⊤ by absence).
+//   - A store through a pointer of unknown region (or a byte store with
+//     unknown address) clobbers conservatively: joined into everything
+//     it may touch.
+//
+// Soundness mirrors machine/exec.go exactly: word stores/loads are
+// 8-byte aligned (the align check faults otherwise, and the analysis
+// only models the post-check state), byte stores clear the tag of the
+// containing word, and code/data segments are disjoint so a RegCode
+// store cannot alias a data cell. Imprecision always degrades to
+// absence (⊤), never to a wrong value.
+//
+// All operations are functional — they return a new mstore and never
+// mutate shared backing arrays — because states are copied by value and
+// the cells slice header would otherwise alias across program points.
+
+// mcell is one tracked word: the data-segment word offset and the
+// abstract value it holds.
+type mcell struct {
+	off uint64
+	val Value
+}
+
+// maxCells bounds the store's footprint. On overflow new cells are
+// simply not created (absent = ⊤, sound); existing cells keep their
+// precision.
+const maxCells = 256
+
+// mstore is a sorted-by-offset set of tracked cells. The zero value is
+// the all-unknown store.
+type mstore struct {
+	cells []mcell
+}
+
+// find returns the index of off in m.cells, or (insertion point, false).
+func (m mstore) find(off uint64) (int, bool) {
+	i := sort.Search(len(m.cells), func(i int) bool { return m.cells[i].off >= off })
+	if i < len(m.cells) && m.cells[i].off == off {
+		return i, true
+	}
+	return i, false
+}
+
+// get returns the abstract value at word offset off (⊤ if untracked).
+func (m mstore) get(off uint64) Value {
+	if i, ok := m.find(off); ok {
+		return m.cells[i].val
+	}
+	return Top()
+}
+
+// setStrong records a strong update: the cell at off now holds exactly
+// v. Storing ⊤ removes the cell (absence already means ⊤).
+func (m mstore) setStrong(off uint64, v Value) mstore {
+	i, ok := m.find(off)
+	if v.Kind == KTop {
+		if !ok {
+			return m
+		}
+		out := make([]mcell, 0, len(m.cells)-1)
+		out = append(out, m.cells[:i]...)
+		out = append(out, m.cells[i+1:]...)
+		return mstore{cells: out}
+	}
+	if ok {
+		out := append([]mcell(nil), m.cells...)
+		out[i].val = v
+		return mstore{cells: out}
+	}
+	if len(m.cells) >= maxCells {
+		return m // capacity: leave absent (⊤), sound
+	}
+	out := make([]mcell, 0, len(m.cells)+1)
+	out = append(out, m.cells[:i]...)
+	out = append(out, mcell{off: off, val: v})
+	out = append(out, m.cells[i:]...)
+	return mstore{cells: out}
+}
+
+// weakJoin joins v into every existing cell whose offset lies in
+// [lo, hi] and matches the congruence class off ≡ rem (mod mod). Cells
+// outside the may-alias set are untouched; absent cells stay absent.
+func (m mstore) weakJoin(lo, hi uint64, mod, rem uint64, v Value) mstore {
+	var out []mcell
+	for i, c := range m.cells {
+		if c.off < lo || c.off > hi {
+			continue
+		}
+		if mod > 1 && c.off%mod != rem%mod {
+			continue
+		}
+		nv := Join(c.val, v)
+		if nv == c.val {
+			continue
+		}
+		if out == nil {
+			out = append([]mcell(nil), m.cells...)
+		}
+		out[i].val = nv
+	}
+	if out == nil {
+		return m
+	}
+	return mstore{cells: dropTop(out)}
+}
+
+// clobber joins v into every tracked cell — the store's response to a
+// write it cannot localise at all.
+func (m mstore) clobber(v Value) mstore {
+	if len(m.cells) == 0 {
+		return m
+	}
+	out := make([]mcell, 0, len(m.cells))
+	for _, c := range m.cells {
+		nv := Join(c.val, v)
+		if nv.Kind == KTop {
+			continue
+		}
+		out = append(out, mcell{off: c.off, val: nv})
+	}
+	return mstore{cells: out}
+}
+
+// dropTop removes cells that have risen to ⊤ (absence is cheaper).
+func dropTop(cells []mcell) []mcell {
+	out := cells[:0]
+	for _, c := range cells {
+		if c.val.Kind != KTop {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// storeWord models `st` through pointer pv storing value val, in the
+// post-check state (alignment and bounds already passed, so on every
+// surviving path the concrete address is 8-aligned and in-segment).
+func (m mstore) storeWord(pv, val Value) mstore {
+	switch pv.Region {
+	case RegCode:
+		// Code and data segments are disjoint: a code-segment store
+		// cannot alias any data cell. (Such a store faults anyway —
+		// execute perms are not storable — but soundness must not
+		// depend on that.)
+		return m
+	case RegData:
+		if pv.OffLo == pv.OffHi {
+			return m.setStrong(pv.OffLo&^7, val)
+		}
+		mod, rem := pv.Mod, pv.Rem
+		if mod == exactMod || mod < 8 || mod%8 != 0 || rem%8 != 0 {
+			// Congruence class not usable for word addressing: fall back
+			// to "any word in range" (mod 1 matches every cell).
+			mod, rem = 1, 0
+		}
+		return m.weakJoin(pv.OffLo&^7, pv.OffHi, mod, rem, val)
+	default:
+		// Unknown region: may alias anything.
+		return m.clobber(val)
+	}
+}
+
+// storeByte models `stb` through pv: the containing word's tag is
+// cleared, so the cell degrades to an unknown integer.
+func (m mstore) storeByte(pv Value) mstore {
+	if pv.Region == RegCode {
+		return m
+	}
+	if pv.Region == RegData && pv.OffLo == pv.OffHi {
+		return m.setStrong(pv.OffLo&^7, IntAny())
+	}
+	if pv.Region == RegData {
+		return m.weakJoin(pv.OffLo&^7, pv.OffHi, 1, 0, IntAny())
+	}
+	return m.clobber(IntAny())
+}
+
+// loadWord models `ld` through pv in the post-check state: the result
+// is the tracked value at an exact address, the join over a small
+// may-read set, or ⊤.
+func (m mstore) loadWord(pv Value) Value {
+	if pv.Region != RegData {
+		return Top()
+	}
+	if pv.OffLo == pv.OffHi {
+		return m.get(pv.OffLo)
+	}
+	step := pv.Mod
+	lo := pv.OffLo
+	if step == exactMod || step < 8 || step%8 != 0 || pv.Rem%8 != 0 {
+		// Congruence unusable for word addressing: scan every aligned
+		// word in range (a superset of the true may-read set).
+		step = 8
+		lo = (lo + 7) &^ 7
+	}
+	if lo > pv.OffHi || (pv.OffHi-lo)/step >= 64 {
+		return Top() // wide may-read set: any absent cell is ⊤ anyway
+	}
+	acc := Bottom()
+	for off := lo; off <= pv.OffHi; off += step {
+		i, ok := m.find(off)
+		if !ok {
+			return Top()
+		}
+		acc = Join(acc, m.cells[i].val)
+		if acc.Kind == KTop {
+			return acc
+		}
+	}
+	return acc
+}
+
+// joinMem merges two stores at a control-flow join. Only cells tracked
+// on *both* sides survive (a cell absent on one side is ⊤ there, and
+// x ⊔ ⊤ = ⊤ = absent); surviving cells join pointwise, with threshold
+// widening under widen. Termination: the merged key set is a subset of
+// a's keys, so keys only ever shrink along a chain of joins, and each
+// cell's value chain is finite by the Value lattice's own widening.
+func joinMem(a, b mstore, widen bool, ths []int64) mstore {
+	if len(a.cells) == 0 || len(b.cells) == 0 {
+		return mstore{}
+	}
+	var out []mcell
+	i, j := 0, 0
+	for i < len(a.cells) && j < len(b.cells) {
+		ca, cb := a.cells[i], b.cells[j]
+		switch {
+		case ca.off < cb.off:
+			i++
+		case ca.off > cb.off:
+			j++
+		default:
+			var nv Value
+			if widen {
+				nv = widenTo(ca.val, cb.val, ths)
+			} else {
+				nv = Join(ca.val, cb.val)
+			}
+			if nv.Kind != KTop {
+				out = append(out, mcell{off: ca.off, val: nv})
+			}
+			i++
+			j++
+		}
+	}
+	return mstore{cells: out}
+}
+
+// memEq reports structural equality of two stores.
+func memEq(a, b mstore) bool {
+	if len(a.cells) != len(b.cells) {
+		return false
+	}
+	for i := range a.cells {
+		if a.cells[i] != b.cells[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package capverify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// dptr builds a read/write data pointer with an exact word offset.
+func dptr(off uint64) Value {
+	return PtrExact(core.PermReadWrite, 12, off, RegData)
+}
+
+// rptr builds a data pointer whose offset ranges over [lo, hi] with the
+// given congruence (mod 0 leaves the join-computed congruence alone).
+func rptr(lo, hi, mod, rem uint64) Value {
+	v := dptr(lo)
+	v.OffHi = hi
+	if mod != 0 {
+		v.Mod, v.Rem = mod, rem
+	}
+	return v.canon()
+}
+
+func TestStoreStrongReload(t *testing.T) {
+	var m mstore
+	cap := dptr(64)
+	m = m.storeWord(dptr(8), cap)
+	got := m.loadWord(dptr(8))
+	if got != cap {
+		t.Errorf("strong store/reload: got %s, want %s", got, cap)
+	}
+	// Overwrite strongly with an integer: the old value must not linger.
+	m = m.storeWord(dptr(8), IntExact(7))
+	if got := m.loadWord(dptr(8)); got != IntExact(7) {
+		t.Errorf("strong overwrite: got %s, want 7", got)
+	}
+	// An untouched slot is unknown, not zero.
+	if got := m.loadWord(dptr(16)); got.Kind != KTop {
+		t.Errorf("absent slot: got %s, want top", got)
+	}
+}
+
+func TestStoreWeakUpdateJoins(t *testing.T) {
+	var m mstore
+	m = m.storeWord(dptr(8), IntExact(1))
+	m = m.storeWord(dptr(16), IntExact(2))
+	// A store somewhere in [8,16] may hit either cell: both must absorb
+	// the new value, neither may be replaced by it.
+	m = m.storeWord(rptr(8, 16, 8, 0), IntExact(9))
+	for off, old := range map[uint64]int64{8: 1, 16: 2} {
+		got := m.loadWord(dptr(off))
+		if !Leq(IntExact(old), got) || !Leq(IntExact(9), got) {
+			t.Errorf("weak update at %d: got %s, want a cover of {%d, 9}", off, got, old)
+		}
+	}
+	// The congruence class excludes offset 24: an aligned store over
+	// [8,24] with mod 16 rem 8 must leave a mod-16-rem-0 cell alone.
+	var m2 mstore
+	m2 = m2.storeWord(dptr(16), IntExact(5))
+	m2 = m2.storeWord(rptr(8, 24, 16, 8), IntExact(9))
+	if got := m2.loadWord(dptr(16)); got != IntExact(5) {
+		t.Errorf("congruence-disjoint weak update clobbered cell: got %s, want 5", got)
+	}
+}
+
+func TestStoreByteClearsTag(t *testing.T) {
+	var m mstore
+	m = m.storeWord(dptr(8), dptr(0))
+	m = m.storeByte(dptr(11)) // byte 3 of word 8
+	got := m.loadWord(dptr(8))
+	if got.Kind == KPtr {
+		t.Errorf("byte store left a capability in the word: %s", got)
+	}
+}
+
+func TestStoreCodeRegionDisjoint(t *testing.T) {
+	var m mstore
+	m = m.storeWord(dptr(8), IntExact(3))
+	cp := PtrExact(core.PermExecuteUser, 12, 8, RegCode)
+	m = m.storeWord(cp, IntExact(99))
+	if got := m.loadWord(dptr(8)); got != IntExact(3) {
+		t.Errorf("code store aliased a data cell: got %s, want 3", got)
+	}
+}
+
+// TestStoreSoundnessDifferential runs random store/load sequences
+// against a concrete memory: every abstract load must over-approximate
+// the concrete word it models.
+func TestStoreSoundnessDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var m mstore
+		conc := make(map[uint64]int64) // concrete words actually written
+		for step := 0; step < 40; step++ {
+			off := uint64(rng.Intn(32)) * 8
+			val := int64(rng.Intn(100))
+			if rng.Intn(4) == 0 {
+				// Inexact store: abstractly anywhere in [off, off+span],
+				// concretely at one address we pick from that set.
+				span := uint64(rng.Intn(4)) * 8
+				pick := off + uint64(rng.Int63n(int64(span/8)+1))*8
+				conc[pick] = val
+				m = m.storeWord(rptr(off, off+span, 8, 0), IntExact(val))
+			} else {
+				conc[off] = val
+				m = m.storeWord(dptr(off), IntExact(val))
+			}
+		}
+		for off, want := range conc {
+			got := m.loadWord(dptr(off))
+			if !Leq(IntExact(want), got) {
+				t.Fatalf("trial %d: load at %d: abstract %s does not cover concrete %d",
+					trial, off, got, want)
+			}
+		}
+	}
+}
+
+// TestJoinMemKeyShrinkage pins the termination argument: the key set of
+// joinMem(a, b) is a subset of a's keys, so iterated joins along a loop
+// can only shrink or stabilize the tracked-cell set.
+func TestJoinMemKeyShrinkage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func() mstore {
+		var m mstore
+		for i := 0; i < rng.Intn(10); i++ {
+			m = m.setStrong(uint64(rng.Intn(16))*8, IntExact(int64(rng.Intn(50))))
+		}
+		return m
+	}
+	keys := func(m mstore) map[uint64]bool {
+		out := make(map[uint64]bool)
+		for _, c := range m.cells {
+			out[c.off] = true
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := mk(), mk()
+		j := joinMem(a, b, trial%2 == 0, []int64{0, 8, 64})
+		ka := keys(a)
+		for _, c := range j.cells {
+			if !ka[c.off] {
+				t.Fatalf("joinMem invented key %d absent from a", c.off)
+			}
+			// Pointwise soundness: the joined cell bounds both inputs.
+			if av := a.get(c.off); !Leq(av, c.val) {
+				t.Fatalf("joined cell %d = %s does not bound a's %s", c.off, c.val, av)
+			}
+			if bv := b.get(c.off); !Leq(bv, c.val) {
+				t.Fatalf("joined cell %d = %s does not bound b's %s", c.off, c.val, bv)
+			}
+		}
+	}
+}
+
+// TestJoinMemStabilizes: iterating widen-joins against a stream of
+// stores reaches a fixpoint (the loop-head termination argument).
+func TestJoinMemStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ths := []int64{0, 1, 8, 256}
+	for trial := 0; trial < 50; trial++ {
+		var acc mstore
+		for i := 0; i < 8; i++ {
+			acc = acc.setStrong(uint64(i)*8, IntExact(int64(rng.Intn(10))))
+		}
+		changes := 0
+		for i := 0; i < 100; i++ {
+			next := acc.storeWord(rptr(0, 56, 8, 0), IntExact(int64(rng.Intn(1000))))
+			j := joinMem(acc, next, true, ths)
+			if !memEq(j, acc) {
+				changes++
+				acc = j
+			}
+		}
+		if changes > 40 {
+			t.Fatalf("widen-join chain changed %d times; expected stabilization", changes)
+		}
+	}
+}

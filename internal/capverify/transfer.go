@@ -272,10 +272,27 @@ func (v *verifier) stepALU(out *stepOut, pc int, in state, inst isa.Inst) {
 		st.regs[inst.Rd] = in.regs[inst.Ra]
 		st.defs[inst.Rd] = in.defs[inst.Ra]
 		st.preds[inst.Rd] = in.preds[inst.Ra]
+		st.rels.kill(int8(inst.Rd))
+		st.rels.derive(int8(inst.Rd), int8(inst.Ra), 0)
 		v.fallthru(out, pc, st)
 		return
 	case isa.LDI:
 		res = IntExact(inst.Imm)
+	}
+
+	if (inst.Op == isa.ADDI || inst.Op == isa.SUBI) && inst.Rd == inst.Ra {
+		// A self-increment of a loop counter: maintain affine relations
+		// through the write instead of killing them (rel.go).
+		k := inst.Imm
+		if inst.Op == isa.SUBI {
+			k = -inst.Imm
+		}
+		saved := st.rels
+		saved.shiftCtr(int8(inst.Rd), k)
+		st.def(inst.Rd, pc, res, pr)
+		st.rels = saved
+		v.fallthru(out, pc, st)
+		return
 	}
 
 	st.def(inst.Rd, pc, res, pr)
@@ -486,6 +503,9 @@ func (v *verifier) stepMem(out *stepOut, pc int, in state, inst isa.Inst) {
 	if !ok {
 		return
 	}
+	// An affine relation to a live loop counter can tighten the offset
+	// interval well below what widening left behind.
+	pv = relRefine(&in, int8(inst.Ra), pv)
 	if inst.Imm != 0 {
 		pv, ok = permCheck(out, pv, modifiableMask, core.FaultImmutable, inst.Ra, "address displacement")
 		if !ok {
@@ -519,9 +539,25 @@ func (v *verifier) stepMem(out *stepOut, pc int, in state, inst isa.Inst) {
 	}
 	switch inst.Op {
 	case isa.LD:
-		st.def(inst.Rd, pc, Top(), pred{}) // memory contents are not tracked
+		res := Top()
+		if !v.cfg.RegistersOnly {
+			res = st.mem.loadWord(pv)
+		}
+		st.def(inst.Rd, pc, res, pred{})
 	case isa.LDB:
 		st.def(inst.Rd, pc, IntRange(0, 255), pred{})
+	case isa.ST:
+		if !v.cfg.RegistersOnly {
+			val := in.regs[inst.Rb]
+			if val.Kind == KUninit {
+				val = IntExact(0) // an unwritten register stores untagged 0
+			}
+			st.mem = st.mem.storeWord(pv, val)
+		}
+	case isa.STB:
+		if !v.cfg.RegistersOnly {
+			st.mem = st.mem.storeByte(pv)
+		}
 	}
 	v.fallthru(out, pc, st)
 }
@@ -544,11 +580,30 @@ func (v *verifier) stepLea(out *stepOut, pc int, in state, inst isa.Inst) {
 	if !ok {
 		return
 	}
+	pv = relRefine(&in, int8(inst.Ra), pv)
 	res, ok := leaBounds(out, pv, off, fromBase, inst.Ra, name)
 	if !ok {
 		return
 	}
 	st := in
+	if k, exact := off.IsExactInt(); exact && !fromBase {
+		if inst.Rd == inst.Ra {
+			// A self-advancing induction pointer: shift affine relations
+			// through the write instead of killing them (rel.go).
+			saved := st.rels
+			saved.shiftPtr(int8(inst.Rd), k)
+			st.def(inst.Rd, pc, res, pred{})
+			st.rels = saved
+			v.fallthru(out, pc, st)
+			return
+		}
+		// A derived pointer at a fixed displacement inherits the
+		// source's affine relations, displaced.
+		st.def(inst.Rd, pc, res, pred{})
+		st.rels.derive(int8(inst.Rd), int8(inst.Ra), k)
+		v.fallthru(out, pc, st)
+		return
+	}
 	st.def(inst.Rd, pc, res, pred{})
 	v.fallthru(out, pc, st)
 }
@@ -606,6 +661,9 @@ func (v *verifier) stepRestrict(out *stepOut, pc int, in state, inst isa.Inst) {
 	}
 	st := in
 	st.def(inst.Rd, pc, res, pred{})
+	// RESTRICT keeps the offset: the derived capability inherits the
+	// source's affine relations unchanged.
+	st.rels.derive(int8(inst.Rd), int8(inst.Ra), 0)
 	v.fallthru(out, pc, st)
 }
 
@@ -751,11 +809,19 @@ func (v *verifier) stepJump(out *stepOut, pc int, in state, inst isa.Inst) {
 		return
 	}
 	exact := tv.OffLo == tv.OffHi
+	// A jump through a pointer carrying only enter permissions is a
+	// protection-domain crossing; an exact JMPL is an interprocedural
+	// call the engine can analyse in the callee's own context.
+	enter := tv.Perms != 0 &&
+		tv.Perms&^(uint16(1)<<core.PermEnterUser|uint16(1)<<core.PermEnterPriv) == 0
 	for off := tv.OffLo; off <= tv.OffHi; off += tv.Mod {
 		t := int(off / word.BytesPerWord)
 		if t >= v.img.SegWords() {
 			break
 		}
-		out.edges = append(out.edges, edge{pc: t, st: st, spec: !exact})
+		out.edges = append(out.edges, edge{pc: t, st: st, spec: !exact,
+			call:  exact && inst.Op == isa.JMPL,
+			enter: exact && enter,
+		})
 	}
 }

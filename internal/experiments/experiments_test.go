@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 29 {
-		t.Fatalf("registered %d experiments, want 29 (E1..E29)", len(all))
+	if len(all) != 30 {
+		t.Fatalf("registered %d experiments, want 30 (E1..E30)", len(all))
 	}
 	for i, e := range all {
 		want := i + 1
